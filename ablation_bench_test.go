@@ -1,0 +1,153 @@
+package udsim
+
+import (
+	"fmt"
+	"testing"
+
+	"udsim/internal/vectors"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out. They do
+// not correspond to paper tables; they answer "what if" questions about
+// the implementation.
+
+// BenchmarkAblationWordWidth varies the parallel technique's logical word
+// width on the deep multiplier: W=32 matches the paper's machine, W=64
+// halves the word count per field, W=8 forces many-word fields. The
+// paper's Fig. 8 point — per-gate cost grows faster than linearly in the
+// word count — shows up directly.
+func BenchmarkAblationWordWidth(b *testing.B) {
+	for _, w := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("c6288/W%d", w), func(b *testing.B) {
+			c, err := ISCAS85("c6288")
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := NewParallel(c, WithWordBits(w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.ResetConsistent(nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(e.WordsPerField()), "words/field")
+			vecs := vectors.Random(benchVecPool, len(e.Circuit().Inputs), 1990)
+			runVectors(b, e, vecs)
+		})
+	}
+}
+
+// BenchmarkAblationMonitorSet varies the PC-set method's monitored-net
+// set: monitoring everything forces zero-insertion on every net,
+// enlarging the initialization code — the §2 trade-off between
+// observability and work.
+func BenchmarkAblationMonitorSet(b *testing.B) {
+	c, err := ISCAS85("c1908")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		monitor func(*Circuit) []NetID
+	}{
+		{"outputs", func(c *Circuit) []NetID { return nil }},
+		{"all-nets", func(c *Circuit) []NetID {
+			ids := make([]NetID, c.NumNets())
+			for i := range ids {
+				ids[i] = NetID(i)
+			}
+			return ids
+		}},
+	}
+	for _, tc := range cases {
+		b.Run("c1908/"+tc.name, func(b *testing.B) {
+			e, err := NewPCSet(c, tc.monitor(c.Normalize()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.ResetConsistent(nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(e.CodeSize()), "instrs")
+			vecs := vectors.Random(benchVecPool, len(e.Circuit().Inputs), 1990)
+			runVectors(b, e, vecs)
+		})
+	}
+}
+
+// BenchmarkFaultSim measures parallel stuck-at fault grading throughput:
+// one op grades the whole fault universe of c432 against 64 vectors.
+func BenchmarkFaultSim(b *testing.B) {
+	c, err := ISCAS85("c432")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs, err := NewFaultSim(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := AllFaults(fs.Circuit())
+	vecs := vectors.Random(64, len(fs.Circuit().Inputs), 1990).Bits
+	b.ReportMetric(float64(len(faults)), "faults")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Run(faults, vecs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkActivityOverhead measures the cost of switching-activity
+// collection on top of plain simulation.
+func BenchmarkActivityOverhead(b *testing.B) {
+	c, err := ISCAS85("c880")
+	if err != nil {
+		b.Fatal(err)
+	}
+	vecs := vectors.Random(64, 60, 1990).Bits
+	b.Run("sim-only", func(b *testing.B) {
+		e, err := NewParallel(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = e.ResetConsistent(nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, vec := range vecs {
+				if err := e.Apply(vec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("with-activity", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ProfileActivity(c, vecs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSequentialCycle measures the per-clock-cycle cost of the
+// flip-flop-broken construction over two different cores.
+func BenchmarkSequentialCycle(b *testing.B) {
+	for _, tech := range []string{"parallel", "lcc"} {
+		b.Run("counter16/"+tech, func(b *testing.B) {
+			seq, err := NewSequential(Counter(16), func(c *Circuit) (Engine, error) {
+				return NewEngine(tech, c)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := []bool{true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := seq.Step(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

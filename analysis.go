@@ -1,0 +1,180 @@
+package udsim
+
+import (
+	"fmt"
+	"io"
+
+	"udsim/internal/activity"
+	"udsim/internal/atpg"
+	"udsim/internal/circuit"
+	"udsim/internal/fault"
+	"udsim/internal/hazard"
+	"udsim/internal/parsim"
+	"udsim/internal/vcd"
+)
+
+// --- Hazard analysis ---------------------------------------------------
+
+// HazardKind classifies a net's response to one vector.
+type HazardKind = hazard.Kind
+
+// Hazard kinds.
+const (
+	// HazardClean means at most one transition.
+	HazardClean = hazard.Clean
+	// HazardStatic means a pulse that returns to the starting value.
+	HazardStatic = hazard.Static
+	// HazardDynamic means a value change with extra transitions.
+	HazardDynamic = hazard.Dynamic
+)
+
+// ClassifyWaveform counts a waveform's transitions and classifies the
+// hazard (§3's bit-field hazard analysis).
+func ClassifyWaveform(h []bool) (transitions int, kind HazardKind) {
+	return hazard.FromHistory(h)
+}
+
+// --- Switching activity -------------------------------------------------
+
+// ActivityReport holds per-net toggle and glitch counts over a vector
+// stream — the unit-delay switching activity that drives dynamic power
+// estimation (zero-delay simulation misses the glitch component).
+type ActivityReport = activity.Report
+
+// ProfileActivity simulates the vector stream with the parallel technique
+// and returns per-net switching statistics.
+func ProfileActivity(c *Circuit, vecs [][]bool, opts ...ParallelOption) (*ActivityReport, error) {
+	o := parallelOpts{wordBits: 32}
+	for _, f := range opts {
+		f(&o)
+	}
+	// Alignment changes nothing for activity (waveforms are identical);
+	// keep the zero-aligned layout for simplicity.
+	return activity.Profile(c, vecs, parsim.Config{WordBits: o.wordBits, Trim: o.trim})
+}
+
+// --- Fault simulation ----------------------------------------------------
+
+// Fault is a single stuck-at fault.
+type Fault = fault.Fault
+
+// Stuck-at polarities.
+const (
+	// StuckAt0 holds a net at logic 0.
+	StuckAt0 = fault.StuckAt0
+	// StuckAt1 holds a net at logic 1.
+	StuckAt1 = fault.StuckAt1
+)
+
+// FaultResult is the outcome of fault grading.
+type FaultResult = fault.Result
+
+// AllFaults enumerates both stuck-at faults on every net.
+func AllFaults(c *Circuit) []Fault { return fault.AllFaults(c) }
+
+// NewFaultSim compiles a 63-faults-per-pass parallel stuck-at fault
+// simulator (zero-delay detection semantics, lane 0 fault-free).
+func NewFaultSim(c *Circuit) (*FaultSim, error) {
+	s, err := fault.New(c)
+	if err != nil {
+		return nil, err
+	}
+	return &FaultSim{s: s}, nil
+}
+
+// FaultSim grades stuck-at faults against vector streams.
+type FaultSim struct{ s *fault.Sim }
+
+// Circuit returns the (normalized) circuit.
+func (f *FaultSim) Circuit() *Circuit { return f.s.Circuit() }
+
+// Run grades the fault list against the vectors, reporting the first
+// detecting vector per fault and the undetected remainder.
+func (f *FaultSim) Run(faults []Fault, vecs [][]bool) (*FaultResult, error) {
+	return f.s.Run(faults, vecs)
+}
+
+// --- Test generation (PODEM) ----------------------------------------------
+
+// ATPGStatus classifies one fault's test-generation outcome.
+type ATPGStatus = atpg.Status
+
+// ATPG outcomes.
+const (
+	// ATPGFound means a detecting pattern was generated.
+	ATPGFound = atpg.Found
+	// ATPGUntestable means the fault is provably redundant.
+	ATPGUntestable = atpg.Untestable
+	// ATPGAborted means the backtrack limit was hit.
+	ATPGAborted = atpg.Aborted
+)
+
+// TestPattern is a generated test with per-input care bits.
+type TestPattern = atpg.Pattern
+
+// ATPGSummary is the outcome of generating tests for a fault universe.
+type ATPGSummary = atpg.Summary
+
+// NewATPG prepares a PODEM test generator (SCOAP-guided backtrace,
+// X-path pruning, dual-machine three-valued implication).
+func NewATPG(c *Circuit) (*ATPG, error) {
+	g, err := atpg.New(c)
+	if err != nil {
+		return nil, err
+	}
+	return &ATPG{g: g}, nil
+}
+
+// ATPG generates stuck-at test patterns.
+type ATPG struct{ g *atpg.Generator }
+
+// Circuit returns the (normalized) circuit.
+func (a *ATPG) Circuit() *Circuit { return a.g.Circuit() }
+
+// SetBacktrackLimit bounds the search per fault (default 2000). Raising
+// it converts aborts into found/untestable verdicts at linear cost.
+func (a *ATPG) SetBacktrackLimit(n int) { a.g.BacktrackLimit = n }
+
+// Generate runs PODEM for one fault.
+func (a *ATPG) Generate(f Fault) (TestPattern, ATPGStatus) { return a.g.Generate(f) }
+
+// GenerateAll covers a fault list with patterns, fault-dropping via the
+// parallel fault simulator after each new pattern.
+func (a *ATPG) GenerateAll(faults []Fault) (*ATPGSummary, error) { return a.g.GenerateAll(faults) }
+
+// --- VCD waveform dumping ------------------------------------------------
+
+// VCDWriter streams unit-delay waveforms as an IEEE 1364 Value Change
+// Dump readable by standard waveform viewers. One VCD time unit is one
+// gate delay.
+type VCDWriter struct {
+	w *vcd.Writer
+}
+
+// NewVCD creates a VCD writer over a waveform-tracing engine. nets
+// selects what to dump (nil = primary inputs and outputs). Call
+// DumpVector after each Apply, then Close.
+func NewVCD(w io.Writer, e Engine, nets []NetID) (*VCDWriter, error) {
+	tr, ok := e.(Tracer)
+	if !ok {
+		return nil, fmt.Errorf("udsim: engine %s does not retain waveforms", e.EngineName())
+	}
+	return &VCDWriter{w: vcd.New(w, vcdAdapter{e, tr}, nets)}, nil
+}
+
+type vcdAdapter struct {
+	e  Engine
+	tr Tracer
+}
+
+func (a vcdAdapter) Circuit() *circuit.Circuit { return a.e.Circuit() }
+func (a vcdAdapter) Depth() int                { return a.e.Depth() }
+func (a vcdAdapter) ValueAt(n circuit.NetID, t int) (bool, bool) {
+	return a.tr.ValueAt(n, t)
+}
+
+// DumpVector appends the last applied vector's waveform.
+func (v *VCDWriter) DumpVector() error { return v.w.DumpVector() }
+
+// Close flushes the dump.
+func (v *VCDWriter) Close() error { return v.w.Close() }

@@ -1,0 +1,52 @@
+package udsim
+
+import (
+	"udsim/internal/async"
+)
+
+// Outcome reports how an asynchronous circuit responded to a vector.
+type Outcome = async.Outcome
+
+// Asynchronous simulation outcomes.
+const (
+	// Settled means the circuit reached a stable state.
+	Settled = async.Settled
+	// Oscillating means the circuit entered a repeating state cycle.
+	Oscillating = async.Oscillating
+)
+
+// NewAsyncBuilderCircuit finalizes a Builder as an asynchronous circuit
+// whose combinational graph may contain cycles (cross-coupled latches,
+// ring oscillators). Such circuits are rejected by every compiled engine
+// — the paper's techniques require acyclic circuits (§1) and name
+// asynchronous circuits as future work — and are simulated by NewAsync.
+func NewAsyncBuilderCircuit(b *Builder) (*Circuit, error) { return b.BuildAsync() }
+
+// NewAsync builds the interpreted event-driven unit-delay simulator for
+// asynchronous circuits: it tolerates combinational cycles, detects
+// settling and oscillation, and provides the reference semantics a future
+// compiled asynchronous technique would have to match.
+func NewAsync(c *Circuit) (*AsyncSim, error) {
+	s, err := async.New(c)
+	if err != nil {
+		return nil, err
+	}
+	return &AsyncSim{s: s}, nil
+}
+
+// AsyncSim simulates asynchronous (possibly cyclic) circuits.
+type AsyncSim struct{ s *async.Sim }
+
+// Circuit returns the (normalized) circuit.
+func (a *AsyncSim) Circuit() *Circuit { return a.s.Circuit() }
+
+// Apply presents one input vector and propagates unit-delay events until
+// the circuit settles or an oscillation is detected, returning the
+// outcome and the number of time steps simulated.
+func (a *AsyncSim) Apply(vec []bool) (Outcome, int, error) { return a.s.ApplyVector(vec) }
+
+// Value returns the current three-valued value of a net (X until driven).
+func (a *AsyncSim) Value(n NetID) V3 { return a.s.Value(n) }
+
+// SetNet forces a net's value, e.g. to initialize a latch out of X.
+func (a *AsyncSim) SetNet(n NetID, v V3) { a.s.SetNet(n, v) }

@@ -1,0 +1,182 @@
+// Benchmarks reproducing the paper's tables as testing.B micro-benchmarks.
+// Each BenchmarkFigNN family times the engines that appear in the paper's
+// figure of the same number, per synthesized ISCAS-85 profile circuit; the
+// cmd/udbench harness prints the same data as whole-table wall-clock runs.
+//
+// Time per op is the cost of one input vector. The interesting quantity is
+// the *ratio* between engines on the same circuit (who wins, by what
+// factor), which is what the paper's tables report.
+package udsim
+
+import (
+	"fmt"
+	"testing"
+
+	"udsim/internal/vectors"
+)
+
+// benchCircuits is a representative subset spanning the paper's range:
+// small/shallow, medium, deep multi-word, and the 4-word multiplier.
+var benchCircuits = []string{"c432", "c880", "c1908", "c6288"}
+
+const benchVecPool = 256
+
+func mustEngine(b *testing.B, tech, circuitName string) (Engine, *vectors.Set) {
+	b.Helper()
+	c, err := ISCAS85(circuitName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEngine(tech, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.ResetConsistent(nil); err != nil {
+		b.Fatal(err)
+	}
+	return e, vectors.Random(benchVecPool, len(e.Circuit().Inputs), 1990)
+}
+
+func runVectors(b *testing.B, e Engine, vecs *vectors.Set) {
+	b.Helper()
+	apply := e.Apply
+	if ev, ok := e.(*EventSim); ok {
+		apply = ev.ApplyFast // benchmark the untraced baseline, like the paper
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := apply(vecs.Bits[i%benchVecPool]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig19 times the four engines of Fig. 19 on each circuit:
+// interpreted 3-valued, interpreted 2-valued, PC-set, parallel.
+func BenchmarkFig19(b *testing.B) {
+	for _, ckt := range benchCircuits {
+		for _, tech := range []string{"event3", "event2", "pcset", "parallel"} {
+			b.Run(fmt.Sprintf("%s/%s", ckt, tech), func(b *testing.B) {
+				e, vecs := mustEngine(b, tech, ckt)
+				runVectors(b, e, vecs)
+			})
+		}
+	}
+}
+
+// BenchmarkFig20 times bit-field trimming against the plain parallel
+// technique on the multi-word circuits where it matters.
+func BenchmarkFig20(b *testing.B) {
+	for _, ckt := range []string{"c1908", "c6288"} {
+		for _, tech := range []string{"parallel", "parallel-trim"} {
+			b.Run(fmt.Sprintf("%s/%s", ckt, tech), func(b *testing.B) {
+				e, vecs := mustEngine(b, tech, ckt)
+				runVectors(b, e, vecs)
+			})
+		}
+	}
+}
+
+// BenchmarkFig23 times the two shift-elimination algorithms against the
+// unoptimized parallel technique.
+func BenchmarkFig23(b *testing.B) {
+	for _, ckt := range []string{"c432", "c1908", "c6288"} {
+		for _, tech := range []string{"parallel", "parallel-pt", "parallel-cb"} {
+			b.Run(fmt.Sprintf("%s/%s", ckt, tech), func(b *testing.B) {
+				e, vecs := mustEngine(b, tech, ckt)
+				runVectors(b, e, vecs)
+			})
+		}
+	}
+}
+
+// BenchmarkFig24 times path tracing combined with trimming.
+func BenchmarkFig24(b *testing.B) {
+	for _, ckt := range []string{"c1908", "c6288"} {
+		for _, tech := range []string{"parallel", "parallel-pt", "parallel-pt-trim"} {
+			b.Run(fmt.Sprintf("%s/%s", ckt, tech), func(b *testing.B) {
+				e, vecs := mustEngine(b, tech, ckt)
+				runVectors(b, e, vecs)
+			})
+		}
+	}
+}
+
+// BenchmarkZeroDelay times the §5 zero-delay side study: interpreted
+// levelized simulation versus compiled LCC.
+func BenchmarkZeroDelay(b *testing.B) {
+	for _, ckt := range []string{"c880", "c6288"} {
+		for _, tech := range []string{"lcc"} {
+			b.Run(fmt.Sprintf("%s/%s", ckt, tech), func(b *testing.B) {
+				e, vecs := mustEngine(b, tech, ckt)
+				runVectors(b, e, vecs)
+			})
+		}
+		b.Run(fmt.Sprintf("%s/interp", ckt), func(b *testing.B) {
+			c, err := ISCAS85(ckt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The interpreted zero-delay simulator is internal; reach it
+			// through the event-driven package's levelized interpreter.
+			z, err := NewZeroDelayInterpreted(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vecs := vectors.Random(benchVecPool, len(z.Circuit().Inputs), 1990)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := z.ApplyVector(vecs.Bits[i%benchVecPool]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDataParallel times the PC-set method's 64-lane mode (§3): one
+// op simulates 64 independent vectors, so compare ns/op here against
+// 64× the scalar pcset ns/op from BenchmarkFig19.
+func BenchmarkDataParallel(b *testing.B) {
+	for _, ckt := range []string{"c432", "c6288"} {
+		b.Run(fmt.Sprintf("%s/pcset-64lane", ckt), func(b *testing.B) {
+			c, err := ISCAS85(ckt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := NewPCSet(c, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.ResetConsistent(nil); err != nil {
+				b.Fatal(err)
+			}
+			vecs := vectors.Random(benchVecPool, len(e.Circuit().Inputs), 1990)
+			packed := vecs.Packed()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.ApplyLanes(packed[i%len(packed)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompile measures compiler throughput: building the straight-
+// line program for the largest circuit with each technique.
+func BenchmarkCompile(b *testing.B) {
+	c, err := ISCAS85("c6288")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tech := range []string{"pcset", "parallel", "parallel-pt-trim"} {
+		b.Run(tech, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := NewEngine(tech, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+// Command udatpg generates stuck-at test patterns for a netlist: random
+// patterns graded by 63-way parallel fault simulation, topped up with
+// PODEM for the random-resistant remainder, with redundant faults proved
+// untestable. The generated patterns can be written as a vector file that
+// cmd/udsim replays.
+//
+// Usage:
+//
+//	udatpg -gen c432
+//	udatpg -bench alu.bench -random 512 -o tests.vec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"udsim"
+	"udsim/internal/vectors"
+)
+
+func main() {
+	var (
+		benchFile  = flag.String("bench", "", "netlist file (.bench or structural .v)")
+		genName    = flag.String("gen", "", "synthesize a benchmark profile (c432..c7552)")
+		nRandom    = flag.Int("random", 256, "random patterns before PODEM (0 = PODEM only)")
+		seed       = flag.Int64("seed", 1990, "random seed")
+		outFile    = flag.String("o", "", "write the final pattern set as a vector file")
+		backtracks = flag.Int("backtracks", 10000, "PODEM backtrack limit per fault")
+	)
+	flag.Parse()
+
+	var c *udsim.Circuit
+	var err error
+	switch {
+	case *benchFile != "":
+		c, err = udsim.LoadCircuitFile(*benchFile)
+	case *genName != "":
+		c, err = udsim.ISCAS85(*genName)
+	default:
+		err = fmt.Errorf("need -bench FILE or -gen NAME")
+	}
+	if err != nil {
+		fail(err)
+	}
+	if !c.Combinational() {
+		c, _ = c.BreakFlipFlops()
+		fmt.Println("note: flip-flops broken; patterns target the combinational core")
+	}
+
+	fs, err := udsim.NewFaultSim(c)
+	if err != nil {
+		fail(err)
+	}
+	cn := fs.Circuit()
+	faults := udsim.AllFaults(cn)
+	fmt.Printf("%s: %d stuck-at faults\n", cn, len(faults))
+
+	var patterns [][]bool
+	remaining := faults
+	if *nRandom > 0 {
+		rnd := vectors.Random(*nRandom, len(cn.Inputs), *seed)
+		res, err := fs.Run(faults, rnd.Bits)
+		if err != nil {
+			fail(err)
+		}
+		patterns = append(patterns, rnd.Bits...)
+		remaining = res.Undetected
+		fmt.Printf("random phase: %d patterns, %.1f%% coverage, %d faults left\n",
+			*nRandom, 100*res.Coverage(), len(remaining))
+	}
+
+	gen, err := udsim.NewATPG(cn)
+	if err != nil {
+		fail(err)
+	}
+	gen.SetBacktrackLimit(*backtracks)
+	sum, err := gen.GenerateAll(remaining)
+	if err != nil {
+		fail(err)
+	}
+	for _, p := range sum.Patterns {
+		patterns = append(patterns, p.Inputs)
+	}
+	fmt.Printf("PODEM phase: %d patterns, %d detected, %d untestable, %d aborted\n",
+		len(sum.Patterns), sum.Found, sum.Untestable, sum.Aborted)
+
+	final, err := fs.Run(faults, patterns)
+	if err != nil {
+		fail(err)
+	}
+	testable := len(faults) - sum.Untestable
+	fmt.Printf("final: %d patterns, %.1f%% raw coverage, %.1f%% of testable faults\n",
+		len(patterns), 100*final.Coverage(),
+		100*float64(len(final.Detected))/float64(testable))
+
+	if *outFile != "" {
+		set := &vectors.Set{Width: len(cn.Inputs), Bits: patterns}
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := set.Write(f); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d vectors to %s\n", len(patterns), *outFile)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "udatpg:", err)
+	os.Exit(1)
+}

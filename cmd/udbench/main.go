@@ -1,0 +1,56 @@
+// Command udbench regenerates the paper's evaluation tables (Figs. 19–24
+// plus the zero-delay, code-size and data-parallel side studies) on the
+// synthesized ISCAS-85 benchmark profiles.
+//
+// Usage:
+//
+//	udbench                      # every experiment at the paper's scale
+//	udbench -exp fig19,fig21     # selected experiments
+//	udbench -vectors 500         # faster run
+//	udbench -circuits c432,c6288 # selected circuits
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"udsim/internal/harness"
+)
+
+func main() {
+	var (
+		exps     = flag.String("exp", "all", "comma-separated experiments (fig19..fig24, zerodelay, codesize, dataparallel, faultcov, activity, timing) or all")
+		circuits = flag.String("circuits", "", "comma-separated circuit subset (default all ten)")
+		nvec     = flag.Int("vectors", 5000, "vectors per circuit (the paper used 5000)")
+		seed     = flag.Int64("seed", 1990, "vector seed")
+		wordBits = flag.Int("wordbits", 32, "parallel-technique word width (8,16,32,64)")
+		repeats  = flag.Int("repeats", 3, "timing repetitions; fastest run reported")
+	)
+	flag.Parse()
+
+	opt := harness.Options{Vectors: *nvec, Seed: *seed, WordBits: *wordBits, Repeats: *repeats}
+	if *circuits != "" {
+		opt.Circuits = strings.Split(*circuits, ",")
+	}
+
+	if *exps == "all" {
+		if err := harness.All(opt, os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+	for _, name := range strings.Split(*exps, ",") {
+		r, err := harness.Run(strings.TrimSpace(name), opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "udbench:", err)
+	os.Exit(1)
+}

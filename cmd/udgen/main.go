@@ -1,0 +1,78 @@
+// Command udgen writes the synthesized benchmark circuits (and the other
+// built-in generators) as ISCAS-85 .bench netlists.
+//
+// Usage:
+//
+//	udgen -all -o bench/           # all ten ISCAS-85 profiles
+//	udgen -name c6288 -o .         # one profile
+//	udgen -mul 8 -o .              # 8x8 array multiplier
+//	udgen -adder 16 -o .           # 16-bit ripple adder
+//	udgen -counter 8 -o .          # 8-bit synchronous counter (uses DFF)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"udsim"
+	"udsim/internal/gen"
+)
+
+func main() {
+	var (
+		all     = flag.Bool("all", false, "generate every ISCAS-85 profile")
+		name    = flag.String("name", "", "generate one ISCAS-85 profile (c432..c7552)")
+		mul     = flag.Int("mul", 0, "generate an NxN array multiplier")
+		adder   = flag.Int("adder", 0, "generate an N-bit ripple-carry adder")
+		counter = flag.Int("counter", 0, "generate an N-bit synchronous counter")
+		outDir  = flag.String("o", ".", "output directory")
+		format  = flag.String("format", "bench", "output format: bench or v (structural Verilog)")
+	)
+	flag.Parse()
+
+	var circuits []*udsim.Circuit
+	switch {
+	case *all:
+		cs, err := gen.AllISCAS85()
+		if err != nil {
+			fail(err)
+		}
+		circuits = cs
+	case *name != "":
+		c, err := udsim.ISCAS85(*name)
+		if err != nil {
+			fail(err)
+		}
+		circuits = append(circuits, c)
+	case *mul > 0:
+		circuits = append(circuits, udsim.Multiplier(*mul, false))
+	case *adder > 0:
+		circuits = append(circuits, gen.RippleAdder(*adder))
+	case *counter > 0:
+		circuits = append(circuits, udsim.Counter(*counter))
+	default:
+		fail(fmt.Errorf("need one of -all, -name, -mul, -adder, -counter"))
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	ext := "." + *format
+	if ext != ".bench" && ext != ".v" {
+		fail(fmt.Errorf("unknown format %q", *format))
+	}
+	for _, c := range circuits {
+		path := filepath.Join(*outDir, c.Name+ext)
+		if err := udsim.SaveCircuitFile(path, c); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%s)\n", path, c)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "udgen:", err)
+	os.Exit(1)
+}

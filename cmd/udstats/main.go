@@ -1,0 +1,145 @@
+// Command udstats reports the static analyses behind the paper's
+// experiments for one circuit: levels, PC-set statistics, per-technique
+// code sizes, bit-field widths and retained shifts under each alignment
+// algorithm.
+//
+// Usage:
+//
+//	udstats -gen c432
+//	udstats -bench mycircuit.bench -wordbits 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"udsim"
+	"udsim/internal/align"
+	"udsim/internal/codegen"
+	"udsim/internal/levelize"
+	"udsim/internal/parsim"
+	"udsim/internal/pcset"
+	"udsim/internal/scoap"
+	"udsim/internal/stats"
+	"udsim/internal/texttable"
+)
+
+func main() {
+	var (
+		benchFile = flag.String("bench", "", "netlist file (.bench or structural .v)")
+		genName   = flag.String("gen", "", "synthesize a benchmark profile (c432..c7552)")
+		wordBits  = flag.Int("wordbits", 32, "parallel-technique word width")
+	)
+	flag.Parse()
+
+	var c *udsim.Circuit
+	var err error
+	switch {
+	case *benchFile != "":
+		c, err = udsim.LoadCircuitFile(*benchFile)
+	case *genName != "":
+		c, err = udsim.ISCAS85(*genName)
+	default:
+		err = fmt.Errorf("need -bench FILE or -gen NAME")
+	}
+	if err != nil {
+		fail(err)
+	}
+	if !c.Combinational() {
+		fmt.Printf("sequential circuit: %d flip-flops broken for analysis\n", len(c.FFs))
+		c, _ = c.BreakFlipFlops()
+	}
+	norm := c.Normalize()
+	a, err := levelize.Analyze(norm)
+	if err != nil {
+		fail(err)
+	}
+	s := stats.Analyze(norm, a, *wordBits)
+
+	fmt.Printf("circuit %s\n", norm)
+	t := texttable.New("shape", "metric", "value")
+	t.Add("gates", s.Gates)
+	t.Add("nets", s.Nets)
+	t.Add("primary inputs", s.Inputs)
+	t.Add("primary outputs", s.Outputs)
+	t.Add("levels (depth+1)", s.Levels)
+	t.Add(fmt.Sprintf("words/field (W=%d)", *wordBits), s.WordsPerField)
+	t.Add("max fanin", s.MaxFanin)
+	t.Add("max fanout", s.MaxFanout)
+	t.Add("PC elements total", s.PCTotal)
+	t.Add("PC set max", s.PCMax)
+	t.Add("PC set mean", fmt.Sprintf("%.2f", s.PCAvg))
+	t.Add("PC-set gate sims", s.GateSims)
+	fmt.Println(t)
+
+	th := texttable.New("PC-set size histogram", "size", "nets")
+	for _, kv := range stats.PCHistogram(a) {
+		th.Add(kv[0], kv[1])
+	}
+	fmt.Println(th)
+
+	pt := align.PathTrace(a)
+	cb := align.CycleBreak(a)
+	ta := texttable.New("shift elimination", "algorithm", "retained shifts", "max width (bits)", "total words")
+	ta.Add("unoptimized", norm.NumGates(), a.Depth+1, align.Unoptimized(a).TotalWords(*wordBits))
+	ta.Add("path-tracing", pt.RetainedShifts(), pt.MaxWidthBits(), pt.TotalWords(*wordBits))
+	ta.Add("cycle-breaking", cb.RetainedShifts(), cb.MaxWidthBits(), cb.TotalWords(*wordBits))
+	fmt.Println(ta)
+
+	// SCOAP testability overview.
+	sc, err := scoap.Analyze(norm)
+	if err != nil {
+		fail(err)
+	}
+	ts := texttable.New("SCOAP testability (hardest nets)", "net", "CC0", "CC1", "CO", "detect cost")
+	for _, id := range sc.HardestNets(8) {
+		cost := sc.Testability(id, false)
+		if c1 := sc.Testability(id, true); c1 > cost {
+			cost = c1
+		}
+		ts.Add(norm.Net(id).Name, fmtCost(sc.CC0[id]), fmtCost(sc.CC1[id]),
+			fmtCost(sc.CO[id]), fmtCost(cost))
+	}
+	fmt.Println(ts)
+
+	tc := texttable.New("generated code (C statements)", "technique", "instructions", "statements")
+	ps, err := pcset.Compile(norm, nil)
+	if err != nil {
+		fail(err)
+	}
+	pi, pm := ps.Programs()
+	n1, _ := codegen.Emit(io.Discard, codegen.C, "x", []codegen.Unit{{Name: "i", Prog: pi}, {Name: "s", Prog: pm}})
+	tc.Add("pcset", ps.CodeSize(), n1)
+	for _, cfg := range []struct {
+		label string
+		conf  parsim.Config
+	}{
+		{"parallel", parsim.Config{WordBits: *wordBits}},
+		{"parallel+trim", parsim.Config{WordBits: *wordBits, Trim: true}},
+		{"parallel+pt", parsim.Config{WordBits: *wordBits, Align: pt}},
+		{"parallel+pt+trim", parsim.Config{WordBits: *wordBits, Trim: true, Align: pt}},
+	} {
+		par, err := parsim.Compile(norm, cfg.conf)
+		if err != nil {
+			fail(err)
+		}
+		qi, qm := par.Programs()
+		n2, _ := codegen.Emit(io.Discard, codegen.C, "x", []codegen.Unit{{Name: "i", Prog: qi}, {Name: "s", Prog: qm}})
+		tc.Add(cfg.label, par.CodeSize(), n2)
+	}
+	fmt.Println(tc)
+}
+
+func fmtCost(v int64) string {
+	if v >= scoap.Infinity {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "udstats:", err)
+	os.Exit(1)
+}

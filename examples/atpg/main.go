@@ -1,0 +1,83 @@
+// ATPG: the full test-engineering flow built on the compiled simulation
+// machinery — random-pattern fault simulation first (cheap coverage),
+// SCOAP testability to see what random patterns will miss, then PODEM
+// test generation to top up coverage and prove the remainder redundant.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"udsim"
+	"udsim/internal/vectors"
+)
+
+func main() {
+	ckt, err := udsim.ISCAS85("c432")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, err := udsim.NewFaultSim(ckt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cn := fs.Circuit()
+	faults := udsim.AllFaults(cn)
+	fmt.Printf("circuit: %s\nfault universe: %d\n\n", cn, len(faults))
+
+	// Phase 1: random patterns.
+	rand := vectors.Random(256, len(cn.Inputs), 1990).Bits
+	res, err := fs.Run(faults, rand)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 1 — 256 random patterns: %.1f%% coverage (%d faults left)\n",
+		100*res.Coverage(), len(res.Undetected))
+
+	// Phase 2: SCOAP explains the leftovers.
+	sc, err := udsim.AnalyzeTestability(cn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var worst udsim.Fault
+	var worstCost int64 = -1
+	for _, f := range res.Undetected {
+		if c := sc.Testability(f.Net, f.Kind == udsim.StuckAt1); c < udsim.TestabilityInfinity && c > worstCost {
+			worstCost = c
+			worst = f
+		}
+	}
+	fmt.Printf("phase 2 — SCOAP: hardest undetected fault is %s/%s (detect cost %d)\n",
+		cn.Net(worst.Net).Name, worst.Kind, worstCost)
+
+	// Phase 3: PODEM tops up.
+	gen, err := udsim.NewATPG(cn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	sum, err := gen.GenerateAll(res.Undetected)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 3 — PODEM on the %d leftovers (%v):\n", len(res.Undetected),
+		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  %d new patterns, %d detected, %d proved redundant, %d aborted\n",
+		len(sum.Patterns), sum.Found, sum.Untestable, sum.Aborted)
+
+	// Final coverage with the combined pattern set.
+	all := append([][]bool{}, rand...)
+	for _, p := range sum.Patterns {
+		all = append(all, p.Inputs)
+	}
+	final, err := fs.Run(faults, all)
+	if err != nil {
+		log.Fatal(err)
+	}
+	testable := len(faults) - sum.Untestable
+	fmt.Printf("\nfinal: %.1f%% raw coverage, %.1f%% of testable faults, %d patterns total\n",
+		100*final.Coverage(),
+		100*float64(len(final.Detected))/float64(testable),
+		len(all))
+}

@@ -1,0 +1,74 @@
+// Faultsim: grade the full single-stuck-at fault universe of a benchmark
+// circuit against random vectors using 63-way parallel fault simulation —
+// the classic industrial application of bit-parallel compiled simulation,
+// built directly on the zero-delay LCC engine's lanes.
+//
+// The run prints the fault-coverage curve (coverage after N vectors),
+// which shows the familiar fast-then-flat profile of random-pattern
+// testing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"udsim"
+	"udsim/internal/vectors"
+)
+
+func main() {
+	ckt, err := udsim.ISCAS85("c880")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, err := udsim.NewFaultSim(ckt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cn := fs.Circuit()
+	faults := udsim.AllFaults(cn)
+	fmt.Printf("circuit: %s\nfault universe: %d single stuck-at faults\n", cn, len(faults))
+
+	const nvec = 512
+	vecs := vectors.Random(nvec, len(cn.Inputs), 1990).Bits
+
+	start := time.Now()
+	res, err := fs.Run(faults, vecs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	// Coverage curve from first-detection indices.
+	detectedBy := make([]int, nvec+1)
+	for _, v := range res.Detected {
+		detectedBy[v+1]++
+	}
+	cum := 0
+	fmt.Println("\nvectors  coverage")
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
+		for ; cum < n && cum < len(detectedBy)-1; cum++ {
+		}
+		det := 0
+		for i := 1; i <= n; i++ {
+			det += detectedBy[i]
+		}
+		fmt.Printf("  %5d   %5.1f%%\n", n, 100*float64(det)/float64(len(faults)))
+	}
+	fmt.Printf("\nfinal coverage: %.1f%% (%d detected, %d undetected) in %v\n",
+		100*res.Coverage(), len(res.Detected), len(res.Undetected),
+		elapsed.Round(time.Millisecond))
+	fmt.Printf("effective rate: %.1f million fault-vector evaluations/second\n",
+		float64(len(faults))*float64(nvec)/elapsed.Seconds()/1e6)
+
+	if len(res.Undetected) > 0 {
+		fmt.Println("\nfirst few undetected faults (random-pattern-resistant):")
+		for i, f := range res.Undetected {
+			if i == 5 {
+				break
+			}
+			fmt.Printf("  %s/%s\n", cn.Net(f.Net).Name, f.Kind)
+		}
+	}
+}

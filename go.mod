@@ -1,0 +1,3 @@
+module udsim
+
+go 1.22

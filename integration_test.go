@@ -1,0 +1,352 @@
+package udsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"udsim/internal/vectors"
+)
+
+// TestIntegrationAllEnginesOnBenchmarks is the system-level invariant the
+// whole repository hangs on: every engine produces identical waveforms
+// (where traced) and identical finals on realistic benchmark circuits.
+func TestIntegrationAllEnginesOnBenchmarks(t *testing.T) {
+	circuits := []string{"c432", "c499"}
+	if !testing.Short() {
+		circuits = append(circuits, "c880", "c1355")
+	}
+	for _, name := range circuits {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c, err := ISCAS85(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var engines []Engine
+			for _, tech := range Techniques() {
+				e, err := NewEngine(tech, c)
+				if err != nil {
+					t.Fatalf("%s: %v", tech, err)
+				}
+				if err := e.ResetConsistent(nil); err != nil {
+					t.Fatal(err)
+				}
+				engines = append(engines, e)
+			}
+			vecs := vectors.Random(25, len(engines[0].Circuit().Inputs), 1)
+			ref := engines[0]
+			for v, vec := range vecs.Bits {
+				for _, e := range engines {
+					if err := e.Apply(vec); err != nil {
+						t.Fatalf("%s: %v", e.EngineName(), err)
+					}
+				}
+				for _, e := range engines[1:] {
+					for n := range ref.Circuit().Nets {
+						nm := ref.Circuit().Nets[n].Name
+						id1, _ := ref.Circuit().NetByName(nm)
+						id2, ok := e.Circuit().NetByName(nm)
+						if !ok {
+							t.Fatalf("%s: net %s missing", e.EngineName(), nm)
+						}
+						if ref.Final(id1) != e.Final(id2) {
+							t.Fatalf("vec %d net %s: %s=%v %s=%v", v, nm,
+								ref.EngineName(), ref.Final(id1),
+								e.EngineName(), e.Final(id2))
+						}
+					}
+				}
+				// Waveform agreement among the tracing unit-delay engines.
+				var tracers []Engine
+				for _, e := range engines {
+					if _, ok := e.(Tracer); ok && e.Depth() > 0 {
+						tracers = append(tracers, e)
+					}
+				}
+				base := tracers[0].(Tracer)
+				for _, e := range tracers[1:] {
+					tr := e.(Tracer)
+					for n := range ref.Circuit().Nets {
+						nm := tracers[0].Circuit().Nets[n].Name
+						id1, _ := tracers[0].Circuit().NetByName(nm)
+						id2, _ := e.Circuit().NetByName(nm)
+						for tm := 0; tm <= tracers[0].Depth(); tm++ {
+							v1, ok1 := base.ValueAt(id1, tm)
+							v2, ok2 := tr.ValueAt(id2, tm)
+							if ok1 && ok2 && v1 != v2 {
+								t.Fatalf("vec %d net %s t=%d: %s=%v %s=%v", v, nm, tm,
+									tracers[0].EngineName(), v1, e.EngineName(), v2)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIntegrationBenchFilesSimulateIdentically writes a profile circuit
+// to .bench, reparses it, and checks the two circuits simulate alike —
+// the full persistence round trip.
+func TestIntegrationBenchFilesSimulateIdentically(t *testing.T) {
+	orig, err := ISCAS85("c499")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBench(&buf, "c499")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := NewParallel(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewParallel(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e1.ResetConsistent(nil)
+	_ = e2.ResetConsistent(nil)
+	vecs := vectors.Random(20, len(e1.Circuit().Inputs), 9)
+	for _, vec := range vecs.Bits {
+		if err := e1.Apply(vec); err != nil {
+			t.Fatal(err)
+		}
+		if err := e2.Apply(vec); err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range orig.Outputs {
+			nm := orig.Net(o).Name
+			id1, _ := e1.Circuit().NetByName(nm)
+			id2, ok := e2.Circuit().NetByName(nm)
+			if !ok {
+				t.Fatalf("output %s lost in round trip", nm)
+			}
+			if e1.Final(id1) != e2.Final(id2) {
+				t.Fatalf("round-tripped circuit diverges on %s", nm)
+			}
+		}
+	}
+}
+
+// TestIntegrationFaultCoverageStable pins the fault coverage of a fixed
+// (circuit, seed) pair so regressions in any engine layer show up as a
+// coverage change.
+func TestIntegrationFaultCoverageStable(t *testing.T) {
+	c, err := ISCAS85("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFaultSim(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := AllFaults(fs.Circuit())
+	vecs := vectors.Random(128, len(fs.Circuit().Inputs), 1990).Bits
+	res, err := fs.Run(faults, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := res.Coverage()
+	if cov < 0.5 || cov > 1.0 {
+		t.Fatalf("implausible coverage %v", cov)
+	}
+	// Determinism: the same run yields the same result.
+	res2, err := fs.Run(faults, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Coverage() != cov || len(res2.Undetected) != len(res.Undetected) {
+		t.Fatal("fault simulation is not deterministic")
+	}
+	t.Logf("c432 coverage with 128 random vectors: %.1f%%", 100*cov)
+}
+
+// TestIntegrationActivityGlitchShare checks the headline power-analysis
+// fact the unit-delay model exposes: the multiplier burns a large share
+// of its transitions on glitches.
+func TestIntegrationActivityGlitchShare(t *testing.T) {
+	c := Multiplier(8, false)
+	vecs := vectors.Random(40, 16, 3).Bits
+	rep, err := ProfileActivity(c, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalToggles() == 0 {
+		t.Fatal("no activity")
+	}
+	if rep.GlitchFraction() < 0.05 {
+		t.Errorf("array multipliers glitch heavily; got fraction %.3f", rep.GlitchFraction())
+	}
+	t.Logf("%s", rep)
+}
+
+// TestIntegrationVCDFromFacade drives the glitch circuit and checks the
+// VCD dump contains the pulse.
+func TestIntegrationVCDFromFacade(t *testing.T) {
+	c := glitchCircuit()
+	e, err := NewParallel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e.ResetConsistent([]bool{false})
+	var buf bytes.Buffer
+	w, err := NewVCD(&buf, e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Apply([]bool{true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DumpVector(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "$enddefinitions") || !strings.Contains(out, "#1") {
+		t.Errorf("dump malformed:\n%s", out)
+	}
+	// Zero-delay engines cannot dump waveforms.
+	zd, _ := NewZeroDelay(c)
+	if _, err := NewVCD(&buf, zd, nil); err == nil {
+		t.Error("expected tracer error for zero-delay engine")
+	}
+}
+
+// TestIntegrationAsyncFacade exercises the SR latch through the facade.
+func TestIntegrationAsyncFacade(t *testing.T) {
+	b := NewBuilder("sr")
+	sn := b.Input("Sn")
+	rn := b.Input("Rn")
+	q := b.Net("Q")
+	qb := b.Net("Qb")
+	b.GateInto(Nand, q, sn, qb)
+	b.GateInto(Nand, qb, rn, q)
+	b.Output(q)
+	c, err := NewAsyncBuilderCircuit(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewAsync(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qID, _ := s.Circuit().NetByName("Q")
+	out, _, err := s.Apply([]bool{false, true}) // set
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Settled || s.Value(qID) != V1 {
+		t.Fatalf("set failed: %v Q=%v", out, s.Value(qID))
+	}
+	// Compiled engines must reject the cyclic circuit.
+	if _, err := NewParallel(c); err == nil {
+		t.Error("parallel engine accepted a cyclic circuit")
+	}
+	if _, err := NewPCSet(c, nil); err == nil {
+		t.Error("pcset engine accepted a cyclic circuit")
+	}
+}
+
+// TestIntegrationNominalPCSet drives the nominal-delay compiled PC-set
+// through the facade and cross-checks it against the nominal event
+// simulator on a benchmark profile.
+func TestIntegrationNominalPCSet(t *testing.T) {
+	c, err := ISCAS85("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := NewNominalPCSet(c, nil, TypeDelays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewNominalDelay(c, TypeDelays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.ResetConsistent(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.ResetConsistent(nil); err != nil {
+		t.Fatal(err)
+	}
+	if ps.Depth() <= 17 {
+		t.Errorf("weighted depth %d should exceed the unit depth 17", ps.Depth())
+	}
+	vecs := vectors.Random(30, len(ps.Circuit().Inputs), 3)
+	for _, vec := range vecs.Bits {
+		if err := ps.Apply(vec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ev.Apply(vec, nil); err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range ps.Circuit().Outputs {
+			name := ps.Circuit().Net(o).Name
+			id2, _ := ev.Circuit().NetByName(name)
+			if ps.Final(o) != (ev.Value(id2) == V1) {
+				t.Fatalf("nominal engines disagree on %s", name)
+			}
+		}
+	}
+}
+
+// TestIntegrationNominalParallel drives the nominal-delay parallel
+// technique through the facade against the nominal event simulator.
+func TestIntegrationNominalParallel(t *testing.T) {
+	c, err := ISCAS85("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewNominalParallel(c, FaninDelays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewNominalDelay(c, FaninDelays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = par.ResetConsistent(nil)
+	_ = ev.ResetConsistent(nil)
+	vecs := vectors.Random(20, len(par.Circuit().Inputs), 5)
+	for _, vec := range vecs.Bits {
+		if err := par.Apply(vec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ev.Apply(vec, nil); err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range par.Circuit().Outputs {
+			name := par.Circuit().Net(o).Name
+			id2, _ := ev.Circuit().NetByName(name)
+			if par.Final(o) != (ev.Value(id2) == V1) {
+				t.Fatalf("nominal parallel disagrees with ndsim on %s", name)
+			}
+		}
+	}
+	// The optimizations must refuse to combine with nominal delays.
+	if _, err := NewNominalParallel(c, FaninDelays, WithTrimming()); err == nil {
+		t.Error("expected trim+nominal rejection")
+	}
+}
+
+// TestIntegrationHazardFacade checks the exported classifier.
+func TestIntegrationHazardFacade(t *testing.T) {
+	tr, kind := ClassifyWaveform([]bool{false, true, false})
+	if tr != 2 || kind != HazardStatic {
+		t.Errorf("got %d %v", tr, kind)
+	}
+	if _, kind := ClassifyWaveform([]bool{false, true, true}); kind != HazardClean {
+		t.Errorf("clean waveform misclassified: %v", kind)
+	}
+	if _, kind := ClassifyWaveform([]bool{false, true, false, true}); kind != HazardDynamic {
+		t.Errorf("dynamic waveform misclassified: %v", kind)
+	}
+}

@@ -1,0 +1,153 @@
+// Package activity estimates switching activity — the per-net toggle
+// counts that drive dynamic power estimation — from unit-delay
+// simulation. This is a modern payoff of the paper's parallel technique:
+// because a net's complete waveform sits in a bit-field, the number of
+// transitions per vector is one XOR-and-popcount away (the same
+// word-parallel trick package hazard uses), so activity profiling is
+// nearly free on top of simulation.
+package activity
+
+import (
+	"fmt"
+	"sort"
+
+	"udsim/internal/circuit"
+	"udsim/internal/hazard"
+	"udsim/internal/parsim"
+)
+
+// Report accumulates switching statistics over a vector stream.
+type Report struct {
+	C *circuit.Circuit
+	// Toggles[n] is the total number of transitions net n made across
+	// all applied vectors (including glitches — the unit-delay model's
+	// whole point is that it sees them; zero-delay toggle counting
+	// undercounts power).
+	Toggles []int64
+	// Glitches[n] counts transitions beyond the first per vector: the
+	// wasted activity a hazard-free implementation would avoid.
+	Glitches []int64
+	// Vectors is the number of vectors accumulated.
+	Vectors int
+}
+
+// Collector accumulates a Report from a parallel-technique simulator.
+type Collector struct {
+	sim *parsim.Sim
+	rep *Report
+}
+
+// NewCollector wraps a compiled parallel-technique simulator. The
+// simulator must be driven by the caller (Apply), with Accumulate called
+// after each vector.
+func NewCollector(sim *parsim.Sim) *Collector {
+	c := sim.Circuit()
+	return &Collector{
+		sim: sim,
+		rep: &Report{
+			C:        c,
+			Toggles:  make([]int64, c.NumNets()),
+			Glitches: make([]int64, c.NumNets()),
+		},
+	}
+}
+
+// Accumulate folds the waveforms of the last applied vector into the
+// report.
+func (col *Collector) Accumulate() {
+	c := col.sim.Circuit()
+	for n := 0; n < c.NumNets(); n++ {
+		id := circuit.NetID(n)
+		tr, _ := hazard.FromHistory(col.sim.History(id))
+		col.rep.Toggles[n] += int64(tr)
+		if tr > 1 {
+			col.rep.Glitches[n] += int64(tr - 1)
+		}
+	}
+	col.rep.Vectors++
+}
+
+// Report returns the accumulated statistics.
+func (col *Collector) Report() *Report { return col.rep }
+
+// Profile runs the whole pipeline: compile the circuit with the parallel
+// technique, apply every vector from the consistent all-zeros state, and
+// return the activity report.
+func Profile(c *circuit.Circuit, vecs [][]bool, cfg parsim.Config) (*Report, error) {
+	sim, err := parsim.Compile(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.ResetConsistent(nil); err != nil {
+		return nil, err
+	}
+	col := NewCollector(sim)
+	for _, vec := range vecs {
+		if err := sim.ApplyVector(vec); err != nil {
+			return nil, err
+		}
+		col.Accumulate()
+	}
+	return col.Report(), nil
+}
+
+// TotalToggles sums toggles over all nets.
+func (r *Report) TotalToggles() int64 {
+	var t int64
+	for _, v := range r.Toggles {
+		t += v
+	}
+	return t
+}
+
+// TotalGlitches sums glitch transitions over all nets.
+func (r *Report) TotalGlitches() int64 {
+	var t int64
+	for _, v := range r.Glitches {
+		t += v
+	}
+	return t
+}
+
+// GlitchFraction is the share of all transitions that were glitch
+// transitions — the activity a zero-delay power estimate misses.
+func (r *Report) GlitchFraction() float64 {
+	tt := r.TotalToggles()
+	if tt == 0 {
+		return 0
+	}
+	return float64(r.TotalGlitches()) / float64(tt)
+}
+
+// Hot returns the k nets with the highest toggle counts, descending.
+func (r *Report) Hot(k int) []circuit.NetID {
+	ids := make([]circuit.NetID, r.C.NumNets())
+	for i := range ids {
+		ids[i] = circuit.NetID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if r.Toggles[ids[a]] != r.Toggles[ids[b]] {
+			return r.Toggles[ids[a]] > r.Toggles[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}
+
+// String summarizes the report.
+func (r *Report) String() string {
+	return fmt.Sprintf("activity: %d vectors, %d toggles (%.1f per net-vector), %.1f%% glitch",
+		r.Vectors, r.TotalToggles(),
+		float64(r.TotalToggles())/float64(max64(1, int64(r.Vectors)*int64(r.C.NumNets()))),
+		100*r.GlitchFraction())
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,370 @@
+// Package align implements the shift-elimination optimization of §4 of
+// the paper: assigning a bit-field alignment to every net and gate so that
+// most of the parallel technique's per-gate shift operations disappear.
+//
+// A net with alignment a stores, in bit i of its field, the net's value at
+// time a+i. A gate aligned at value g computes its result aligned at g
+// when its inputs are aligned at g−1; any input whose alignment differs
+// needs a shift at the gate input (Fig. 18). Two algorithms are provided:
+//
+//   - PathTrace (Fig. 17): walks upward from primary outputs, forcing
+//     alignments up the network only. It guarantees alignment ≤ minlevel
+//     for every net, generates only right shifts, and never expands the
+//     bit-field width.
+//
+//   - CycleBreak: removes back edges from the undirected network graph
+//     (package graph) to obtain a spanning forest, propagates alignments
+//     along tree edges, then applies a per-component constant offset so
+//     that every net satisfies condition 1 (alignment ≤ minlevel, strictly
+//     smaller where left shifts need previous-vector bits). It removes the
+//     minimum number of edges but can expand bit-fields dramatically
+//     (Fig. 14), which is what Fig. 23 of the paper measures.
+package align
+
+import (
+	"fmt"
+	"math"
+
+	"udsim/internal/circuit"
+	"udsim/internal/graph"
+	"udsim/internal/levelize"
+)
+
+// Method names an alignment strategy.
+type Method string
+
+const (
+	// MethodUnoptimized aligns every net at zero (the unoptimized
+	// parallel technique): one shift per gate.
+	MethodUnoptimized Method = "unoptimized"
+	// MethodPathTrace is the path-tracing algorithm of Fig. 17.
+	MethodPathTrace Method = "path-tracing"
+	// MethodCycleBreak is the general cycle-breaking algorithm.
+	MethodCycleBreak Method = "cycle-breaking"
+)
+
+// Result is an alignment assignment for one circuit.
+type Result struct {
+	Method Method
+	A      *levelize.Analysis
+
+	// Net and Gate give the alignment of every net and gate vertex.
+	Net  []int
+	Gate []int
+}
+
+// InputShift returns the shift required on the edge from input net `in`
+// into gate g: the compiled code computes every gate's result aligned with
+// its output net, so the input must be presented aligned at
+// align(out)−1. Positive values are right shifts, negative left shifts
+// (§4: the path-tracing algorithm generates only right shifts).
+func (r *Result) InputShift(g circuit.GateID, in circuit.NetID) int {
+	out := r.A.C.Gate(g).Output
+	return (r.Net[out] - 1) - r.Net[in]
+}
+
+// RetainedShifts counts the (gate, input-pin) edges that still require a
+// shift — the quantity of Fig. 21. Unique gate–net pairs are counted once
+// even when a net feeds several pins of the same gate.
+func (r *Result) RetainedShifts() int {
+	n := 0
+	for i := range r.A.C.Gates {
+		g := &r.A.C.Gates[i]
+		seen := make(map[circuit.NetID]bool, len(g.Inputs))
+		for _, in := range g.Inputs {
+			if seen[in] {
+				continue
+			}
+			seen[in] = true
+			if r.InputShift(g.ID, in) != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// WidthBits returns the bit-field width of a net: level − alignment + 1.
+func (r *Result) WidthBits(n circuit.NetID) int {
+	return r.A.NetLevel[n] - r.Net[n] + 1
+}
+
+// MaxWidthBits returns the maximum bit-field width over all nets — the
+// quantity of Fig. 22.
+func (r *Result) MaxWidthBits() int {
+	max := 0
+	for i := range r.Net {
+		if w := r.WidthBits(circuit.NetID(i)); w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// TotalWords returns the total number of machine words of the given width
+// needed for all bit-fields — the space cost at word width wordBits.
+func (r *Result) TotalWords(wordBits int) int {
+	total := 0
+	for i := range r.Net {
+		w := r.WidthBits(circuit.NetID(i))
+		total += (w + wordBits - 1) / wordBits
+	}
+	return total
+}
+
+// Validate checks the correctness conditions the simulation compiler
+// relies on: every net's alignment is at most its minlevel, and any net
+// consumed through a left shift (negative InputShift) is aligned strictly
+// below its minlevel so previous-vector bits exist.
+func (r *Result) Validate() error {
+	c := r.A.C
+	for i := range c.Nets {
+		if r.Net[i] > r.A.NetMin[i] {
+			return fmt.Errorf("align: net %s aligned at %d above its minlevel %d",
+				c.Nets[i].Name, r.Net[i], r.A.NetMin[i])
+		}
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		for _, in := range g.Inputs {
+			if r.InputShift(g.ID, in) < 0 && r.Net[in] >= r.A.NetMin[in] {
+				return fmt.Errorf("align: net %s needs left shift into gate %d but is not aligned strictly below its minlevel",
+					c.Nets[in].Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Unoptimized returns the all-zeros alignment: every net aligned at 0,
+// every gate at 1 (its result alignment). Exactly one shift per gate is
+// retained, matching the first column of Fig. 21. The result is a
+// statistical baseline for Figs. 21–22 only — the unoptimized technique
+// shifts at gate outputs with OR-preservation of bit 0, so this Result is
+// not a valid input for the aligned compiler (Validate rejects it).
+func Unoptimized(a *levelize.Analysis) *Result {
+	r := &Result{
+		Method: MethodUnoptimized,
+		A:      a,
+		Net:    make([]int, a.C.NumNets()),
+		Gate:   make([]int, a.C.NumGates()),
+	}
+	for i := range r.Gate {
+		r.Gate[i] = 1
+	}
+	return r
+}
+
+const unassigned = math.MaxInt32
+
+// PathTrace runs the path-tracing algorithm of Fig. 17: initialize all
+// alignments to a large value, then for each primary output force its
+// alignment to its minlevel and propagate upward, taking the minimum on
+// reconvergence. Nets and gates not reachable upward from any primary
+// output default to their minlevel.
+func PathTrace(a *levelize.Analysis) *Result {
+	c := a.C
+	r := &Result{
+		Method: MethodPathTrace,
+		A:      a,
+		Net:    make([]int, c.NumNets()),
+		Gate:   make([]int, c.NumGates()),
+	}
+	for i := range r.Net {
+		r.Net[i] = unassigned
+	}
+	for i := range r.Gate {
+		r.Gate[i] = unassigned
+	}
+
+	var netAlign func(n circuit.NetID, v int)
+	var gateAlign func(g circuit.GateID, v int)
+	netAlign = func(n circuit.NetID, v int) {
+		if v >= r.Net[n] {
+			return
+		}
+		r.Net[n] = v
+		for _, g := range c.Nets[n].Drivers {
+			gateAlign(g, v)
+		}
+	}
+	gateAlign = func(g circuit.GateID, v int) {
+		if v >= r.Gate[g] {
+			return
+		}
+		r.Gate[g] = v
+		for _, in := range c.Gates[g].Inputs {
+			netAlign(in, v-1)
+		}
+	}
+	for _, p := range c.Outputs {
+		netAlign(p, a.NetMin[p])
+	}
+	// Dead logic (cones that reach no primary output) is aligned by the
+	// same upward relaxation, seeding every unreached sink as a pseudo
+	// primary output. Simply defaulting such nets to their minlevels
+	// would be wrong: a net whose minlevel is not minimal among its
+	// gate's inputs would then demand a left shift, which path tracing
+	// must never produce.
+	for i := range c.Nets {
+		if len(c.Nets[i].Fanout) == 0 && r.Net[i] == unassigned {
+			netAlign(circuit.NetID(i), a.NetMin[i])
+		}
+	}
+	for i := range r.Gate {
+		if r.Gate[i] == unassigned {
+			r.Gate[i] = r.Net[c.Gates[i].Output]
+		}
+	}
+	return r
+}
+
+// CycleBreak runs the general cycle-breaking algorithm: build the
+// undirected network graph, compute a spanning forest by DFS (removing
+// back edges), assign alignments along tree edges starting from a primary
+// output aligned at its minimum PC value, then reduce each component by a
+// constant so every net meets condition 1 (and strictly below minlevel
+// where a left shift consumes it).
+func CycleBreak(a *levelize.Analysis) *Result {
+	c := a.C
+	g := graph.New(c)
+	roots := make([]graph.Vertex, 0, len(c.Outputs))
+	for _, p := range c.Outputs {
+		roots = append(roots, graph.Vertex{Kind: graph.NetVertex, ID: int32(p)})
+	}
+	f := g.SpanningForest(roots)
+
+	r := &Result{
+		Method: MethodCycleBreak,
+		A:      a,
+		Net:    make([]int, c.NumNets()),
+		Gate:   make([]int, c.NumGates()),
+	}
+	for i := range r.Net {
+		r.Net[i] = unassigned
+	}
+	for i := range r.Gate {
+		r.Gate[i] = unassigned
+	}
+
+	// Tree adjacency.
+	netAdj := make([][]int32, c.NumNets())
+	gateAdj := make([][]int32, c.NumGates())
+	for ei := range g.Edges {
+		if !f.TreeEdge[ei] {
+			continue
+		}
+		e := g.Edges[ei]
+		netAdj[e.Net] = append(netAdj[e.Net], int32(ei))
+		gateAdj[e.Gate] = append(gateAdj[e.Gate], int32(ei))
+	}
+
+	// Propagate alignments over each tree from its root. When a
+	// net-vertex is visited, gates using it as output take the net's
+	// alignment and gates using it as input take the alignment plus one.
+	// When a gate-vertex is visited, its inputs take the gate's alignment
+	// minus one and its outputs take the gate's alignment (Fig. 15).
+	type item struct {
+		v graph.Vertex
+	}
+	for _, root := range f.Roots {
+		var start int
+		if root.Kind == graph.NetVertex {
+			start = a.NetMin[root.ID]
+			r.Net[root.ID] = start
+		} else {
+			// Component with no net root cannot happen: every gate has
+			// an output net in its component. Guard anyway.
+			r.Gate[root.ID] = 1
+		}
+		stack := []item{{root}}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1].v
+			stack = stack[:len(stack)-1]
+			if v.Kind == graph.NetVertex {
+				an := r.Net[v.ID]
+				for _, ei := range netAdj[v.ID] {
+					e := g.Edges[ei]
+					if r.Gate[e.Gate] != unassigned {
+						continue
+					}
+					if e.Kind == graph.OutputEdge {
+						r.Gate[e.Gate] = an
+					} else {
+						r.Gate[e.Gate] = an + 1
+					}
+					stack = append(stack, item{graph.Vertex{Kind: graph.GateVertex, ID: int32(e.Gate)}})
+				}
+			} else {
+				ag := r.Gate[v.ID]
+				for _, ei := range gateAdj[v.ID] {
+					e := g.Edges[ei]
+					if r.Net[e.Net] != unassigned {
+						continue
+					}
+					if e.Kind == graph.OutputEdge {
+						r.Net[e.Net] = ag
+					} else {
+						r.Net[e.Net] = ag - 1
+					}
+					stack = append(stack, item{graph.Vertex{Kind: graph.NetVertex, ID: int32(e.Net)}})
+				}
+			}
+		}
+	}
+	for i := range r.Net {
+		if r.Net[i] == unassigned {
+			r.Net[i] = a.NetMin[i]
+		}
+	}
+	for i := range r.Gate {
+		if r.Gate[i] == unassigned {
+			r.Gate[i] = r.Net[c.Gates[i].Output]
+		}
+	}
+
+	offsetComponents(r, f)
+	return r
+}
+
+// offsetComponents applies the second pass: per connected component,
+// reduce all alignments by the smallest constant that makes every net
+// satisfy alignment ≤ minlevel, strictly below minlevel for nets consumed
+// through a left shift. Uniform per-component offsets preserve every
+// relative shift amount.
+func offsetComponents(r *Result, f *graph.Forest) {
+	c := r.A.C
+	needLeft := make([]bool, c.NumNets())
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		for _, in := range g.Inputs {
+			if r.InputShift(g.ID, in) < 0 {
+				needLeft[in] = true
+			}
+		}
+	}
+	delta := make([]int, f.NumComponents)
+	for i := range c.Nets {
+		comp := f.NetComp[i]
+		if comp < 0 {
+			continue
+		}
+		bound := r.A.NetMin[i]
+		if needLeft[i] {
+			bound--
+		}
+		if over := r.Net[i] - bound; over > delta[comp] {
+			delta[comp] = over
+		}
+	}
+	for i := range c.Nets {
+		if comp := f.NetComp[i]; comp >= 0 {
+			r.Net[i] -= delta[comp]
+		}
+	}
+	for i := range c.Gates {
+		if comp := f.GateComp[i]; comp >= 0 {
+			r.Gate[i] -= delta[comp]
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package async implements interpreted event-driven unit-delay simulation
+// of asynchronous sequential circuits — circuits whose combinational graph
+// contains cycles, such as cross-coupled NAND latches. The paper's
+// compiled techniques require acyclic circuits (§1) and name asynchronous
+// circuits as work in progress; this package supplies the reference
+// semantics that a future compiled asynchronous technique would have to
+// match.
+//
+// Under the unit-delay model a cyclic circuit either settles (reaches a
+// time step with no changes) or oscillates (revisits a global state it has
+// seen since the last input change). ApplyVector detects both.
+package async
+
+import (
+	"fmt"
+
+	"udsim/internal/circuit"
+	"udsim/internal/logic"
+)
+
+// Outcome describes how the circuit responded to one input vector.
+type Outcome int
+
+const (
+	// Settled means the circuit reached a stable state.
+	Settled Outcome = iota
+	// Oscillating means the circuit entered a repeating state cycle.
+	Oscillating
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	if o == Settled {
+		return "settled"
+	}
+	return "oscillating"
+}
+
+// Sim is an event-driven unit-delay simulator that tolerates cycles.
+type Sim struct {
+	c *circuit.Circuit
+
+	gateType []logic.GateType
+	gateIn   [][]int32
+	gateOut  []int32
+	fanout   [][]int32
+
+	val       []logic.V3
+	evalStamp []int64
+	stamp     int64
+
+	// MaxSteps bounds one vector's settling time before the state-cycle
+	// detector takes over; it only controls how often the detector
+	// snapshots. Defaults to 4 × gate count.
+	MaxSteps int
+
+	// Steps and Oscillations count simulated time steps and detected
+	// oscillation outcomes since construction.
+	Steps        int64
+	Oscillations int64
+}
+
+// New builds an asynchronous simulator; both cyclic and acyclic circuits
+// are accepted. Wired nets are normalized away. All nets start at X.
+func New(c *circuit.Circuit) (*Sim, error) {
+	if !c.Combinational() {
+		return nil, fmt.Errorf("async: break flip-flops first (clocked storage is synchronous; "+
+			"model asynchronous storage structurally), circuit %s", c.Name)
+	}
+	c = c.Normalize()
+	s := &Sim{
+		c:         c,
+		gateType:  make([]logic.GateType, c.NumGates()),
+		gateIn:    make([][]int32, c.NumGates()),
+		gateOut:   make([]int32, c.NumGates()),
+		fanout:    make([][]int32, c.NumNets()),
+		val:       make([]logic.V3, c.NumNets()),
+		evalStamp: make([]int64, c.NumGates()),
+		MaxSteps:  4 * c.NumGates(),
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		s.gateType[i] = g.Type
+		ins := make([]int32, len(g.Inputs))
+		for j, in := range g.Inputs {
+			ins[j] = int32(in)
+		}
+		s.gateIn[i] = ins
+		s.gateOut[i] = int32(g.Output)
+	}
+	for i := range c.Nets {
+		seen := make(map[circuit.GateID]bool)
+		for _, g := range c.Nets[i].Fanout {
+			if !seen[g] {
+				seen[g] = true
+				s.fanout[i] = append(s.fanout[i], int32(g))
+			}
+		}
+	}
+	for i := range s.val {
+		s.val[i] = logic.VX
+	}
+	return s, nil
+}
+
+// Circuit returns the (normalized) circuit.
+func (s *Sim) Circuit() *circuit.Circuit { return s.c }
+
+// Value returns the current value of a net.
+func (s *Sim) Value(id circuit.NetID) logic.V3 { return s.val[id] }
+
+// SetNet forces a net to a value (e.g. to initialize a latch out of the
+// all-X state). The next ApplyVector propagates the consequence.
+func (s *Sim) SetNet(id circuit.NetID, v logic.V3) { s.val[id] = v }
+
+// ApplyVector applies one input vector and propagates unit-delay events
+// until the circuit settles or an oscillation is detected. It returns the
+// outcome and the number of time steps simulated. Oscillating nets are
+// left at the values of the step where the repeat was detected.
+func (s *Sim) ApplyVector(inputs []bool) (Outcome, int, error) {
+	if len(inputs) != len(s.c.Inputs) {
+		return Settled, 0, fmt.Errorf("async: %d input values for %d primary inputs", len(inputs), len(s.c.Inputs))
+	}
+	pending := make([]int32, 0, 64)
+	for i, id := range s.c.Inputs {
+		nv := logic.FromBool(inputs[i])
+		if s.val[id] != nv {
+			s.val[id] = nv
+			pending = append(pending, int32(id))
+		}
+	}
+	type commit struct {
+		net int32
+		v   logic.V3
+	}
+	var (
+		coms     []commit
+		gates    []int32
+		seen     = map[string]int{}
+		snapshot = func() string { return string(valBytes(s.val)) }
+	)
+	for t := 1; len(pending) > 0; t++ {
+		s.Steps++
+		s.stamp++
+		gates = gates[:0]
+		for _, n := range pending {
+			for _, g := range s.fanout[n] {
+				if s.evalStamp[g] != s.stamp {
+					s.evalStamp[g] = s.stamp
+					gates = append(gates, g)
+				}
+			}
+		}
+		pending = pending[:0]
+		coms = coms[:0]
+		for _, g := range gates {
+			ins := make([]logic.V3, len(s.gateIn[g]))
+			for j, in := range s.gateIn[g] {
+				ins[j] = s.val[in]
+			}
+			nv := s.gateType[g].Eval3(ins)
+			out := s.gateOut[g]
+			if s.val[out] != nv {
+				coms = append(coms, commit{out, nv})
+			}
+		}
+		for _, cm := range coms {
+			s.val[cm.net] = cm.v
+			pending = append(pending, cm.net)
+		}
+		if len(pending) == 0 {
+			return Settled, t, nil
+		}
+		// Oscillation detection: once past the settling budget, start
+		// snapshotting global states; a repeat proves a cycle.
+		if t >= s.MaxSteps {
+			key := snapshot()
+			if _, dup := seen[key]; dup {
+				s.Oscillations++
+				return Oscillating, t, nil
+			}
+			seen[key] = t
+			if len(seen) > 1<<16 {
+				return Settled, t, fmt.Errorf("async: state explosion after %d steps", t)
+			}
+		}
+	}
+	return Settled, 0, nil
+}
+
+func valBytes(vs []logic.V3) []byte {
+	out := make([]byte, len(vs))
+	for i, v := range vs {
+		out[i] = byte(v)
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package async
+
+import (
+	"testing"
+
+	"udsim/internal/circuit"
+	"udsim/internal/ckttest"
+	"udsim/internal/logic"
+)
+
+// srLatch builds a cross-coupled NAND SR latch: Q = NAND(Sn, Qb),
+// Qb = NAND(Rn, Q). Active-low set/reset.
+func srLatch(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("sr")
+	sn := b.Input("Sn")
+	rn := b.Input("Rn")
+	q := b.Net("Q")
+	qb := b.Net("Qb")
+	b.GateInto(logic.Nand, q, sn, qb)
+	b.GateInto(logic.Nand, qb, rn, q)
+	b.Output(q)
+	b.Output(qb)
+	c, err := b.BuildAsync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSRLatchSetResetHold(t *testing.T) {
+	c := srLatch(t)
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := s.Circuit().NetByName("Q")
+	qb, _ := s.Circuit().NetByName("Qb")
+
+	// Set: Sn=0, Rn=1 → Q=1, Qb=0.
+	out, _, err := s.ApplyVector([]bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Settled || s.Value(q) != logic.V1 || s.Value(qb) != logic.V0 {
+		t.Fatalf("set: outcome=%v Q=%v Qb=%v", out, s.Value(q), s.Value(qb))
+	}
+	// Hold: Sn=1, Rn=1 → state retained. This is genuine asynchronous
+	// memory with no flip-flop primitive.
+	out, _, err = s.ApplyVector([]bool{true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Settled || s.Value(q) != logic.V1 || s.Value(qb) != logic.V0 {
+		t.Fatalf("hold after set: outcome=%v Q=%v Qb=%v", out, s.Value(q), s.Value(qb))
+	}
+	// Reset: Sn=1, Rn=0 → Q=0, Qb=1, then hold again.
+	if _, _, err := s.ApplyVector([]bool{true, false}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Value(q) != logic.V0 || s.Value(qb) != logic.V1 {
+		t.Fatalf("reset: Q=%v Qb=%v", s.Value(q), s.Value(qb))
+	}
+	if _, _, err := s.ApplyVector([]bool{true, true}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Value(q) != logic.V0 || s.Value(qb) != logic.V1 {
+		t.Fatalf("hold after reset: Q=%v Qb=%v", s.Value(q), s.Value(qb))
+	}
+}
+
+func TestRingOscillatorDetected(t *testing.T) {
+	// A 3-inverter ring with an enabling NAND oscillates while enabled.
+	b := circuit.NewBuilder("ring")
+	en := b.Input("en")
+	n1 := b.Net("n1")
+	n2 := b.Gate(logic.Not, "n2", n1)
+	n3 := b.Gate(logic.Not, "n3", n2)
+	b.GateInto(logic.Nand, n1, en, n3)
+	b.Output(n3)
+	c, err := b.BuildAsync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disabled: NAND output forced 1 → settles.
+	out, _, err := s.ApplyVector([]bool{false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Settled {
+		t.Fatalf("disabled ring should settle, got %v", out)
+	}
+	// Enabled: must be detected as oscillating.
+	out, steps, err := s.ApplyVector([]bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Oscillating {
+		t.Fatalf("enabled ring should oscillate, got %v after %d steps", out, steps)
+	}
+	if s.Oscillations != 1 {
+		t.Errorf("oscillation counter = %d", s.Oscillations)
+	}
+}
+
+func TestAcyclicCircuitsSettleLikeEventSim(t *testing.T) {
+	// On an acyclic circuit the async simulator must settle to the same
+	// values as zero-delay evaluation.
+	c := ckttest.Fig4()
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := c.NetByName("E")
+	out, steps, err := s.ApplyVector([]bool{true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Settled || steps > 3 {
+		t.Fatalf("outcome=%v steps=%d", out, steps)
+	}
+	if s.Value(e) != logic.V1 {
+		t.Errorf("E = %v, want 1", s.Value(e))
+	}
+}
+
+func TestCompiledEnginesRejectCyclic(t *testing.T) {
+	c := srLatch(t)
+	// The levelizer must reject it, which every compiled engine relies on.
+	if _, err := New(c); err != nil {
+		t.Fatalf("async must accept: %v", err)
+	}
+	if _, err := c.TopoGates(); err == nil {
+		t.Fatal("TopoGates should fail on a cyclic circuit")
+	}
+}
+
+func TestSequentialRejected(t *testing.T) {
+	b := circuit.NewBuilder("seq")
+	q := b.FlipFlop("Q", circuit.NoNet)
+	d := b.Gate(logic.Not, "D", q)
+	b.BindFlipFlop(q, d)
+	b.Output(d)
+	c := b.MustBuild()
+	if _, err := New(c); err == nil {
+		t.Fatal("expected flip-flop rejection")
+	}
+}
+
+func TestBadVectorWidth(t *testing.T) {
+	s, err := New(ckttest.Fig4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ApplyVector([]bool{true}); err == nil {
+		t.Fatal("expected width error")
+	}
+}
+
+func TestSetNet(t *testing.T) {
+	c := srLatch(t)
+	s, _ := New(c)
+	q, _ := s.Circuit().NetByName("Q")
+	s.SetNet(q, logic.V0)
+	if s.Value(q) != logic.V0 {
+		t.Error("SetNet did not take")
+	}
+}

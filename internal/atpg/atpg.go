@@ -1,0 +1,497 @@
+// Package atpg implements PODEM (path-oriented decision making) automatic
+// test-pattern generation for single stuck-at faults in combinational
+// circuits. It completes the testing tool-chain built on the paper's
+// compiled-simulation machinery: SCOAP testability guides the backtrace,
+// the generated patterns are verified by the parallel fault simulator,
+// and faults PODEM proves untestable explain the coverage ceiling random
+// vectors hit.
+//
+// The implementation uses the classic dual-machine formulation: the good
+// and faulty circuits are evaluated side by side in three-valued logic
+// (the fault site forced in the faulty machine), so the D/D′ calculus
+// falls out of comparing the two values. Decisions are made only at
+// primary inputs; implication is a full three-valued forward evaluation,
+// which is simple and, at these circuit sizes, fast.
+package atpg
+
+import (
+	"fmt"
+
+	"udsim/internal/circuit"
+	"udsim/internal/fault"
+	"udsim/internal/levelize"
+	"udsim/internal/logic"
+	"udsim/internal/scoap"
+)
+
+// Status classifies the outcome for one fault.
+type Status int
+
+const (
+	// Found means a detecting pattern was generated.
+	Found Status = iota
+	// Untestable means the search space was exhausted: no input
+	// assignment detects the fault (it is redundant).
+	Untestable
+	// Aborted means the backtrack limit was hit before a conclusion.
+	Aborted
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Found:
+		return "found"
+	case Untestable:
+		return "untestable"
+	case Aborted:
+		return "aborted"
+	}
+	return "?"
+}
+
+// Pattern is a generated test: assigned primary-input values with
+// don't-cares reported separately.
+type Pattern struct {
+	// Inputs is the assignment (don't-cares filled with false), indexed
+	// like Circuit.Inputs.
+	Inputs []bool
+	// Care marks the inputs the pattern actually constrains.
+	Care []bool
+}
+
+// Generator holds the per-circuit state for PODEM.
+type Generator struct {
+	c  *circuit.Circuit
+	lv *levelize.Analysis
+	sc *scoap.Analysis
+
+	order []circuit.GateID
+
+	good  []logic.V3
+	bad   []logic.V3
+	piVal []logic.V3 // current PI decisions (X = unassigned)
+
+	// BacktrackLimit bounds the search per fault (default 2000).
+	BacktrackLimit int
+}
+
+// New prepares a PODEM generator for a combinational circuit.
+func New(c *circuit.Circuit) (*Generator, error) {
+	if !c.Combinational() {
+		return nil, fmt.Errorf("atpg: circuit %s is sequential; break flip-flops first", c.Name)
+	}
+	c = c.Normalize()
+	lv, err := levelize.Analyze(c)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := scoap.Analyze(c)
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{
+		c:              c,
+		lv:             lv,
+		sc:             sc,
+		order:          lv.LevelOrder,
+		good:           make([]logic.V3, c.NumNets()),
+		bad:            make([]logic.V3, c.NumNets()),
+		piVal:          make([]logic.V3, len(c.Inputs)),
+		BacktrackLimit: 2000,
+	}, nil
+}
+
+// Circuit returns the (normalized) circuit.
+func (g *Generator) Circuit() *circuit.Circuit { return g.c }
+
+// imply evaluates both machines in three-valued logic from the current
+// PI assignment, forcing the fault site in the faulty machine.
+func (g *Generator) imply(f fault.Fault) {
+	for i := range g.good {
+		g.good[i] = logic.VX
+		g.bad[i] = logic.VX
+	}
+	for i, id := range g.c.Inputs {
+		g.good[id] = g.piVal[i]
+		g.bad[id] = g.piVal[i]
+	}
+	force := logic.V0
+	if f.Kind == fault.StuckAt1 {
+		force = logic.V1
+	}
+	if len(g.c.Net(f.Net).Drivers) == 0 {
+		g.bad[f.Net] = force
+	}
+	ins := make([]logic.V3, 0, 8)
+	for _, gid := range g.order {
+		gate := g.c.Gate(gid)
+		ins = ins[:0]
+		for _, in := range gate.Inputs {
+			ins = append(ins, g.good[in])
+		}
+		g.good[gate.Output] = gate.Type.Eval3(ins)
+		ins = ins[:0]
+		for _, in := range gate.Inputs {
+			ins = append(ins, g.bad[in])
+		}
+		v := gate.Type.Eval3(ins)
+		if gate.Output == f.Net {
+			v = force
+		}
+		g.bad[gate.Output] = v
+	}
+	if len(g.c.Net(f.Net).Drivers) == 0 {
+		g.bad[f.Net] = force // inputs are not re-evaluated, keep forced
+	}
+}
+
+// detected reports whether some primary output differs with both values
+// known.
+func (g *Generator) detected() bool {
+	for _, o := range g.c.Outputs {
+		if g.good[o] != logic.VX && g.bad[o] != logic.VX && g.good[o] != g.bad[o] {
+			return true
+		}
+	}
+	return false
+}
+
+// excited reports whether the fault site currently carries a fault effect
+// (good ≠ bad, both known).
+func (g *Generator) excited(f fault.Fault) bool {
+	return g.good[f.Net] != logic.VX && g.bad[f.Net] != logic.VX && g.good[f.Net] != g.bad[f.Net]
+}
+
+// dFrontier returns a gate whose output is still X in at least one
+// machine but which has a fault effect on an input — the propagation
+// frontier. It returns NoGate when the frontier is empty.
+func (g *Generator) dFrontier() circuit.GateID {
+	var best circuit.GateID = circuit.NoGate
+	bestCO := int64(1) << 62
+	for i := range g.c.Gates {
+		gate := &g.c.Gates[i]
+		out := gate.Output
+		if g.good[out] != logic.VX && g.bad[out] != logic.VX && g.good[out] == g.bad[out] {
+			continue
+		}
+		if g.good[out] != logic.VX && g.bad[out] != logic.VX {
+			continue // already carries the effect
+		}
+		hasD := false
+		for _, in := range gate.Inputs {
+			if g.good[in] != logic.VX && g.bad[in] != logic.VX && g.good[in] != g.bad[in] {
+				hasD = true
+				break
+			}
+		}
+		if !hasD {
+			continue
+		}
+		// Prefer the most observable frontier gate.
+		if co := g.sc.CO[out]; co < bestCO {
+			bestCO = co
+			best = gate.ID
+		}
+	}
+	return best
+}
+
+// xPathExists reports whether some fault effect can still reach a primary
+// output through nets that are undetermined in at least one machine — the
+// classic X-path check that prunes hopeless subtrees early.
+func (g *Generator) xPathExists(f fault.Fault) bool {
+	// reachable[n]: the effect could appear on net n.
+	reachable := make([]bool, g.c.NumNets())
+	queue := make([]circuit.NetID, 0, 32)
+	push := func(n circuit.NetID) {
+		if !reachable[n] {
+			reachable[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for i := range g.c.Nets {
+		id := circuit.NetID(i)
+		if g.good[id] != logic.VX && g.bad[id] != logic.VX && g.good[id] != g.bad[id] {
+			push(id)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if g.c.Net(n).IsOutput {
+			return true
+		}
+		for _, gid := range g.c.Net(n).Fanout {
+			out := g.c.Gate(gid).Output
+			if reachable[out] {
+				continue
+			}
+			// The effect can pass only if the output is not already
+			// identically determined in both machines.
+			if g.good[out] != logic.VX && g.bad[out] != logic.VX && g.good[out] == g.bad[out] {
+				continue
+			}
+			push(out)
+		}
+	}
+	return false
+}
+
+// objective returns the next (net, value) goal: excite the fault if it is
+// not excited, otherwise feed a frontier gate a non-controlling value on
+// one of its X inputs.
+func (g *Generator) objective(f fault.Fault) (circuit.NetID, logic.V3, bool) {
+	if !g.excited(f) {
+		want := logic.V1
+		if f.Kind == fault.StuckAt1 {
+			want = logic.V0
+		}
+		if g.good[f.Net] != logic.VX && g.good[f.Net] != want {
+			return 0, 0, false // fault site fixed to the stuck value: dead end
+		}
+		if g.good[f.Net] == logic.VX {
+			return f.Net, want, true
+		}
+		// Site already at the right good value but bad is X (effect not
+		// yet established): keep working on propagation below.
+	}
+	gid := g.dFrontier()
+	if gid == circuit.NoGate {
+		return 0, 0, false
+	}
+	gate := g.c.Gate(gid)
+	noncontrol := logic.V1
+	switch gate.Type.Base() {
+	case logic.Or:
+		noncontrol = logic.V0
+	case logic.Xor:
+		noncontrol = logic.V0 // any known value propagates through XOR
+	}
+	// Among the undetermined inputs, pick the one that is cheapest to
+	// drive to the non-controlling value (SCOAP-guided, like the
+	// backtrace itself). "Undetermined" means X in either machine: the
+	// dual-machine formulation can leave an input known in the good
+	// machine but X in the faulty one (the X arrives through the fault
+	// cone while a controlling value fixes the good side), and the
+	// propagation obstruction is then in the faulty machine.
+	var pick circuit.NetID = circuit.NoNet
+	var best int64 = 1 << 62
+	for _, in := range gate.Inputs {
+		if g.good[in] != logic.VX && g.bad[in] != logic.VX {
+			continue
+		}
+		cost := g.sc.CC1[in]
+		if noncontrol == logic.V0 {
+			cost = g.sc.CC0[in]
+		}
+		if cost < best {
+			best = cost
+			pick = in
+		}
+	}
+	if pick != circuit.NoNet {
+		return pick, noncontrol, true
+	}
+	return 0, 0, false
+}
+
+// backtrace walks an objective up to an unassigned primary input,
+// steering through the easiest-to-control inputs (SCOAP) and inverting
+// the target value through inverting gates. It descends through nets
+// that are X in either machine: an X in the faulty machine alone still
+// grounds at an unassigned primary input (the machines share input
+// values; only the fault site is forced).
+func (g *Generator) backtrace(net circuit.NetID, val logic.V3) (pi int, v logic.V3, ok bool) {
+	for steps := 0; steps < 4*g.c.NumNets()+8; steps++ {
+		n := g.c.Net(net)
+		if n.IsInput {
+			for i, id := range g.c.Inputs {
+				if id == net {
+					if g.piVal[i] != logic.VX {
+						return 0, 0, false // already decided: conflict
+					}
+					return i, val, true
+				}
+			}
+			return 0, 0, false
+		}
+		if len(n.Drivers) == 0 {
+			return 0, 0, false // constant or flip-flop boundary
+		}
+		gate := g.c.Gate(n.Drivers[0])
+		if gate.Type.Inverting() {
+			val = invert(val)
+		}
+		switch gate.Type {
+		case logic.Const0, logic.Const1:
+			return 0, 0, false
+		}
+		// Choose the undetermined input that is cheapest to set to val.
+		var pick circuit.NetID = circuit.NoNet
+		var best int64 = 1 << 62
+		for _, in := range gate.Inputs {
+			if g.good[in] != logic.VX && g.bad[in] != logic.VX {
+				continue
+			}
+			cost := g.sc.CC1[in]
+			if val == logic.V0 {
+				cost = g.sc.CC0[in]
+			}
+			if cost < best {
+				best = cost
+				pick = in
+			}
+		}
+		if pick == circuit.NoNet {
+			return 0, 0, false
+		}
+		net = pick
+	}
+	return 0, 0, false
+}
+
+func invert(v logic.V3) logic.V3 {
+	switch v {
+	case logic.V0:
+		return logic.V1
+	case logic.V1:
+		return logic.V0
+	}
+	return logic.VX
+}
+
+type decision struct {
+	pi      int
+	val     logic.V3
+	flipped bool
+}
+
+// Generate runs PODEM for one fault.
+func (g *Generator) Generate(f fault.Fault) (Pattern, Status) {
+	if f.Net < 0 || int(f.Net) >= g.c.NumNets() {
+		return Pattern{}, Untestable
+	}
+	for i := range g.piVal {
+		g.piVal[i] = logic.VX
+	}
+	var stack []decision
+	backtracks := 0
+	for {
+		g.imply(f)
+		if g.detected() {
+			return g.pattern(), Found
+		}
+		ok := true
+		if g.excited(f) && !g.xPathExists(f) {
+			ok = false // effect boxed in: no X-path to any output
+		}
+		var obj circuit.NetID
+		var val logic.V3
+		if ok {
+			obj, val, ok = g.objective(f)
+		}
+		var pi int
+		var piv logic.V3
+		if ok {
+			pi, piv, ok = g.backtrace(obj, val)
+		}
+		if ok {
+			g.piVal[pi] = piv
+			stack = append(stack, decision{pi, piv, false})
+			continue
+		}
+		// Dead end: backtrack.
+		for {
+			if len(stack) == 0 {
+				return Pattern{}, Untestable
+			}
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				backtracks++
+				if backtracks > g.BacktrackLimit {
+					return Pattern{}, Aborted
+				}
+				top.flipped = true
+				top.val = invert(top.val)
+				g.piVal[top.pi] = top.val
+				break
+			}
+			g.piVal[top.pi] = logic.VX
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+func (g *Generator) pattern() Pattern {
+	p := Pattern{
+		Inputs: make([]bool, len(g.c.Inputs)),
+		Care:   make([]bool, len(g.c.Inputs)),
+	}
+	for i, v := range g.piVal {
+		if v != logic.VX {
+			p.Care[i] = true
+			p.Inputs[i] = v == logic.V1
+		}
+	}
+	return p
+}
+
+// Summary is the outcome of a whole-universe ATPG run.
+type Summary struct {
+	Patterns   []Pattern
+	PerFault   map[fault.Fault]Status
+	Found      int
+	Untestable int
+	Aborted    int
+}
+
+// GenerateAll runs PODEM for every fault in the list, skipping faults
+// already detected by previously generated patterns (checked with the
+// parallel fault simulator for honesty and speed).
+func (g *Generator) GenerateAll(faults []fault.Fault) (*Summary, error) {
+	fs, err := fault.New(g.c)
+	if err != nil {
+		return nil, err
+	}
+	sum := &Summary{PerFault: make(map[fault.Fault]Status, len(faults))}
+	remaining := append([]fault.Fault(nil), faults...)
+	for len(remaining) > 0 {
+		f := remaining[0]
+		p, st := g.Generate(f)
+		sum.PerFault[f] = st
+		switch st {
+		case Untestable:
+			sum.Untestable++
+			remaining = remaining[1:]
+			continue
+		case Aborted:
+			sum.Aborted++
+			remaining = remaining[1:]
+			continue
+		}
+		sum.Found++
+		sum.Patterns = append(sum.Patterns, p)
+		// Fault-drop everything the new pattern detects.
+		res, err := fs.Run(remaining, [][]bool{p.Inputs})
+		if err != nil {
+			return nil, err
+		}
+		var keep []fault.Fault
+		for _, r := range remaining {
+			if _, hit := res.Detected[r]; hit {
+				if r != f {
+					sum.PerFault[r] = Found
+					sum.Found++
+				}
+				continue
+			}
+			if r == f {
+				continue // the pattern may need X-filling luck; it is recorded anyway
+			}
+			keep = append(keep, r)
+		}
+		remaining = keep
+	}
+	return sum, nil
+}

@@ -1,0 +1,226 @@
+package atpg
+
+import (
+	"testing"
+
+	"udsim/internal/circuit"
+	"udsim/internal/fault"
+	"udsim/internal/gen"
+	"udsim/internal/logic"
+	"udsim/internal/vectors"
+)
+
+func TestSimpleAndGate(t *testing.T) {
+	b := circuit.NewBuilder("and")
+	a := b.Input("a")
+	bb := b.Input("b")
+	o := b.Gate(logic.And, "o", a, bb)
+	b.Output(o)
+	g, err := New(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aID, _ := g.Circuit().NetByName("a")
+	oID, _ := g.Circuit().NetByName("o")
+
+	// a/sa0 needs a=1, b=1.
+	p, st := g.Generate(fault.Fault{Net: aID, Kind: fault.StuckAt0})
+	if st != Found {
+		t.Fatalf("a/sa0: %v", st)
+	}
+	if !p.Inputs[0] || !p.Inputs[1] || !p.Care[0] || !p.Care[1] {
+		t.Errorf("a/sa0 pattern %+v, want 11", p)
+	}
+	// o/sa1 needs the output at 0: any input 0.
+	p, st = g.Generate(fault.Fault{Net: oID, Kind: fault.StuckAt1})
+	if st != Found {
+		t.Fatalf("o/sa1: %v", st)
+	}
+	if p.Inputs[0] && p.Inputs[1] {
+		t.Errorf("o/sa1 pattern %+v cannot be 11", p)
+	}
+}
+
+func TestRedundantFaultProvedUntestable(t *testing.T) {
+	// O = OR(a, AND(a, b)): absorption makes O ≡ a, so the AND output's
+	// sa0 is undetectable (redundant logic).
+	b := circuit.NewBuilder("red")
+	a := b.Input("a")
+	bb := b.Input("b")
+	x := b.Gate(logic.And, "x", a, bb)
+	o := b.Gate(logic.Or, "o", a, x)
+	b.Output(o)
+	g, err := New(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xID, _ := g.Circuit().NetByName("x")
+	if _, st := g.Generate(fault.Fault{Net: xID, Kind: fault.StuckAt0}); st != Untestable {
+		t.Fatalf("x/sa0 should be redundant, got %v", st)
+	}
+	// x/sa1 is testable: a=0, b anything → O becomes 1 instead of 0.
+	p, st := g.Generate(fault.Fault{Net: xID, Kind: fault.StuckAt1})
+	if st != Found {
+		t.Fatalf("x/sa1 should be testable, got %v", st)
+	}
+	if p.Inputs[0] {
+		t.Errorf("x/sa1 needs a=0, got %+v", p)
+	}
+}
+
+// verifyPattern confirms with the parallel fault simulator that the
+// pattern detects the fault.
+func verifyPattern(t *testing.T, c *circuit.Circuit, f fault.Fault, p Pattern) {
+	t.Helper()
+	fs, err := fault.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fs.Run([]fault.Fault{f}, [][]bool{p.Inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Detected[f]; !ok {
+		t.Fatalf("generated pattern does not detect %v (pattern %v)", f, p.Inputs)
+	}
+}
+
+func TestGeneratedPatternsActuallyDetect(t *testing.T) {
+	c, err := gen.ISCAS85("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := g.Circuit()
+	faults := fault.AllFaults(cn)
+	found, untestable, aborted := 0, 0, 0
+	for i, f := range faults {
+		if i%7 != 0 { // sample the universe to keep the test quick
+			continue
+		}
+		p, st := g.Generate(f)
+		switch st {
+		case Found:
+			found++
+			verifyPattern(t, cn, f, p)
+		case Untestable:
+			untestable++
+		case Aborted:
+			aborted++
+		}
+	}
+	t.Logf("sampled: %d found, %d untestable, %d aborted", found, untestable, aborted)
+	if found == 0 {
+		t.Fatal("PODEM found nothing")
+	}
+	if aborted > found/2 {
+		t.Errorf("too many aborts: %d vs %d found", aborted, found)
+	}
+}
+
+func TestUntestableClaimsNeverContradictRandomSim(t *testing.T) {
+	// Any fault random simulation detects must not be called untestable.
+	c, err := gen.ISCAS85("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := g.Circuit()
+	faults := fault.AllFaults(cn)
+	fs, err := fault.New(cn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := vectors.Random(64, len(cn.Inputs), 11).Bits
+	res, err := fs.Run(faults, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check every detected fault: this is the soundness property, and a
+	// sampled version once hid a real bug (dual-machine objectives that
+	// only chased good-machine Xs).
+	for f := range res.Detected {
+		if _, st := g.Generate(f); st == Untestable {
+			t.Fatalf("fault %v detected by random sim but called untestable", f)
+		}
+	}
+}
+
+func TestGenerateAllBeatsRandomCoverage(t *testing.T) {
+	c, err := gen.ISCAS85("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := g.Circuit()
+	faults := fault.AllFaults(cn)
+	sum, err := g.GenerateAll(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ATPG: %d patterns, %d found, %d untestable, %d aborted",
+		len(sum.Patterns), sum.Found, sum.Untestable, sum.Aborted)
+	if sum.Found+sum.Untestable+sum.Aborted != len(faults) {
+		t.Fatalf("accounting broken: %d+%d+%d != %d",
+			sum.Found, sum.Untestable, sum.Aborted, len(faults))
+	}
+	// Grade the generated pattern set and compare against 128 random
+	// vectors: ATPG must do better.
+	fs, err := fault.New(cn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pats [][]bool
+	for _, p := range sum.Patterns {
+		pats = append(pats, p.Inputs)
+	}
+	resA, err := fs.Run(faults, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resR, err := fs.Run(faults, vectors.Random(128, len(cn.Inputs), 1990).Bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("coverage: ATPG %.1f%% with %d patterns, random %.1f%% with 128",
+		100*resA.Coverage(), len(pats), 100*resR.Coverage())
+	if resA.Coverage() <= resR.Coverage() {
+		t.Errorf("ATPG coverage %.3f not above random %.3f", resA.Coverage(), resR.Coverage())
+	}
+	// Every fault PODEM found must be detected by the pattern set.
+	for f, st := range sum.PerFault {
+		if st != Found {
+			continue
+		}
+		if _, ok := resA.Detected[f]; !ok {
+			t.Fatalf("fault %v marked found but pattern set misses it", f)
+		}
+	}
+}
+
+func TestSequentialRejected(t *testing.T) {
+	b := circuit.NewBuilder("seq")
+	q := b.FlipFlop("Q", circuit.NoNet)
+	d := b.Gate(logic.Not, "D", q)
+	b.BindFlipFlop(q, d)
+	b.Output(d)
+	if _, err := New(b.MustBuild()); err == nil {
+		t.Fatal("expected rejection")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Found.String() != "found" || Untestable.String() != "untestable" ||
+		Aborted.String() != "aborted" || Status(9).String() != "?" {
+		t.Error("status strings wrong")
+	}
+}

@@ -1,0 +1,184 @@
+// Package bench85 reads and writes the ISCAS-85 ".bench" netlist format,
+// the textual form in which the paper's benchmark circuits circulate:
+//
+//	# c17
+//	INPUT(1)
+//	INPUT(2)
+//	OUTPUT(22)
+//	10 = NAND(1, 3)
+//	22 = NAND(10, 16)
+//
+// The sequential extension used by the ISCAS-89 family is also accepted:
+// "Q = DFF(D)" declares a D flip-flop, which BreakFlipFlops can later
+// lower per the paper's §1 treatment of synchronous circuits.
+package bench85
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"udsim/internal/circuit"
+	"udsim/internal/logic"
+)
+
+// Parse reads a .bench netlist and builds a circuit with the given name.
+func Parse(r io.Reader, name string) (*circuit.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	b := circuit.NewBuilder(name)
+
+	type gateDef struct {
+		line int
+		out  string
+		op   string
+		args []string
+	}
+	var (
+		defs    []gateDef
+		outputs []string
+		inputs  = map[string]bool{}
+		lineNo  int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT(") && strings.HasSuffix(line, ")"):
+			arg := strings.TrimSpace(line[len("INPUT(") : len(line)-1])
+			if arg == "" {
+				return nil, fmt.Errorf("bench85: line %d: empty INPUT", lineNo)
+			}
+			if inputs[arg] {
+				return nil, fmt.Errorf("bench85: line %d: duplicate INPUT(%s)", lineNo, arg)
+			}
+			inputs[arg] = true
+			b.Input(arg)
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT(") && strings.HasSuffix(line, ")"):
+			arg := strings.TrimSpace(line[len("OUTPUT(") : len(line)-1])
+			if arg == "" {
+				return nil, fmt.Errorf("bench85: line %d: empty OUTPUT", lineNo)
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("bench85: line %d: expected assignment: %q", lineNo, line)
+			}
+			out := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			if open < 0 || !strings.HasSuffix(rhs, ")") {
+				return nil, fmt.Errorf("bench85: line %d: expected OP(args): %q", lineNo, rhs)
+			}
+			op := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			argStr := rhs[open+1 : len(rhs)-1]
+			var args []string
+			for _, a := range strings.Split(argStr, ",") {
+				a = strings.TrimSpace(a)
+				if a != "" {
+					args = append(args, a)
+				}
+			}
+			if out == "" {
+				return nil, fmt.Errorf("bench85: line %d: empty output name", lineNo)
+			}
+			defs = append(defs, gateDef{lineNo, out, op, args})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Declare all defined nets first so forward references resolve.
+	for _, d := range defs {
+		b.Net(d.out)
+	}
+	for _, d := range defs {
+		if d.op == "DFF" {
+			if len(d.args) != 1 {
+				return nil, fmt.Errorf("bench85: line %d: DFF takes one input", d.line)
+			}
+			continue // handled below, after all nets exist
+		}
+		gt, err := logic.ParseGateType(d.op)
+		if err != nil {
+			return nil, fmt.Errorf("bench85: line %d: %w", d.line, err)
+		}
+		ins := make([]circuit.NetID, len(d.args))
+		for i, a := range d.args {
+			ins[i] = b.Net(a)
+		}
+		b.GateInto(gt, b.Net(d.out), ins...)
+	}
+	// Flip-flops: the Q net was declared by b.Net(d.out); rebuild it as a
+	// proper flip-flop by a dedicated pass. The builder's FlipFlop
+	// allocates a fresh net, so instead record DFFs via a second builder
+	// walk: declare Q nets as flip-flop outputs bound to D nets.
+	for _, d := range defs {
+		if d.op != "DFF" {
+			continue
+		}
+		q := b.Net(d.out)
+		dNet := b.Net(d.args[0])
+		b.DeclareFlipFlop(d.out, q, dNet)
+	}
+	for _, o := range outputs {
+		id, ok := lookup(b, o)
+		if !ok {
+			return nil, fmt.Errorf("bench85: OUTPUT(%s) references an undefined net", o)
+		}
+		b.Output(id)
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("bench85: %w", err)
+	}
+	return c, nil
+}
+
+func lookup(b *circuit.Builder, name string) (circuit.NetID, bool) {
+	return b.Lookup(name)
+}
+
+// Write serializes a circuit in .bench format. Gates are emitted in
+// topological order; wired nets are not representable and cause an error
+// (normalize the circuit first).
+func Write(w io.Writer, c *circuit.Circuit) error {
+	if c.HasWiredNets() {
+		return fmt.Errorf("bench85: circuit %s has wired nets; Normalize before writing", c.Name)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates, %d flip-flops\n",
+		len(c.Inputs), len(c.Outputs), c.NumGates(), len(c.FFs))
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Net(id).Name)
+	}
+	for _, id := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Net(id).Name)
+	}
+	ffs := append([]circuit.DFF(nil), c.FFs...)
+	sort.Slice(ffs, func(i, j int) bool { return ffs[i].Q < ffs[j].Q })
+	for _, ff := range ffs {
+		fmt.Fprintf(bw, "%s = DFF(%s)\n", c.Net(ff.Q).Name, c.Net(ff.D).Name)
+	}
+	order, err := c.TopoGates()
+	if err != nil {
+		return err
+	}
+	for _, gid := range order {
+		g := c.Gate(gid)
+		names := make([]string, len(g.Inputs))
+		for i, in := range g.Inputs {
+			names[i] = c.Net(in).Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", c.Net(g.Output).Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,212 @@
+package bench85
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"udsim/internal/circuit"
+	"udsim/internal/logic"
+	"udsim/internal/refsim"
+)
+
+// c17 is the smallest ISCAS-85 circuit, reproduced verbatim from the
+// published netlist.
+const c17 = `
+# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+func TestParseC17(t *testing.T) {
+	c, err := Parse(strings.NewReader(c17), "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs) != 5 || len(c.Outputs) != 2 || c.NumGates() != 6 {
+		t.Fatalf("c17 shape wrong: %s", c)
+	}
+	// Functional spot check: all inputs 0 → NANDs of zeros are 1, so
+	// 10=1, 11=1, 16=NAND(0,1)=1, 19=NAND(1,0)=1, 22=NAND(1,1)=0, 23=0.
+	vals, err := refsim.Evaluate(c, []bool{false, false, false, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"22", "23"} {
+		id, ok := c.NetByName(name)
+		if !ok {
+			t.Fatalf("net %s missing", name)
+		}
+		if vals[id] {
+			t.Errorf("net %s = 1, want 0", name)
+		}
+	}
+}
+
+func TestParseForwardReference(t *testing.T) {
+	// Gates defined before their inputs are legal in .bench.
+	src := `
+INPUT(A)
+OUTPUT(Y)
+Y = NOT(X)
+X = NOT(A)
+`
+	c, err := Parse(strings.NewReader(src), "fwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 2 {
+		t.Fatalf("got %d gates", c.NumGates())
+	}
+}
+
+func TestParseDFF(t *testing.T) {
+	src := `
+INPUT(A)
+OUTPUT(Q)
+Q = DFF(D)
+D = XOR(A, Q)
+`
+	c, err := Parse(strings.NewReader(src), "seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.FFs) != 1 {
+		t.Fatalf("got %d flip-flops", len(c.FFs))
+	}
+	comb, ffs := c.BreakFlipFlops()
+	if len(ffs) != 1 {
+		t.Fatal("BreakFlipFlops lost the flip-flop")
+	}
+	if _, err := comb.TopoGates(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	src := `
+INPUT(A)
+OUTPUT(Y)
+B = BUFF(A)
+Y = INV(B)
+`
+	c, err := Parse(strings.NewReader(src), "alias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := c.NetByName("B")
+	if c.Gate(c.Net(b).Drivers[0]).Type != logic.Buf {
+		t.Error("BUFF should parse as BUF")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty input":     "INPUT()\n",
+		"duplicate input": "INPUT(A)\nINPUT(A)\n",
+		"no assignment":   "INPUT(A)\nGARBAGE\n",
+		"bad rhs":         "INPUT(A)\nX = NOT A\n",
+		"unknown op":      "INPUT(A)\nX = FROB(A)\n",
+		"bad dff":         "INPUT(A)\nX = DFF(A, A)\n",
+		"undefined out":   "INPUT(A)\nOUTPUT(Z)\nX = NOT(A)\n",
+		"empty out name":  "INPUT(A)\n = NOT(A)\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src), name); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	orig, err := Parse(strings.NewReader(c17), "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(buf.Bytes()), "c17")
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, buf.String())
+	}
+	if back.NumGates() != orig.NumGates() || len(back.Inputs) != len(orig.Inputs) ||
+		len(back.Outputs) != len(orig.Outputs) {
+		t.Fatal("round trip changed the shape")
+	}
+	// Functional equivalence on all 32 input combinations.
+	for mask := 0; mask < 32; mask++ {
+		in := make([]bool, 5)
+		for i := range in {
+			in[i] = mask>>i&1 == 1
+		}
+		v1, err := refsim.Evaluate(orig, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := refsim.Evaluate(back, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range orig.Outputs {
+			name := orig.Net(o).Name
+			o2, ok := back.NetByName(name)
+			if !ok {
+				t.Fatalf("output %s lost", name)
+			}
+			if v1[o] != v2[o2] {
+				t.Fatalf("mask %d output %s: %v vs %v", mask, name, v1[o], v2[o2])
+			}
+		}
+	}
+}
+
+func TestWriteSequentialRoundTrip(t *testing.T) {
+	src := "INPUT(A)\nOUTPUT(Q)\nQ = DFF(D)\nD = XOR(A, Q)\n"
+	c, err := Parse(strings.NewReader(src), "seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(buf.Bytes()), "seq")
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if len(back.FFs) != 1 {
+		t.Error("flip-flop lost in round trip")
+	}
+}
+
+func TestWriteRejectsWired(t *testing.T) {
+	b := circuit.NewBuilder("wired")
+	a := b.Input("A")
+	bb := b.Input("B")
+	w := b.Net("W")
+	b.GateInto(logic.Buf, w, a)
+	b.GateInto(logic.Buf, w, bb)
+	b.Wired(w, circuit.WiredAnd)
+	b.Output(w)
+	wired := b.MustBuild()
+	var buf bytes.Buffer
+	if err := Write(&buf, wired); err == nil {
+		t.Error("expected wired-net error")
+	}
+	if err := Write(&buf, wired.Normalize()); err != nil {
+		t.Errorf("normalized circuit should write: %v", err)
+	}
+}

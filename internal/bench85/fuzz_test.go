@@ -1,0 +1,44 @@
+package bench85
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that anything it accepts
+// is a valid circuit that re-serializes and re-parses to the same shape.
+func FuzzParse(f *testing.F) {
+	f.Add(c17)
+	f.Add("INPUT(A)\nOUTPUT(Y)\nY = NOT(A)\n")
+	f.Add("INPUT(A)\nOUTPUT(Q)\nQ = DFF(D)\nD = XOR(A, Q)\n")
+	f.Add("# only a comment\n")
+	f.Add("X = AND(,,)\n")
+	f.Add("INPUT(A)\nY = AND(A, A\n")
+	f.Add("OUTPUT()\n")
+	f.Add(strings.Repeat("INPUT(A)\n", 3))
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid circuit: %v", err)
+		}
+		if c.HasWiredNets() {
+			return // not representable by Write
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("accepted circuit failed to serialize: %v", err)
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()), "fuzz")
+		if err != nil {
+			t.Fatalf("own output failed to reparse: %v\n%s", err, buf.String())
+		}
+		if back.NumGates() != c.NumGates() || len(back.Inputs) != len(c.Inputs) ||
+			len(back.FFs) != len(c.FFs) {
+			t.Fatalf("round trip changed shape: %s vs %s", c, back)
+		}
+	})
+}

@@ -1,0 +1,408 @@
+// Package circuit defines the gate-level netlist model shared by every
+// analysis and simulation engine in this repository.
+//
+// The model follows the paper's terminology: a circuit is a collection of
+// nets and gates. Each gate reads input nets and drives one output net.
+// A net driven by more than one gate is a wired connection (wired-AND or
+// wired-OR); Normalize lowers wired nets to explicit gates so that the
+// simulation engines only ever see single-driver nets. Synchronous
+// sequential circuits are represented with D flip-flops and lowered to
+// combinational circuits by BreakFlipFlops, exactly as §1 of the paper
+// prescribes (flip-flop outputs become primary inputs, flip-flop inputs
+// become primary outputs).
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"udsim/internal/logic"
+)
+
+// NetID identifies a net within one Circuit. IDs are dense indices into
+// Circuit.Nets.
+type NetID int32
+
+// GateID identifies a gate within one Circuit. IDs are dense indices into
+// Circuit.Gates.
+type GateID int32
+
+// NoNet is the null NetID.
+const NoNet NetID = -1
+
+// NoGate is the null GateID.
+const NoGate GateID = -1
+
+// WiredOp selects how multiple drivers of one net resolve.
+type WiredOp uint8
+
+const (
+	// WiredNone marks an ordinary single-driver net.
+	WiredNone WiredOp = iota
+	// WiredAnd resolves multiple drivers with conjunction.
+	WiredAnd
+	// WiredOr resolves multiple drivers with disjunction.
+	WiredOr
+)
+
+// Net is a single wire in the circuit.
+type Net struct {
+	ID   NetID
+	Name string
+	// Drivers lists the gates driving this net. Empty for primary inputs.
+	// More than one entry means a wired connection resolved by Wired.
+	Drivers []GateID
+	// Fanout lists the gates that read this net. A gate appears once per
+	// input pin it connects, so a net wired to two pins of the same gate
+	// appears twice (the PC-set algorithm depends on this multiplicity).
+	Fanout []GateID
+	// Wired is the resolution function when len(Drivers) > 1.
+	Wired WiredOp
+	// IsInput marks primary inputs.
+	IsInput bool
+	// IsOutput marks primary (monitored) outputs.
+	IsOutput bool
+}
+
+// Gate is a single logic gate.
+type Gate struct {
+	ID   GateID
+	Type logic.GateType
+	// Inputs are the gate's input nets in pin order; a net may repeat.
+	Inputs []NetID
+	// Output is the net driven by this gate.
+	Output NetID
+}
+
+// DFF is a D flip-flop in a synchronous sequential circuit. The clock is
+// implicit: all flip-flops load D into Q on every cycle boundary.
+type DFF struct {
+	Name string
+	D    NetID
+	Q    NetID
+}
+
+// Circuit is an immutable gate-level netlist. Construct one with a Builder
+// or a parser; do not mutate the exported slices after Build.
+type Circuit struct {
+	Name    string
+	Nets    []Net
+	Gates   []Gate
+	Inputs  []NetID // primary inputs in declaration order
+	Outputs []NetID // primary outputs in declaration order
+	FFs     []DFF
+
+	// AllowCycles marks an asynchronous circuit whose combinational
+	// graph may be cyclic (latches built from cross-coupled gates). The
+	// compiled techniques require acyclic circuits and reject these;
+	// only the asynchronous event-driven simulator accepts them — the
+	// paper's stated future-work direction.
+	AllowCycles bool
+
+	byName map[string]NetID
+}
+
+// NumNets returns the number of nets.
+func (c *Circuit) NumNets() int { return len(c.Nets) }
+
+// NumGates returns the number of gates.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// Net returns the net with the given ID.
+func (c *Circuit) Net(id NetID) *Net { return &c.Nets[id] }
+
+// Gate returns the gate with the given ID.
+func (c *Circuit) Gate(id GateID) *Gate { return &c.Gates[id] }
+
+// NetByName looks a net up by name.
+func (c *Circuit) NetByName(name string) (NetID, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// Combinational reports whether the circuit has no flip-flops.
+func (c *Circuit) Combinational() bool { return len(c.FFs) == 0 }
+
+// String summarizes the circuit.
+func (c *Circuit) String() string {
+	return fmt.Sprintf("%s: %d inputs, %d outputs, %d gates, %d nets, %d FFs",
+		c.Name, len(c.Inputs), len(c.Outputs), len(c.Gates), len(c.Nets), len(c.FFs))
+}
+
+// TopoGates returns the gates in a topological order (every gate appears
+// after all gates driving its inputs). It returns an error when the
+// combinational core is cyclic. Flip-flop boundaries do not constitute
+// combinational dependencies.
+func (c *Circuit) TopoGates() ([]GateID, error) {
+	// Kahn's algorithm over gates; a net is "ready" once all its drivers
+	// have been emitted. Primary inputs and flip-flop outputs are ready
+	// at the start.
+	ffOut := make(map[NetID]bool, len(c.FFs))
+	for _, ff := range c.FFs {
+		ffOut[ff.Q] = true
+	}
+	netPending := make([]int, len(c.Nets))
+	gatePending := make([]int, len(c.Gates))
+	for i := range c.Nets {
+		n := &c.Nets[i]
+		if ffOut[n.ID] {
+			continue // sequential boundary: ready regardless of drivers
+		}
+		netPending[i] = len(n.Drivers)
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		for _, in := range g.Inputs {
+			if netPending[in] > 0 {
+				gatePending[i]++
+			}
+		}
+	}
+	queue := make([]GateID, 0, len(c.Gates))
+	for i := range c.Gates {
+		if gatePending[i] == 0 {
+			queue = append(queue, GateID(i))
+		}
+	}
+	order := make([]GateID, 0, len(c.Gates))
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		order = append(order, g)
+		out := c.Gates[g].Output
+		if ffOut[out] {
+			continue
+		}
+		netPending[out]--
+		if netPending[out] == 0 {
+			for _, fg := range c.Nets[out].Fanout {
+				gatePending[fg]--
+				if gatePending[fg] == 0 {
+					queue = append(queue, fg)
+				}
+			}
+		}
+	}
+	if len(order) != len(c.Gates) {
+		return nil, fmt.Errorf("circuit %s: combinational cycle involving %d gates",
+			c.Name, len(c.Gates)-len(order))
+	}
+	return order, nil
+}
+
+// Validate checks structural invariants: fanin bounds, driver consistency,
+// name uniqueness, dangling references, and combinational acyclicity.
+func (c *Circuit) Validate() error {
+	seen := make(map[string]bool, len(c.Nets))
+	for i := range c.Nets {
+		n := &c.Nets[i]
+		if n.ID != NetID(i) {
+			return fmt.Errorf("net %d: inconsistent ID %d", i, n.ID)
+		}
+		if n.Name == "" {
+			return fmt.Errorf("net %d: empty name", i)
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("duplicate net name %q", n.Name)
+		}
+		seen[n.Name] = true
+		if len(n.Drivers) > 1 && n.Wired == WiredNone {
+			return fmt.Errorf("net %q: %d drivers but no wired resolution", n.Name, len(n.Drivers))
+		}
+		if len(n.Drivers) == 0 && !n.IsInput && !c.isFFOutput(n.ID) {
+			return fmt.Errorf("net %q: undriven and not a primary or flip-flop input", n.Name)
+		}
+		if n.IsInput && len(n.Drivers) > 0 {
+			return fmt.Errorf("net %q: primary input with drivers", n.Name)
+		}
+		for _, g := range n.Drivers {
+			if g < 0 || int(g) >= len(c.Gates) {
+				return fmt.Errorf("net %q: driver gate %d out of range", n.Name, g)
+			}
+			if c.Gates[g].Output != n.ID {
+				return fmt.Errorf("net %q: driver gate %d does not output it", n.Name, g)
+			}
+		}
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.ID != GateID(i) {
+			return fmt.Errorf("gate %d: inconsistent ID %d", i, g.ID)
+		}
+		if !g.Type.Valid() {
+			return fmt.Errorf("gate %d: invalid type", i)
+		}
+		if min := g.Type.MinInputs(); len(g.Inputs) < min {
+			return fmt.Errorf("gate %d (%v): %d inputs, need at least %d", i, g.Type, len(g.Inputs), min)
+		}
+		if max := g.Type.MaxInputs(); max >= 0 && len(g.Inputs) > max {
+			return fmt.Errorf("gate %d (%v): %d inputs, at most %d allowed", i, g.Type, len(g.Inputs), max)
+		}
+		if g.Output < 0 || int(g.Output) >= len(c.Nets) {
+			return fmt.Errorf("gate %d: output net out of range", i)
+		}
+		for _, in := range g.Inputs {
+			if in < 0 || int(in) >= len(c.Nets) {
+				return fmt.Errorf("gate %d: input net out of range", i)
+			}
+		}
+		if !containsGate(c.Nets[g.Output].Drivers, g.ID) {
+			return fmt.Errorf("gate %d: output net %q does not list it as driver", i, c.Nets[g.Output].Name)
+		}
+	}
+	for _, ff := range c.FFs {
+		if ff.D < 0 || int(ff.D) >= len(c.Nets) || ff.Q < 0 || int(ff.Q) >= len(c.Nets) {
+			return fmt.Errorf("flip-flop %q: net out of range", ff.Name)
+		}
+		if len(c.Nets[ff.Q].Drivers) > 0 {
+			return fmt.Errorf("flip-flop %q: Q net %q also driven by a gate", ff.Name, c.Nets[ff.Q].Name)
+		}
+	}
+	if !c.AllowCycles {
+		if _, err := c.TopoGates(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Circuit) isFFOutput(id NetID) bool {
+	for _, ff := range c.FFs {
+		if ff.Q == id {
+			return true
+		}
+	}
+	return false
+}
+
+func containsGate(gs []GateID, g GateID) bool {
+	for _, x := range gs {
+		if x == g {
+			return true
+		}
+	}
+	return false
+}
+
+// HasWiredNets reports whether any net has multiple drivers.
+func (c *Circuit) HasWiredNets() bool {
+	for i := range c.Nets {
+		if len(c.Nets[i].Drivers) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Normalize returns an equivalent circuit in which every wired net has been
+// lowered to an explicit AND or OR gate: each original driver gets a fresh
+// intermediate net, and a resolution gate combines them onto the original
+// net. Circuits without wired nets are returned unchanged.
+func (c *Circuit) Normalize() *Circuit {
+	if !c.HasWiredNets() {
+		return c
+	}
+	b := NewBuilder(c.Name)
+	// Recreate all nets first so IDs of original nets are preserved.
+	for i := range c.Nets {
+		n := &c.Nets[i]
+		id := b.addNet(n.Name)
+		nb := &b.nets[id]
+		nb.IsInput = n.IsInput
+		nb.IsOutput = n.IsOutput
+	}
+	b.inputs = append([]NetID(nil), c.Inputs...)
+	b.outputs = append([]NetID(nil), c.Outputs...)
+	for _, ff := range c.FFs {
+		b.ffs = append(b.ffs, DFF{Name: ff.Name, D: ff.D, Q: ff.Q})
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		out := g.Output
+		n := &c.Nets[out]
+		if len(n.Drivers) > 1 {
+			// Redirect this driver to a fresh intermediate net.
+			mid := b.addNet(fmt.Sprintf("%s$w%d", n.Name, g.ID))
+			b.addGate(g.Type, append([]NetID(nil), g.Inputs...), mid)
+		} else {
+			b.addGate(g.Type, append([]NetID(nil), g.Inputs...), out)
+		}
+	}
+	// Add the resolution gates.
+	for i := range c.Nets {
+		n := &c.Nets[i]
+		if len(n.Drivers) <= 1 {
+			continue
+		}
+		op := logic.And
+		if n.Wired == WiredOr {
+			op = logic.Or
+		}
+		ins := make([]NetID, 0, len(n.Drivers))
+		for _, g := range n.Drivers {
+			mid, ok := b.byName[fmt.Sprintf("%s$w%d", n.Name, g)]
+			if !ok {
+				panic("circuit: normalize lost a wired driver")
+			}
+			ins = append(ins, mid)
+		}
+		b.addGate(op, ins, n.ID)
+	}
+	nc, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("circuit: normalize produced invalid circuit: %v", err))
+	}
+	return nc
+}
+
+// BreakFlipFlops returns the combinational circuit obtained by treating
+// every flip-flop output as a primary input and every flip-flop input as a
+// primary output (§1 of the paper). The second return value maps each
+// flip-flop to its (new PO for D, new PI for Q) net IDs, which are stable
+// because net IDs are preserved.
+func (c *Circuit) BreakFlipFlops() (*Circuit, []DFF) {
+	if len(c.FFs) == 0 {
+		return c, nil
+	}
+	nc := &Circuit{
+		Name:   c.Name + ".comb",
+		Nets:   append([]Net(nil), c.Nets...),
+		Gates:  append([]Gate(nil), c.Gates...),
+		byName: c.byName,
+	}
+	// Deep-copy per-net slices we are about to leave shared; structure is
+	// unchanged so sharing Drivers/Fanout is safe — only flags change.
+	nc.Inputs = append([]NetID(nil), c.Inputs...)
+	nc.Outputs = append([]NetID(nil), c.Outputs...)
+	ffs := append([]DFF(nil), c.FFs...)
+	for _, ff := range ffs {
+		nc.Nets[ff.Q].IsInput = true
+		nc.Inputs = append(nc.Inputs, ff.Q)
+		if !nc.Nets[ff.D].IsOutput {
+			nc.Nets[ff.D].IsOutput = true
+			nc.Outputs = append(nc.Outputs, ff.D)
+		}
+	}
+	return nc, ffs
+}
+
+// InputIndex returns a map from primary-input net ID to its position in
+// Inputs, used by engines to bind vectors.
+func (c *Circuit) InputIndex() map[NetID]int {
+	m := make(map[NetID]int, len(c.Inputs))
+	for i, id := range c.Inputs {
+		m[id] = i
+	}
+	return m
+}
+
+// SortedNetNames returns all net names sorted, mainly for deterministic
+// reporting and tests.
+func (c *Circuit) SortedNetNames() []string {
+	names := make([]string, len(c.Nets))
+	for i := range c.Nets {
+		names[i] = c.Nets[i].Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,278 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+
+	"udsim/internal/logic"
+)
+
+// buildFig1 builds the paper's Fig. 1 circuit: D = A & B; E = C & D.
+func buildFig1(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("fig1")
+	a := b.Input("A")
+	bb := b.Input("B")
+	c := b.Input("C")
+	d := b.Gate(logic.And, "D", a, bb)
+	e := b.Gate(logic.And, "E", c, d)
+	b.Output(e)
+	return b.MustBuild()
+}
+
+func TestBuilderBasic(t *testing.T) {
+	c := buildFig1(t)
+	if c.NumNets() != 5 || c.NumGates() != 2 {
+		t.Fatalf("got %d nets, %d gates; want 5, 2", c.NumNets(), c.NumGates())
+	}
+	if len(c.Inputs) != 3 || len(c.Outputs) != 1 {
+		t.Fatalf("got %d inputs, %d outputs", len(c.Inputs), len(c.Outputs))
+	}
+	d, ok := c.NetByName("D")
+	if !ok {
+		t.Fatal("net D missing")
+	}
+	if len(c.Net(d).Drivers) != 1 || len(c.Net(d).Fanout) != 1 {
+		t.Errorf("net D drivers/fanout wrong: %+v", c.Net(d))
+	}
+	if !c.Combinational() {
+		t.Error("expected combinational")
+	}
+	if s := c.String(); !strings.Contains(s, "fig1") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestTopoGatesOrder(t *testing.T) {
+	c := buildFig1(t)
+	order, err := c.TopoGates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 {
+		t.Fatalf("topo order has %d gates", len(order))
+	}
+	// The AND driving D must precede the AND driving E.
+	pos := make(map[GateID]int)
+	for i, g := range order {
+		pos[g] = i
+	}
+	d, _ := c.NetByName("D")
+	e, _ := c.NetByName("E")
+	if pos[c.Net(d).Drivers[0]] >= pos[c.Net(e).Drivers[0]] {
+		t.Error("driver of D must come before driver of E")
+	}
+}
+
+func TestDuplicateNetName(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Input("A")
+	b.Input("A")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected duplicate-name error")
+	}
+}
+
+func TestValidateFaninBounds(t *testing.T) {
+	b := NewBuilder("bad")
+	a := b.Input("A")
+	b.Gate(logic.And, "O", a) // AND with one input
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected fanin error")
+	}
+}
+
+func TestValidateUndrivenNet(t *testing.T) {
+	b := NewBuilder("undriven")
+	a := b.Input("A")
+	floating := b.Net("F")
+	o := b.Gate(logic.And, "O", a, floating)
+	b.Output(o)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected undriven-net error")
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	b := NewBuilder("cycle")
+	a := b.Input("A")
+	x := b.Net("X")
+	y := b.Gate(logic.And, "Y", a, x)
+	b.GateInto(logic.And, x, a, y)
+	b.Output(y)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestWiredNetNeedsResolution(t *testing.T) {
+	b := NewBuilder("wired-bad")
+	a := b.Input("A")
+	bb := b.Input("B")
+	w := b.Net("W")
+	b.GateInto(logic.Buf, w, a)
+	b.GateInto(logic.Buf, w, bb)
+	b.Output(w)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected wired resolution error")
+	}
+}
+
+func buildWired(t *testing.T, op WiredOp) *Circuit {
+	t.Helper()
+	b := NewBuilder("wired")
+	a := b.Input("A")
+	bb := b.Input("B")
+	cc := b.Input("C")
+	w := b.Net("W")
+	b.GateInto(logic.And, w, a, bb)
+	b.GateInto(logic.And, w, bb, cc)
+	b.Wired(w, op)
+	o := b.Gate(logic.Not, "O", w)
+	b.Output(o)
+	return b.MustBuild()
+}
+
+func TestNormalizeWired(t *testing.T) {
+	for _, op := range []WiredOp{WiredAnd, WiredOr} {
+		c := buildWired(t, op)
+		if !c.HasWiredNets() {
+			t.Fatal("expected wired nets")
+		}
+		n := c.Normalize()
+		if n == c {
+			t.Fatal("Normalize should return a new circuit")
+		}
+		if n.HasWiredNets() {
+			t.Fatal("normalized circuit still has wired nets")
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Original W net must now be driven by a single resolution gate
+		// of the right type.
+		w, ok := n.NetByName("W")
+		if !ok {
+			t.Fatal("net W lost")
+		}
+		drv := n.Net(w).Drivers
+		if len(drv) != 1 {
+			t.Fatalf("net W has %d drivers after normalize", len(drv))
+		}
+		wantType := logic.And
+		if op == WiredOr {
+			wantType = logic.Or
+		}
+		if gt := n.Gate(drv[0]).Type; gt != wantType {
+			t.Errorf("resolution gate type %v, want %v", gt, wantType)
+		}
+		// Gate count: 3 original + 1 resolution.
+		if n.NumGates() != 4 {
+			t.Errorf("normalized gate count %d, want 4", n.NumGates())
+		}
+	}
+}
+
+func TestNormalizeNoopWithoutWired(t *testing.T) {
+	c := buildFig1(t)
+	if c.Normalize() != c {
+		t.Error("Normalize should be identity on wired-free circuits")
+	}
+}
+
+func TestFlipFlopBreaking(t *testing.T) {
+	// 1-bit toggler: Q' = NOT Q, out = Q.
+	b := NewBuilder("toggle")
+	q := b.FlipFlop("Q", NoNet) // placeholder D fixed below
+	nq := b.Gate(logic.Not, "NQ", q)
+	b.ffs[0].D = nq
+	b.Output(q)
+	c := b.MustBuild()
+	if c.Combinational() {
+		t.Fatal("expected sequential circuit")
+	}
+
+	comb, ffs := c.BreakFlipFlops()
+	if len(ffs) != 1 {
+		t.Fatalf("got %d flip-flops", len(ffs))
+	}
+	if !comb.Nets[ffs[0].Q].IsInput {
+		t.Error("Q must become a primary input")
+	}
+	if !comb.Nets[ffs[0].D].IsOutput {
+		t.Error("D must become a primary output")
+	}
+	if err := comb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comb.TopoGates(); err != nil {
+		t.Fatal(err)
+	}
+	// Original circuit must not be mutated.
+	if c.Nets[ffs[0].Q].IsInput {
+		t.Error("BreakFlipFlops mutated the original circuit")
+	}
+}
+
+func TestSequentialCycleThroughFFIsLegal(t *testing.T) {
+	// A cycle through a flip-flop must validate (the paper's §1 rule).
+	b := NewBuilder("seqcycle")
+	a := b.Input("A")
+	q := b.FlipFlop("Q", NoNet)
+	d := b.Gate(logic.Xor, "D", a, q)
+	b.ffs[0].D = d
+	b.Output(d)
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("sequential cycle should be legal: %v", err)
+	}
+}
+
+func TestInputIndex(t *testing.T) {
+	c := buildFig1(t)
+	idx := c.InputIndex()
+	for i, id := range c.Inputs {
+		if idx[id] != i {
+			t.Errorf("InputIndex[%d] = %d, want %d", id, idx[id], i)
+		}
+	}
+}
+
+func TestRepeatedInputPinMultiplicity(t *testing.T) {
+	// A net wired to two pins of the same gate must appear twice in the
+	// fanout list (the PC-set count algorithm depends on this).
+	b := NewBuilder("repeat")
+	a := b.Input("A")
+	o := b.Gate(logic.Xor, "O", a, a)
+	b.Output(o)
+	c := b.MustBuild()
+	aNet, _ := c.NetByName("A")
+	if got := len(c.Net(aNet).Fanout); got != 2 {
+		t.Errorf("fanout multiplicity %d, want 2", got)
+	}
+}
+
+func TestSortedNetNames(t *testing.T) {
+	c := buildFig1(t)
+	names := c.SortedNetNames()
+	want := []string{"A", "B", "C", "D", "E"}
+	if len(names) != len(want) {
+		t.Fatalf("got %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("got %v, want %v", names, want)
+		}
+	}
+}
+
+func TestAnonymousNetNames(t *testing.T) {
+	b := NewBuilder("anon")
+	a := b.Input("A")
+	x := b.Gate(logic.Not, "", a)
+	y := b.Gate(logic.Not, "", x)
+	b.Output(y)
+	c := b.MustBuild()
+	if c.Nets[x].Name == c.Nets[y].Name {
+		t.Error("anonymous names must be unique")
+	}
+}

@@ -1,0 +1,139 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"udsim/internal/logic"
+)
+
+// buildWiredRandom constructs a random circuit containing wired-AND and
+// wired-OR nets, plus its explicit-resolution-gate reference form built
+// side by side, so Normalize can be checked against it functionally.
+func buildWiredRandom(seed int64) (wired *Circuit, inputs int) {
+	r := rand.New(rand.NewSource(seed))
+	b := NewBuilder("w")
+	inputs = 3 + r.Intn(4)
+	pool := make([]NetID, 0, 16)
+	for i := 0; i < inputs; i++ {
+		pool = append(pool, b.Input(""))
+	}
+	types := []logic.GateType{logic.And, logic.Or, logic.Nand, logic.Xor, logic.Not}
+	for i := 0; i < 6+r.Intn(6); i++ {
+		gt := types[r.Intn(len(types))]
+		nin := gt.MinInputs()
+		ins := make([]NetID, nin)
+		for j := range ins {
+			ins[j] = pool[r.Intn(len(pool))]
+		}
+		pool = append(pool, b.Gate(gt, "", ins...))
+	}
+	// Two wired nets fed by fresh gates over existing pool nets.
+	for wi := 0; wi < 2; wi++ {
+		w := b.Net("")
+		k := 2 + r.Intn(2)
+		for d := 0; d < k; d++ {
+			b.GateInto(logic.And, w, pool[r.Intn(len(pool))], pool[r.Intn(len(pool))])
+		}
+		if r.Intn(2) == 0 {
+			b.Wired(w, WiredAnd)
+		} else {
+			b.Wired(w, WiredOr)
+		}
+		pool = append(pool, w)
+	}
+	out := b.Gate(logic.Or, "OUT", pool[len(pool)-1], pool[len(pool)-2])
+	b.Output(out)
+	return b.MustBuild(), inputs
+}
+
+// evalRef evaluates any circuit (wired or not) by topological sweep with
+// wired resolution — an independent model of Normalize's semantics.
+func evalRef(t *testing.T, c *Circuit, in []bool) []bool {
+	t.Helper()
+	order, err := c.TopoGates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]bool, c.NumNets())
+	for i, id := range c.Inputs {
+		vals[id] = in[i]
+	}
+	pending := make(map[NetID][]bool)
+	for _, gid := range order {
+		g := c.Gate(gid)
+		ins := make([]bool, len(g.Inputs))
+		for j, x := range g.Inputs {
+			ins[j] = vals[x]
+		}
+		v := g.Type.EvalBool(ins)
+		n := c.Net(g.Output)
+		if len(n.Drivers) > 1 {
+			pending[n.ID] = append(pending[n.ID], v)
+			if len(pending[n.ID]) == len(n.Drivers) {
+				acc := pending[n.ID][0]
+				for _, x := range pending[n.ID][1:] {
+					if n.Wired == WiredOr {
+						acc = acc || x
+					} else {
+						acc = acc && x
+					}
+				}
+				vals[n.ID] = acc
+			}
+		} else {
+			vals[n.ID] = v
+		}
+	}
+	return vals
+}
+
+// TestNormalizePreservesFunction: for random wired circuits and random
+// inputs, the normalized circuit computes the same value on every
+// original net.
+func TestNormalizePreservesFunction(t *testing.T) {
+	f := func(seed int64, inBits uint16) bool {
+		c, nin := buildWiredRandom(seed)
+		n := c.Normalize()
+		in := make([]bool, nin)
+		for i := range in {
+			in[i] = inBits>>uint(i)&1 == 1
+		}
+		vw := evalRef(t, c, in)
+		vn := evalRef(t, n, in)
+		for i := range c.Nets { // original nets keep their IDs
+			if vw[i] != vn[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNormalizeStructuralInvariants: normalization never changes net
+// count prefixes, IDs, or I/O sets, and always removes wired nets.
+func TestNormalizeStructuralInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		c, _ := buildWiredRandom(seed)
+		n := c.Normalize()
+		if n.HasWiredNets() {
+			return false
+		}
+		if len(n.Inputs) != len(c.Inputs) || len(n.Outputs) != len(c.Outputs) {
+			return false
+		}
+		for i := range c.Nets {
+			if n.Nets[i].Name != c.Nets[i].Name {
+				return false
+			}
+		}
+		return n.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package ckttest provides shared circuit fixtures and reference-waveform
+// helpers for the engine test suites. It lives outside the _test files so
+// that every engine package can cross-validate against the same corpus.
+package ckttest
+
+import (
+	"math/rand"
+
+	"udsim/internal/circuit"
+	"udsim/internal/logic"
+	"udsim/internal/refsim"
+)
+
+// Fig1 builds the paper's Fig. 1 circuit: D = A & B; E = C & D.
+func Fig1() *circuit.Circuit {
+	b := circuit.NewBuilder("fig1")
+	a := b.Input("A")
+	bb := b.Input("B")
+	c := b.Input("C")
+	d := b.Gate(logic.And, "D", a, bb)
+	e := b.Gate(logic.And, "E", c, d)
+	b.Output(e)
+	return b.MustBuild()
+}
+
+// Fig4 builds the network of the paper's Fig. 4: D = A & B, E = D & C.
+// Net D needs zero-insertion; net E has PC-set {1,2}.
+func Fig4() *circuit.Circuit {
+	b := circuit.NewBuilder("fig4")
+	a := b.Input("A")
+	bb := b.Input("B")
+	c := b.Input("C")
+	d := b.Gate(logic.And, "D", a, bb)
+	e := b.Gate(logic.And, "E", d, c)
+	b.Output(e)
+	return b.MustBuild()
+}
+
+// Fig11 builds the paper's Fig. 11 reconvergent network that must retain
+// one shift: B = NOT A; C = AND(A, B).
+func Fig11() *circuit.Circuit {
+	b := circuit.NewBuilder("fig11")
+	a := b.Input("A")
+	nb := b.Gate(logic.Not, "B", a)
+	cc := b.Gate(logic.And, "C", a, nb)
+	b.Output(cc)
+	return b.MustBuild()
+}
+
+// Fig12 builds the paper's Fig. 12 fanout-free-looking network that still
+// requires a shift: a three-stage path and a direct connection from the
+// first net into the last gate, but through separate gates so there is no
+// reconvergent fanout in the classical sense. Topology (from the figure):
+//
+//	I → G1 → n1 → G2 → n2 → G3 → n3
+//	n1 also feeds G4; G4's output and n3 feed G5.
+func Fig12() *circuit.Circuit {
+	b := circuit.NewBuilder("fig12")
+	i := b.Input("I")
+	j := b.Input("J")
+	n1 := b.Gate(logic.Buf, "N1", i)
+	n2 := b.Gate(logic.Not, "N2", n1)
+	n3 := b.Gate(logic.Buf, "N3", n2)
+	n4 := b.Gate(logic.And, "N4", n1, j)
+	o := b.Gate(logic.Or, "O", n3, n4)
+	b.Output(o)
+	return b.MustBuild()
+}
+
+// Random builds a random combinational DAG with the given number of gates
+// and primary inputs. Every sink net is marked as an output; roughly one
+// gate in eight also becomes an observable output so the monitored set is
+// interesting. The structure depends only on r.
+func Random(r *rand.Rand, gates, inputs int) *circuit.Circuit {
+	b := circuit.NewBuilder("rand")
+	pool := make([]circuit.NetID, 0, gates+inputs)
+	for i := 0; i < inputs; i++ {
+		pool = append(pool, b.Input(""))
+	}
+	types := []logic.GateType{
+		logic.And, logic.Or, logic.Nand, logic.Nor,
+		logic.Xor, logic.Xnor, logic.Not, logic.Buf,
+	}
+	fanout := make(map[circuit.NetID]int)
+	for i := 0; i < gates; i++ {
+		gt := types[r.Intn(len(types))]
+		nin := gt.MinInputs()
+		if gt.MaxInputs() == -1 {
+			nin += r.Intn(3) // up to 4-input gates
+		}
+		ins := make([]circuit.NetID, nin)
+		for j := range ins {
+			// Bias toward recent nets so depth actually grows.
+			var pick int
+			if r.Intn(3) > 0 && len(pool) > inputs {
+				lo := len(pool) * 2 / 3
+				pick = lo + r.Intn(len(pool)-lo)
+			} else {
+				pick = r.Intn(len(pool))
+			}
+			ins[j] = pool[pick]
+			fanout[ins[j]]++
+		}
+		out := b.Gate(gt, "", ins...)
+		pool = append(pool, out)
+	}
+	for _, id := range pool[inputs:] {
+		if fanout[id] == 0 {
+			b.Output(id)
+		} else if r.Intn(8) == 0 {
+			b.Output(id)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Deep builds a long chain of alternating NOT/BUF gates with a side input
+// XORed in every k gates, producing a circuit whose depth is ~length —
+// useful for exercising multi-word bit-fields at small word sizes.
+func Deep(length, k int) *circuit.Circuit {
+	b := circuit.NewBuilder("deep")
+	a := b.Input("A")
+	side := b.Input("S")
+	cur := a
+	for i := 0; i < length; i++ {
+		switch {
+		case k > 0 && i%k == k-1:
+			cur = b.Gate(logic.Xor, "", cur, side)
+		case i%2 == 0:
+			cur = b.Gate(logic.Not, "", cur)
+		default:
+			cur = b.Gate(logic.Buf, "", cur)
+		}
+	}
+	b.Output(cur)
+	return b.MustBuild()
+}
+
+// Waveforms computes the reference unit-delay history for a sequence of
+// vectors starting from the all-zeros consistent state: result[v][t][net].
+// It also returns the final settled state after the last vector.
+func Waveforms(c *circuit.Circuit, vecs [][]bool, depth int) (hists [][][]bool, final []bool, err error) {
+	prev, err := refsim.ConsistentState(c, make([]bool, len(c.Inputs)))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, vec := range vecs {
+		h, err := refsim.UnitDelayHistory(c, prev, vec, depth)
+		if err != nil {
+			return nil, nil, err
+		}
+		hists = append(hists, h)
+		prev = h[len(h)-1]
+	}
+	return hists, prev, nil
+}

@@ -1,0 +1,215 @@
+// Package equiv checks functional equivalence of two combinational
+// circuits by simulation: 64 random vectors per compiled pass through the
+// zero-delay LCC lanes, plus exhaustive enumeration when the input count
+// permits. Circuits are matched by primary input and output names, so a
+// netlist can be checked against a round-tripped, normalized or
+// regenerated version of itself.
+package equiv
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"udsim/internal/circuit"
+	"udsim/internal/lcc"
+)
+
+// Counterexample is one distinguishing input assignment.
+type Counterexample struct {
+	// Inputs is the assignment, indexed and named like circuit A's
+	// primary inputs.
+	Inputs []bool
+	// Output is the name of a primary output where the circuits differ.
+	Output string
+}
+
+// Result reports an equivalence check.
+type Result struct {
+	// Equivalent is true when no difference was found.
+	Equivalent bool
+	// Counterexample is set when Equivalent is false.
+	Counterexample *Counterexample
+	// VectorsTried counts the assignments simulated.
+	VectorsTried int
+	// Exhaustive is true when every input assignment was covered.
+	Exhaustive bool
+}
+
+// pairing holds the compiled sims and the input/output correspondences.
+type pairing struct {
+	a, b     *lcc.Sim
+	inB      []circuit.NetID // b's PI for each of a's PIs (by name)
+	outA     []circuit.NetID
+	outB     []circuit.NetID
+	outNames []string
+}
+
+func pair(ca, cb *circuit.Circuit) (*pairing, error) {
+	sa, err := lcc.Compile(ca)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := lcc.Compile(cb)
+	if err != nil {
+		return nil, err
+	}
+	ca, cb = sa.Circuit(), sb.Circuit()
+	if len(ca.Inputs) != len(cb.Inputs) {
+		return nil, fmt.Errorf("equiv: input counts differ: %d vs %d", len(ca.Inputs), len(cb.Inputs))
+	}
+	p := &pairing{a: sa, b: sb}
+	for _, id := range ca.Inputs {
+		name := ca.Net(id).Name
+		bid, ok := cb.NetByName(name)
+		if !ok || !cb.Net(bid).IsInput {
+			return nil, fmt.Errorf("equiv: circuit B has no primary input %q", name)
+		}
+		p.inB = append(p.inB, bid)
+	}
+	// Compare the union of output names present in both; requiring exact
+	// equality of output sets.
+	namesA := map[string]circuit.NetID{}
+	for _, id := range ca.Outputs {
+		namesA[ca.Net(id).Name] = id
+	}
+	for _, id := range cb.Outputs {
+		name := cb.Net(id).Name
+		aid, ok := namesA[name]
+		if !ok {
+			return nil, fmt.Errorf("equiv: circuit A has no primary output %q", name)
+		}
+		p.outA = append(p.outA, aid)
+		p.outB = append(p.outB, id)
+		p.outNames = append(p.outNames, name)
+		delete(namesA, name)
+	}
+	if len(namesA) > 0 {
+		var left []string
+		for n := range namesA {
+			left = append(left, n)
+		}
+		sort.Strings(left)
+		return nil, fmt.Errorf("equiv: circuit B is missing outputs %v", left)
+	}
+	return p, nil
+}
+
+// laneCheck runs one 64-lane packed pass and returns the first differing
+// (lane, output) or (-1, -1).
+func (p *pairing) laneCheck(packedA []uint64) (lane, out int, err error) {
+	packedB := packedA // same bits, inputs of B are set by index below
+	if err := p.a.ApplyLanes(packedA); err != nil {
+		return 0, 0, err
+	}
+	// For B, the packed words must be reordered to B's input order.
+	ordered := make([]uint64, len(packedB))
+	cb := p.b.Circuit()
+	pos := make(map[circuit.NetID]int, len(cb.Inputs))
+	for i, id := range cb.Inputs {
+		pos[id] = i
+	}
+	for i, bid := range p.inB {
+		ordered[pos[bid]] = packedA[i]
+	}
+	if err := p.b.ApplyLanes(ordered); err != nil {
+		return 0, 0, err
+	}
+	for oi := range p.outA {
+		var da, db uint64
+		for l := 0; l < 64; l++ {
+			if p.a.LaneValue(p.outA[oi], l) {
+				da |= 1 << uint(l)
+			}
+			if p.b.LaneValue(p.outB[oi], l) {
+				db |= 1 << uint(l)
+			}
+		}
+		if d := da ^ db; d != 0 {
+			return bits.TrailingZeros64(d), oi, nil
+		}
+	}
+	return -1, -1, nil
+}
+
+// Check compares the two circuits: exhaustively when circuit A has at
+// most maxExhaustiveInputs primary inputs (with 64 assignments per
+// compiled pass), otherwise with nRandom random vectors. Use
+// maxExhaustiveInputs = 0 to force random-only.
+func Check(ca, cb *circuit.Circuit, nRandom, maxExhaustiveInputs int, seed int64) (*Result, error) {
+	p, err := pair(ca, cb)
+	if err != nil {
+		return nil, err
+	}
+	nin := len(p.a.Circuit().Inputs)
+	res := &Result{Equivalent: true}
+
+	mkCounter := func(assign []bool, out int) {
+		res.Equivalent = false
+		res.Counterexample = &Counterexample{
+			Inputs: assign,
+			Output: p.outNames[out],
+		}
+	}
+
+	if nin <= maxExhaustiveInputs && nin <= 30 {
+		res.Exhaustive = true
+		total := 1 << uint(nin)
+		packed := make([]uint64, nin)
+		for base := 0; base < total; base += 64 {
+			for i := range packed {
+				packed[i] = 0
+			}
+			lanes := 64
+			if total-base < 64 {
+				lanes = total - base
+			}
+			for l := 0; l < lanes; l++ {
+				v := base + l
+				for i := 0; i < nin; i++ {
+					if v>>uint(i)&1 == 1 {
+						packed[i] |= 1 << uint(l)
+					}
+				}
+			}
+			res.VectorsTried += lanes
+			lane, out, err := p.laneCheck(packed)
+			if err != nil {
+				return nil, err
+			}
+			if lane >= 0 && lane < lanes {
+				v := base + lane
+				assign := make([]bool, nin)
+				for i := range assign {
+					assign[i] = v>>uint(i)&1 == 1
+				}
+				mkCounter(assign, out)
+				return res, nil
+			}
+		}
+		return res, nil
+	}
+
+	r := rand.New(rand.NewSource(seed))
+	packed := make([]uint64, nin)
+	for done := 0; done < nRandom; done += 64 {
+		for i := range packed {
+			packed[i] = r.Uint64()
+		}
+		res.VectorsTried += 64
+		lane, out, err := p.laneCheck(packed)
+		if err != nil {
+			return nil, err
+		}
+		if lane >= 0 {
+			assign := make([]bool, nin)
+			for i := range assign {
+				assign[i] = packed[i]>>uint(lane)&1 == 1
+			}
+			mkCounter(assign, out)
+			return res, nil
+		}
+	}
+	return res, nil
+}

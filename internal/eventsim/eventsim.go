@@ -1,0 +1,321 @@
+// Package eventsim implements the paper's baseline: interpreted
+// event-driven unit-delay simulation, in both the three-valued logic model
+// (the natural one for event-driven simulators, first column of Fig. 19)
+// and the two-valued model (second column, included by the paper to show
+// the compiled speedups are not an artifact of the logic model).
+//
+// The implementation is a classic selective-trace simulator: a change list
+// per time step, gate evaluations scheduled only for gates whose inputs
+// changed, and a two-phase evaluate/commit cycle per unit of time. It also
+// provides an interpreted zero-delay levelized simulator used for the
+// paper's "compiled zero-delay is 23× faster" side study.
+package eventsim
+
+import (
+	"fmt"
+
+	"udsim/internal/circuit"
+	"udsim/internal/levelize"
+	"udsim/internal/logic"
+	"udsim/internal/refsim"
+)
+
+// Model selects the logic model.
+type Model int
+
+const (
+	// TwoValued simulates over {0,1}.
+	TwoValued Model = 2
+	// ThreeValued simulates over {0,1,X}.
+	ThreeValued Model = 3
+)
+
+// Sim is an interpreted event-driven unit-delay simulator for one
+// combinational circuit. Wired nets must be normalized away first; the
+// constructor does this automatically.
+type Sim struct {
+	c     *circuit.Circuit
+	model Model
+	depth int
+
+	gateType []logic.GateType
+	gateIn   [][]int32
+	gateOut  []int32
+	fanout   [][]int32 // per net: consuming gates, deduplicated
+
+	val       []logic.V3 // current value per net
+	evalStamp []int64
+	stamp     int64
+
+	scratchGates []int32
+	scratchIns   []logic.V3
+	pendingNets  []int32
+	commits      []commit
+
+	// Evals counts gate evaluations since construction or ResetStats:
+	// the event-driven work metric.
+	Evals int64
+	// Events counts committed net value changes.
+	Events int64
+}
+
+type commit struct {
+	net int32
+	v   logic.V3
+}
+
+// New builds a simulator. The circuit must be combinational.
+func New(c *circuit.Circuit, model Model) (*Sim, error) {
+	if !c.Combinational() {
+		return nil, fmt.Errorf("eventsim: circuit %s is sequential; break flip-flops first", c.Name)
+	}
+	if model != TwoValued && model != ThreeValued {
+		return nil, fmt.Errorf("eventsim: invalid model %d", model)
+	}
+	c = c.Normalize()
+	a, err := levelize.Analyze(c)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		c:         c,
+		model:     model,
+		depth:     a.Depth,
+		gateType:  make([]logic.GateType, c.NumGates()),
+		gateIn:    make([][]int32, c.NumGates()),
+		gateOut:   make([]int32, c.NumGates()),
+		fanout:    make([][]int32, c.NumNets()),
+		val:       make([]logic.V3, c.NumNets()),
+		evalStamp: make([]int64, c.NumGates()),
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		s.gateType[i] = g.Type
+		ins := make([]int32, len(g.Inputs))
+		for j, in := range g.Inputs {
+			ins[j] = int32(in)
+		}
+		s.gateIn[i] = ins
+		s.gateOut[i] = int32(g.Output)
+	}
+	for i := range c.Nets {
+		seen := make(map[circuit.GateID]bool)
+		for _, g := range c.Nets[i].Fanout {
+			if !seen[g] {
+				seen[g] = true
+				s.fanout[i] = append(s.fanout[i], int32(g))
+			}
+		}
+	}
+	s.scratchIns = make([]logic.V3, 0, 8)
+	if model == ThreeValued {
+		for i := range s.val {
+			s.val[i] = logic.VX
+		}
+	}
+	return s, nil
+}
+
+// Circuit returns the (normalized) circuit being simulated.
+func (s *Sim) Circuit() *circuit.Circuit { return s.c }
+
+// Depth returns the circuit depth in gate delays.
+func (s *Sim) Depth() int { return s.depth }
+
+// Model returns the logic model.
+func (s *Sim) Model() Model { return s.model }
+
+// ResetStats zeroes the evaluation and event counters.
+func (s *Sim) ResetStats() { s.Evals, s.Events = 0, 0 }
+
+// ResetConsistent initializes every net to the zero-delay settled state
+// for the given input assignment — the shared starting point that makes
+// all engines comparable. Pass nil for the all-zeros assignment.
+func (s *Sim) ResetConsistent(inputs []bool) error {
+	if inputs == nil {
+		inputs = make([]bool, len(s.c.Inputs))
+	}
+	settled, err := refsim.Evaluate(s.c, inputs)
+	if err != nil {
+		return err
+	}
+	for i, v := range settled {
+		s.val[i] = logic.FromBool(v)
+	}
+	return nil
+}
+
+// ResetUnknown sets every net to X (three-valued model only).
+func (s *Sim) ResetUnknown() error {
+	if s.model != ThreeValued {
+		return fmt.Errorf("eventsim: ResetUnknown requires the three-valued model")
+	}
+	for i := range s.val {
+		s.val[i] = logic.VX
+	}
+	return nil
+}
+
+// Value returns the current value of a net.
+func (s *Sim) Value(id circuit.NetID) logic.V3 { return s.val[id] }
+
+func (s *Sim) eval(g int32) logic.V3 {
+	s.Evals++
+	ins := s.scratchIns[:0]
+	for _, in := range s.gateIn[g] {
+		ins = append(ins, s.val[in])
+	}
+	s.scratchIns = ins
+	if s.model == ThreeValued {
+		return s.gateType[g].Eval3(ins)
+	}
+	// Two-valued: values are guaranteed ∈ {0,1} here, so the word
+	// evaluator on one-bit words is an exact interpreter.
+	var words [8]uint64
+	var ws []uint64
+	if n := len(ins); n <= len(words) {
+		ws = words[:n]
+	} else {
+		ws = make([]uint64, n)
+	}
+	for i, v := range ins {
+		ws[i] = uint64(v)
+	}
+	return logic.V3(s.gateType[g].EvalWord(ws) & 1)
+}
+
+// ApplyVector applies one input vector at time 0 and propagates events
+// until quiescence. It returns the number of time steps that had activity.
+func (s *Sim) ApplyVector(inputs []bool) (steps int, err error) {
+	return s.applyVector(inputs, nil)
+}
+
+// ApplyVectorTrace is ApplyVector but also returns the complete waveform:
+// hist[t][net] is the value of the net at time t for t in 0..Depth. The
+// value of a net holds between change times, matching the unit-delay
+// semantics of §1.
+func (s *Sim) ApplyVectorTrace(inputs []bool) ([][]logic.V3, error) {
+	hist := make([][]logic.V3, s.depth+1)
+	_, err := s.applyVector(inputs, hist)
+	if err != nil {
+		return nil, err
+	}
+	return hist, nil
+}
+
+func (s *Sim) applyVector(inputs []bool, hist [][]logic.V3) (int, error) {
+	if len(inputs) != len(s.c.Inputs) {
+		return 0, fmt.Errorf("eventsim: %d input values for %d primary inputs", len(inputs), len(s.c.Inputs))
+	}
+	pending := s.pendingNets[:0]
+	for i, id := range s.c.Inputs {
+		nv := logic.FromBool(inputs[i])
+		if s.val[id] != nv {
+			s.val[id] = nv
+			s.Events++
+			pending = append(pending, int32(id))
+		}
+	}
+	if hist != nil {
+		hist[0] = append([]logic.V3(nil), s.val...)
+	}
+	steps := 0
+	for t := 1; len(pending) > 0; t++ {
+		if t > s.depth+1 {
+			return steps, fmt.Errorf("eventsim: activity beyond circuit depth (cyclic circuit?)")
+		}
+		s.stamp++
+		gates := s.scratchGates[:0]
+		for _, n := range pending {
+			for _, g := range s.fanout[n] {
+				if s.evalStamp[g] != s.stamp {
+					s.evalStamp[g] = s.stamp
+					gates = append(gates, g)
+				}
+			}
+		}
+		s.scratchGates = gates
+		pending = pending[:0]
+		coms := s.commits[:0]
+		for _, g := range gates {
+			nv := s.eval(g)
+			out := s.gateOut[g]
+			if s.val[out] != nv {
+				coms = append(coms, commit{out, nv})
+			}
+		}
+		s.commits = coms
+		for _, cm := range coms {
+			s.val[cm.net] = cm.v
+			s.Events++
+			pending = append(pending, cm.net)
+		}
+		if len(coms) > 0 {
+			steps++
+		}
+		if hist != nil && t <= s.depth {
+			hist[t] = append([]logic.V3(nil), s.val...)
+		}
+	}
+	if hist != nil {
+		// Fill remaining (quiescent) time steps by holding values.
+		for t := 1; t <= s.depth; t++ {
+			if hist[t] == nil {
+				hist[t] = append([]logic.V3(nil), hist[t-1]...)
+			}
+		}
+	}
+	s.pendingNets = pending
+	return steps, nil
+}
+
+// ZeroDelaySim is an interpreted levelized zero-delay simulator: per
+// vector it evaluates every gate once in level order. It is the
+// interpreted half of the paper's zero-delay side study.
+type ZeroDelaySim struct {
+	c     *circuit.Circuit
+	order []circuit.GateID
+	val   []logic.V3
+	ins   []logic.V3
+}
+
+// NewZeroDelay builds the interpreted zero-delay simulator.
+func NewZeroDelay(c *circuit.Circuit) (*ZeroDelaySim, error) {
+	c = c.Normalize()
+	a, err := levelize.Analyze(c)
+	if err != nil {
+		return nil, err
+	}
+	return &ZeroDelaySim{
+		c:     c,
+		order: a.LevelOrder,
+		val:   make([]logic.V3, c.NumNets()),
+		ins:   make([]logic.V3, 0, 8),
+	}, nil
+}
+
+// ApplyVector evaluates the steady state for one input vector.
+func (z *ZeroDelaySim) ApplyVector(inputs []bool) error {
+	if len(inputs) != len(z.c.Inputs) {
+		return fmt.Errorf("eventsim: %d input values for %d primary inputs", len(inputs), len(z.c.Inputs))
+	}
+	for i, id := range z.c.Inputs {
+		z.val[id] = logic.FromBool(inputs[i])
+	}
+	for _, gid := range z.order {
+		g := z.c.Gate(gid)
+		ins := z.ins[:0]
+		for _, in := range g.Inputs {
+			ins = append(ins, z.val[in])
+		}
+		z.ins = ins
+		z.val[g.Output] = g.Type.Eval3(ins)
+	}
+	return nil
+}
+
+// Value returns the current value of a net.
+func (z *ZeroDelaySim) Value(id circuit.NetID) logic.V3 { return z.val[id] }
+
+// Circuit returns the (normalized) circuit being simulated.
+func (z *ZeroDelaySim) Circuit() *circuit.Circuit { return z.c }

@@ -1,0 +1,296 @@
+package eventsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"udsim/internal/circuit"
+	"udsim/internal/levelize"
+	"udsim/internal/logic"
+	"udsim/internal/refsim"
+	"udsim/internal/vectors"
+)
+
+func fig4(t testing.TB) *circuit.Circuit {
+	b := circuit.NewBuilder("fig4")
+	a := b.Input("A")
+	bb := b.Input("B")
+	c := b.Input("C")
+	d := b.Gate(logic.And, "D", a, bb)
+	e := b.Gate(logic.And, "E", d, c)
+	b.Output(e)
+	return b.MustBuild()
+}
+
+func randomCircuit(r *rand.Rand, gates, inputs int) *circuit.Circuit {
+	b := circuit.NewBuilder("rand")
+	pool := make([]circuit.NetID, 0, gates+inputs)
+	for i := 0; i < inputs; i++ {
+		pool = append(pool, b.Input(""))
+	}
+	types := []logic.GateType{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Xnor, logic.Not, logic.Buf}
+	for i := 0; i < gates; i++ {
+		gt := types[r.Intn(len(types))]
+		nin := gt.MinInputs()
+		if gt.MaxInputs() == -1 {
+			nin += r.Intn(2)
+		}
+		ins := make([]circuit.NetID, nin)
+		for j := range ins {
+			ins[j] = pool[r.Intn(len(pool))]
+		}
+		pool = append(pool, b.Gate(gt, "", ins...))
+	}
+	for _, id := range pool[inputs:] {
+		b.Output(id)
+	}
+	return b.MustBuild()
+}
+
+func TestTwoValuedMatchesNaiveSweep(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCircuit(r, 30, 4)
+		s, err := New(c, TwoValued)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn := s.Circuit()
+		if err := s.ResetConsistent(nil); err != nil {
+			t.Fatal(err)
+		}
+		prev, err := refsim.ConsistentState(cn, make([]bool, len(cn.Inputs)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vecs := vectors.Random(8, len(cn.Inputs), int64(trial))
+		for _, vec := range vecs.Bits {
+			hist, err := s.ApplyVectorTrace(vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := refsim.UnitDelayHistory(cn, prev, vec, s.Depth())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for tm := range ref {
+				for n := range ref[tm] {
+					if logic.FromBool(ref[tm][n]) != hist[tm][n] {
+						t.Fatalf("trial %d: net %s time %d: event sim %v, sweep %v",
+							trial, cn.Nets[n].Name, tm, hist[tm][n], ref[tm][n])
+					}
+				}
+			}
+			prev = ref[len(ref)-1]
+		}
+	}
+}
+
+func TestThreeValuedKnownInputsMatchTwoValued(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCircuit(r, 25, 4)
+		s2, err := New(c, TwoValued)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s3, err := New(c, ThreeValued)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.ResetConsistent(nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := s3.ResetConsistent(nil); err != nil {
+			t.Fatal(err)
+		}
+		vecs := vectors.Random(10, len(s2.Circuit().Inputs), 99)
+		for _, vec := range vecs.Bits {
+			if _, err := s2.ApplyVector(vec); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s3.ApplyVector(vec); err != nil {
+				t.Fatal(err)
+			}
+			for n := range s2.Circuit().Nets {
+				id := circuit.NetID(n)
+				if s2.Value(id) != s3.Value(id) {
+					t.Fatalf("net %d: 2v %v != 3v %v", n, s2.Value(id), s3.Value(id))
+				}
+			}
+		}
+	}
+}
+
+func TestThreeValuedXPropagation(t *testing.T) {
+	// From the all-X state, applying a vector with a controlling value
+	// resolves outputs even though other paths are unknown.
+	b := circuit.NewBuilder("x")
+	a := b.Input("A")
+	bb := b.Input("B")
+	o := b.Gate(logic.And, "O", a, bb)
+	b.Output(o)
+	c := b.MustBuild()
+	s, err := New(c, ThreeValued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All nets X initially.
+	oID, _ := s.Circuit().NetByName("O")
+	if s.Value(oID) != logic.VX {
+		t.Fatal("expected X before any vector")
+	}
+	if _, err := s.ApplyVector([]bool{false, true}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Value(oID) != logic.V0 {
+		t.Errorf("AND(0,1) = %v, want 0", s.Value(oID))
+	}
+}
+
+func TestResetUnknownOnlyThreeValued(t *testing.T) {
+	c := fig4(t)
+	s2, _ := New(c, TwoValued)
+	if err := s2.ResetUnknown(); err == nil {
+		t.Error("ResetUnknown should fail on the two-valued model")
+	}
+	s3, _ := New(c, ThreeValued)
+	if err := s3.ResetUnknown(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectiveTraceDoesLessWork(t *testing.T) {
+	// Re-applying the identical vector must cause no evaluations at all.
+	c := fig4(t)
+	s, err := New(c, TwoValued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ResetConsistent(nil); err != nil {
+		t.Fatal(err)
+	}
+	vec := []bool{true, true, true}
+	if _, err := s.ApplyVector(vec); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	if _, err := s.ApplyVector(vec); err != nil {
+		t.Fatal(err)
+	}
+	if s.Evals != 0 || s.Events != 0 {
+		t.Errorf("identical vector caused %d evals, %d events", s.Evals, s.Events)
+	}
+}
+
+func TestEventCountGlitch(t *testing.T) {
+	// Fig. 11-style circuit: B = NOT A, C = AND(A, B). Raising A causes a
+	// 1-glitch on C under unit delay: C goes 0→1 at t=1 (A=1, B still 1),
+	// then 1→0 at t=2 after B falls.
+	b := circuit.NewBuilder("glitch")
+	a := b.Input("A")
+	nb := b.Gate(logic.Not, "B", a)
+	cc := b.Gate(logic.And, "C", a, nb)
+	b.Output(cc)
+	c := b.MustBuild()
+	s, err := New(c, TwoValued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ResetConsistent([]bool{false}); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := s.ApplyVectorTrace([]bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cID, _ := s.Circuit().NetByName("C")
+	want := []logic.V3{logic.V0, logic.V1, logic.V0}
+	for tm, w := range want {
+		if hist[tm][cID] != w {
+			t.Errorf("C at t=%d: %v, want %v (glitch missing)", tm, hist[tm][cID], w)
+		}
+	}
+}
+
+func TestSequentialRejected(t *testing.T) {
+	b := circuit.NewBuilder("seq")
+	q := b.FlipFlop("Q", circuit.NoNet)
+	d := b.Gate(logic.Not, "D", q)
+	b.BindFlipFlop(q, d)
+	b.Output(d)
+	c := b.MustBuild()
+	if _, err := New(c, TwoValued); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBadVectorWidth(t *testing.T) {
+	c := fig4(t)
+	s, _ := New(c, TwoValued)
+	if _, err := s.ApplyVector([]bool{true}); err == nil {
+		t.Fatal("expected width error")
+	}
+}
+
+func TestZeroDelayMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCircuit(r, 40, 5)
+		z, err := NewZeroDelay(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vecs := vectors.Random(16, len(z.Circuit().Inputs), int64(trial))
+		for _, vec := range vecs.Bits {
+			if err := z.ApplyVector(vec); err != nil {
+				t.Fatal(err)
+			}
+			ref, err := refsim.Evaluate(z.Circuit(), vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for n := range ref {
+				if logic.FromBool(ref[n]) != z.Value(circuit.NetID(n)) {
+					t.Fatalf("net %d: zero-delay %v, ref %v", n, z.Value(circuit.NetID(n)), ref[n])
+				}
+			}
+		}
+	}
+}
+
+func TestWiredCircuitNormalizedInside(t *testing.T) {
+	b := circuit.NewBuilder("wired")
+	a := b.Input("A")
+	bb := b.Input("B")
+	w := b.Net("W")
+	b.GateInto(logic.Buf, w, a)
+	b.GateInto(logic.Buf, w, bb)
+	b.Wired(w, circuit.WiredAnd)
+	o := b.Gate(logic.Not, "O", w)
+	b.Output(o)
+	c := b.MustBuild()
+	s, err := New(c, TwoValued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ResetConsistent(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyVector([]bool{true, false}); err != nil {
+		t.Fatal(err)
+	}
+	oID, _ := s.Circuit().NetByName("O")
+	if s.Value(oID) != logic.V1 { // NOT(1 AND 0) = 1
+		t.Errorf("wired AND result wrong: O = %v", s.Value(oID))
+	}
+}
+
+func TestDepthMatchesLevelize(t *testing.T) {
+	c := fig4(t)
+	s, _ := New(c, TwoValued)
+	a, _ := levelize.Analyze(s.Circuit())
+	if s.Depth() != a.Depth {
+		t.Errorf("Depth = %d, want %d", s.Depth(), a.Depth)
+	}
+}

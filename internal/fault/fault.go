@@ -1,0 +1,310 @@
+// Package fault implements parallel stuck-at fault simulation on top of
+// the zero-delay Levelized Compiled Code engine — the classic application
+// of bit-parallel compiled simulation and the reason techniques like the
+// paper's were built: each of the 64 lanes of every machine word carries
+// one faulty copy of the circuit (lane 0 is the fault-free machine), so a
+// single straight-line pass grades 63 stuck-at faults against one vector.
+//
+// Faults are injected without any new instruction kinds: the compiler
+// appends, after the last assignment of a faulted net, an AND with a
+// per-batch "stuck-0 mask" word and an OR with a "stuck-1 mask" word.
+// Lane k of the masks encodes whether fault k holds that net down or up;
+// the fault-free lane's masks are all-ones/all-zeros, making the extra
+// operations identity there.
+package fault
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"udsim/internal/circuit"
+	"udsim/internal/levelize"
+	"udsim/internal/program"
+)
+
+// Kind is the stuck-at polarity.
+type Kind uint8
+
+const (
+	// StuckAt0 holds the net at logic 0.
+	StuckAt0 Kind = iota
+	// StuckAt1 holds the net at logic 1.
+	StuckAt1
+)
+
+// String renders "sa0" or "sa1".
+func (k Kind) String() string {
+	if k == StuckAt0 {
+		return "sa0"
+	}
+	return "sa1"
+}
+
+// Fault is one single stuck-at fault on a net.
+type Fault struct {
+	Net  circuit.NetID
+	Kind Kind
+}
+
+// String renders the fault as "netname/sa0".
+func (f Fault) String() string { return fmt.Sprintf("net%d/%s", f.Net, f.Kind) }
+
+// AllFaults enumerates both stuck-at faults on every net of the circuit —
+// the uncollapsed single-stuck-at fault universe.
+func AllFaults(c *circuit.Circuit) []Fault {
+	out := make([]Fault, 0, 2*c.NumNets())
+	for i := range c.Nets {
+		out = append(out, Fault{circuit.NetID(i), StuckAt0}, Fault{circuit.NetID(i), StuckAt1})
+	}
+	return out
+}
+
+// CollapseEquivalent performs simple structural fault collapsing: faults
+// on a single-fanout buffer's output are equivalent to faults on its
+// input, so only the input's faults are kept. This is a small subset of
+// classic equivalence collapsing, enough to shrink the universe visibly.
+func CollapseEquivalent(c *circuit.Circuit, faults []Fault) []Fault {
+	drop := make(map[Fault]bool)
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if len(g.Inputs) != 1 {
+			continue
+		}
+		in := g.Inputs[0]
+		if len(c.Nets[in].Fanout) != 1 {
+			continue
+		}
+		switch {
+		case g.Type.Base() == g.Type: // buffer: same polarity equivalent
+			drop[Fault{g.Output, StuckAt0}] = true
+			drop[Fault{g.Output, StuckAt1}] = true
+		default: // inverter: inverted polarity equivalent
+			drop[Fault{g.Output, StuckAt0}] = true
+			drop[Fault{g.Output, StuckAt1}] = true
+		}
+	}
+	out := faults[:0]
+	for _, f := range faults {
+		if !drop[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Sim is a parallel stuck-at fault simulator. It batches faults 63 at a
+// time (lane 0 is the fault-free machine) and grades them against vector
+// streams with zero-delay semantics.
+type Sim struct {
+	c     *circuit.Circuit
+	a     *levelize.Analysis
+	base  *program.Program
+	varOf []int32
+}
+
+// New compiles the fault simulator for a combinational circuit.
+func New(c *circuit.Circuit) (*Sim, error) {
+	if !c.Combinational() {
+		return nil, fmt.Errorf("fault: circuit %s is sequential; break flip-flops first", c.Name)
+	}
+	c = c.Normalize()
+	a, err := levelize.Analyze(c)
+	if err != nil {
+		return nil, err
+	}
+	varOf := make([]int32, c.NumNets())
+	names := make([]string, c.NumNets())
+	for i := range c.Nets {
+		varOf[i] = int32(i)
+		names[i] = c.Nets[i].Name
+	}
+	var code []program.Instr
+	srcs := make([]int32, 0, 8)
+	for _, gid := range a.LevelOrder {
+		g := c.Gate(gid)
+		srcs = srcs[:0]
+		for _, in := range g.Inputs {
+			srcs = append(srcs, varOf[in])
+		}
+		code = program.EmitGateEval(code, g.Type, varOf[g.Output], srcs)
+	}
+	p := &program.Program{WordBits: 64, NumVars: c.NumNets(), Code: code, VarNames: names}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sim{c: c, a: a, base: p, varOf: varOf}, nil
+}
+
+// Circuit returns the (normalized) circuit.
+func (s *Sim) Circuit() *circuit.Circuit { return s.c }
+
+// BatchSize is the number of faults graded per compiled pass.
+const BatchSize = 63
+
+// Result is the outcome of grading a fault universe against a vector set.
+type Result struct {
+	// Detected maps each fault to the index of the first vector that
+	// detected it (propagated a difference to a primary output).
+	Detected map[Fault]int
+	// Undetected lists the faults no vector exposed.
+	Undetected []Fault
+	// Vectors is the number of vectors applied.
+	Vectors int
+}
+
+// Coverage returns the fault coverage fraction.
+func (r *Result) Coverage() float64 {
+	total := len(r.Detected) + len(r.Undetected)
+	if total == 0 {
+		return 1
+	}
+	return float64(len(r.Detected)) / float64(total)
+}
+
+// Run grades the fault list against the vector stream. Faults are
+// processed in batches of 63; within a batch, every vector is applied to
+// all faulty machines at once and compared against the fault-free lane.
+func (s *Sim) Run(faults []Fault, vecs [][]bool) (*Result, error) {
+	for _, f := range faults {
+		if f.Net < 0 || int(f.Net) >= s.c.NumNets() {
+			return nil, fmt.Errorf("fault: net %d out of range", f.Net)
+		}
+	}
+	res := &Result{Detected: make(map[Fault]int), Vectors: len(vecs)}
+	remaining := append([]Fault(nil), faults...)
+	for start := 0; start < len(remaining); start += BatchSize {
+		end := start + BatchSize
+		if end > len(remaining) {
+			end = len(remaining)
+		}
+		batch := remaining[start:end]
+		detected, err := s.runBatch(batch, vecs)
+		if err != nil {
+			return nil, err
+		}
+		for i, f := range batch {
+			if v, ok := detected[i]; ok {
+				res.Detected[f] = v
+			} else {
+				res.Undetected = append(res.Undetected, f)
+			}
+		}
+	}
+	sort.Slice(res.Undetected, func(i, j int) bool {
+		a, b := res.Undetected[i], res.Undetected[j]
+		if a.Net != b.Net {
+			return a.Net < b.Net
+		}
+		return a.Kind < b.Kind
+	})
+	return res, nil
+}
+
+// runBatch compiles the fault-injected program for one batch and grades
+// it, returning batch-index → first detecting vector.
+func (s *Sim) runBatch(batch []Fault, vecs [][]bool) (map[int]int, error) {
+	// Mask state words: two per distinct faulted net in this batch.
+	nVars := s.base.NumVars
+	type maskPair struct{ and, or int32 }
+	masks := make(map[circuit.NetID]maskPair)
+	st := make([]uint64, nVars, nVars+2*len(batch))
+	newWord := func(init uint64) int32 {
+		st = append(st, init)
+		return int32(len(st) - 1)
+	}
+	for i, f := range batch {
+		lane := uint(i + 1) // lane 0 is the good machine
+		mp, ok := masks[f.Net]
+		if !ok {
+			mp = maskPair{newWord(^uint64(0)), newWord(0)}
+			masks[f.Net] = mp
+		}
+		if f.Kind == StuckAt0 {
+			st[mp.and] &^= 1 << lane
+		} else {
+			st[mp.or] |= 1 << lane
+		}
+	}
+
+	// Rebuild the code with fault-injection ops after each faulted net's
+	// final assignment (zero-delay: each net is assigned exactly once,
+	// at the end of its gate's emission group). Primary-input faults are
+	// injected up front each vector.
+	var code []program.Instr
+	lastWrite := make(map[int32]int) // var → index of last write in base code
+	for i, in := range s.base.Code {
+		lastWrite[in.Dst] = i
+	}
+	inject := func(v int32, mp maskPair) {
+		code = append(code,
+			program.Instr{Op: program.OpAnd, Dst: v, A: v, B: mp.and},
+			program.Instr{Op: program.OpOr, Dst: v, A: v, B: mp.or},
+		)
+	}
+	var piInject []circuit.NetID
+	for net := range masks {
+		if len(s.c.Nets[net].Drivers) == 0 {
+			piInject = append(piInject, net)
+		}
+	}
+	sort.Slice(piInject, func(i, j int) bool { return piInject[i] < piInject[j] })
+	for i, in := range s.base.Code {
+		code = append(code, in)
+		for net, mp := range masks {
+			v := s.varOf[net]
+			if in.Dst == v && lastWrite[v] == i {
+				inject(v, mp)
+			}
+		}
+	}
+	p := &program.Program{WordBits: 64, NumVars: len(st), Code: code}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	detected := make(map[int]int)
+	outVars := make([]int32, len(s.c.Outputs))
+	for i, o := range s.c.Outputs {
+		outVars[i] = s.varOf[o]
+	}
+	undetectedMask := ^uint64(1) // lanes 1..63 pending
+	if len(batch) < BatchSize {
+		undetectedMask &= (1 << uint(len(batch)+1)) - 1
+	}
+	for v, vec := range vecs {
+		if len(vec) != len(s.c.Inputs) {
+			return nil, fmt.Errorf("fault: vector width %d, want %d", len(vec), len(s.c.Inputs))
+		}
+		for i, id := range s.c.Inputs {
+			var w uint64
+			if vec[i] {
+				w = ^uint64(0)
+			}
+			st[s.varOf[id]] = w
+		}
+		// Apply primary-input faults directly.
+		for _, net := range piInject {
+			mp := masks[net]
+			st[s.varOf[net]] = (st[s.varOf[net]] & st[mp.and]) | st[mp.or]
+		}
+		p.Run(st)
+		var diff uint64
+		for _, ov := range outVars {
+			w := st[ov]
+			good := w & 1
+			diff |= w ^ (0 - good) // lanes differing from the good value
+		}
+		diff &= undetectedMask
+		for diff != 0 {
+			lane := bits.TrailingZeros64(diff)
+			diff &^= 1 << uint(lane)
+			undetectedMask &^= 1 << uint(lane)
+			detected[lane-1] = v
+		}
+		if undetectedMask == 0 {
+			break
+		}
+	}
+	return detected, nil
+}

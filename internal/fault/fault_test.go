@@ -1,0 +1,219 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"udsim/internal/circuit"
+	"udsim/internal/ckttest"
+	"udsim/internal/logic"
+	"udsim/internal/refsim"
+	"udsim/internal/vectors"
+)
+
+// serialOracle grades one fault by brute force: simulate the faulty
+// circuit scalar (forcing the net after evaluation) and compare outputs.
+func serialOracle(t *testing.T, c *circuit.Circuit, f Fault, vecs [][]bool) (detectedAt int, detected bool) {
+	t.Helper()
+	for v, vec := range vecs {
+		good, err := refsim.Evaluate(c, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := evalWithFault(t, c, f, vec)
+		for _, o := range c.Outputs {
+			if good[o] != bad[o] {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// evalWithFault evaluates zero-delay with a stuck net by repeated sweeps
+// (the circuit is acyclic, so depth+1 sweeps converge).
+func evalWithFault(t *testing.T, c *circuit.Circuit, f Fault, vec []bool) []bool {
+	t.Helper()
+	vals := make([]bool, c.NumNets())
+	for i, id := range c.Inputs {
+		vals[id] = vec[i]
+	}
+	force := func() { vals[f.Net] = f.Kind == StuckAt1 }
+	force()
+	order, err := c.TopoGates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sweep := 0; sweep < 2; sweep++ { // second sweep is a no-op check
+		for _, gid := range order {
+			g := c.Gate(gid)
+			ins := make([]bool, len(g.Inputs))
+			for j, in := range g.Inputs {
+				ins[j] = vals[in]
+			}
+			if g.Output != f.Net {
+				vals[g.Output] = g.Type.EvalBool(ins)
+			}
+		}
+		force()
+	}
+	return vals
+}
+
+func TestMatchesSerialOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 6; trial++ {
+		c := ckttest.Random(r, 25, 4)
+		s, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn := s.Circuit()
+		faults := AllFaults(cn)
+		vecs := vectors.Random(24, len(cn.Inputs), int64(trial)).Bits
+		res, err := s.Run(faults, vecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range faults {
+			wantVec, wantDet := serialOracle(t, cn, f, vecs)
+			gotVec, gotDet := res.Detected[f]
+			if wantDet != gotDet {
+				t.Fatalf("trial %d fault %v: parallel detected=%v oracle=%v", trial, f, gotDet, wantDet)
+			}
+			if wantDet && gotVec != wantVec {
+				t.Fatalf("trial %d fault %v: first vector %d, oracle %d", trial, f, gotVec, wantVec)
+			}
+		}
+	}
+}
+
+func TestBatchBoundaries(t *testing.T) {
+	// A circuit with enough nets to force several batches.
+	r := rand.New(rand.NewSource(9))
+	c := ckttest.Random(r, 80, 6)
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := s.Circuit()
+	faults := AllFaults(cn)
+	if len(faults) <= 2*BatchSize {
+		t.Fatalf("want >%d faults, got %d", 2*BatchSize, len(faults))
+	}
+	vecs := vectors.Random(32, len(cn.Inputs), 3).Bits
+	res, err := s.Run(faults, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Detected) + len(res.Undetected); got != len(faults) {
+		t.Fatalf("graded %d of %d faults", got, len(faults))
+	}
+	if res.Coverage() <= 0.3 {
+		t.Errorf("implausibly low coverage %.2f with random vectors", res.Coverage())
+	}
+	t.Logf("coverage %.1f%% (%d/%d)", 100*res.Coverage(), len(res.Detected), len(faults))
+}
+
+func TestInputFault(t *testing.T) {
+	// O = AND(A, B): A/sa0 is detected by (1,1); A/sa1 by (0,1).
+	b := circuit.NewBuilder("and2")
+	a := b.Input("A")
+	bb := b.Input("B")
+	o := b.Gate(logic.And, "O", a, bb)
+	b.Output(o)
+	c := b.MustBuild()
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := [][]bool{{true, true}, {false, true}}
+	res, err := s.Run([]Fault{{a, StuckAt0}, {a, StuckAt1}, {o, StuckAt1}}, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := res.Detected[Fault{a, StuckAt0}]; !ok || v != 0 {
+		t.Errorf("A/sa0: %v %v", v, ok)
+	}
+	if v, ok := res.Detected[Fault{a, StuckAt1}]; !ok || v != 1 {
+		t.Errorf("A/sa1: %v %v", v, ok)
+	}
+	if v, ok := res.Detected[Fault{o, StuckAt1}]; !ok || v != 1 {
+		t.Errorf("O/sa1 should be caught by (0,1): %v %v", v, ok)
+	}
+}
+
+func TestUndetectedFaults(t *testing.T) {
+	// O = OR(A, A): with only the vector (1), O/sa1 and A/sa1 are
+	// undetectable.
+	b := circuit.NewBuilder("or")
+	a := b.Input("A")
+	o := b.Gate(logic.Or, "O", a, a)
+	b.Output(o)
+	c := b.MustBuild()
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(AllFaults(s.Circuit()), [][]bool{{true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Undetected) != 2 { // A/sa1 and O/sa1
+		t.Errorf("undetected = %v", res.Undetected)
+	}
+	if res.Coverage() != 0.5 {
+		t.Errorf("coverage = %v, want 0.5", res.Coverage())
+	}
+}
+
+func TestCollapseEquivalent(t *testing.T) {
+	b := circuit.NewBuilder("buf")
+	a := b.Input("A")
+	x := b.Gate(logic.Buf, "X", a)
+	o := b.Gate(logic.Not, "O", x)
+	b.Output(o)
+	c := b.MustBuild()
+	all := AllFaults(c)
+	collapsed := CollapseEquivalent(c, all)
+	if len(collapsed) >= len(all) {
+		t.Errorf("collapsing removed nothing: %d vs %d", len(collapsed), len(all))
+	}
+	// Coverage semantics must be unaffected for the surviving faults.
+	s, _ := New(c)
+	vecs := [][]bool{{true}, {false}}
+	res, err := s.Run(collapsed, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() != 1.0 {
+		t.Errorf("coverage %v, want 1.0 (everything observable)", res.Coverage())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	b := circuit.NewBuilder("seq")
+	q := b.FlipFlop("Q", circuit.NoNet)
+	d := b.Gate(logic.Not, "D", q)
+	b.BindFlipFlop(q, d)
+	b.Output(d)
+	if _, err := New(b.MustBuild()); err == nil {
+		t.Error("expected sequential rejection")
+	}
+	s, err := New(ckttest.Fig4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run([]Fault{{999, StuckAt0}}, nil); err == nil {
+		t.Error("expected out-of-range fault error")
+	}
+	if _, err := s.Run([]Fault{{0, StuckAt0}}, [][]bool{{true}}); err == nil {
+		t.Error("expected vector width error")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if StuckAt0.String() != "sa0" || StuckAt1.String() != "sa1" {
+		t.Error("Kind strings wrong")
+	}
+}

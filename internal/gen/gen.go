@@ -1,0 +1,563 @@
+// Package gen generates the benchmark circuits used by the experiments.
+//
+// The paper evaluates on the ISCAS-85 netlists, which are not bundled
+// here; instead this package synthesizes circuits that match each
+// benchmark's published profile — gate count, level count (depth+1),
+// primary input and output counts, and gate-type mix — which are the
+// quantities every experiment in the paper depends on (instruction
+// counts, PC-set sizes, words per bit-field, retained shifts, event
+// activity). Two benchmarks get structurally authentic generators:
+//
+//   - c6288 is a 16×16 array multiplier; Multiplier builds a real one
+//     from the classic 9-NOR-gate full-adder cell, landing within a few
+//     percent of the published 2416 gates and 125 levels (actual multiply
+//     behaviour included — the examples verify products).
+//   - c499/c1355 are a 32-bit single-error-correction circuit and its
+//     NAND expansion; SEC builds a syndrome/correct network with the
+//     same XOR-dominated structure.
+//
+// Everything else uses Layered, a seeded layered-DAG generator with exact
+// gate and level counts. All generators are deterministic.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"udsim/internal/circuit"
+	"udsim/internal/logic"
+)
+
+// Multiplier builds an n×n array multiplier: inputs a0..a(n-1) and
+// b0..b(n-1), outputs p0..p(2n-1). When norCells is true the adders use
+// the authentic c6288-style 9-NOR full-adder cell; otherwise a compact
+// XOR/AND/OR cell is used.
+func Multiplier(n int, norCells bool) *circuit.Circuit {
+	if n < 2 {
+		panic("gen: multiplier width must be at least 2")
+	}
+	style := "xor"
+	if norCells {
+		style = "nor"
+	}
+	b := circuit.NewBuilder(fmt.Sprintf("mul%dx%d-%s", n, n, style))
+	a := make([]circuit.NetID, n)
+	bb := make([]circuit.NetID, n)
+	for i := 0; i < n; i++ {
+		a[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bb[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+
+	// xnor4 builds XNOR(x,y) from four NOR gates (the c6288 cell block).
+	xnor4 := func(x, y circuit.NetID, tag string) (xnor, norXY circuit.NetID) {
+		n1 := b.Gate(logic.Nor, tag+".n1", x, y)
+		n2 := b.Gate(logic.Nor, tag+".n2", x, n1)
+		n3 := b.Gate(logic.Nor, tag+".n3", y, n1)
+		n4 := b.Gate(logic.Nor, tag+".n4", n2, n3)
+		return n4, n1
+	}
+	// fullAdder returns (sum, carry) of x+y+cin.
+	var faCount int
+	fullAdder := func(x, y, cin circuit.NetID) (sum, cout circuit.NetID) {
+		faCount++
+		tag := fmt.Sprintf("fa%d", faCount)
+		if norCells {
+			// 9-NOR cell: sum = XNOR(XNOR(x,y), cin); the carry is
+			// NOR(NOR(x,y), NOR(XNOR(x,y), cin)).
+			n4, n1 := xnor4(x, y, tag+".h1")
+			sum, m1 := xnor4(n4, cin, tag+".h2")
+			cout = b.Gate(logic.Nor, tag+".c", n1, m1)
+			return sum, cout
+		}
+		s1 := b.Gate(logic.Xor, tag+".s1", x, y)
+		sum = b.Gate(logic.Xor, tag+".s", s1, cin)
+		c1 := b.Gate(logic.And, tag+".c1", x, y)
+		c2 := b.Gate(logic.And, tag+".c2", s1, cin)
+		cout = b.Gate(logic.Or, tag+".c", c1, c2)
+		return sum, cout
+	}
+	halfAdder := func(x, y circuit.NetID) (sum, cout circuit.NetID) {
+		faCount++
+		tag := fmt.Sprintf("ha%d", faCount)
+		sum = b.Gate(logic.Xor, tag+".s", x, y)
+		cout = b.Gate(logic.And, tag+".c", x, y)
+		return sum, cout
+	}
+
+	// Partial products.
+	pp := make([][]circuit.NetID, n)
+	for i := 0; i < n; i++ {
+		pp[i] = make([]circuit.NetID, n)
+		for j := 0; j < n; j++ {
+			pp[i][j] = b.Gate(logic.And, fmt.Sprintf("pp%d_%d", i, j), a[j], bb[i])
+		}
+	}
+
+	outs := make([]circuit.NetID, 2*n)
+	// Carry-save reduction, row by row: sum[j] accumulates the partial
+	// sums aligned at bit position i+j; carries ripple into the next
+	// column of the same accumulation row (classic array multiplier).
+	sum := make([]circuit.NetID, n) // current row's aligned sums for columns i..i+n-1
+	copy(sum, pp[0])
+	outs[0] = sum[0]
+	carries := make([]circuit.NetID, 0, n)
+	for i := 1; i < n; i++ {
+		nextSum := make([]circuit.NetID, n)
+		nextCarries := make([]circuit.NetID, 0, n)
+		for j := 0; j < n; j++ {
+			// Column i+j gathers pp[i][j], the previous row's sum for
+			// this column (sum[j+1], if any), and the previous row's
+			// carry for this column (carries[j], if any).
+			terms := []circuit.NetID{pp[i][j]}
+			if j+1 < n {
+				terms = append(terms, sum[j+1])
+			}
+			if j < len(carries) {
+				terms = append(terms, carries[j])
+			}
+			switch len(terms) {
+			case 1:
+				nextSum[j] = terms[0]
+			case 2:
+				s, c := halfAdder(terms[0], terms[1])
+				nextSum[j] = s
+				nextCarries = append(nextCarries, c)
+			default:
+				s, c := fullAdder(terms[0], terms[1], terms[2])
+				nextSum[j] = s
+				nextCarries = append(nextCarries, c)
+			}
+		}
+		sum = nextSum
+		carries = nextCarries
+		outs[i] = sum[0]
+	}
+	// Final adder: remaining sums (columns n..2n-2) plus carries ripple.
+	var carry circuit.NetID = circuit.NoNet
+	for j := 1; j < n; j++ {
+		var s circuit.NetID
+		terms := []circuit.NetID{sum[j]}
+		if j-1 < len(carries) {
+			terms = append(terms, carries[j-1])
+		}
+		if carry != circuit.NoNet {
+			terms = append(terms, carry)
+		}
+		switch len(terms) {
+		case 1:
+			s, carry = terms[0], circuit.NoNet
+		case 2:
+			s, carry = halfAdder(terms[0], terms[1])
+		default:
+			s, carry = fullAdder(terms[0], terms[1], terms[2])
+		}
+		outs[n+j-1] = s
+	}
+	if carry != circuit.NoNet {
+		outs[2*n-1] = carry
+	} else {
+		outs[2*n-1] = b.Gate(logic.Const0, "p_top_zero")
+	}
+	for i, o := range outs {
+		po := b.Gate(logic.Buf, fmt.Sprintf("p%d", i), o)
+		b.Output(po)
+	}
+	return b.MustBuild()
+}
+
+// RippleAdder builds an n-bit ripple-carry adder: inputs a0.., b0.., cin;
+// outputs s0..s(n-1), cout. Its depth grows linearly with n, which makes
+// it a convenient deep-and-narrow stress circuit.
+func RippleAdder(n int) *circuit.Circuit {
+	b := circuit.NewBuilder(fmt.Sprintf("add%d", n))
+	a := make([]circuit.NetID, n)
+	bb := make([]circuit.NetID, n)
+	for i := 0; i < n; i++ {
+		a[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bb[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	carry := b.Input("cin")
+	for i := 0; i < n; i++ {
+		s1 := b.Gate(logic.Xor, fmt.Sprintf("x%d", i), a[i], bb[i])
+		s := b.Gate(logic.Xor, fmt.Sprintf("s%d", i), s1, carry)
+		c1 := b.Gate(logic.And, fmt.Sprintf("c1_%d", i), a[i], bb[i])
+		c2 := b.Gate(logic.And, fmt.Sprintf("c2_%d", i), s1, carry)
+		carry = b.Gate(logic.Or, fmt.Sprintf("c%d", i), c1, c2)
+		b.Output(s)
+	}
+	cout := b.Gate(logic.Buf, "cout", carry)
+	b.Output(cout)
+	return b.MustBuild()
+}
+
+// SEC builds a single-error-correction style circuit in the mould of
+// c499: data and check inputs, syndrome parity trees, a decode stage and
+// an output correction stage. expandXor replaces every 2-input XOR with
+// its four-NAND expansion, the transformation that turns c499 into c1355.
+func SEC(data, check int, expandXor bool) *circuit.Circuit {
+	name := "sec"
+	if expandXor {
+		name = "sec-nand"
+	}
+	b := circuit.NewBuilder(fmt.Sprintf("%s%d+%d", name, data, check))
+	xor2 := func(tag string, x, y circuit.NetID) circuit.NetID {
+		if !expandXor {
+			return b.Gate(logic.Xor, tag, x, y)
+		}
+		n1 := b.Gate(logic.Nand, tag+".1", x, y)
+		n2 := b.Gate(logic.Nand, tag+".2", x, n1)
+		n3 := b.Gate(logic.Nand, tag+".3", y, n1)
+		return b.Gate(logic.Nand, tag, n2, n3)
+	}
+	d := make([]circuit.NetID, data)
+	for i := range d {
+		d[i] = b.Input(fmt.Sprintf("d%d", i))
+	}
+	p := make([]circuit.NetID, check)
+	for i := range p {
+		p[i] = b.Input(fmt.Sprintf("p%d", i))
+	}
+	// Syndrome bit j is the parity of the check bit and a Hamming-style
+	// cover of roughly 3/8 of the data bits. The reduction combines
+	// adjacent pairs once and then chains, matching the original's depth
+	// profile (c499 ≈ 12 levels; the NAND expansion ≈ 25).
+	synd := make([]circuit.NetID, check)
+	for j := 0; j < check; j++ {
+		var leaves []circuit.NetID
+		for i := 0; i < data; i++ {
+			if (i+j*5)%8 < 3 {
+				leaves = append(leaves, d[i])
+			}
+		}
+		var stage []circuit.NetID
+		for k := 0; k+1 < len(leaves); k += 2 {
+			stage = append(stage, xor2(fmt.Sprintf("s%d_p%d", j, k/2), leaves[k], leaves[k+1]))
+		}
+		if len(leaves)%2 == 1 {
+			stage = append(stage, leaves[len(leaves)-1])
+		}
+		cur := p[j]
+		for k, s := range stage {
+			cur = xor2(fmt.Sprintf("s%d_c%d", j, k), cur, s)
+		}
+		synd[j] = cur
+	}
+	// Decode/correct: output i flips data bit i when the syndrome
+	// matches i's cover pattern (approximated with a two-level and/or of
+	// syndrome lines).
+	nsynd := make([]circuit.NetID, check)
+	for j := range synd {
+		nsynd[j] = b.Gate(logic.Not, fmt.Sprintf("ns%d", j), synd[j])
+	}
+	for i := 0; i < data; i++ {
+		t1 := synd[i%check]
+		t2 := nsynd[(i+1)%check]
+		t3 := synd[(i+2)%check]
+		flip := b.Gate(logic.And, fmt.Sprintf("flip%d", i), t1, t2, t3)
+		out := xor2(fmt.Sprintf("o%d", i), d[i], flip)
+		o := b.Gate(logic.Buf, fmt.Sprintf("out%d", i), out)
+		b.Output(o)
+	}
+	return b.MustBuild()
+}
+
+// Counter builds an n-bit synchronous binary counter with an enable
+// input: the sequential example circuit. Q(i) toggles when enable and all
+// lower bits are one.
+func Counter(n int) *circuit.Circuit {
+	b := circuit.NewBuilder(fmt.Sprintf("counter%d", n))
+	en := b.Input("en")
+	qs := make([]circuit.NetID, n)
+	for i := 0; i < n; i++ {
+		qs[i] = b.FlipFlop(fmt.Sprintf("q%d", i), circuit.NoNet)
+	}
+	carry := en
+	for i := 0; i < n; i++ {
+		d := b.Gate(logic.Xor, fmt.Sprintf("d%d", i), qs[i], carry)
+		b.BindFlipFlop(qs[i], d)
+		b.Output(qs[i])
+		if i < n-1 {
+			carry = b.Gate(logic.And, fmt.Sprintf("ca%d", i), carry, qs[i])
+		}
+	}
+	return b.MustBuild()
+}
+
+// LFSR builds an n-bit Fibonacci linear-feedback shift register with the
+// given tap positions (0-indexed; the feedback XORs the tapped bits). A
+// "run" input gates the feedback so the register holds when low. With
+// maximal-length taps (e.g. 16-bit: 15,14,12,3) the state sequence has
+// period 2^n − 1.
+func LFSR(n int, taps []int) *circuit.Circuit {
+	if n < 2 || len(taps) < 2 {
+		panic("gen: LFSR needs width ≥ 2 and ≥ 2 taps")
+	}
+	b := circuit.NewBuilder(fmt.Sprintf("lfsr%d", n))
+	run := b.Input("run")
+	qs := make([]circuit.NetID, n)
+	for i := range qs {
+		qs[i] = b.FlipFlop(fmt.Sprintf("q%d", i), circuit.NoNet)
+	}
+	fb := qs[taps[0]]
+	for i, tp := range taps[1:] {
+		if tp < 0 || tp >= n {
+			panic("gen: LFSR tap out of range")
+		}
+		fb = b.Gate(logic.Xor, fmt.Sprintf("t%d", i), fb, qs[tp])
+	}
+	hold := b.Gate(logic.And, "hold", fb, run)
+	b.BindFlipFlop(qs[0], hold)
+	for i := 1; i < n; i++ {
+		d := b.Gate(logic.Buf, fmt.Sprintf("d%d", i), qs[i-1])
+		b.BindFlipFlop(qs[i], d)
+	}
+	b.Output(qs[n-1])
+	return b.MustBuild()
+}
+
+// RandomSequential builds a random synchronous machine: a layered random
+// combinational core whose deepest nets feed nff flip-flops that loop
+// back as extra inputs. Useful for cross-engine sequential testing.
+func RandomSequential(seed int64, gates, inputs, nff int) *circuit.Circuit {
+	r := rand.New(rand.NewSource(seed))
+	b := circuit.NewBuilder(fmt.Sprintf("seq%d", seed))
+	pis := make([]circuit.NetID, inputs)
+	for i := range pis {
+		pis[i] = b.Input(fmt.Sprintf("i%d", i))
+	}
+	qs := make([]circuit.NetID, nff)
+	for i := range qs {
+		qs[i] = b.FlipFlop(fmt.Sprintf("q%d", i), circuit.NoNet)
+	}
+	pool := append(append([]circuit.NetID(nil), pis...), qs...)
+	types := []logic.GateType{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Not}
+	for g := 0; g < gates; g++ {
+		gt := types[r.Intn(len(types))]
+		nin := gt.MinInputs()
+		if gt.MaxInputs() == -1 && r.Intn(3) == 0 {
+			nin++
+		}
+		ins := make([]circuit.NetID, nin)
+		for j := range ins {
+			// Bias toward recent nets for depth.
+			lo := 0
+			if r.Intn(2) == 0 && len(pool) > inputs+nff {
+				lo = len(pool) * 2 / 3
+			}
+			ins[j] = pool[lo+r.Intn(len(pool)-lo)]
+		}
+		pool = append(pool, b.Gate(gt, fmt.Sprintf("g%d", g), ins...))
+	}
+	for i := range qs {
+		b.BindFlipFlop(qs[i], pool[len(pool)-1-i%min(gates, 7)])
+	}
+	b.Output(pool[len(pool)-1])
+	return b.MustBuild()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// LayeredConfig parameterizes the layered random DAG generator.
+type LayeredConfig struct {
+	Name    string
+	Seed    int64
+	Gates   int // exact gate count
+	Levels  int // exact level count (depth = Levels-1)
+	Inputs  int
+	Outputs int // approximate: every sink becomes an output
+	// SpreadBias in [0,1] is the probability that a non-chain input is
+	// drawn from a distant earlier level instead of a recent one. Higher
+	// values produce larger PC-sets (more reconvergence over unequal
+	// path lengths).
+	SpreadBias float64
+}
+
+// Layered builds a random layered DAG with exactly cfg.Gates gates and
+// cfg.Levels levels. Every level 1..Levels-1 contains at least one gate
+// whose longest path is exactly that level, every primary input is
+// consumed, and every sink net is a primary output.
+func Layered(cfg LayeredConfig) *circuit.Circuit {
+	if cfg.Levels < 2 {
+		panic("gen: need at least 2 levels")
+	}
+	depth := cfg.Levels - 1
+	if cfg.Gates < depth {
+		panic("gen: gate count below level count")
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	b := circuit.NewBuilder(cfg.Name)
+
+	pis := make([]circuit.NetID, cfg.Inputs)
+	for i := range pis {
+		pis[i] = b.Input(fmt.Sprintf("i%d", i))
+	}
+
+	// Apportion gates to levels 1..depth: one guaranteed per level, the
+	// rest weighted toward shallow levels (real circuits are wide near
+	// their inputs).
+	counts := make([]int, depth+1)
+	for l := 1; l <= depth; l++ {
+		counts[l] = 1
+	}
+	remaining := cfg.Gates - depth
+	weights := make([]float64, depth+1)
+	totalW := 0.0
+	for l := 1; l <= depth; l++ {
+		weights[l] = float64(depth-l) + 2
+		totalW += weights[l]
+	}
+	assigned := 0
+	for l := 1; l <= depth; l++ {
+		share := int(float64(remaining) * weights[l] / totalW)
+		counts[l] += share
+		assigned += share
+	}
+	for i := 0; assigned < remaining; i++ {
+		counts[1+i%depth]++
+		assigned++
+	}
+
+	byLevel := make([][]circuit.NetID, depth+1)
+	byLevel[0] = pis
+	var unconsumed []circuit.NetID
+	unconsumed = append(unconsumed, pis...)
+	consumed := make(map[circuit.NetID]bool)
+	allBelow := append([]circuit.NetID(nil), pis...)
+
+	types := []logic.GateType{
+		logic.Nand, logic.Nand, logic.Nand, logic.And, logic.And,
+		logic.Nor, logic.Or, logic.Or, logic.Xor, logic.Not, logic.Buf,
+	}
+	use := func(id circuit.NetID) {
+		if !consumed[id] {
+			consumed[id] = true
+		}
+	}
+	pickEarlier := func(l int) circuit.NetID {
+		// Prefer a recently created unconsumed net: real netlists
+		// reconverge over short windows, and short spans keep PC-sets
+		// realistic (long-range reconvergence multiplies them).
+		for tries := 0; tries < 4 && len(unconsumed) > 0; tries++ {
+			// Drain the queue from the front (oldest first) so primary
+			// inputs are absorbed by the shallow levels and nothing is
+			// stranded, within a small window for variety.
+			w := len(unconsumed)
+			if w > 24 {
+				w = 24
+			}
+			i := r.Intn(w)
+			id := unconsumed[i]
+			unconsumed = append(unconsumed[:i], unconsumed[i+1:]...)
+			if !consumed[id] {
+				return id
+			}
+		}
+		if r.Float64() < cfg.SpreadBias {
+			if r.Intn(64) == 0 {
+				// Rare long-range reconvergence.
+				return allBelow[r.Intn(len(allBelow))]
+			}
+			lo := max(0, l-12)
+			pool := byLevel[lo+r.Intn(l-lo)]
+			for len(pool) == 0 {
+				pool = byLevel[r.Intn(l)]
+			}
+			return pool[r.Intn(len(pool))]
+		}
+		// Recent bias: draw from the last few levels.
+		lo := max(0, l-3)
+		pool := byLevel[lo+r.Intn(l-lo)]
+		for len(pool) == 0 {
+			pool = byLevel[r.Intn(l)]
+		}
+		return pool[r.Intn(len(pool))]
+	}
+
+	gid := 0
+	for l := 1; l <= depth; l++ {
+		if len(byLevel[l-1]) == 0 {
+			panic("gen: empty previous level")
+		}
+		// New nets join the candidate pools only after the whole level is
+		// generated, so no gate ever consumes a same-level net and every
+		// gate's longest path is exactly its level.
+		for k := 0; k < counts[l]; k++ {
+			gt := types[r.Intn(len(types))]
+			fanin := 2
+			switch {
+			case gt == logic.Not || gt == logic.Buf:
+				fanin = 1
+			case r.Float64() < 0.15:
+				fanin = 3
+			case r.Float64() < 0.04:
+				fanin = 4
+			}
+			ins := make([]circuit.NetID, 0, fanin)
+			chain := byLevel[l-1][r.Intn(len(byLevel[l-1]))]
+			ins = append(ins, chain)
+			use(chain)
+			for len(ins) < fanin {
+				id := pickEarlier(l)
+				ins = append(ins, id)
+				use(id)
+			}
+			out := b.Gate(gt, fmt.Sprintf("n%d_%d", l, gid), ins...)
+			gid++
+			byLevel[l] = append(byLevel[l], out)
+		}
+		allBelow = append(allBelow, byLevel[l]...)
+		unconsumed = append(unconsumed, byLevel[l]...)
+	}
+
+	// Sinks become primary outputs; if the profile wants more outputs
+	// than there are sinks, deep internal nets are also monitored (real
+	// primary outputs frequently have internal fanout too).
+	return markOutputs(b.MustBuild(), cfg.Outputs, r)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// markOutputs returns a circuit identical to c with every sink net marked
+// as a primary output, plus enough deep internal nets to reach the target
+// output count.
+func markOutputs(c *circuit.Circuit, target int, r *rand.Rand) *circuit.Circuit {
+	nc := *c
+	nc.Nets = append([]circuit.Net(nil), c.Nets...)
+	nc.Outputs = nil
+	for i := range nc.Nets {
+		nc.Nets[i].IsOutput = false
+	}
+	for i := range nc.Nets {
+		if len(nc.Nets[i].Fanout) == 0 && !nc.Nets[i].IsInput {
+			nc.Nets[i].IsOutput = true
+			nc.Outputs = append(nc.Outputs, nc.Nets[i].ID)
+		}
+	}
+	// Top up with internal gate outputs, biased toward deep nets (high
+	// IDs were created late, hence deep).
+	for i := len(nc.Nets) - 1; i >= 0 && len(nc.Outputs) < target; i-- {
+		n := &nc.Nets[i]
+		if n.IsInput || n.IsOutput {
+			continue
+		}
+		if r.Intn(3) > 0 { // keep some spread rather than a pure suffix
+			n.IsOutput = true
+			nc.Outputs = append(nc.Outputs, n.ID)
+		}
+	}
+	return &nc
+}

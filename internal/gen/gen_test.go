@@ -1,0 +1,364 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"udsim/internal/circuit"
+	"udsim/internal/levelize"
+	"udsim/internal/refsim"
+)
+
+// evalMul drives the multiplier with two operands and decodes the product.
+func evalMul(t *testing.T, c *circuit.Circuit, n int, x, y uint64) uint64 {
+	t.Helper()
+	in := make([]bool, 2*n)
+	for i := 0; i < n; i++ {
+		in[i] = x>>uint(i)&1 == 1
+		in[n+i] = y>>uint(i)&1 == 1
+	}
+	vals, err := refsim.Evaluate(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p uint64
+	for i := 0; i < 2*n; i++ {
+		id, ok := c.NetByName(pName(i))
+		if !ok {
+			t.Fatalf("output p%d missing", i)
+		}
+		if vals[id] {
+			p |= 1 << uint(i)
+		}
+	}
+	return p
+}
+
+func pName(i int) string {
+	return "p" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	n := len(buf)
+	for i > 0 {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[n:])
+}
+
+func TestMultiplierCorrect(t *testing.T) {
+	for _, norCells := range []bool{false, true} {
+		c := Multiplier(4, norCells)
+		for x := uint64(0); x < 16; x++ {
+			for y := uint64(0); y < 16; y++ {
+				if got := evalMul(t, c, 4, x, y); got != x*y {
+					t.Fatalf("norCells=%v: %d*%d = %d, want %d", norCells, x, y, got, x*y)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiplier8Random(t *testing.T) {
+	c := Multiplier(8, true)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		x, y := r.Uint64()&0xFF, r.Uint64()&0xFF
+		if got := evalMul(t, c, 8, x, y); got != x*y {
+			t.Fatalf("%d*%d = %d, want %d", x, y, got, x*y)
+		}
+	}
+}
+
+func TestC6288ProfileShape(t *testing.T) {
+	c, err := ISCAS85("c6288")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := levelize.Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Published profile: 2416 gates, 125 levels, 32/32 I/O. The NOR-cell
+	// multiplier must land within 15% on gates and 25% on levels; the
+	// point is the paper's shape (deepest circuit, most words per field).
+	if g := c.NumGates(); g < 2050 || g > 2800 {
+		t.Errorf("c6288 profile gate count %d too far from 2416", g)
+	}
+	levels := a.Depth + 1
+	if levels < 94 || levels > 160 {
+		t.Errorf("c6288 profile levels %d too far from 125", levels)
+	}
+	if len(c.Inputs) != 32 || len(c.Outputs) != 32 {
+		t.Errorf("c6288 profile I/O %d/%d, want 32/32", len(c.Inputs), len(c.Outputs))
+	}
+	t.Logf("c6288 profile: %d gates, %d levels", c.NumGates(), levels)
+}
+
+func TestRippleAdderCorrect(t *testing.T) {
+	c := RippleAdder(8)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 60; i++ {
+		x, y := r.Uint64()&0xFF, r.Uint64()&0xFF
+		cin := r.Intn(2)
+		in := make([]bool, 17)
+		for j := 0; j < 8; j++ {
+			in[j] = x>>uint(j)&1 == 1
+			in[8+j] = y>>uint(j)&1 == 1
+		}
+		in[16] = cin == 1
+		vals, err := refsim.Evaluate(c, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got uint64
+		for j := 0; j < 8; j++ {
+			id, _ := c.NetByName("s" + itoa(j))
+			if vals[id] {
+				got |= 1 << uint(j)
+			}
+		}
+		co, _ := c.NetByName("cout")
+		if vals[co] {
+			got |= 1 << 8
+		}
+		if want := x + y + uint64(cin); got != want {
+			t.Fatalf("%d+%d+%d = %d, want %d", x, y, cin, got, want)
+		}
+	}
+}
+
+func TestSECValidAndXorExpansion(t *testing.T) {
+	plain := SEC(32, 9, false)
+	if err := plain.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	expanded := SEC(32, 9, true)
+	if err := expanded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if expanded.NumGates() <= plain.NumGates() {
+		t.Errorf("NAND expansion should grow the circuit: %d vs %d",
+			expanded.NumGates(), plain.NumGates())
+	}
+	ap, _ := levelize.Analyze(plain)
+	ae, _ := levelize.Analyze(expanded)
+	if ae.Depth <= ap.Depth {
+		t.Errorf("NAND expansion should deepen the circuit: %d vs %d", ae.Depth, ap.Depth)
+	}
+	// Identical data in, no syndrome pattern match is not guaranteed, but
+	// the two variants must compute the same function: expansion is
+	// purely local.
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		in := make([]bool, 41)
+		for j := range in {
+			in[j] = r.Intn(2) == 1
+		}
+		v1, err := refsim.Evaluate(plain, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := refsim.Evaluate(expanded, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range plain.Outputs {
+			name := plain.Net(o).Name
+			o2, ok := expanded.NetByName(name)
+			if !ok {
+				t.Fatalf("output %s missing in expanded variant", name)
+			}
+			if v1[o] != v2[o2] {
+				t.Fatalf("variants disagree on %s", name)
+			}
+		}
+	}
+}
+
+func TestLayeredExactShape(t *testing.T) {
+	for _, cfg := range []LayeredConfig{
+		{Name: "t1", Seed: 1, Gates: 100, Levels: 10, Inputs: 12, Outputs: 6, SpreadBias: 0.3},
+		{Name: "t2", Seed: 2, Gates: 400, Levels: 30, Inputs: 40, Outputs: 20, SpreadBias: 0.1},
+		{Name: "t3", Seed: 3, Gates: 60, Levels: 50, Inputs: 5, Outputs: 2, SpreadBias: 0.5},
+	} {
+		c := Layered(cfg)
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if c.NumGates() != cfg.Gates {
+			t.Errorf("%s: %d gates, want %d", cfg.Name, c.NumGates(), cfg.Gates)
+		}
+		a, err := levelize.Analyze(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Depth+1 != cfg.Levels {
+			t.Errorf("%s: %d levels, want %d", cfg.Name, a.Depth+1, cfg.Levels)
+		}
+		if len(c.Inputs) != cfg.Inputs {
+			t.Errorf("%s: %d inputs, want %d", cfg.Name, len(c.Inputs), cfg.Inputs)
+		}
+		// Every sink must be an output (no dangling logic), and the
+		// output count must be topped up toward the target.
+		for i := range c.Nets {
+			n := &c.Nets[i]
+			if !n.IsInput && len(n.Fanout) == 0 && !n.IsOutput {
+				t.Errorf("%s: sink net %s is not an output", cfg.Name, n.Name)
+			}
+		}
+		if len(c.Outputs) < cfg.Outputs {
+			t.Errorf("%s: %d outputs, want at least %d", cfg.Name, len(c.Outputs), cfg.Outputs)
+		}
+	}
+}
+
+func TestLayeredDeterministic(t *testing.T) {
+	cfg := LayeredConfig{Name: "d", Seed: 9, Gates: 200, Levels: 15, Inputs: 20, Outputs: 10, SpreadBias: 0.2}
+	a := Layered(cfg)
+	b := Layered(cfg)
+	if a.NumGates() != b.NumGates() || a.NumNets() != b.NumNets() {
+		t.Fatal("same config produced different circuits")
+	}
+	for i := range a.Gates {
+		if a.Gates[i].Type != b.Gates[i].Type || len(a.Gates[i].Inputs) != len(b.Gates[i].Inputs) {
+			t.Fatal("same config produced different gates")
+		}
+		for j := range a.Gates[i].Inputs {
+			if a.Gates[i].Inputs[j] != b.Gates[i].Inputs[j] {
+				t.Fatal("same config produced different wiring")
+			}
+		}
+	}
+}
+
+func TestCounterSequential(t *testing.T) {
+	c := Counter(4)
+	if len(c.FFs) != 4 {
+		t.Fatalf("counter has %d flip-flops, want 4", len(c.FFs))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	comb, ffs := c.BreakFlipFlops()
+	if err := comb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Step the counter by hand through the combinational core: next
+	// state = settled D values; count 0,1,2,...
+	state := make(map[circuit.NetID]bool, 4)
+	for _, ff := range ffs {
+		state[ff.Q] = false
+	}
+	for step := 1; step <= 20; step++ {
+		in := make([]bool, len(comb.Inputs))
+		for i, id := range comb.Inputs {
+			if comb.Net(id).Name == "en" {
+				in[i] = true
+			} else {
+				in[i] = state[id]
+			}
+		}
+		vals, err := refsim.Evaluate(comb, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ff := range ffs {
+			state[ff.Q] = vals[ff.D]
+		}
+		var got int
+		for bit, ff := range ffs {
+			if state[ff.Q] {
+				got |= 1 << uint(bit)
+			}
+		}
+		if got != step%16 {
+			t.Fatalf("after %d steps counter = %d", step, got)
+		}
+	}
+}
+
+func TestISCAS85ProfilesAllBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile synthesis is slow-ish")
+	}
+	ckts, err := AllISCAS85()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range ckts {
+		p := Profiles[i]
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		a, err := levelize.Analyze(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Kind == "layered" {
+			if c.NumGates() != p.Gates {
+				t.Errorf("%s: %d gates, want %d", p.Name, c.NumGates(), p.Gates)
+			}
+			if a.Depth+1 != p.Levels {
+				t.Errorf("%s: %d levels, want %d", p.Name, a.Depth+1, p.Levels)
+			}
+			if len(c.Inputs) != p.Inputs {
+				t.Errorf("%s: %d inputs, want %d", p.Name, len(c.Inputs), p.Inputs)
+			}
+		}
+		t.Logf("%-6s %5d gates %4d levels %4d in %4d out (target %d/%d/%d/%d)",
+			p.Name, c.NumGates(), a.Depth+1, len(c.Inputs), len(c.Outputs),
+			p.Gates, p.Levels, p.Inputs, p.Outputs)
+	}
+}
+
+func TestLFSRStructure(t *testing.T) {
+	c := LFSR(8, []int{7, 5, 4, 3})
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.FFs) != 8 || len(c.Inputs) != 1 {
+		t.Fatalf("shape wrong: %s", c)
+	}
+	comb, _ := c.BreakFlipFlops()
+	if _, err := comb.TopoGates(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on bad taps")
+		}
+	}()
+	LFSR(4, []int{0, 9})
+}
+
+func TestRandomSequentialShape(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		c := RandomSequential(seed, 30, 4, 6)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(c.FFs) != 6 || len(c.Inputs) != 4 || c.NumGates() != 30 {
+			t.Fatalf("seed %d shape: %s", seed, c)
+		}
+		comb, ffs := c.BreakFlipFlops()
+		if len(ffs) != 6 {
+			t.Fatal("flip-flops lost")
+		}
+		if _, err := comb.TopoGates(); err != nil {
+			t.Fatalf("seed %d: broken core cyclic: %v", seed, err)
+		}
+	}
+}
+
+func TestISCAS85Unknown(t *testing.T) {
+	if _, err := ISCAS85("c9999"); err == nil {
+		t.Error("expected unknown-benchmark error")
+	}
+}

@@ -1,0 +1,111 @@
+package gen
+
+import (
+	"fmt"
+
+	"udsim/internal/circuit"
+)
+
+// Profile records the published shape of one ISCAS-85 benchmark: the
+// quantities the paper's experiments depend on. Gate and level counts
+// come from the paper itself (Fig. 21 column 1 is the gate count; Fig. 20
+// column 1 the level count); input/output counts from the benchmark
+// distribution.
+type Profile struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	Gates   int
+	Levels  int
+	// SpreadBias tunes reconvergence for the layered generator; c2670's
+	// low value reproduces the paper's "unusually small PC-sets" remark.
+	SpreadBias float64
+	// Kind selects the generator: "layered", "sec", "sec-nand", "mul16".
+	Kind string
+}
+
+// Profiles lists the ten ISCAS-85 benchmarks in the paper's order.
+var Profiles = []Profile{
+	{Name: "c432", Inputs: 36, Outputs: 7, Gates: 160, Levels: 18, SpreadBias: 0.35, Kind: "layered"},
+	{Name: "c499", Inputs: 41, Outputs: 32, Gates: 202, Levels: 12, SpreadBias: 0.30, Kind: "sec"},
+	{Name: "c880", Inputs: 60, Outputs: 26, Gates: 383, Levels: 25, SpreadBias: 0.25, Kind: "layered"},
+	{Name: "c1355", Inputs: 41, Outputs: 32, Gates: 546, Levels: 25, SpreadBias: 0.30, Kind: "sec-nand"},
+	{Name: "c1908", Inputs: 33, Outputs: 25, Gates: 880, Levels: 41, SpreadBias: 0.30, Kind: "layered"},
+	{Name: "c2670", Inputs: 233, Outputs: 140, Gates: 1269, Levels: 33, SpreadBias: 0.04, Kind: "layered"},
+	{Name: "c3540", Inputs: 50, Outputs: 22, Gates: 1669, Levels: 48, SpreadBias: 0.30, Kind: "layered"},
+	{Name: "c5315", Inputs: 178, Outputs: 123, Gates: 2307, Levels: 50, SpreadBias: 0.20, Kind: "layered"},
+	{Name: "c6288", Inputs: 32, Outputs: 32, Gates: 2416, Levels: 125, SpreadBias: 0, Kind: "mul16"},
+	{Name: "c7552", Inputs: 207, Outputs: 108, Gates: 3513, Levels: 44, SpreadBias: 0.20, Kind: "layered"},
+}
+
+// ProfileByName returns the profile for one benchmark name.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names returns the benchmark names in the paper's order.
+func Names() []string {
+	out := make([]string, len(Profiles))
+	for i, p := range Profiles {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// ISCAS85 synthesizes the named benchmark's profile circuit. Generation
+// is deterministic: the same name always yields the same circuit.
+func ISCAS85(name string) (*circuit.Circuit, error) {
+	p, ok := ProfileByName(name)
+	if !ok {
+		return nil, fmt.Errorf("gen: unknown ISCAS-85 benchmark %q (have %v)", name, Names())
+	}
+	var c *circuit.Circuit
+	switch p.Kind {
+	case "mul16":
+		c = Multiplier(16, true)
+	case "sec":
+		c = SEC(32, 9, false)
+	case "sec-nand":
+		c = SEC(32, 9, true)
+	default:
+		c = Layered(LayeredConfig{
+			Name:       p.Name,
+			Seed:       seedFor(p.Name),
+			Gates:      p.Gates,
+			Levels:     p.Levels,
+			Inputs:     p.Inputs,
+			Outputs:    p.Outputs,
+			SpreadBias: p.SpreadBias,
+		})
+	}
+	c.Name = p.Name
+	return c, nil
+}
+
+// AllISCAS85 synthesizes every benchmark, in the paper's order.
+func AllISCAS85() ([]*circuit.Circuit, error) {
+	out := make([]*circuit.Circuit, 0, len(Profiles))
+	for _, n := range Names() {
+		c, err := ISCAS85(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// seedFor derives a stable seed from a benchmark name.
+func seedFor(name string) int64 {
+	var h int64 = 1469598103934665603
+	for _, r := range name {
+		h ^= int64(r)
+		h *= 1099511628211
+	}
+	return h
+}

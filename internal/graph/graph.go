@@ -1,0 +1,282 @@
+// Package graph implements the undirected network graph of §4 of the
+// paper: one vertex per gate and per net, with an undirected edge between
+// a gate vertex and a net vertex whenever the gate uses the net as an
+// input or as an output. The cycle-breaking shift-elimination algorithm
+// operates on this graph: a depth-first search finds a spanning forest,
+// back edges identify cycles, and the number of edges that must be removed
+// from each connected component to make it acyclic is E − V + 1.
+package graph
+
+import (
+	"fmt"
+
+	"udsim/internal/circuit"
+)
+
+// VertexKind distinguishes gate vertices from net vertices.
+type VertexKind uint8
+
+const (
+	// NetVertex is a net vertex.
+	NetVertex VertexKind = iota
+	// GateVertex is a gate vertex.
+	GateVertex
+)
+
+// Vertex identifies one vertex of the undirected network graph.
+type Vertex struct {
+	Kind VertexKind
+	ID   int32 // NetID or GateID
+}
+
+// String renders the vertex for diagnostics.
+func (v Vertex) String() string {
+	if v.Kind == NetVertex {
+		return fmt.Sprintf("net%d", v.ID)
+	}
+	return fmt.Sprintf("gate%d", v.ID)
+}
+
+// EdgeKind records how the net relates to the gate on an edge.
+type EdgeKind uint8
+
+const (
+	// InputEdge connects a gate to one of its input nets.
+	InputEdge EdgeKind = iota
+	// OutputEdge connects a gate to its output net.
+	OutputEdge
+)
+
+// Edge is an undirected gate–net edge.
+type Edge struct {
+	Gate circuit.GateID
+	Net  circuit.NetID
+	Kind EdgeKind
+}
+
+// Graph is the undirected network graph of a circuit.
+type Graph struct {
+	C     *circuit.Circuit
+	Edges []Edge
+	// netAdj and gateAdj index Edges by endpoint.
+	netAdj  [][]int32
+	gateAdj [][]int32
+}
+
+// New builds the undirected network graph. Multiple pins connecting the
+// same gate–net pair in the same role collapse to one edge (the graph is
+// simple), but a net that is both an input and an output of the same gate
+// would contribute two edges; acyclic circuits cannot contain such a gate.
+func New(c *circuit.Circuit) *Graph {
+	g := &Graph{
+		C:       c,
+		netAdj:  make([][]int32, c.NumNets()),
+		gateAdj: make([][]int32, c.NumGates()),
+	}
+	addEdge := func(e Edge) {
+		idx := int32(len(g.Edges))
+		g.Edges = append(g.Edges, e)
+		g.netAdj[e.Net] = append(g.netAdj[e.Net], idx)
+		g.gateAdj[e.Gate] = append(g.gateAdj[e.Gate], idx)
+	}
+	for i := range c.Gates {
+		gate := &c.Gates[i]
+		seen := make(map[circuit.NetID]bool, len(gate.Inputs))
+		for _, in := range gate.Inputs {
+			if !seen[in] {
+				seen[in] = true
+				addEdge(Edge{Gate: gate.ID, Net: in, Kind: InputEdge})
+			}
+		}
+		addEdge(Edge{Gate: gate.ID, Net: gate.Output, Kind: OutputEdge})
+	}
+	return g
+}
+
+// NumVertices returns the number of vertices (nets + gates).
+func (g *Graph) NumVertices() int { return g.C.NumNets() + g.C.NumGates() }
+
+// NetEdges returns the indices into Edges incident to a net vertex.
+func (g *Graph) NetEdges(n circuit.NetID) []int32 { return g.netAdj[n] }
+
+// GateEdges returns the indices into Edges incident to a gate vertex.
+func (g *Graph) GateEdges(id circuit.GateID) []int32 { return g.gateAdj[id] }
+
+// Forest is the result of a depth-first search over the graph.
+type Forest struct {
+	// TreeEdge marks, per edge index, whether the edge is part of the
+	// spanning forest. Non-tree edges are the back edges the
+	// cycle-breaking algorithm removes.
+	TreeEdge []bool
+	// BackEdges lists the indices of removed (non-tree) edges.
+	BackEdges []int32
+	// NetComp and GateComp give the connected component of each vertex.
+	NetComp  []int32
+	GateComp []int32
+	// NumComponents is the number of connected components.
+	NumComponents int
+	// Roots lists the root vertex of each component's DFS tree.
+	Roots []Vertex
+}
+
+// SpanningForest runs an iterative DFS producing a spanning forest. Roots
+// are chosen in the order given by preferredRoots (skipping vertices
+// already visited), then any remaining unvisited vertices in index order.
+// When a cycle is detected, the most recently traversed (non-tree) edge is
+// the one removed, exactly as §4 prescribes.
+func (g *Graph) SpanningForest(preferredRoots []Vertex) *Forest {
+	f := &Forest{
+		TreeEdge: make([]bool, len(g.Edges)),
+		NetComp:  make([]int32, g.C.NumNets()),
+		GateComp: make([]int32, g.C.NumGates()),
+	}
+	for i := range f.NetComp {
+		f.NetComp[i] = -1
+	}
+	for i := range f.GateComp {
+		f.GateComp[i] = -1
+	}
+	visited := func(v Vertex) bool {
+		if v.Kind == NetVertex {
+			return f.NetComp[v.ID] >= 0
+		}
+		return f.GateComp[v.ID] >= 0
+	}
+	mark := func(v Vertex, comp int32) {
+		if v.Kind == NetVertex {
+			f.NetComp[v.ID] = comp
+		} else {
+			f.GateComp[v.ID] = comp
+		}
+	}
+	edgeUsed := make([]bool, len(g.Edges))
+
+	dfs := func(root Vertex, comp int32) {
+		type frame struct {
+			v Vertex
+		}
+		stack := []frame{{root}}
+		mark(root, comp)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1].v
+			stack = stack[:len(stack)-1]
+			var adj []int32
+			if v.Kind == NetVertex {
+				adj = g.netAdj[v.ID]
+			} else {
+				adj = g.gateAdj[v.ID]
+			}
+			for _, ei := range adj {
+				if edgeUsed[ei] {
+					continue
+				}
+				edgeUsed[ei] = true
+				e := g.Edges[ei]
+				var other Vertex
+				if v.Kind == NetVertex {
+					other = Vertex{GateVertex, int32(e.Gate)}
+				} else {
+					other = Vertex{NetVertex, int32(e.Net)}
+				}
+				if visited(other) {
+					// Back edge: remove it (break the cycle).
+					f.BackEdges = append(f.BackEdges, ei)
+					continue
+				}
+				f.TreeEdge[ei] = true
+				mark(other, comp)
+				stack = append(stack, frame{other})
+			}
+		}
+	}
+
+	comp := int32(0)
+	for _, r := range preferredRoots {
+		if !visited(r) {
+			f.Roots = append(f.Roots, r)
+			dfs(r, comp)
+			comp++
+		}
+	}
+	for i := range g.netAdj {
+		v := Vertex{NetVertex, int32(i)}
+		if !visited(v) {
+			f.Roots = append(f.Roots, v)
+			dfs(v, comp)
+			comp++
+		}
+	}
+	for i := range g.gateAdj {
+		v := Vertex{GateVertex, int32(i)}
+		if !visited(v) {
+			f.Roots = append(f.Roots, v)
+			dfs(v, comp)
+			comp++
+		}
+	}
+	f.NumComponents = int(comp)
+	return f
+}
+
+// ComponentStats returns E, V and the number of independent cycles
+// (E − V + 1) for every component — the paper's formula for the number of
+// edges that must be removed.
+type ComponentStats struct {
+	Edges, Vertices, Cycles int
+}
+
+// Components summarizes each connected component of the forest.
+func (g *Graph) Components(f *Forest) []ComponentStats {
+	stats := make([]ComponentStats, f.NumComponents)
+	for _, c := range f.NetComp {
+		if c >= 0 {
+			stats[c].Vertices++
+		}
+	}
+	for _, c := range f.GateComp {
+		if c >= 0 {
+			stats[c].Vertices++
+		}
+	}
+	for _, e := range g.Edges {
+		stats[f.GateComp[e.Gate]].Edges++
+	}
+	for i := range stats {
+		stats[i].Cycles = stats[i].Edges - stats[i].Vertices + 1
+	}
+	return stats
+}
+
+// CycleWeight traverses a simple cycle given as an alternating sequence of
+// net and gate vertices (starting and ending on the same net vertex,
+// nets at even positions) and returns its weight per §4: visiting gate G
+// on path N–G–M adds 0 when N and M are both inputs or both outputs of G,
+// +1 when N is an input and M an output, and −1 when N is an output and M
+// an input. A nonzero weight is necessary and sufficient for the cycle to
+// force a retained shift.
+func (g *Graph) CycleWeight(cycle []Vertex) (int, error) {
+	if len(cycle) < 2 || len(cycle)%2 != 0 {
+		return 0, fmt.Errorf("graph: cycle must alternate net,gate,...,net,gate (got %d vertices)", len(cycle))
+	}
+	weight := 0
+	for i := 1; i < len(cycle); i += 2 {
+		gv := cycle[i]
+		if gv.Kind != GateVertex || cycle[i-1].Kind != NetVertex {
+			return 0, fmt.Errorf("graph: cycle must alternate net and gate vertices")
+		}
+		n := circuit.NetID(cycle[i-1].ID)
+		m := circuit.NetID(cycle[(i+1)%len(cycle)].ID)
+		gate := g.C.Gate(circuit.GateID(gv.ID))
+		nIsOut := gate.Output == n
+		mIsOut := gate.Output == m
+		switch {
+		case nIsOut == mIsOut:
+			// both inputs or both outputs: weight 0
+		case !nIsOut && mIsOut:
+			weight++
+		default:
+			weight--
+		}
+	}
+	return weight, nil
+}

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"udsim/internal/circuit"
+	"udsim/internal/ckttest"
+	"udsim/internal/logic"
+)
+
+func TestFig11GraphIsCyclic(t *testing.T) {
+	// Fig. 13 of the paper: the undirected network graph of Fig. 11's
+	// network (A, NOT→B, AND→C) contains one cycle.
+	c := ckttest.Fig11()
+	g := New(c)
+	// Edges: NOT: in A, out B; AND: in A, in B, out C → 5 edges,
+	// vertices: 4 nets + 2 gates = 6 → one independent cycle.
+	if len(g.Edges) != 5 {
+		t.Fatalf("got %d edges, want 5", len(g.Edges))
+	}
+	f := g.SpanningForest(nil)
+	if f.NumComponents != 1 {
+		t.Fatalf("got %d components, want 1", f.NumComponents)
+	}
+	if len(f.BackEdges) != 1 {
+		t.Fatalf("got %d back edges, want 1 (E-V+1 = 5-6+1... with 6 vertices and 5 edges",
+			len(f.BackEdges))
+	}
+}
+
+func TestComponentCycleFormula(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		c := ckttest.Random(r, 40, 5)
+		g := New(c)
+		f := g.SpanningForest(nil)
+		stats := g.Components(f)
+		total := 0
+		for _, st := range stats {
+			if st.Cycles < 0 {
+				t.Fatalf("negative cycle count: %+v", st)
+			}
+			total += st.Cycles
+		}
+		// The number of removed (back) edges must equal ΣE−V+1 over the
+		// components — the paper's formula.
+		if total != len(f.BackEdges) {
+			t.Fatalf("back edges %d != Σ(E-V+1) %d", len(f.BackEdges), total)
+		}
+		// Tree + back = all edges.
+		tree := 0
+		for _, te := range f.TreeEdge {
+			if te {
+				tree++
+			}
+		}
+		if tree+len(f.BackEdges) != len(g.Edges) {
+			t.Fatalf("tree %d + back %d != edges %d", tree, len(f.BackEdges), len(g.Edges))
+		}
+	}
+}
+
+func TestRepeatedPinIsOneEdge(t *testing.T) {
+	b := circuit.NewBuilder("rep")
+	a := b.Input("A")
+	o := b.Gate(logic.Xor, "O", a, a)
+	b.Output(o)
+	c := b.MustBuild()
+	g := New(c)
+	if len(g.Edges) != 2 { // one input edge (collapsed), one output edge
+		t.Fatalf("got %d edges, want 2", len(g.Edges))
+	}
+}
+
+func TestCycleWeightFig13(t *testing.T) {
+	// Traverse the Fig. 13 cycle A → NOT → B → AND → A. Net A feeds both
+	// gates; the NOT gate is entered from input A and left to output B
+	// (weight +1), the AND gate is entered from input B and left via
+	// input A (weight 0). Total weight 1 — the cycle forces a shift.
+	c := ckttest.Fig11()
+	g := New(c)
+	aID, _ := c.NetByName("A")
+	bID, _ := c.NetByName("B")
+	notGate := c.Net(bID).Drivers[0]
+	cID, _ := c.NetByName("C")
+	andGate := c.Net(cID).Drivers[0]
+	cycle := []Vertex{
+		{NetVertex, int32(aID)},
+		{GateVertex, int32(notGate)},
+		{NetVertex, int32(bID)},
+		{GateVertex, int32(andGate)},
+	}
+	w, err := g.CycleWeight(cycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 && w != -1 {
+		t.Errorf("cycle weight %d, want ±1", w)
+	}
+	// Reverse direction flips only the sign.
+	rev := []Vertex{cycle[0], cycle[3], cycle[2], cycle[1]}
+	w2, err := g.CycleWeight(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2 != -w {
+		t.Errorf("reversed weight %d, want %d", w2, -w)
+	}
+}
+
+func TestCycleWeightZeroCycle(t *testing.T) {
+	// Two gates sharing the same two input nets: the cycle
+	// n1–g1–n2–g2–n1 visits both gates via input/input pairs → weight 0.
+	b := circuit.NewBuilder("zw")
+	n1 := b.Input("N1")
+	n2 := b.Input("N2")
+	o1 := b.Gate(logic.And, "O1", n1, n2)
+	o2 := b.Gate(logic.Or, "O2", n1, n2)
+	b.Output(o1)
+	b.Output(o2)
+	c := b.MustBuild()
+	g := New(c)
+	g1 := c.Net(o1).Drivers[0]
+	g2 := c.Net(o2).Drivers[0]
+	cycle := []Vertex{
+		{NetVertex, int32(n1)},
+		{GateVertex, int32(g1)},
+		{NetVertex, int32(n2)},
+		{GateVertex, int32(g2)},
+	}
+	w, err := g.CycleWeight(cycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 {
+		t.Errorf("input/input cycle weight %d, want 0", w)
+	}
+}
+
+func TestCycleWeightErrors(t *testing.T) {
+	c := ckttest.Fig11()
+	g := New(c)
+	if _, err := g.CycleWeight([]Vertex{{NetVertex, 0}}); err == nil {
+		t.Error("expected odd-length error")
+	}
+	if _, err := g.CycleWeight([]Vertex{{GateVertex, 0}, {NetVertex, 0}}); err == nil {
+		t.Error("expected alternation error")
+	}
+}
+
+func TestPreferredRootsRespected(t *testing.T) {
+	c := ckttest.Fig4()
+	g := New(c)
+	e, _ := c.NetByName("E")
+	f := g.SpanningForest([]Vertex{{NetVertex, int32(e)}})
+	if len(f.Roots) == 0 || f.Roots[0] != (Vertex{NetVertex, int32(e)}) {
+		t.Errorf("roots = %v, want E first", f.Roots)
+	}
+	if f.NumComponents != 1 {
+		t.Errorf("components = %d, want 1", f.NumComponents)
+	}
+}
+
+func TestVertexString(t *testing.T) {
+	if (Vertex{NetVertex, 3}).String() != "net3" || (Vertex{GateVertex, 7}).String() != "gate7" {
+		t.Error("Vertex.String wrong")
+	}
+}

@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"udsim/internal/activity"
+	"udsim/internal/fault"
+	"udsim/internal/gen"
+	"udsim/internal/ndsim"
+	"udsim/internal/parsim"
+	"udsim/internal/pcset"
+	"udsim/internal/scoap"
+	"udsim/internal/texttable"
+)
+
+// FaultCoverage grades the full single-stuck-at fault universe of every
+// circuit against the random vector stream using 63-way parallel fault
+// simulation, and correlates the misses with SCOAP testability — an
+// extension experiment showing what the compiled lanes are for.
+func FaultCoverage(o Options) (*Result, error) {
+	o = o.withDefaults()
+	nvec := o.Vectors
+	if nvec > 1024 {
+		nvec = 1024 // coverage saturates long before 5000
+	}
+	t := texttable.New(
+		fmt.Sprintf("Fault coverage — %d random vectors, 63 faults/pass", nvec),
+		"Circuit", "Faults", "Detected", "Coverage", "MeanSCOAP det", "MeanSCOAP undet", "Time")
+	for _, name := range o.Circuits {
+		c, err := gen.ISCAS85(name)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := fault.New(c)
+		if err != nil {
+			return nil, err
+		}
+		cn := fs.Circuit()
+		sc, err := scoap.Analyze(cn)
+		if err != nil {
+			return nil, err
+		}
+		faults := fault.AllFaults(cn)
+		vecs := VectorsFor(Options{Vectors: nvec, Seed: o.Seed}, len(cn.Inputs))
+		start := time.Now()
+		res, err := fs.Run(faults, vecs.Bits)
+		if err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		mean := func(fs []fault.Fault) string {
+			var s float64
+			n := 0
+			for _, f := range fs {
+				cst := sc.Testability(f.Net, f.Kind == fault.StuckAt1)
+				if cst >= scoap.Infinity {
+					continue
+				}
+				s += float64(cst)
+				n++
+			}
+			if n == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.0f", s/float64(n))
+		}
+		var det []fault.Fault
+		for f := range res.Detected {
+			det = append(det, f)
+		}
+		t.Add(name, len(faults), len(res.Detected),
+			fmt.Sprintf("%.1f%%", 100*res.Coverage()),
+			mean(det), mean(res.Undetected), secs(el))
+	}
+	return &Result{Table: t, Notes: []string{
+		"extension: parallel stuck-at fault simulation over the LCC lanes; SCOAP",
+		"testability (higher = harder) explains which faults random patterns miss",
+	}}, nil
+}
+
+// Activity profiles switching activity under the unit-delay model and
+// reports the glitch share — the transitions a zero-delay power estimate
+// misses. The deep multiplier's glitch-heavy carry chains stand out.
+func Activity(o Options) (*Result, error) {
+	o = o.withDefaults()
+	nvec := o.Vectors
+	if nvec > 1000 {
+		nvec = 1000
+	}
+	t := texttable.New(
+		fmt.Sprintf("Switching activity — %d random vectors (unit delay)", nvec),
+		"Circuit", "Toggles", "PerNetVec", "Glitch%")
+	for _, name := range o.Circuits {
+		c, err := gen.ISCAS85(name)
+		if err != nil {
+			return nil, err
+		}
+		vecs := VectorsFor(Options{Vectors: nvec, Seed: o.Seed}, len(c.Inputs))
+		rep, err := activity.Profile(c, vecs.Bits, parsim.Config{WordBits: o.WordBits})
+		if err != nil {
+			return nil, err
+		}
+		perNV := float64(rep.TotalToggles()) / float64(int64(nvec)*int64(rep.C.NumNets()))
+		t.Add(name, rep.TotalToggles(), fmt.Sprintf("%.2f", perNV),
+			fmt.Sprintf("%.1f", 100*rep.GlitchFraction()))
+	}
+	return &Result{Table: t, Notes: []string{
+		"extension: per-net toggle counting via XOR/popcount over parallel-technique bit-fields",
+	}}, nil
+}
+
+// Timing compares unit-delay against nominal-delay event simulation (the
+// paper's "more accurate timing models" future work): total committed
+// events and settling times under three delay models.
+func Timing(o Options) (*Result, error) {
+	o = o.withDefaults()
+	nvec := o.Vectors
+	if nvec > 1000 {
+		nvec = 1000
+	}
+	t := texttable.New(
+		fmt.Sprintf("Timing-model study — %d random vectors, event counts + compiled nominal PC-set", nvec),
+		"Circuit", "UnitEvents", "FaninEvents", "TypeEvents", "MaxSettle(type)", "ndsim(type)", "pcset(type)", "parallel(type)")
+	for _, name := range o.Circuits {
+		c, err := gen.ISCAS85(name)
+		if err != nil {
+			return nil, err
+		}
+		var cells []string
+		maxSettle := 0
+		for _, dm := range []ndsim.DelayModel{ndsim.UnitDelays, ndsim.FaninDelays, ndsim.TypeDelays} {
+			s, err := ndsim.New(c, dm)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.ResetConsistent(nil); err != nil {
+				return nil, err
+			}
+			vecs := VectorsFor(Options{Vectors: nvec, Seed: o.Seed}, len(s.Circuit().Inputs))
+			maxSettle = 0 // report the final (TypeDelays) model's settling
+			for _, vec := range vecs.Bits {
+				settle, err := s.ApplyVector(vec, nil)
+				if err != nil {
+					return nil, err
+				}
+				if settle > maxSettle {
+					maxSettle = settle
+				}
+			}
+			cells = append(cells, fmt.Sprintf("%d", s.Events))
+		}
+		// Timed comparison under TypeDelays: interpreted event-driven vs
+		// the compiled nominal-delay PC-set program.
+		norm := c.Normalize()
+		delays := make([]int, norm.NumGates())
+		for i := range norm.Gates {
+			delays[i] = ndsim.TypeDelays(&norm.Gates[i])
+		}
+		ev, err := ndsim.New(norm, ndsim.TypeDelays)
+		if err != nil {
+			return nil, err
+		}
+		if err := ev.ResetConsistent(nil); err != nil {
+			return nil, err
+		}
+		vecs := VectorsFor(Options{Vectors: nvec, Seed: o.Seed}, len(norm.Inputs))
+		dEv, err := timeRun(vecs, func(vec []bool) error {
+			_, err := ev.ApplyVector(vec, nil)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		ps, err := pcset.CompileWithDelays(norm, nil, delays)
+		if err != nil {
+			return nil, err
+		}
+		if err := ps.ResetConsistent(nil); err != nil {
+			return nil, err
+		}
+		dPs, err := timeRun(vecs, ps.ApplyVector)
+		if err != nil {
+			return nil, err
+		}
+		par, err := parsim.Compile(norm, parsim.Config{WordBits: o.WordBits, Delays: delays})
+		if err != nil {
+			return nil, err
+		}
+		if err := par.ResetConsistent(nil); err != nil {
+			return nil, err
+		}
+		dPar, err := timeRun(vecs, par.ApplyVector)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(name, cells[0], cells[1], cells[2], maxSettle, secs(dEv), secs(dPs), secs(dPar))
+	}
+	return &Result{Table: t, Notes: []string{
+		"extension: nominal per-gate delays through the interpreted event simulator and",
+		"through the compiled nominal-delay PC-set program (larger PC-sets, still queue-free);",
+		"with unit delays both reproduce the paper's model exactly",
+	}}, nil
+}

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quick runs experiments at a small scale on two small circuits.
+func quick() Options {
+	return Options{
+		Circuits: []string{"c432", "c499"},
+		Vectors:  40,
+		Seed:     7,
+		WordBits: 32,
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := All(quick(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig. 19", "Fig. 20", "Fig. 21", "Fig. 22",
+		"Fig. 23", "Fig. 24", "Zero-delay", "Code size", "Data-parallel",
+		"Fault coverage", "Switching activity", "Timing-model"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "c432") || !strings.Contains(out, "c499") {
+		t.Error("circuit rows missing")
+	}
+}
+
+func TestRunByName(t *testing.T) {
+	r, err := Run("fig21", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.String(), "Path-Tracing") {
+		t.Errorf("unexpected fig21 output:\n%s", r)
+	}
+	if _, err := Run("fig99", quick()); err == nil {
+		t.Error("expected unknown-experiment error")
+	}
+}
+
+func TestFig21ShapeOnDeepCircuit(t *testing.T) {
+	// On the c6288 profile (a real multiplier), both algorithms must
+	// retain far fewer shifts than one per gate — the essence of
+	// Fig. 21's shape.
+	o := Options{Circuits: []string{"c6288"}, Vectors: 1}
+	r, err := Fig21(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.Table.Rows[0]
+	gates := atoiOrFail(t, row[1])
+	pt := atoiOrFail(t, row[2])
+	cb := atoiOrFail(t, row[3])
+	if pt >= gates {
+		t.Errorf("path tracing retained %d shifts on %d gates", pt, gates)
+	}
+	if cb >= gates {
+		t.Errorf("cycle breaking retained %d shifts on %d gates", cb, gates)
+	}
+	t.Logf("c6288: gates=%d path-trace=%d cycle-break=%d", gates, pt, cb)
+}
+
+func TestFig22PathTracingNeverWider(t *testing.T) {
+	o := Options{Vectors: 1} // all circuits; static analysis only
+	r, err := Fig22(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Table.Rows {
+		unopt := atoiOrFail(t, row[1])
+		pt := atoiOrFail(t, row[2])
+		if pt > unopt {
+			t.Errorf("%s: path tracing widened field: %d > %d", row[0], pt, unopt)
+		}
+	}
+}
+
+func TestCodeSizeShape(t *testing.T) {
+	// The PC-set method must generate more code than the parallel
+	// technique on the deep multiplier profile, dramatically so.
+	o := Options{Circuits: []string{"c6288"}, Vectors: 1}
+	r, err := CodeSize(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.Table.Rows[0]
+	pcStmts := atoiOrFail(t, row[3])
+	parStmts := atoiOrFail(t, row[4])
+	if pcStmts <= parStmts {
+		t.Errorf("PC-set stmts %d not larger than parallel %d", pcStmts, parStmts)
+	}
+	t.Logf("c6288 code size: pcset=%d parallel=%d", pcStmts, parStmts)
+}
+
+func atoiOrFail(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			t.Fatalf("not a number: %q", s)
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Vectors != 5000 || o.WordBits != 32 || len(o.Circuits) != 10 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+}

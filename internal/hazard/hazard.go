@@ -1,0 +1,102 @@
+// Package hazard analyzes unit-delay waveforms for glitches. §3 of the
+// paper notes that the parallel technique's bit-fields make hazard
+// analysis cheap, since a hazard-free response is a field of the form
+// 0…01…1 or 1…10…0 (at most one transition). This package provides both
+// the word-parallel transition counter over raw bit-fields and a
+// history-based classifier.
+package hazard
+
+import "math/bits"
+
+// Kind classifies a net's response to one input vector.
+type Kind int
+
+const (
+	// Clean means at most one transition: no hazard.
+	Clean Kind = iota
+	// Static means the net started and ended at the same value but
+	// pulsed in between (a static-0 or static-1 hazard).
+	Static
+	// Dynamic means the net changed value with extra transitions on the
+	// way (three or more transitions).
+	Dynamic
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Clean:
+		return "clean"
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	}
+	return "unknown"
+}
+
+// TransitionCount returns the number of value changes in a bit-field of
+// the given width stored LSB-first across words of wordBits logical bits.
+// It is the word-parallel form of scanning the waveform: adjacent bits
+// are XORed (with the carry bit bridging word boundaries) and ones are
+// counted.
+func TransitionCount(words []uint64, width, wordBits int) int {
+	if width <= 1 {
+		return 0
+	}
+	mask := ^uint64(0)
+	if wordBits < 64 {
+		mask = (1 << uint(wordBits)) - 1
+	}
+	total := 0
+	remaining := width - 1 // number of adjacent pairs
+	for w := 0; remaining > 0 && w < len(words); w++ {
+		f := words[w] & mask
+		var next uint64 // bit 0 of the following word
+		if w+1 < len(words) {
+			next = words[w+1] & 1
+		}
+		// Shifted-by-one view of the field within this word, with the
+		// next word's low bit entering at the top.
+		shifted := (f >> 1) | (next << uint(wordBits-1))
+		d := (f ^ shifted) & mask
+		pairs := wordBits
+		if remaining < pairs {
+			pairs = remaining
+		}
+		d &= (^uint64(0)) >> uint(64-pairs)
+		total += bits.OnesCount64(d)
+		remaining -= pairs
+	}
+	return total
+}
+
+// FromHistory counts transitions in a boolean waveform and classifies it.
+func FromHistory(h []bool) (transitions int, kind Kind) {
+	for i := 1; i < len(h); i++ {
+		if h[i] != h[i-1] {
+			transitions++
+		}
+	}
+	return transitions, Classify(h[0], h[len(h)-1], transitions)
+}
+
+// Classify maps first/last values and a transition count to a hazard
+// kind: ≤1 transition is clean; an even count >0 with equal endpoints is
+// a static hazard; an odd count >1 is a dynamic hazard.
+func Classify(first, last bool, transitions int) Kind {
+	switch {
+	case transitions <= 1:
+		return Clean
+	case first == last:
+		return Static
+	default:
+		return Dynamic
+	}
+}
+
+// Monotone reports whether a bit-field is hazard-free, i.e. of the form
+// 0…01…1 or 1…10…0 (the paper's comparison-field formulation).
+func Monotone(words []uint64, width, wordBits int) bool {
+	return TransitionCount(words, width, wordBits) <= 1
+}

@@ -1,0 +1,117 @@
+package hazard
+
+import (
+	"math/rand"
+	"testing"
+
+	"udsim/internal/ckttest"
+	"udsim/internal/parsim"
+)
+
+func TestFromHistory(t *testing.T) {
+	cases := []struct {
+		h     []bool
+		trans int
+		kind  Kind
+	}{
+		{[]bool{false, false, false}, 0, Clean},
+		{[]bool{false, true, true}, 1, Clean},
+		{[]bool{true, false, false}, 1, Clean},
+		{[]bool{false, true, false}, 2, Static},
+		{[]bool{true, false, true, true}, 2, Static},
+		{[]bool{false, true, false, true}, 3, Dynamic},
+		{[]bool{true, false, true, false, false}, 3, Dynamic},
+	}
+	for _, c := range cases {
+		tr, k := FromHistory(c.h)
+		if tr != c.trans || k != c.kind {
+			t.Errorf("FromHistory(%v) = %d,%v; want %d,%v", c.h, tr, k, c.trans, c.kind)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Clean.String() != "clean" || Static.String() != "static" ||
+		Dynamic.String() != "dynamic" || Kind(9).String() != "unknown" {
+		t.Error("Kind strings wrong")
+	}
+}
+
+// fieldFromHistory packs a waveform into words LSB-first.
+func fieldFromHistory(h []bool, wordBits int) []uint64 {
+	nw := (len(h) + wordBits - 1) / wordBits
+	words := make([]uint64, nw)
+	for i, b := range h {
+		if b {
+			words[i/wordBits] |= 1 << uint(i%wordBits)
+		}
+	}
+	return words
+}
+
+func TestTransitionCountMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, wb := range []int{8, 16, 32, 64} {
+		for trial := 0; trial < 200; trial++ {
+			width := 1 + r.Intn(100)
+			h := make([]bool, width)
+			for i := range h {
+				h[i] = r.Intn(2) == 1
+			}
+			want, _ := FromHistory(h)
+			words := fieldFromHistory(h, wb)
+			if got := TransitionCount(words, width, wb); got != want {
+				t.Fatalf("W=%d width=%d: word count %d, scalar %d (h=%v)", wb, width, got, want, h)
+			}
+		}
+	}
+}
+
+func TestTransitionCountIgnoresBitsBeyondWidth(t *testing.T) {
+	// Garbage above the valid width must not affect the count.
+	words := []uint64{0xFF} // at W=8, width 4: field 1111, garbage 1111
+	if got := TransitionCount(words, 4, 8); got != 0 {
+		t.Errorf("got %d transitions, want 0", got)
+	}
+	words = []uint64{0b11110101}
+	if got := TransitionCount(words, 4, 8); got != 3 { // 1010 → 3 transitions
+		t.Errorf("got %d transitions, want 3", got)
+	}
+}
+
+func TestMonotone(t *testing.T) {
+	if !Monotone([]uint64{0b0000}, 4, 8) || !Monotone([]uint64{0b1100}, 4, 8) ||
+		!Monotone([]uint64{0b0011}, 4, 8) {
+		t.Error("single-transition fields should be monotone")
+	}
+	if Monotone([]uint64{0b0110}, 4, 8) {
+		t.Error("pulse should not be monotone")
+	}
+}
+
+func TestGlitchDetectedOnFig11(t *testing.T) {
+	// C = AND(A, NOT A): raising A produces a classic static-0 hazard.
+	c := ckttest.Fig11()
+	s, err := parsim.Compile(c, parsim.Config{WordBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ResetConsistent([]bool{false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyVector([]bool{true}); err != nil {
+		t.Fatal(err)
+	}
+	cID, _ := s.Circuit().NetByName("C")
+	tr, kind := FromHistory(s.History(cID))
+	if kind != Static || tr != 2 {
+		t.Errorf("expected static hazard with 2 transitions, got %v with %d", kind, tr)
+	}
+	// Falling A produces no hazard on C (it stays 0).
+	if err := s.ApplyVector([]bool{false}); err != nil {
+		t.Fatal(err)
+	}
+	if _, kind := FromHistory(s.History(cID)); kind != Clean {
+		t.Errorf("falling edge should be clean, got %v", kind)
+	}
+}

@@ -1,0 +1,171 @@
+package lcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"udsim/internal/circuit"
+	"udsim/internal/ckttest"
+	"udsim/internal/logic"
+	"udsim/internal/program"
+	"udsim/internal/refsim"
+	"udsim/internal/vectors"
+)
+
+func TestFig1GeneratedCode(t *testing.T) {
+	// Fig. 1 of the paper: exactly two compiled statements, D before E.
+	s, err := Compile(ckttest.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := s.Program().Code
+	if len(code) != 2 {
+		t.Fatalf("generated %d instructions, want 2:\n%s", len(code), s.Program().Disassemble())
+	}
+	d, _ := s.Circuit().NetByName("D")
+	e, _ := s.Circuit().NetByName("E")
+	if code[0].Dst != int32(d) || code[1].Dst != int32(e) {
+		t.Errorf("levelized order violated:\n%s", s.Program().Disassemble())
+	}
+	if code[0].Op != program.OpAnd || code[1].Op != program.OpAnd {
+		t.Errorf("wrong opcodes:\n%s", s.Program().Disassemble())
+	}
+}
+
+func TestMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		c := ckttest.Random(r, 50, 6)
+		s, err := Compile(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn := s.Circuit()
+		vecs := vectors.Random(20, len(cn.Inputs), int64(trial))
+		for _, vec := range vecs.Bits {
+			if err := s.ApplyVector(vec); err != nil {
+				t.Fatal(err)
+			}
+			ref, err := refsim.Evaluate(cn, vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for n := range ref {
+				if s.Value(circuit.NetID(n)) != ref[n] {
+					t.Fatalf("trial %d net %s: lcc %v, ref %v",
+						trial, cn.Nets[n].Name, s.Value(circuit.NetID(n)), ref[n])
+				}
+			}
+		}
+	}
+}
+
+func TestLanesMatchScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	c := ckttest.Random(r, 60, 8)
+	s, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := s.Circuit()
+	vecs := vectors.Random(64, len(cn.Inputs), 5)
+	packed := vecs.Packed()
+	if err := s.ApplyLanes(packed[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Save lane values, then re-run each vector scalar and compare.
+	laneVals := make([][]bool, 64)
+	for lane := 0; lane < 64; lane++ {
+		vals := make([]bool, cn.NumNets())
+		for n := range vals {
+			vals[n] = s.LaneValue(circuit.NetID(n), lane)
+		}
+		laneVals[lane] = vals
+	}
+	for lane, vec := range vecs.Bits {
+		if err := s.ApplyVector(vec); err != nil {
+			t.Fatal(err)
+		}
+		for n := range laneVals[lane] {
+			if laneVals[lane][n] != s.Value(circuit.NetID(n)) {
+				t.Fatalf("lane %d net %d: lane %v scalar %v",
+					lane, n, laneVals[lane][n], s.Value(circuit.NetID(n)))
+			}
+		}
+	}
+}
+
+func TestMultiInputGateFolding(t *testing.T) {
+	b := circuit.NewBuilder("wide")
+	var ins []circuit.NetID
+	for i := 0; i < 5; i++ {
+		ins = append(ins, b.Input(""))
+	}
+	o := b.Gate(logic.Nand, "O", ins...)
+	b.Output(o)
+	c := b.MustBuild()
+	s, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oID, _ := s.Circuit().NetByName("O")
+	// NAND of five ones is 0; with any zero it is 1.
+	all := []bool{true, true, true, true, true}
+	if err := s.ApplyVector(all); err != nil {
+		t.Fatal(err)
+	}
+	if s.Value(oID) {
+		t.Error("NAND(1,1,1,1,1) should be 0")
+	}
+	all[2] = false
+	if err := s.ApplyVector(all); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Value(oID) {
+		t.Error("NAND with a zero input should be 1")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	c := ckttest.Fig1()
+	s, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyVector([]bool{true}); err == nil {
+		t.Error("expected width error")
+	}
+	if err := s.ApplyLanes([]uint64{1}); err == nil {
+		t.Error("expected packed width error")
+	}
+	b := circuit.NewBuilder("seq")
+	q := b.FlipFlop("Q", circuit.NoNet)
+	d := b.Gate(logic.Not, "D", q)
+	b.BindFlipFlop(q, d)
+	b.Output(d)
+	if _, err := Compile(b.MustBuild()); err == nil {
+		t.Error("expected sequential error")
+	}
+}
+
+func TestResetConsistent(t *testing.T) {
+	c := ckttest.Fig4()
+	s, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []bool{true, true, true}
+	if err := s.ResetConsistent(in); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := s.Circuit().NetByName("E")
+	if !s.Value(e) {
+		t.Error("consistent state for all-ones should set E")
+	}
+	if err := s.ResetConsistent(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Value(e) {
+		t.Error("all-zeros consistent state should clear E")
+	}
+}

@@ -1,0 +1,337 @@
+package levelize
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"udsim/internal/circuit"
+	"udsim/internal/logic"
+)
+
+// buildFig4 builds the network of the paper's Fig. 4: D = A & B, E = D & C,
+// with E monitored. PC-sets: A,B,C={0}, D={1}, E={1,2} — wait, E's driver
+// is AND(D,C), so E = union({1},{0})+1 = {1,2}.
+func buildFig4(t testing.TB) *circuit.Circuit {
+	b := circuit.NewBuilder("fig4")
+	a := b.Input("A")
+	bb := b.Input("B")
+	c := b.Input("C")
+	d := b.Gate(logic.And, "D", a, bb)
+	e := b.Gate(logic.And, "E", d, c)
+	b.Output(e)
+	return b.MustBuild()
+}
+
+func analyze(t testing.TB, c *circuit.Circuit) *Analysis {
+	a, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func pcOf(t *testing.T, a *Analysis, name string) []int {
+	t.Helper()
+	id, ok := a.C.NetByName(name)
+	if !ok {
+		t.Fatalf("net %s missing", name)
+	}
+	return a.NetPC[id]
+}
+
+func TestFig4PCSets(t *testing.T) {
+	c := buildFig4(t)
+	a := analyze(t, c)
+	want := map[string][]int{
+		"A": {0}, "B": {0}, "C": {0},
+		"D": {1},
+		"E": {1, 2},
+	}
+	for name, pc := range want {
+		if got := pcOf(t, a, name); !reflect.DeepEqual(got, pc) {
+			t.Errorf("PC(%s) = %v, want %v", name, got, pc)
+		}
+	}
+	if a.Depth != 2 || a.NumLevels() != 3 {
+		t.Errorf("depth = %d, levels = %d; want 2, 3", a.Depth, a.NumLevels())
+	}
+}
+
+func TestFig4ZeroInsertion(t *testing.T) {
+	c := buildFig4(t)
+	a := analyze(t, c)
+	a.InsertZeros(c.Outputs)
+	// D feeds the E-gate alongside C (minlevel 0); D's minlevel is 1, not
+	// minimal, so D gets a zero (the paper's Fig. 3/4 discussion).
+	if got := pcOf(t, a, "D"); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("PC(D) after zero insertion = %v, want [0 1]", got)
+	}
+	d, _ := c.NetByName("D")
+	if !a.ZeroAdded[d] {
+		t.Error("ZeroAdded[D] not set")
+	}
+	// Primary inputs already contain 0 and must not be flagged.
+	aNet, _ := c.NetByName("A")
+	if a.ZeroAdded[aNet] {
+		t.Error("primary input flagged ZeroAdded")
+	}
+	// Idempotence.
+	a.InsertZeros(c.Outputs)
+	if got := pcOf(t, a, "D"); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("InsertZeros not idempotent: %v", got)
+	}
+}
+
+func TestFig4OperandSelection(t *testing.T) {
+	c := buildFig4(t)
+	a := analyze(t, c)
+	a.InsertZeros(c.Outputs)
+	d, _ := c.NetByName("D")
+	cn, _ := c.NetByName("C")
+	// E_1 = D_0 & C_0 (paper Fig. 4).
+	if got := a.OperandTime(d, 1); got != 0 {
+		t.Errorf("operand time of D for E@1 = %d, want 0", got)
+	}
+	if got := a.OperandTime(cn, 1); got != 0 {
+		t.Errorf("operand time of C for E@1 = %d, want 0", got)
+	}
+	// E_2 = D_1 & C_0.
+	if got := a.OperandTime(d, 2); got != 1 {
+		t.Errorf("operand time of D for E@2 = %d, want 1", got)
+	}
+	if got := a.OperandTime(cn, 2); got != 0 {
+		t.Errorf("operand time of C for E@2 = %d, want 0", got)
+	}
+}
+
+func TestOperandTimePanicsWithoutZero(t *testing.T) {
+	c := buildFig4(t)
+	a := analyze(t, c)
+	d, _ := c.NetByName("D")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when no PC element below t exists")
+		}
+	}()
+	a.OperandTime(d, 1) // PC(D)={1}, nothing below 1 without zero insertion
+}
+
+func TestFig11Reconvergence(t *testing.T) {
+	// Fig. 11: B = NOT A; C = AND(A, B). PC(C) = {1, 2}.
+	b := circuit.NewBuilder("fig11")
+	a := b.Input("A")
+	nb := b.Gate(logic.Not, "B", a)
+	cc := b.Gate(logic.And, "C", a, nb)
+	b.Output(cc)
+	c := b.MustBuild()
+	an := analyze(t, c)
+	if got := pcOf(t, an, "C"); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("PC(C) = %v, want [1 2]", got)
+	}
+	if got := pcOf(t, an, "B"); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("PC(B) = %v, want [1]", got)
+	}
+}
+
+func TestConstantGate(t *testing.T) {
+	b := circuit.NewBuilder("const")
+	one := b.Gate(logic.Const1, "ONE")
+	a := b.Input("A")
+	o := b.Gate(logic.And, "O", a, one)
+	b.Output(o)
+	c := b.MustBuild()
+	an := analyze(t, c)
+	if got := pcOf(t, an, "ONE"); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("PC(ONE) = %v, want [0]", got)
+	}
+	if got := pcOf(t, an, "O"); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("PC(O) = %v, want [1]", got)
+	}
+}
+
+func TestWiredNetPCUnion(t *testing.T) {
+	// Wired net with drivers at different depths: PC is the union of the
+	// drivers' PC-sets (§2 step 4a).
+	b := circuit.NewBuilder("wired")
+	a := b.Input("A")
+	x := b.Gate(logic.Not, "X", a) // level 1
+	w := b.Net("W")
+	b.GateInto(logic.Buf, w, a) // contributes {1}
+	b.GateInto(logic.Buf, w, x) // contributes {2}
+	b.Wired(w, circuit.WiredAnd)
+	o := b.Gate(logic.Not, "O", w)
+	b.Output(o)
+	c := b.MustBuild()
+	an := analyze(t, c)
+	if got := pcOf(t, an, "W"); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("PC(W) = %v, want [1 2]", got)
+	}
+}
+
+func TestSequentialRejected(t *testing.T) {
+	b := circuit.NewBuilder("seq")
+	q := b.FlipFlop("Q", circuit.NoNet)
+	d := b.Gate(logic.Not, "D", q)
+	b.BindFlipFlop(q, d)
+	b.Output(d)
+	c := b.MustBuild()
+	if _, err := Analyze(c); err == nil {
+		t.Fatal("expected error for sequential circuit")
+	}
+}
+
+func TestLevelOrderIsLevelized(t *testing.T) {
+	c := randomDAG(rand.New(rand.NewSource(7)), 40, 5)
+	a := analyze(t, c)
+	prev := 0
+	for _, g := range a.LevelOrder {
+		l := a.GateLevel[g]
+		if l < prev {
+			t.Fatalf("LevelOrder not monotone: level %d after %d", l, prev)
+		}
+		prev = l
+	}
+	if len(a.LevelOrder) != c.NumGates() {
+		t.Fatalf("LevelOrder has %d entries, want %d", len(a.LevelOrder), c.NumGates())
+	}
+}
+
+// enumeratePathLengths returns the set of path lengths (gate counts) from
+// primary inputs to each net by brute-force DFS. Only usable on tiny
+// circuits.
+func enumeratePathLengths(c *circuit.Circuit) map[circuit.NetID]map[int]bool {
+	memo := make(map[circuit.NetID]map[int]bool)
+	var netLengths func(n circuit.NetID) map[int]bool
+	netLengths = func(n circuit.NetID) map[int]bool {
+		if m, ok := memo[n]; ok {
+			return m
+		}
+		m := make(map[int]bool)
+		memo[n] = m
+		net := c.Net(n)
+		if len(net.Drivers) == 0 {
+			m[0] = true
+			return m
+		}
+		for _, g := range net.Drivers {
+			gate := c.Gate(g)
+			if len(gate.Inputs) == 0 {
+				// Constant gate: the analyzer assigns PC {0}, same as a
+				// constant signal (§2 step 2).
+				m[0] = true
+				continue
+			}
+			for _, in := range gate.Inputs {
+				for l := range netLengths(in) {
+					m[l+1] = true
+				}
+			}
+		}
+		return m
+	}
+	for i := range c.Nets {
+		netLengths(circuit.NetID(i))
+	}
+	return memo
+}
+
+// randomDAG builds a small random DAG for property testing. Every gate
+// output is monitored, which is harmless for analysis tests.
+func randomDAG(r *rand.Rand, gates, inputs int) *circuit.Circuit {
+	b := circuit.NewBuilder("rand")
+	pool := make([]circuit.NetID, 0, gates+inputs)
+	for i := 0; i < inputs; i++ {
+		pool = append(pool, b.Input(""))
+	}
+	types := []logic.GateType{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Not, logic.Buf}
+	for i := 0; i < gates; i++ {
+		gt := types[r.Intn(len(types))]
+		nin := gt.MinInputs()
+		if gt.MaxInputs() == -1 && r.Intn(2) == 0 {
+			nin++
+		}
+		ins := make([]circuit.NetID, nin)
+		for j := range ins {
+			ins[j] = pool[r.Intn(len(pool))]
+		}
+		pool = append(pool, b.Gate(gt, "", ins...))
+	}
+	for _, id := range pool[inputs:] {
+		b.Output(id)
+	}
+	return b.MustBuild()
+}
+
+// TestPCSetEqualsPathLengths is the fundamental Lemma 1 check: the PC-set
+// of every net equals the set of path lengths from the primary inputs.
+func TestPCSetEqualsPathLengths(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		c := randomDAG(r, 12, 3)
+		a := analyze(t, c)
+		lengths := enumeratePathLengths(c)
+		for i := range c.Nets {
+			id := circuit.NetID(i)
+			got := a.NetPC[id]
+			want := lengths[id]
+			if len(got) != len(want) {
+				t.Fatalf("trial %d net %s: PC %v vs path lengths %v", trial, c.Nets[i].Name, got, keys(want))
+			}
+			for _, v := range got {
+				if !want[v] {
+					t.Fatalf("trial %d net %s: PC %v vs path lengths %v", trial, c.Nets[i].Name, got, keys(want))
+				}
+			}
+		}
+	}
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestPCBounds checks min/max consistency: minlevel = min(PC), level =
+// max(PC), PC size ≤ level − minlevel + 1.
+func TestPCBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		c := randomDAG(r, 60, 6)
+		a := analyze(t, c)
+		for i := range c.Nets {
+			pc := a.NetPC[i]
+			if a.NetMin[i] != pc[0] || a.NetLevel[i] != pc[len(pc)-1] {
+				t.Fatalf("net %d: min/level inconsistent with PC %v", i, pc)
+			}
+			if len(pc) > a.NetLevel[i]-a.NetMin[i]+1 {
+				t.Fatalf("net %d: PC size %d exceeds level-minlevel+1", i, len(pc))
+			}
+			for j := 1; j < len(pc); j++ {
+				if pc[j] <= pc[j-1] {
+					t.Fatalf("net %d: PC not strictly ascending: %v", i, pc)
+				}
+			}
+		}
+	}
+}
+
+func TestPCSizeCounts(t *testing.T) {
+	c := buildFig4(t)
+	a := analyze(t, c)
+	// A,B,C,D have one element each; E has {1,2}: total 6.
+	if got := a.PCSize(); got != 6 {
+		t.Errorf("PCSize = %d, want 6", got)
+	}
+	a2 := analyze(t, c)
+	a2.InsertZeros(c.Outputs)
+	if a2.PCSize() != a.PCSize()+1 { // the zero added to D
+		t.Errorf("PCSize after zero insertion = %d, want %d", a2.PCSize(), a.PCSize()+1)
+	}
+	if got := a.GatePCSize(); got != 3 { // D-gate 1 element, E-gate 2 elements
+		t.Errorf("GatePCSize = %d, want 3", got)
+	}
+}

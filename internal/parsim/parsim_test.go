@@ -1,0 +1,382 @@
+package parsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"udsim/internal/align"
+	"udsim/internal/circuit"
+	"udsim/internal/ckttest"
+	"udsim/internal/program"
+	"udsim/internal/vectors"
+)
+
+// checkWaveforms drives the sim with vectors from the all-zeros consistent
+// state and compares every net at every time step against the reference
+// unit-delay sweep.
+func checkWaveforms(t *testing.T, s *Sim, nvec int, seed int64) {
+	t.Helper()
+	c := s.Circuit()
+	vecs := vectors.Random(nvec, len(c.Inputs), seed)
+	hists, _, err := ckttest.Waveforms(c, vecs.Bits, s.Depth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ResetConsistent(nil); err != nil {
+		t.Fatal(err)
+	}
+	for v, vec := range vecs.Bits {
+		if err := s.ApplyVector(vec); err != nil {
+			t.Fatal(err)
+		}
+		for tm := 0; tm <= s.Depth(); tm++ {
+			for n := 0; n < c.NumNets(); n++ {
+				got := s.ValueAt(circuit.NetID(n), tm)
+				if got != hists[v][tm][n] {
+					t.Fatalf("vec %d net %s t=%d: parsim %v, ref %v (W=%d trim=%v align=%v)",
+						v, c.Nets[n].Name, tm, got, hists[v][tm][n],
+						s.cfg.WordBits, s.cfg.Trim, s.cfg.Align != nil)
+				}
+			}
+		}
+	}
+}
+
+func alignedConfig(t *testing.T, c *circuit.Circuit, method align.Method, wordBits int, trim bool) (*circuit.Circuit, Config) {
+	t.Helper()
+	norm, a, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *align.Result
+	switch method {
+	case align.MethodPathTrace:
+		res = align.PathTrace(a)
+	case align.MethodCycleBreak:
+		res = align.CycleBreak(a)
+	default:
+		t.Fatalf("bad method %v", method)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return norm, Config{WordBits: wordBits, Trim: trim, Align: res}
+}
+
+func TestFig6CodeShape(t *testing.T) {
+	// Fig. 4's network (same as Fig. 2/6): single-word fields. Per
+	// vector: 2 init statements (D and E bit-extracts), and per gate one
+	// fold plus one shift-or.
+	c := ckttest.Fig4()
+	s, err := Compile(c, Config{WordBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.WordsPerField() != 1 {
+		t.Fatalf("expected single-word fields, got %d", s.WordsPerField())
+	}
+	initP, simP := s.Programs()
+	if len(initP.Code) != 2 {
+		t.Errorf("init has %d instrs, want 2 (D and E):\n%s", len(initP.Code), initP.Disassemble())
+	}
+	for _, in := range initP.Code {
+		if in.Op != program.OpBit {
+			t.Errorf("init op %v, want bit", in.Op)
+		}
+	}
+	if len(simP.Code) != 4 {
+		t.Errorf("sim has %d instrs, want 4:\n%s", len(simP.Code), simP.Disassemble())
+	}
+	if n := s.ShiftCount(); n != 2 {
+		t.Errorf("shift count %d, want 2 (one per gate)", n)
+	}
+}
+
+func TestUnoptimizedWaveforms(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, W := range []int{8, 32, 64} {
+		for trial := 0; trial < 8; trial++ {
+			c := ckttest.Random(r, 35, 5)
+			s, err := Compile(c, Config{WordBits: W})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkWaveforms(t, s, 6, int64(trial))
+		}
+	}
+}
+
+func TestMultiWordDeepCircuit(t *testing.T) {
+	// Depth ≈ 40 at W=8 → 6-word fields, exercising carries across many
+	// word boundaries.
+	c := ckttest.Deep(40, 5)
+	for _, trim := range []bool{false, true} {
+		s, err := Compile(c, Config{WordBits: 8, Trim: trim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.WordsPerField() < 5 {
+			t.Fatalf("expected ≥5 words per field, got %d", s.WordsPerField())
+		}
+		checkWaveforms(t, s, 8, 7)
+	}
+}
+
+func TestTrimmingPreservesWaveforms(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		c := ckttest.Random(r, 60, 5)
+		s, err := Compile(c, Config{WordBits: 8, Trim: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWaveforms(t, s, 6, int64(200+trial))
+	}
+}
+
+func TestTrimmingReducesCode(t *testing.T) {
+	// A deep chain has huge PC gaps; trimming must strictly shrink the
+	// program when fields span several words.
+	c := ckttest.Deep(60, 7)
+	plain, err := Compile(c, Config{WordBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed, err := Compile(c, Config{WordBits: 8, Trim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trimmed.CodeSize() >= plain.CodeSize() {
+		t.Errorf("trimming did not reduce code: %d vs %d", trimmed.CodeSize(), plain.CodeSize())
+	}
+	// Single-word circuits must be untouched (the paper: trimming "has
+	// no effect on circuits whose bit-fields fit in a single word").
+	small := ckttest.Fig4()
+	p1, _ := Compile(small, Config{WordBits: 8})
+	p2, _ := Compile(small, Config{WordBits: 8, Trim: true})
+	if p1.CodeSize() != p2.CodeSize() {
+		t.Errorf("trimming changed a single-word circuit: %d vs %d", p1.CodeSize(), p2.CodeSize())
+	}
+}
+
+func TestPathTracingWaveforms(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for _, W := range []int{8, 32} {
+		for trial := 0; trial < 8; trial++ {
+			c := ckttest.Random(r, 45, 5)
+			norm, cfg := alignedConfig(t, c, align.MethodPathTrace, W, false)
+			s, err := Compile(norm, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkWaveforms(t, s, 6, int64(300+trial))
+		}
+	}
+}
+
+func TestPathTracingOnlyRightShifts(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 6; trial++ {
+		c := ckttest.Random(r, 50, 5)
+		norm, cfg := alignedConfig(t, c, align.MethodPathTrace, 8, false)
+		s, err := Compile(norm, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, simP := s.Programs()
+		for _, in := range simP.Code {
+			if in.Op == program.OpShlMove || in.Op == program.OpShlOr {
+				t.Fatalf("path-tracing generated a left shift:\n%s", simP.Disassemble())
+			}
+		}
+	}
+}
+
+func TestCycleBreakingWaveforms(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	for _, W := range []int{8, 32} {
+		for trial := 0; trial < 8; trial++ {
+			c := ckttest.Random(r, 45, 5)
+			norm, cfg := alignedConfig(t, c, align.MethodCycleBreak, W, false)
+			s, err := Compile(norm, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkWaveforms(t, s, 6, int64(400+trial))
+		}
+	}
+}
+
+func TestAlignedTrimmedWaveforms(t *testing.T) {
+	r := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 8; trial++ {
+		c := ckttest.Random(r, 45, 5)
+		norm, cfg := alignedConfig(t, c, align.MethodPathTrace, 8, true)
+		s, err := Compile(norm, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWaveforms(t, s, 6, int64(500+trial))
+	}
+}
+
+func TestFig10ShiftFreeChain(t *testing.T) {
+	// Fig. 10: the fanout-free network D = A&B, E = D&C needs no shifts
+	// at all after path tracing, and its code equals zero-delay LCC code.
+	c := ckttest.Fig4()
+	norm, cfg := alignedConfig(t, c, align.MethodPathTrace, 8, false)
+	s, err := Compile(norm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.ShiftCount(); n != 0 {
+		_, simP := s.Programs()
+		t.Fatalf("retained %d shifts, want 0:\n%s", n, simP.Disassemble())
+	}
+	if cfg.Align.RetainedShifts() != 0 {
+		t.Errorf("alignment reports %d retained shifts, want 0", cfg.Align.RetainedShifts())
+	}
+	// Exactly two instructions: D = A&B; E = D&C (Fig. 10's observation
+	// that the code is identical to zero-delay LCC code).
+	_, simP := s.Programs()
+	if len(simP.Code) != 2 {
+		t.Errorf("sim code has %d instrs, want 2:\n%s", len(simP.Code), simP.Disassemble())
+	}
+	checkWaveforms(t, s, 8, 77)
+}
+
+func TestFig11OneRetainedShift(t *testing.T) {
+	// Fig. 11: reconvergent fanout forces exactly one retained shift.
+	c := ckttest.Fig11()
+	norm, cfg := alignedConfig(t, c, align.MethodPathTrace, 8, false)
+	if got := cfg.Align.RetainedShifts(); got != 1 {
+		t.Errorf("path tracing retained %d shifts, want 1", got)
+	}
+	s, err := Compile(norm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWaveforms(t, s, 8, 78)
+}
+
+func TestFig12PathTraceVsCycleBreak(t *testing.T) {
+	// Fig. 12's network requires retained shifts under both algorithms;
+	// the paper notes cycle breaking can do it with a single (multi-bit)
+	// shift while path tracing uses more single-bit shifts.
+	c := ckttest.Fig12()
+	normP, cfgP := alignedConfig(t, c, align.MethodPathTrace, 8, false)
+	normC, cfgC := alignedConfig(t, c, align.MethodCycleBreak, 8, false)
+	if cfgP.Align.RetainedShifts() == 0 {
+		t.Error("path tracing should retain shifts on Fig. 12's topology")
+	}
+	if cfgC.Align.RetainedShifts() == 0 {
+		t.Error("cycle breaking should retain shifts on Fig. 12's topology")
+	}
+	for _, tc := range []struct {
+		norm *circuit.Circuit
+		cfg  Config
+	}{{normP, cfgP}, {normC, cfgC}} {
+		s, err := Compile(tc.norm, tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWaveforms(t, s, 10, 79)
+	}
+}
+
+func TestPathTracingNeverWidensFields(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		c := ckttest.Random(r, 60, 6)
+		norm, a, err := Analyze(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := align.PathTrace(a)
+		unopt := a.Depth + 1
+		if w := res.MaxWidthBits(); w > unopt {
+			t.Errorf("trial %d: path tracing widened the field: %d > %d", trial, w, unopt)
+		}
+		_ = norm
+	}
+}
+
+func TestGlitchVisibleInHistory(t *testing.T) {
+	// The classic hazard: C = AND(A, NOT A) pulses when A rises.
+	c := ckttest.Fig11()
+	s, err := Compile(c, Config{WordBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ResetConsistent([]bool{false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyVector([]bool{true}); err != nil {
+		t.Fatal(err)
+	}
+	cID, _ := s.Circuit().NetByName("C")
+	h := s.History(cID)
+	want := []bool{false, true, false}
+	for tm, w := range want {
+		if h[tm] != w {
+			t.Errorf("C at t=%d: %v, want %v (history %v)", tm, h[tm], w, h)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	b := circuit.NewBuilder("seq")
+	q := b.FlipFlop("Q", circuit.NoNet)
+	d := b.Gate(1 /* Not */, "D", q)
+	b.BindFlipFlop(q, d)
+	b.Output(d)
+	if _, err := Compile(b.MustBuild(), Config{}); err == nil {
+		t.Error("expected sequential error")
+	}
+	if _, err := Compile(ckttest.Fig4(), Config{WordBits: 13}); err == nil {
+		t.Error("expected word-width error")
+	}
+	s, err := Compile(ckttest.Fig4(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Config().WordBits != 32 {
+		t.Errorf("default word width %d, want 32", s.Config().WordBits)
+	}
+	if err := s.ApplyVector([]bool{true}); err == nil {
+		t.Error("expected width error")
+	}
+	// Alignment computed for a different circuit must be rejected.
+	_, a2, err := Analyze(ckttest.Fig11())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(ckttest.Fig4(), Config{Align: align.PathTrace(a2)}); err == nil {
+		t.Error("expected mismatched-alignment error")
+	}
+}
+
+func TestNegativeAlignmentPIHandling(t *testing.T) {
+	// A chain ending in a PO aligned at its minlevel forces the PIs to
+	// negative alignments; the previous PI value must appear in the
+	// negative-index bits, and waveforms must still be exact.
+	// Deep(10,3) reconverges the side input every third gate, so the
+	// deep chain's shortest path to the PO is far below its length and
+	// path tracing pushes the chain PI's alignment negative.
+	c := ckttest.Deep(10, 3)
+	norm, cfg := alignedConfig(t, c, align.MethodPathTrace, 8, false)
+	neg := false
+	for _, id := range norm.Inputs {
+		if cfg.Align.Net[id] < 0 {
+			neg = true
+		}
+	}
+	if !neg {
+		t.Fatal("expected negative primary-input alignments")
+	}
+	s, err := Compile(norm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWaveforms(t, s, 12, 80)
+}

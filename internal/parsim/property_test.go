@@ -1,0 +1,142 @@
+package parsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"udsim/internal/align"
+	"udsim/internal/circuit"
+	"udsim/internal/ckttest"
+	"udsim/internal/vectors"
+)
+
+// applyAll drives a sim from the consistent zero state and returns the
+// concatenated waveform of every net over every vector.
+func applyAll(t *testing.T, s *Sim, vecs [][]bool) []bool {
+	t.Helper()
+	if err := s.ResetConsistent(nil); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Circuit()
+	var out []bool
+	for _, vec := range vecs {
+		if err := s.ApplyVector(vec); err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < c.NumNets(); n++ {
+			for tm := 0; tm <= s.Depth(); tm++ {
+				out = append(out, s.ValueAt(circuit.NetID(n), tm))
+			}
+		}
+	}
+	return out
+}
+
+// TestWordWidthInvariance: the complete waveform of every net is
+// identical across every supported logical word width, for random
+// circuits and vectors.
+func TestWordWidthInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := ckttest.Random(r, 25, 4)
+		vecs := vectors.Random(4, len(c.Normalize().Inputs), seed).Bits
+		var ref []bool
+		for i, w := range []int{8, 16, 32, 64} {
+			s, err := Compile(c, Config{WordBits: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := applyAll(t, s, vecs)
+			if i == 0 {
+				ref = got
+				continue
+			}
+			if len(got) != len(ref) {
+				return false
+			}
+			for j := range got {
+				if got[j] != ref[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptimizationInvariance: trimming and both shift-elimination
+// algorithms never change any waveform — only the work done.
+func TestOptimizationInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := ckttest.Random(r, 25, 4)
+		norm, a, err := Analyze(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vecs := vectors.Random(4, len(norm.Inputs), seed).Bits
+		configs := []Config{
+			{WordBits: 8},
+			{WordBits: 8, Trim: true},
+			{WordBits: 8, Align: align.PathTrace(a)},
+			{WordBits: 8, Trim: true, Align: align.PathTrace(a)},
+			{WordBits: 8, Align: align.CycleBreak(a)},
+		}
+		var ref []bool
+		for i, cfg := range configs {
+			s, err := Compile(norm, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := applyAll(t, s, vecs)
+			if i == 0 {
+				ref = got
+				continue
+			}
+			for j := range got {
+				if got[j] != ref[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompileDeterminism: compiling the same circuit twice yields
+// identical instruction streams.
+func TestCompileDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := ckttest.Random(r, 30, 4)
+		s1, err := Compile(c, Config{WordBits: 32, Trim: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Compile(c, Config{WordBits: 32, Trim: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, p1 := s1.Programs()
+		_, p2 := s2.Programs()
+		if len(p1.Code) != len(p2.Code) {
+			return false
+		}
+		for i := range p1.Code {
+			if p1.Code[i] != p2.Code[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

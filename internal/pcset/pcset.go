@@ -1,0 +1,277 @@
+// Package pcset implements the PC-set method of compiled unit-delay
+// simulation (§2 of the paper).
+//
+// The compiler allocates one variable per element of every net's PC-set,
+// performs zero-insertion for nets that must retain their previous-vector
+// values, and generates one straight-line gate simulation per element of
+// each gate's PC-set, selecting operands by the largest-PC-element-
+// strictly-below rule (Fig. 4). The code executes once per input vector
+// and produces the complete unit-delay history of the vector.
+//
+// Because every variable is a machine word of independent bit lanes, the
+// generated code is amenable to data-parallel simulation of up to 64 input
+// vectors at once (§3 notes this as the PC-set method's advantage over the
+// parallel technique); ApplyLanes exposes that mode.
+package pcset
+
+import (
+	"fmt"
+
+	"udsim/internal/circuit"
+	"udsim/internal/levelize"
+	"udsim/internal/program"
+	"udsim/internal/refsim"
+)
+
+// Sim is a compiled PC-set unit-delay simulator.
+type Sim struct {
+	c *circuit.Circuit
+	a *levelize.Analysis
+
+	initProg *program.Program // per-vector initialization (zero moves)
+	simProg  *program.Program // gate simulations in levelized order
+
+	st   []uint64
+	vars [][]int32 // per net: state index per PC element, parallel to a.NetPC
+}
+
+// Compile builds the PC-set program for a combinational circuit. The
+// monitor set determines which nets receive zero-insertion as inputs of
+// the implicit PRINT gate and are therefore observable at every time step;
+// nil monitors the primary outputs. Wired nets are normalized away first.
+func Compile(c *circuit.Circuit, monitor []circuit.NetID) (*Sim, error) {
+	return CompileWithDelays(c, monitor, nil)
+}
+
+// CompileWithDelays generalizes the PC-set method to nominal integer gate
+// delays — the paper's closing "more accurate timing models" direction.
+// PC-sets become sets of path-delay sums (levelize.AnalyzeWithDelays) and
+// each gate simulation at potential-change time t reads its operands at
+// time t−d(g); everything else, including zero-insertion and the
+// straight-line structure, carries over unchanged. gateDelay is indexed
+// by GateID of the NORMALIZED circuit (resolution gates introduced for
+// wired nets would need delays too, so circuits with wired nets must be
+// normalized by the caller first when delays are supplied); nil means
+// unit delays. Note that the generated code remains branch-free and
+// queue-free: nominal delay costs only larger PC-sets.
+func CompileWithDelays(c *circuit.Circuit, monitor []circuit.NetID, gateDelay []int) (*Sim, error) {
+	if !c.Combinational() {
+		return nil, fmt.Errorf("pcset: circuit %s is sequential; break flip-flops first", c.Name)
+	}
+	if gateDelay != nil && c.HasWiredNets() {
+		return nil, fmt.Errorf("pcset: normalize wired nets before supplying per-gate delays")
+	}
+	c = c.Normalize()
+	a, err := levelize.AnalyzeWithDelays(c, gateDelay)
+	if err != nil {
+		return nil, err
+	}
+	if monitor == nil {
+		monitor = c.Outputs
+	}
+	a.InsertZeros(monitor)
+
+	// Allocate one variable per PC element of every net.
+	vars := make([][]int32, c.NumNets())
+	var names []string
+	next := int32(0)
+	for i := range c.Nets {
+		pc := a.NetPC[i]
+		vs := make([]int32, len(pc))
+		for j, t := range pc {
+			vs[j] = next
+			names = append(names, fmt.Sprintf("%s_%d", c.Nets[i].Name, t))
+			next++
+		}
+		vars[i] = vs
+	}
+
+	// Initialization code: for every net with an inserted zero, move the
+	// final value (the variable of the maximum PC element) into the
+	// time-zero variable (Fig. 4: "D_0 = D_1;").
+	var initCode []program.Instr
+	for i := range c.Nets {
+		if !a.ZeroAdded[i] {
+			continue
+		}
+		vs := vars[i]
+		initCode = append(initCode, program.Instr{
+			Op: program.OpMove, Dst: vs[0], A: vs[len(vs)-1], B: program.None,
+		})
+	}
+
+	// Simulation code: gates in levelized order, one simulation per gate
+	// PC element, operands selected by the strictly-below rule.
+	var simCode []program.Instr
+	srcs := make([]int32, 0, 8)
+	for _, gid := range a.LevelOrder {
+		g := c.Gate(gid)
+		out := g.Output
+		d := a.GateDelay[gid]
+		for _, t := range a.GatePC[gid] {
+			dst := varAt(a, vars, out, t)
+			srcs = srcs[:0]
+			for _, in := range g.Inputs {
+				// The output at time t is the gate function of its
+				// inputs at time t−d; each input's value then is held
+				// by its largest PC element ≤ t−d.
+				ot := a.OperandAt(in, t-d)
+				srcs = append(srcs, varAt(a, vars, in, ot))
+			}
+			simCode = program.EmitGateEval(simCode, g.Type, dst, srcs)
+		}
+	}
+
+	mk := func(code []program.Instr) *program.Program {
+		return &program.Program{WordBits: 64, NumVars: int(next), Code: code, VarNames: names}
+	}
+	s := &Sim{
+		c:        c,
+		a:        a,
+		initProg: mk(initCode),
+		simProg:  mk(simCode),
+		st:       make([]uint64, next),
+		vars:     vars,
+	}
+	if err := s.initProg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.simProg.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// varAt returns the state index of net's variable for PC element t,
+// panicking if t is not in the net's PC-set (a compiler invariant).
+func varAt(a *levelize.Analysis, vars [][]int32, net circuit.NetID, t int) int32 {
+	pc := a.NetPC[net]
+	lo, hi := 0, len(pc)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pc[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(pc) || pc[lo] != t {
+		panic(fmt.Sprintf("pcset: time %d not in PC-set %v of net %d", t, pc, net))
+	}
+	return vars[net][lo]
+}
+
+// Circuit returns the (normalized) circuit being simulated.
+func (s *Sim) Circuit() *circuit.Circuit { return s.c }
+
+// Analysis returns the levelization/PC-set analysis (after zero-insertion).
+func (s *Sim) Analysis() *levelize.Analysis { return s.a }
+
+// Programs returns the per-vector initialization and simulation programs.
+func (s *Sim) Programs() (init, sim *program.Program) { return s.initProg, s.simProg }
+
+// NumVars returns the number of generated variables (the paper's measure
+// of the PC-set method's space cost).
+func (s *Sim) NumVars() int { return len(s.st) }
+
+// CodeSize returns the total number of generated instructions.
+func (s *Sim) CodeSize() int { return len(s.initProg.Code) + len(s.simProg.Code) }
+
+// Depth returns the circuit depth in gate delays.
+func (s *Sim) Depth() int { return s.a.Depth }
+
+// ResetConsistent initializes every variable of every net to the settled
+// zero-delay state for the given input assignment (nil = all zeros), in
+// all lanes.
+func (s *Sim) ResetConsistent(inputs []bool) error {
+	if inputs == nil {
+		inputs = make([]bool, len(s.c.Inputs))
+	}
+	settled, err := refsim.Evaluate(s.c, inputs)
+	if err != nil {
+		return err
+	}
+	for i := range s.c.Nets {
+		var w uint64
+		if settled[i] {
+			w = ^uint64(0)
+		}
+		for _, v := range s.vars[i] {
+			s.st[v] = w
+		}
+	}
+	return nil
+}
+
+// ApplyVector simulates one input vector, producing the complete history
+// in the net variables. All 64 lanes carry the same vector.
+func (s *Sim) ApplyVector(inputs []bool) error {
+	if len(inputs) != len(s.c.Inputs) {
+		return fmt.Errorf("pcset: %d input values for %d primary inputs", len(inputs), len(s.c.Inputs))
+	}
+	s.initProg.Run(s.st)
+	for i, id := range s.c.Inputs {
+		var w uint64
+		if inputs[i] {
+			w = ^uint64(0)
+		}
+		s.st[s.vars[id][0]] = w
+	}
+	s.simProg.Run(s.st)
+	return nil
+}
+
+// ApplyLanes simulates up to 64 independent input vectors at once:
+// packed[i] carries one bit per vector for primary input i. Lane k of
+// every variable then holds the history of vector k. Note that lanes are
+// independent *streams*: each lane's previous-vector state is that lane's
+// own previous vector.
+func (s *Sim) ApplyLanes(packed []uint64) error {
+	if len(packed) != len(s.c.Inputs) {
+		return fmt.Errorf("pcset: %d packed inputs for %d primary inputs", len(packed), len(s.c.Inputs))
+	}
+	s.initProg.Run(s.st)
+	for i, id := range s.c.Inputs {
+		s.st[s.vars[id][0]] = packed[i]
+	}
+	s.simProg.Run(s.st)
+	return nil
+}
+
+// ValueAt returns the lane-0 value of a net at time t (0..Depth) for the
+// last applied vector. The second result is false when the value is not
+// observable, i.e. t precedes the net's first PC element and the net had
+// no zero inserted (it was not monitored).
+func (s *Sim) ValueAt(id circuit.NetID, t int) (bool, bool) {
+	v, ok := s.laneValueAt(id, t, 0)
+	return v, ok
+}
+
+// LaneValueAt is ValueAt for a specific lane.
+func (s *Sim) LaneValueAt(id circuit.NetID, t, lane int) (bool, bool) {
+	return s.laneValueAt(id, t, lane)
+}
+
+func (s *Sim) laneValueAt(id circuit.NetID, t, lane int) (bool, bool) {
+	pc := s.a.NetPC[id]
+	// Largest element ≤ t.
+	lo, hi := 0, len(pc)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pc[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return false, false
+	}
+	return s.st[s.vars[id][lo-1]]>>uint(lane)&1 == 1, true
+}
+
+// Final returns the lane-0 final value of a net (its value at time Depth).
+func (s *Sim) Final(id circuit.NetID) bool {
+	vs := s.vars[id]
+	return s.st[vs[len(vs)-1]]&1 == 1
+}

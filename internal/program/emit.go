@@ -1,0 +1,57 @@
+package program
+
+import (
+	"fmt"
+
+	"udsim/internal/logic"
+)
+
+// EmitGateEval appends instructions computing the full gate function of
+// srcs into dst (including any output inversion). dst must not alias any
+// element of srcs beyond the first two: multi-input folds accumulate into
+// dst. Returns the extended code slice.
+func EmitGateEval(code []Instr, t logic.GateType, dst int32, srcs []int32) []Instr {
+	switch t {
+	case logic.Const0:
+		return append(code, Instr{Op: OpConst0, Dst: dst, A: None, B: None})
+	case logic.Const1:
+		return append(code, Instr{Op: OpConst1, Dst: dst, A: None, B: None})
+	case logic.Buf:
+		return append(code, Instr{Op: OpMove, Dst: dst, A: srcs[0], B: None})
+	case logic.Not:
+		return append(code, Instr{Op: OpNot, Dst: dst, A: srcs[0], B: None})
+	}
+	var fused, base Op
+	switch t.Base() {
+	case logic.And:
+		base = OpAnd
+	case logic.Or:
+		base = OpOr
+	case logic.Xor:
+		base = OpXor
+	default:
+		panic(fmt.Sprintf("program: EmitGateEval: unsupported gate type %v", t))
+	}
+	switch t {
+	case logic.Nand:
+		fused = OpNand
+	case logic.Nor:
+		fused = OpNor
+	case logic.Xnor:
+		fused = OpXnor
+	default:
+		fused = base
+	}
+	if len(srcs) == 2 {
+		return append(code, Instr{Op: fused, Dst: dst, A: srcs[0], B: srcs[1]})
+	}
+	// Multi-input: fold with the base op, then invert in place if needed.
+	code = append(code, Instr{Op: base, Dst: dst, A: srcs[0], B: srcs[1]})
+	for _, s := range srcs[2:] {
+		code = append(code, Instr{Op: base, Dst: dst, A: dst, B: s})
+	}
+	if t.Inverting() {
+		code = append(code, Instr{Op: OpNot, Dst: dst, A: dst, B: None})
+	}
+	return code
+}

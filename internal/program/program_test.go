@@ -1,0 +1,229 @@
+package program
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func run(t *testing.T, w int, code []Instr, st []uint64) []uint64 {
+	t.Helper()
+	p := &Program{WordBits: w, NumVars: len(st), Code: code}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Run(st)
+	return st
+}
+
+func TestBinaryOps(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint64
+		want uint64 // at W=8
+	}{
+		{OpAnd, 0b1100, 0b1010, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0b0110},
+		{OpNand, 0b1100, 0b1010, 0xF7},
+		{OpNor, 0b1100, 0b1010, 0xF1},
+		{OpXnor, 0b1100, 0b1010, 0xF9},
+	}
+	for _, c := range cases {
+		st := run(t, 8, []Instr{{Op: c.op, Dst: 2, A: 0, B: 1}}, []uint64{c.a, c.b, 0})
+		if st[2] != c.want {
+			t.Errorf("%v: got %#x, want %#x", c.op, st[2], c.want)
+		}
+	}
+}
+
+func TestUnaryAndConstOps(t *testing.T) {
+	st := run(t, 8, []Instr{
+		{Op: OpNot, Dst: 1, A: 0, B: None},
+		{Op: OpMove, Dst: 2, A: 0, B: None},
+		{Op: OpOrMove, Dst: 3, A: 0, B: None},
+		{Op: OpConst0, Dst: 4, B: None},
+		{Op: OpConst1, Dst: 5, B: None},
+	}, []uint64{0x0F, 0, 0, 0x30, 0xFF, 0})
+	if st[1] != 0xF0 {
+		t.Errorf("not: %#x", st[1])
+	}
+	if st[2] != 0x0F {
+		t.Errorf("move: %#x", st[2])
+	}
+	if st[3] != 0x3F {
+		t.Errorf("ormove: %#x", st[3])
+	}
+	if st[4] != 0 || st[5] != 0xFF {
+		t.Errorf("consts: %#x %#x", st[4], st[5])
+	}
+}
+
+func TestMaskingRespectsWordWidth(t *testing.T) {
+	for _, w := range []int{8, 16, 32, 64} {
+		p := &Program{WordBits: w, NumVars: 2, Code: []Instr{
+			{Op: OpNot, Dst: 1, A: 0, B: None},
+		}}
+		st := []uint64{0}
+		st = append(st, 0)
+		p.Run(st)
+		if st[1] != p.Mask() {
+			t.Errorf("W=%d: NOT 0 = %#x, want %#x", w, st[1], p.Mask())
+		}
+	}
+}
+
+func TestShlOrSingleWord(t *testing.T) {
+	// Fig. 5: c |= (a & b) << 1 keeps c's low-order bit.
+	st := run(t, 8, []Instr{
+		{Op: OpAnd, Dst: 3, A: 0, B: 1},
+		{Op: OpShlOr, Dst: 2, A: 3, B: None, Sh: 1},
+	}, []uint64{0b1011, 0b1110, 0b1, 0})
+	// a&b = 0b1010, <<1 = 0b10100, OR 1 = 0b10101.
+	if st[2] != 0b10101 {
+		t.Errorf("got %#b, want 0b10101", st[2])
+	}
+}
+
+func TestShlOrCarryAcrossWords(t *testing.T) {
+	// Two-word field at W=8: the carry from the low word's top bit must
+	// become the high word's bit 0 (Fig. 8).
+	st := run(t, 8, []Instr{
+		{Op: OpShlOr, Dst: 3, A: 1, B: 0, Sh: 1}, // high word
+		{Op: OpShlOr, Dst: 2, A: 0, B: None, Sh: 1},
+	}, []uint64{0x80, 0x01, 0, 0})
+	if st[3] != 0x03 { // (0x01<<1)|carry(1)
+		t.Errorf("high word %#x, want 0x03", st[3])
+	}
+	if st[2] != 0x00 {
+		t.Errorf("low word %#x, want 0x00", st[2])
+	}
+}
+
+func TestShlMoveAndShrMove(t *testing.T) {
+	st := run(t, 8, []Instr{
+		{Op: OpShlMove, Dst: 2, A: 0, B: 1, Sh: 3},
+		{Op: OpShrMove, Dst: 3, A: 0, B: 1, Sh: 2},
+	}, []uint64{0b10110001, 0b11100000, 0, 0})
+	// shl 3: (0b10110001<<3)|(0b11100000>>5) = 0b10001000 | 0b111.
+	if st[2] != 0b10001111 {
+		t.Errorf("shlmove: %#b", st[2])
+	}
+	// shr 2: (0b10110001>>2)|(0b11100000<<6) = 0b101100 | 0b00000000 (<<6 of 0xE0 = 0x00 at 8 bits... 0xE0<<6 = 0x3800 masked = 0x00).
+	if st[3] != 0b00101100 {
+		t.Errorf("shrmove: %#b", st[3])
+	}
+}
+
+func TestFillAndBit(t *testing.T) {
+	st := run(t, 8, []Instr{
+		{Op: OpFill, Dst: 1, A: 0, B: None, Sh: 7},
+		{Op: OpFill, Dst: 2, A: 0, B: None, Sh: 0},
+		{Op: OpBit, Dst: 3, A: 0, B: None, Sh: 7},
+	}, []uint64{0x80, 0, 0xFF, 0xFF})
+	if st[1] != 0xFF {
+		t.Errorf("fill top bit: %#x", st[1])
+	}
+	if st[2] != 0x00 {
+		t.Errorf("fill bit0: %#x", st[2])
+	}
+	if st[3] != 0x01 {
+		t.Errorf("bit: %#x", st[3])
+	}
+}
+
+func TestBitReadsThenWritesSameVar(t *testing.T) {
+	// The unoptimized init "D = (D>>k)&1" targets the var it reads.
+	st := run(t, 8, []Instr{{Op: OpBit, Dst: 0, A: 0, B: None, Sh: 7}},
+		[]uint64{0xA5})
+	if st[0] != 0x01 {
+		t.Errorf("got %#x, want 1", st[0])
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Program{
+		{WordBits: 7, NumVars: 1},
+		{WordBits: 8, NumVars: 1, Code: []Instr{{Op: numOps, Dst: 0}}},
+		{WordBits: 8, NumVars: 1, Code: []Instr{{Op: OpAnd, Dst: 1, A: 0, B: 0}}},
+		{WordBits: 8, NumVars: 2, Code: []Instr{{Op: OpAnd, Dst: 0, A: 5, B: 0}}},
+		{WordBits: 8, NumVars: 2, Code: []Instr{{Op: OpAnd, Dst: 0, A: 0, B: 9}}},
+		{WordBits: 8, NumVars: 2, Code: []Instr{{Op: OpShlOr, Dst: 0, A: 1, B: None, Sh: 8}}},
+		{WordBits: 8, NumVars: 3, Code: []Instr{{Op: OpShlOr, Dst: 0, A: 1, B: 2, Sh: 0}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestValidateAcceptsNopAnywhere(t *testing.T) {
+	p := Program{WordBits: 8, NumVars: 0, Code: []Instr{{Op: OpNop, Dst: 99, A: 99, B: 99}}}
+	if err := p.Validate(); err != nil {
+		t.Errorf("nop should validate: %v", err)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := &Program{WordBits: 8, NumVars: 3, Code: []Instr{
+		{Op: OpAnd, Dst: 2, A: 0, B: 1},
+		{Op: OpShlOr, Dst: 2, A: 2, B: None, Sh: 1},
+	}, VarNames: []string{"A", "B", "C"}}
+	d := p.Disassemble()
+	for _, want := range []string{"and", "shlor", "A", "B", "C", "sh=1"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestOpCountsAndShiftCount(t *testing.T) {
+	p := &Program{WordBits: 8, NumVars: 2, Code: []Instr{
+		{Op: OpAnd, Dst: 0, A: 0, B: 1},
+		{Op: OpShlOr, Dst: 0, A: 1, B: None, Sh: 1},
+		{Op: OpShrMove, Dst: 0, A: 1, B: None, Sh: 2},
+		{Op: OpShlMove, Dst: 0, A: 1, B: None, Sh: 3},
+	}}
+	if p.ShiftCount() != 3 {
+		t.Errorf("ShiftCount = %d, want 3", p.ShiftCount())
+	}
+	counts := p.OpCounts()
+	if counts[OpAnd] != 1 || counts[OpShlOr] != 1 {
+		t.Errorf("OpCounts = %v", counts)
+	}
+}
+
+// TestShiftIdentity: (x << k) >> k recovers the low W−k bits, across word
+// widths — a property the aligned compilers rely on.
+func TestShiftIdentity(t *testing.T) {
+	f := func(x uint64, k8 uint8) bool {
+		for _, w := range []int{8, 16, 32, 64} {
+			k := uint8(int(k8) % w)
+			if k == 0 {
+				continue
+			}
+			p := &Program{WordBits: w, NumVars: 2, Code: []Instr{
+				{Op: OpShlMove, Dst: 1, A: 0, B: None, Sh: k},
+				{Op: OpShrMove, Dst: 1, A: 1, B: None, Sh: k},
+			}}
+			st := []uint64{x & p.Mask(), 0}
+			p.Run(st)
+			keep := p.Mask() >> k
+			if st[1] != st[0]&keep {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarNameFallback(t *testing.T) {
+	p := &Program{WordBits: 8, NumVars: 2}
+	if p.VarName(1) != "v1" || p.VarName(None) != "-" {
+		t.Error("VarName fallback wrong")
+	}
+}

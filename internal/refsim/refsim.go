@@ -1,0 +1,135 @@
+// Package refsim is a deliberately simple reference simulator used as the
+// correctness oracle for every compiled engine and for computing the
+// consistent initial state all engines share.
+//
+// It evaluates a combinational circuit in topological order (zero-delay
+// semantics) and, in unit-delay mode, performs a naive synchronous sweep:
+// at each time step every gate output for time t is computed from net
+// values at time t−1. The unit-delay mode is quadratic and exists only to
+// validate the fast engines on small circuits.
+package refsim
+
+import (
+	"fmt"
+
+	"udsim/internal/circuit"
+)
+
+// Evaluate computes the zero-delay steady state of a combinational circuit
+// for the given primary-input assignment (indexed like c.Inputs). Wired
+// nets resolve with their declared wired function. The result is indexed
+// by NetID.
+func Evaluate(c *circuit.Circuit, inputs []bool) ([]bool, error) {
+	if len(inputs) != len(c.Inputs) {
+		return nil, fmt.Errorf("refsim: %d input values for %d primary inputs", len(inputs), len(c.Inputs))
+	}
+	order, err := c.TopoGates()
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]bool, c.NumNets())
+	for i, id := range c.Inputs {
+		vals[id] = inputs[i]
+	}
+	resolve := makeResolver(c)
+	done := make([]int, c.NumNets()) // drivers evaluated so far
+	outBuf := make(map[circuit.NetID][]bool, 4)
+	for i := range c.Nets {
+		n := &c.Nets[i]
+		if len(n.Drivers) > 1 {
+			outBuf[n.ID] = make([]bool, 0, len(n.Drivers))
+		}
+	}
+	ins := make([]bool, 0, 8)
+	for _, gid := range order {
+		g := c.Gate(gid)
+		ins = ins[:0]
+		for _, in := range g.Inputs {
+			ins = append(ins, vals[in])
+		}
+		out := g.Type.EvalBool(ins)
+		n := c.Net(g.Output)
+		if len(n.Drivers) > 1 {
+			buf := append(outBuf[n.ID], out)
+			outBuf[n.ID] = buf
+			done[n.ID]++
+			if done[n.ID] == len(n.Drivers) {
+				vals[n.ID] = resolve(n, buf)
+			}
+		} else {
+			vals[n.ID] = out
+		}
+	}
+	return vals, nil
+}
+
+func makeResolver(c *circuit.Circuit) func(n *circuit.Net, outs []bool) bool {
+	return func(n *circuit.Net, outs []bool) bool {
+		v := outs[0]
+		for _, o := range outs[1:] {
+			if n.Wired == circuit.WiredOr {
+				v = v || o
+			} else {
+				v = v && o
+			}
+		}
+		return v
+	}
+}
+
+// UnitDelayHistory simulates one input vector under the unit-delay model
+// by naive synchronous sweeping and returns, for every net, its value at
+// every time step 0..depth. prev is the net state carried over from the
+// previous vector (indexed by NetID); the returned final state (time
+// depth) can be passed as prev for the next vector.
+//
+// Semantics: at time 0 the primary inputs take their new values and every
+// other net holds its previous value; at time t ≥ 1 each gate output takes
+// the value computed from its input values at time t−1. Wired nets resolve
+// instantaneously (the paper treats wired connections as part of the net).
+func UnitDelayHistory(c *circuit.Circuit, prev []bool, inputs []bool, depth int) ([][]bool, error) {
+	if len(inputs) != len(c.Inputs) {
+		return nil, fmt.Errorf("refsim: %d input values for %d primary inputs", len(inputs), len(c.Inputs))
+	}
+	if len(prev) != c.NumNets() {
+		return nil, fmt.Errorf("refsim: prev state has %d nets, want %d", len(prev), c.NumNets())
+	}
+	resolve := makeResolver(c)
+	hist := make([][]bool, depth+1)
+	cur := append([]bool(nil), prev...)
+	for i, id := range c.Inputs {
+		cur[id] = inputs[i]
+	}
+	hist[0] = cur
+	ins := make([]bool, 0, 8)
+	for t := 1; t <= depth; t++ {
+		next := append([]bool(nil), hist[t-1]...)
+		// Primary inputs hold; every gate recomputes from time t−1.
+		outs := make(map[circuit.NetID][]bool)
+		for gi := range c.Gates {
+			g := &c.Gates[gi]
+			ins = ins[:0]
+			for _, in := range g.Inputs {
+				ins = append(ins, hist[t-1][in])
+			}
+			v := g.Type.EvalBool(ins)
+			n := c.Net(g.Output)
+			if len(n.Drivers) > 1 {
+				outs[n.ID] = append(outs[n.ID], v)
+			} else {
+				next[n.ID] = v
+			}
+		}
+		for id, vs := range outs {
+			next[id] = resolve(c.Net(id), vs)
+		}
+		hist[t] = next
+	}
+	return hist, nil
+}
+
+// ConsistentState returns the settled zero-delay state for the given input
+// assignment: the shared "previous vector" state every engine starts from.
+func ConsistentState(c *circuit.Circuit, inputs []bool) ([]bool, error) {
+	return Evaluate(c, inputs)
+}

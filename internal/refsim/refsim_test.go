@@ -1,0 +1,139 @@
+package refsim
+
+import (
+	"testing"
+
+	"udsim/internal/circuit"
+	"udsim/internal/logic"
+)
+
+func fig4(t testing.TB) *circuit.Circuit {
+	b := circuit.NewBuilder("fig4")
+	a := b.Input("A")
+	bb := b.Input("B")
+	c := b.Input("C")
+	d := b.Gate(logic.And, "D", a, bb)
+	e := b.Gate(logic.And, "E", d, c)
+	b.Output(e)
+	return b.MustBuild()
+}
+
+func TestEvaluateTruth(t *testing.T) {
+	c := fig4(t)
+	e, _ := c.NetByName("E")
+	for mask := 0; mask < 8; mask++ {
+		in := []bool{mask&1 == 1, mask&2 == 2, mask&4 == 4}
+		vals, err := Evaluate(c, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := in[0] && in[1] && in[2]
+		if vals[e] != want {
+			t.Errorf("E(%v) = %v, want %v", in, vals[e], want)
+		}
+	}
+}
+
+func TestEvaluateWidthError(t *testing.T) {
+	c := fig4(t)
+	if _, err := Evaluate(c, []bool{true}); err == nil {
+		t.Fatal("expected width error")
+	}
+}
+
+func TestEvaluateWired(t *testing.T) {
+	for _, tc := range []struct {
+		op   circuit.WiredOp
+		want bool // for drivers 1 and 0
+	}{
+		{circuit.WiredAnd, false},
+		{circuit.WiredOr, true},
+	} {
+		b := circuit.NewBuilder("w")
+		a := b.Input("A")
+		bb := b.Input("B")
+		w := b.Net("W")
+		b.GateInto(logic.Buf, w, a)
+		b.GateInto(logic.Buf, w, bb)
+		b.Wired(w, tc.op)
+		b.Output(w)
+		c := b.MustBuild()
+		vals, err := Evaluate(c, []bool{true, false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wid, _ := c.NetByName("W")
+		if vals[wid] != tc.want {
+			t.Errorf("wired %v of (1,0) = %v, want %v", tc.op, vals[wid], tc.want)
+		}
+	}
+}
+
+func TestUnitDelayHistoryGlitch(t *testing.T) {
+	// B = NOT A; C = AND(A,B). 0→1 on A glitches C at t=1.
+	b := circuit.NewBuilder("glitch")
+	a := b.Input("A")
+	nb := b.Gate(logic.Not, "B", a)
+	cc := b.Gate(logic.And, "C", a, nb)
+	b.Output(cc)
+	c := b.MustBuild()
+	prev, err := ConsistentState(c, []bool{false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := UnitDelayHistory(c, prev, []bool{true}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cid, _ := c.NetByName("C")
+	if hist[0][cid] != false || hist[1][cid] != true || hist[2][cid] != false {
+		t.Errorf("C history = %v %v %v, want 0 1 0", hist[0][cid], hist[1][cid], hist[2][cid])
+	}
+}
+
+func TestUnitDelayHistoryHoldsWhenQuiescent(t *testing.T) {
+	c := fig4(t)
+	prev, _ := ConsistentState(c, []bool{true, true, true})
+	// Apply the identical vector: nothing may change at any time.
+	hist, err := UnitDelayHistory(c, prev, []bool{true, true, true}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tm := range hist {
+		for n := range hist[tm] {
+			if hist[tm][n] != prev[n] {
+				t.Fatalf("net %d changed at t=%d with identical vector", n, tm)
+			}
+		}
+	}
+}
+
+func TestUnitDelayHistoryErrors(t *testing.T) {
+	c := fig4(t)
+	prev := make([]bool, c.NumNets())
+	if _, err := UnitDelayHistory(c, prev, []bool{true}, 2); err == nil {
+		t.Error("expected width error")
+	}
+	if _, err := UnitDelayHistory(c, []bool{true}, []bool{true, true, true}, 2); err == nil {
+		t.Error("expected prev-state error")
+	}
+}
+
+func TestConsistentStateIsFixedPoint(t *testing.T) {
+	c := fig4(t)
+	in := []bool{true, false, true}
+	st, err := ConsistentState(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := UnitDelayHistory(c, st, in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := hist[len(hist)-1]
+	for n := range st {
+		if last[n] != st[n] {
+			t.Fatalf("consistent state is not a fixed point at net %d", n)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package scoap implements the classic SCOAP (Sandia Controllability/
+// Observability Analysis Program) testability measures for combinational
+// circuits: CC0/CC1, the cost of setting a net to 0 or 1 from the primary
+// inputs, and CO, the cost of observing a net at a primary output. The
+// measures explain the fault-simulation extension's results: faults that
+// random vectors fail to detect cluster on nets with poor SCOAP numbers.
+//
+// Conventions (Goldstein 1979): primary inputs have CC0 = CC1 = 1;
+// every gate adds 1 to the controllability of its output and to the
+// observability of its inputs; primary outputs have CO = 0. All measures
+// here are computed over the two-valued model.
+package scoap
+
+import (
+	"fmt"
+	"sort"
+
+	"udsim/internal/circuit"
+	"udsim/internal/levelize"
+	"udsim/internal/logic"
+)
+
+// Infinity marks unreachable measures (nets that cannot be controlled or
+// observed, e.g. behind constant gates).
+const Infinity = int64(1) << 40
+
+// Analysis holds the SCOAP measures for every net.
+type Analysis struct {
+	C *circuit.Circuit
+	// CC0[n] and CC1[n] are the zero/one controllabilities.
+	CC0, CC1 []int64
+	// CO[n] is the observability.
+	CO []int64
+}
+
+// Analyze computes the measures. The circuit must be combinational; wired
+// nets are normalized away.
+func Analyze(c *circuit.Circuit) (*Analysis, error) {
+	if !c.Combinational() {
+		return nil, fmt.Errorf("scoap: circuit %s is sequential; break flip-flops first", c.Name)
+	}
+	c = c.Normalize()
+	lv, err := levelize.Analyze(c)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		C:   c,
+		CC0: make([]int64, c.NumNets()),
+		CC1: make([]int64, c.NumNets()),
+		CO:  make([]int64, c.NumNets()),
+	}
+	for i := range a.CC0 {
+		a.CC0[i], a.CC1[i], a.CO[i] = Infinity, Infinity, Infinity
+	}
+	for _, id := range c.Inputs {
+		a.CC0[id], a.CC1[id] = 1, 1
+	}
+
+	// Controllability: forward pass in level order.
+	for _, gid := range lv.LevelOrder {
+		g := c.Gate(gid)
+		c0, c1 := gateControllability(a, g)
+		a.CC0[g.Output] = c0
+		a.CC1[g.Output] = c1
+	}
+
+	// Observability: backward pass in reverse level order.
+	for _, id := range c.Outputs {
+		a.CO[id] = 0
+	}
+	order := lv.LevelOrder
+	for i := len(order) - 1; i >= 0; i-- {
+		g := c.Gate(order[i])
+		coOut := a.CO[g.Output]
+		if coOut >= Infinity {
+			continue
+		}
+		for pin, in := range g.Inputs {
+			co := pinObservability(a, g, pin, coOut)
+			if co < a.CO[in] {
+				a.CO[in] = co
+			}
+		}
+	}
+	return a, nil
+}
+
+func satAdd(vals ...int64) int64 {
+	var s int64
+	for _, v := range vals {
+		if v >= Infinity {
+			return Infinity
+		}
+		s += v
+	}
+	if s >= Infinity {
+		return Infinity
+	}
+	return s
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// gateControllability computes (CC0, CC1) of a gate's output per the
+// SCOAP rules.
+func gateControllability(a *Analysis, g *circuit.Gate) (cc0, cc1 int64) {
+	ins := g.Inputs
+	sum0 := int64(0) // Σ CC0 of all inputs
+	sum1 := int64(0)
+	min0 := Infinity // cheapest single 0
+	min1 := Infinity
+	for _, in := range ins {
+		sum0 = satAdd(sum0, a.CC0[in])
+		sum1 = satAdd(sum1, a.CC1[in])
+		min0 = minI(min0, a.CC0[in])
+		min1 = minI(min1, a.CC1[in])
+	}
+	switch g.Type {
+	case logic.Const0:
+		return 0, Infinity
+	case logic.Const1:
+		return Infinity, 0
+	case logic.Buf:
+		return satAdd(a.CC0[ins[0]], 1), satAdd(a.CC1[ins[0]], 1)
+	case logic.Not:
+		return satAdd(a.CC1[ins[0]], 1), satAdd(a.CC0[ins[0]], 1)
+	case logic.And:
+		return satAdd(min0, 1), satAdd(sum1, 1)
+	case logic.Nand:
+		return satAdd(sum1, 1), satAdd(min0, 1)
+	case logic.Or:
+		return satAdd(sum0, 1), satAdd(min1, 1)
+	case logic.Nor:
+		return satAdd(min1, 1), satAdd(sum0, 1)
+	case logic.Xor, logic.Xnor:
+		// Parity: cost of producing even/odd parity is the cheapest
+		// assignment over input combinations; the standard 2-input rule
+		// generalized greedily: choose per input the cheaper polarity,
+		// then fix parity by flipping the input with the smallest
+		// polarity-swap cost.
+		even, swap := int64(0), Infinity
+		for _, in := range ins {
+			lo, hi := a.CC0[in], a.CC1[in]
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			even = satAdd(even, lo)
+			if hi < Infinity {
+				swap = minI(swap, hi-lo)
+			}
+		}
+		// evenCost: cheapest assignment (any parity); flipping one input
+		// changes parity at cost `swap`.
+		cheap := even
+		flipped := satAdd(even, swap)
+		// Determine which parity the cheap assignment produces.
+		ones := 0
+		for _, in := range ins {
+			if a.CC1[in] < a.CC0[in] {
+				ones++
+			}
+		}
+		cheapParity := ones % 2 // 1 = odd number of ones
+		var cOdd, cEven int64
+		if cheapParity == 1 {
+			cOdd, cEven = cheap, flipped
+		} else {
+			cEven, cOdd = cheap, flipped
+		}
+		// XOR output is 1 on odd parity; XNOR on even.
+		if g.Type == logic.Xor {
+			return satAdd(cEven, 1), satAdd(cOdd, 1)
+		}
+		return satAdd(cOdd, 1), satAdd(cEven, 1)
+	}
+	return Infinity, Infinity
+}
+
+// pinObservability computes the observability of input pin `pin` of gate
+// g, given the gate output's observability.
+func pinObservability(a *Analysis, g *circuit.Gate, pin int, coOut int64) int64 {
+	switch g.Type {
+	case logic.Buf, logic.Not:
+		return satAdd(coOut, 1)
+	case logic.And, logic.Nand:
+		// Other inputs must be 1.
+		cost := int64(0)
+		for j, in := range g.Inputs {
+			if j != pin {
+				cost = satAdd(cost, a.CC1[in])
+			}
+		}
+		return satAdd(coOut, cost, 1)
+	case logic.Or, logic.Nor:
+		cost := int64(0)
+		for j, in := range g.Inputs {
+			if j != pin {
+				cost = satAdd(cost, a.CC0[in])
+			}
+		}
+		return satAdd(coOut, cost, 1)
+	case logic.Xor, logic.Xnor:
+		// Other inputs must be set to anything known: cheapest polarity.
+		cost := int64(0)
+		for j, in := range g.Inputs {
+			if j != pin {
+				cost = satAdd(cost, minI(a.CC0[in], a.CC1[in]))
+			}
+		}
+		return satAdd(coOut, cost, 1)
+	}
+	return Infinity
+}
+
+// Testability returns the combined detect cost of a stuck-at fault on a
+// net: controlling the net to the opposite value plus observing it.
+func (a *Analysis) Testability(n circuit.NetID, stuckAt1 bool) int64 {
+	if stuckAt1 {
+		return satAdd(a.CC0[n], a.CO[n]) // must drive 0 to expose sa1
+	}
+	return satAdd(a.CC1[n], a.CO[n])
+}
+
+// HardestNets returns the k nets with the highest combined testability
+// cost (max over both fault polarities), descending — the random-pattern-
+// resistant corners of the circuit.
+func (a *Analysis) HardestNets(k int) []circuit.NetID {
+	ids := make([]circuit.NetID, a.C.NumNets())
+	for i := range ids {
+		ids[i] = circuit.NetID(i)
+	}
+	cost := func(n circuit.NetID) int64 {
+		c := a.Testability(n, false)
+		if c2 := a.Testability(n, true); c2 > c {
+			c = c2
+		}
+		return c
+	}
+	sort.Slice(ids, func(x, y int) bool {
+		cx, cy := cost(ids[x]), cost(ids[y])
+		if cx != cy {
+			return cx > cy
+		}
+		return ids[x] < ids[y]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}

@@ -1,0 +1,215 @@
+package scoap
+
+import (
+	"math/rand"
+	"testing"
+
+	"udsim/internal/circuit"
+	"udsim/internal/ckttest"
+	"udsim/internal/fault"
+	"udsim/internal/gen"
+	"udsim/internal/logic"
+	"udsim/internal/vectors"
+)
+
+func analyze(t *testing.T, c *circuit.Circuit) *Analysis {
+	t.Helper()
+	a, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestHandComputedAnd(t *testing.T) {
+	// O = AND(a, b): CC0 = min(1,1)+1 = 2, CC1 = 1+1+1 = 3.
+	// CO(a) = CO(O) + CC1(b) + 1 = 0+1+1 = 2.
+	b := circuit.NewBuilder("and")
+	a := b.Input("a")
+	bb := b.Input("b")
+	o := b.Gate(logic.And, "o", a, bb)
+	b.Output(o)
+	an := analyze(t, b.MustBuild())
+	oID, _ := an.C.NetByName("o")
+	aID, _ := an.C.NetByName("a")
+	if an.CC0[oID] != 2 || an.CC1[oID] != 3 {
+		t.Errorf("AND out CC = (%d,%d), want (2,3)", an.CC0[oID], an.CC1[oID])
+	}
+	if an.CO[oID] != 0 {
+		t.Errorf("output CO = %d, want 0", an.CO[oID])
+	}
+	if an.CO[aID] != 2 {
+		t.Errorf("CO(a) = %d, want 2", an.CO[aID])
+	}
+}
+
+func TestHandComputedChainAndDuals(t *testing.T) {
+	// x = NOT a: CC0(x) = CC1(a)+1 = 2; CC1(x) = 2.
+	// y = NOR(x, b): CC1(y) = min CC0 +1? NOR: CC1 = ΣCC0+1... check
+	// against the dual forms.
+	b := circuit.NewBuilder("c")
+	a := b.Input("a")
+	bb := b.Input("b")
+	x := b.Gate(logic.Not, "x", a)
+	y := b.Gate(logic.Nor, "y", x, bb)
+	b.Output(y)
+	an := analyze(t, b.MustBuild())
+	xID, _ := an.C.NetByName("x")
+	yID, _ := an.C.NetByName("y")
+	if an.CC0[xID] != 2 || an.CC1[xID] != 2 {
+		t.Errorf("NOT CC = (%d,%d), want (2,2)", an.CC0[xID], an.CC1[xID])
+	}
+	// NOR: CC1 = min over inputs... no: NOR output is 1 iff all inputs 0:
+	// CC1 = ΣCC0+1 = (2+1)+1 = 4; CC0 = min CC1 +1 = min(2,1)+1 = 2.
+	if an.CC1[yID] != 4 || an.CC0[yID] != 2 {
+		t.Errorf("NOR CC = (%d,%d), want (2,4)", an.CC0[yID], an.CC1[yID])
+	}
+}
+
+func TestXorMatchesStandardTwoInputRule(t *testing.T) {
+	// Feed the XOR with inputs of asymmetric controllability through
+	// AND/OR stages and compare with the textbook two-input rule.
+	b := circuit.NewBuilder("x")
+	a := b.Input("a")
+	bb := b.Input("b")
+	cc := b.Input("c")
+	dd := b.Input("d")
+	p := b.Gate(logic.And, "p", a, bb) // CC0=2, CC1=3
+	q := b.Gate(logic.Or, "q", cc, dd) // CC0=3, CC1=2
+	x := b.Gate(logic.Xor, "x", p, q)
+	b.Output(x)
+	an := analyze(t, b.MustBuild())
+	pID, _ := an.C.NetByName("p")
+	qID, _ := an.C.NetByName("q")
+	xID, _ := an.C.NetByName("x")
+	wantCC1 := minI(an.CC1[pID]+an.CC0[qID], an.CC0[pID]+an.CC1[qID]) + 1
+	wantCC0 := minI(an.CC0[pID]+an.CC0[qID], an.CC1[pID]+an.CC1[qID]) + 1
+	if an.CC1[xID] != wantCC1 || an.CC0[xID] != wantCC0 {
+		t.Errorf("XOR CC = (%d,%d), want (%d,%d)", an.CC0[xID], an.CC1[xID], wantCC0, wantCC1)
+	}
+}
+
+func TestConstantsAreUncontrollable(t *testing.T) {
+	b := circuit.NewBuilder("k")
+	a := b.Input("a")
+	one := b.Gate(logic.Const1, "one")
+	o := b.Gate(logic.And, "o", a, one)
+	b.Output(o)
+	an := analyze(t, b.MustBuild())
+	oneID, _ := an.C.NetByName("one")
+	if an.CC1[oneID] != 0 || an.CC0[oneID] < Infinity {
+		t.Errorf("const1 CC = (%d,%d)", an.CC0[oneID], an.CC1[oneID])
+	}
+	// o stuck-at-1 requires controlling o to 0 — possible via a. But
+	// one/sa0... testing one to 1 is free; observing it costs.
+	if an.Testability(oneID, false) >= Infinity {
+		t.Error("sa0 on const-1 net should be testable")
+	}
+	if an.Testability(oneID, true) < Infinity {
+		t.Error("sa1 on const-1 net must be untestable")
+	}
+}
+
+func TestDeeperNetsHarder(t *testing.T) {
+	// Along a chain, controllability cost grows monotonically.
+	c := ckttest.Deep(12, 0)
+	an := analyze(t, c)
+	var prev int64 = -1
+	id, _ := an.C.NetByName("A")
+	cur := id
+	for {
+		cost := minI(an.CC0[cur], an.CC1[cur])
+		if cost <= prev {
+			t.Fatalf("controllability did not grow along the chain at net %d", cur)
+		}
+		prev = cost
+		n := an.C.Net(cur)
+		if len(n.Fanout) == 0 {
+			break
+		}
+		cur = an.C.Gate(n.Fanout[0]).Output
+	}
+}
+
+// TestSCOAPPredictsUndetectedFaults is the payoff test: faults that 128
+// random vectors miss must have a significantly higher mean SCOAP detect
+// cost than faults that are caught.
+func TestSCOAPPredictsUndetectedFaults(t *testing.T) {
+	c, err := gen.ISCAS85("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := fault.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := fs.Circuit()
+	an := analyze(t, cn)
+	faults := fault.AllFaults(cn)
+	vecs := vectors.Random(128, len(cn.Inputs), 1990).Bits
+	res, err := fs.Run(faults, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Undetected) == 0 {
+		t.Skip("everything detected; nothing to compare")
+	}
+	mean := func(fs []fault.Fault) float64 {
+		var s float64
+		n := 0
+		for _, f := range fs {
+			c := an.Testability(f.Net, f.Kind == fault.StuckAt1)
+			if c >= Infinity {
+				continue // untestable faults have no finite cost
+			}
+			s += float64(c)
+			n++
+		}
+		if n == 0 {
+			return 0
+		}
+		return s / float64(n)
+	}
+	var detected []fault.Fault
+	for f := range res.Detected {
+		detected = append(detected, f)
+	}
+	mDet, mUndet := mean(detected), mean(res.Undetected)
+	t.Logf("mean SCOAP detect cost: detected %.1f, undetected %.1f", mDet, mUndet)
+	if mUndet <= mDet {
+		t.Errorf("SCOAP failed to separate: undetected %.1f ≤ detected %.1f", mUndet, mDet)
+	}
+}
+
+func TestHardestNets(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	c := ckttest.Random(r, 40, 5)
+	an := analyze(t, c)
+	hard := an.HardestNets(5)
+	if len(hard) != 5 {
+		t.Fatalf("got %d nets", len(hard))
+	}
+	cost := func(n circuit.NetID) int64 {
+		c0 := an.Testability(n, false)
+		if c1 := an.Testability(n, true); c1 > c0 {
+			return c1
+		}
+		return c0
+	}
+	for i := 1; i < len(hard); i++ {
+		if cost(hard[i-1]) < cost(hard[i]) {
+			t.Fatal("HardestNets not sorted")
+		}
+	}
+}
+
+func TestSequentialRejected(t *testing.T) {
+	b := circuit.NewBuilder("seq")
+	q := b.FlipFlop("Q", circuit.NoNet)
+	d := b.Gate(logic.Not, "D", q)
+	b.BindFlipFlop(q, d)
+	b.Output(d)
+	if _, err := Analyze(b.MustBuild()); err == nil {
+		t.Fatal("expected error")
+	}
+}

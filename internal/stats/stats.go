@@ -1,0 +1,122 @@
+// Package stats computes circuit and compilation statistics: the static
+// quantities reported alongside the paper's timing tables (gate counts,
+// level counts, PC-set sizes, generated-code sizes, words per bit-field,
+// retained shifts).
+package stats
+
+import (
+	"sort"
+
+	"udsim/internal/circuit"
+	"udsim/internal/levelize"
+	"udsim/internal/logic"
+)
+
+// Circuit summarizes one combinational circuit's static shape.
+type Circuit struct {
+	Name    string
+	Gates   int
+	Nets    int
+	Inputs  int
+	Outputs int
+	// Levels is depth+1: the unoptimized parallel technique's bit-field
+	// width in bits.
+	Levels int
+	// WordsPerField is the field size in machine words at the given
+	// word width.
+	WordsPerField int
+
+	// PCTotal is the total number of PC-set elements over all nets (the
+	// PC-set method's variable count before zero insertion); PCMax the
+	// largest single PC-set; PCAvg the mean.
+	PCTotal int
+	PCMax   int
+	PCAvg   float64
+
+	// GateSims is the number of gate simulations the PC-set method
+	// generates (ΣgatePC sizes).
+	GateSims int
+
+	// TypeCounts histograms the gate types.
+	TypeCounts map[logic.GateType]int
+
+	// MaxFanin and MaxFanout describe connectivity.
+	MaxFanin  int
+	MaxFanout int
+}
+
+// Analyze computes statistics for a circuit at the given logical word
+// width (the paper uses 32).
+func Analyze(c *circuit.Circuit, a *levelize.Analysis, wordBits int) Circuit {
+	s := Circuit{
+		Name:       c.Name,
+		Gates:      c.NumGates(),
+		Nets:       c.NumNets(),
+		Inputs:     len(c.Inputs),
+		Outputs:    len(c.Outputs),
+		Levels:     a.Depth + 1,
+		TypeCounts: map[logic.GateType]int{},
+	}
+	s.WordsPerField = (s.Levels + wordBits - 1) / wordBits
+	for _, pc := range a.NetPC {
+		s.PCTotal += len(pc)
+		if len(pc) > s.PCMax {
+			s.PCMax = len(pc)
+		}
+	}
+	if len(a.NetPC) > 0 {
+		s.PCAvg = float64(s.PCTotal) / float64(len(a.NetPC))
+	}
+	s.GateSims = a.GatePCSize()
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		s.TypeCounts[g.Type]++
+		if len(g.Inputs) > s.MaxFanin {
+			s.MaxFanin = len(g.Inputs)
+		}
+	}
+	for i := range c.Nets {
+		if f := len(c.Nets[i].Fanout); f > s.MaxFanout {
+			s.MaxFanout = f
+		}
+	}
+	return s
+}
+
+// PCHistogram returns the distribution of PC-set sizes: result[k] is the
+// number of nets whose PC-set has k elements, as a sorted slice of
+// (size, count) pairs.
+func PCHistogram(a *levelize.Analysis) [][2]int {
+	m := map[int]int{}
+	for _, pc := range a.NetPC {
+		m[len(pc)]++
+	}
+	sizes := make([]int, 0, len(m))
+	for k := range m {
+		sizes = append(sizes, k)
+	}
+	sort.Ints(sizes)
+	out := make([][2]int, len(sizes))
+	for i, k := range sizes {
+		out[i] = [2]int{k, m[k]}
+	}
+	return out
+}
+
+// FanoutHistogram returns (fanout, count) pairs over all nets.
+func FanoutHistogram(c *circuit.Circuit) [][2]int {
+	m := map[int]int{}
+	for i := range c.Nets {
+		m[len(c.Nets[i].Fanout)]++
+	}
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([][2]int, len(keys))
+	for i, k := range keys {
+		out[i] = [2]int{k, m[k]}
+	}
+	return out
+}

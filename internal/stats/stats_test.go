@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"testing"
+
+	"udsim/internal/ckttest"
+	"udsim/internal/levelize"
+	"udsim/internal/logic"
+)
+
+func TestAnalyzeFig4(t *testing.T) {
+	c := ckttest.Fig4()
+	a, err := levelize.Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Analyze(c, a, 32)
+	if s.Gates != 2 || s.Nets != 5 || s.Inputs != 3 || s.Outputs != 1 {
+		t.Errorf("shape wrong: %+v", s)
+	}
+	if s.Levels != 3 || s.WordsPerField != 1 {
+		t.Errorf("levels/words wrong: %+v", s)
+	}
+	// PC sets: A,B,C,D = 1 each; E = 2 → total 6, max 2, avg 1.2.
+	if s.PCTotal != 6 || s.PCMax != 2 {
+		t.Errorf("PC stats wrong: %+v", s)
+	}
+	if s.PCAvg < 1.19 || s.PCAvg > 1.21 {
+		t.Errorf("PCAvg = %v", s.PCAvg)
+	}
+	if s.GateSims != 3 {
+		t.Errorf("GateSims = %d, want 3", s.GateSims)
+	}
+	if s.TypeCounts[logic.And] != 2 {
+		t.Errorf("TypeCounts = %v", s.TypeCounts)
+	}
+	if s.MaxFanin != 2 || s.MaxFanout != 1 {
+		t.Errorf("fanin/fanout wrong: %+v", s)
+	}
+}
+
+func TestWordsPerFieldBoundary(t *testing.T) {
+	// Depth 31 → 32 levels → exactly one 32-bit word; depth 32 → two.
+	c := ckttest.Deep(31, 0)
+	a, _ := levelize.Analyze(c)
+	if got := Analyze(c, a, 32).WordsPerField; got != 1 {
+		t.Errorf("32 levels → %d words, want 1", got)
+	}
+	c2 := ckttest.Deep(32, 0)
+	a2, _ := levelize.Analyze(c2)
+	if got := Analyze(c2, a2, 32).WordsPerField; got != 2 {
+		t.Errorf("33 levels → %d words, want 2", got)
+	}
+}
+
+func TestPCHistogram(t *testing.T) {
+	c := ckttest.Fig4()
+	a, _ := levelize.Analyze(c)
+	h := PCHistogram(a)
+	// 4 nets with |PC|=1, 1 net with |PC|=2.
+	if len(h) != 2 || h[0] != [2]int{1, 4} || h[1] != [2]int{2, 1} {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestFanoutHistogram(t *testing.T) {
+	c := ckttest.Fig4()
+	h := FanoutHistogram(c)
+	// E has fanout 0; A,B,C,D have fanout 1.
+	if len(h) != 2 || h[0] != [2]int{0, 1} || h[1] != [2]int{1, 4} {
+		t.Errorf("histogram = %v", h)
+	}
+}

@@ -1,0 +1,52 @@
+package texttable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRendering(t *testing.T) {
+	tb := New("Fig. X", "Circuit", "Time", "Speedup")
+	tb.Add("c432", 12, 3.14159)
+	tb.Add("c6288", "369.3", 10)
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	if lines[0] != "Fig. X" {
+		t.Errorf("title line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "Circuit") || !strings.Contains(lines[1], "Speedup") {
+		t.Errorf("header line %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "3.14") {
+		t.Errorf("float formatting: %q", lines[3])
+	}
+	// Right-aligned numeric columns: the number ends where the header ends.
+	if !strings.HasPrefix(lines[3], "c432 ") {
+		t.Errorf("first column not left aligned: %q", lines[3])
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tb := New("", "A", "B")
+	tb.Add("only")
+	s := tb.String()
+	if !strings.Contains(s, "only") {
+		t.Errorf("missing cell:\n%s", s)
+	}
+	if strings.HasPrefix(s, "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}
+
+func TestColumnsWiden(t *testing.T) {
+	tb := New("", "X", "Y")
+	tb.Add("aVeryLongCellValue", 1)
+	s := tb.String()
+	lines := strings.Split(s, "\n")
+	if len(lines[0]) < len("aVeryLongCellValue") {
+		t.Errorf("header row did not widen: %q", lines[0])
+	}
+}

@@ -1,0 +1,169 @@
+// Package vcd writes unit-delay waveforms as IEEE 1364 Value Change Dump
+// files, the interchange format every waveform viewer reads. One VCD time
+// unit is one gate delay; each applied input vector advances the time axis
+// by the circuit depth plus one.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"udsim/internal/circuit"
+)
+
+// Tracer is the subset of engine behaviour the writer needs: the same
+// shape as the facade's Tracer plus depth and circuit access.
+type Tracer interface {
+	Circuit() *circuit.Circuit
+	Depth() int
+	ValueAt(n circuit.NetID, t int) (bool, bool)
+}
+
+// Writer streams waveforms for a fixed set of nets.
+type Writer struct {
+	w     *bufio.Writer
+	nets  []circuit.NetID
+	codes []string
+	last  []int8 // -1 unknown, 0, 1
+	time  int
+	depth int
+	hdr   bool
+	src   Tracer
+}
+
+// New creates a writer dumping the given nets (nil = the circuit's
+// primary inputs and outputs).
+func New(w io.Writer, src Tracer, nets []circuit.NetID) *Writer {
+	c := src.Circuit()
+	if nets == nil {
+		nets = append(append([]circuit.NetID(nil), c.Inputs...), c.Outputs...)
+		sort.Slice(nets, func(i, j int) bool { return nets[i] < nets[j] })
+		nets = dedupe(nets)
+	}
+	vw := &Writer{
+		w:     bufio.NewWriter(w),
+		nets:  nets,
+		codes: make([]string, len(nets)),
+		last:  make([]int8, len(nets)),
+		depth: src.Depth(),
+		src:   src,
+	}
+	for i := range vw.last {
+		vw.last[i] = -1
+	}
+	for i := range nets {
+		vw.codes[i] = idCode(i)
+	}
+	return vw
+}
+
+func dedupe(ids []circuit.NetID) []circuit.NetID {
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// idCode produces the compact printable identifiers VCD uses (!, ", #…).
+func idCode(i int) string {
+	const lo, hi = 33, 127
+	var b []byte
+	for {
+		b = append(b, byte(lo+i%(hi-lo)))
+		i /= (hi - lo)
+		if i == 0 {
+			break
+		}
+		i--
+	}
+	return string(b)
+}
+
+// Header emits the declaration section. It is called automatically by the
+// first DumpVector.
+func (vw *Writer) Header() error {
+	if vw.hdr {
+		return nil
+	}
+	vw.hdr = true
+	c := vw.src.Circuit()
+	fmt.Fprintf(vw.w, "$date udsim $end\n")
+	fmt.Fprintf(vw.w, "$version udsim unit-delay compiled simulation $end\n")
+	fmt.Fprintf(vw.w, "$timescale 1ns $end\n")
+	fmt.Fprintf(vw.w, "$scope module %s $end\n", sanitize(c.Name))
+	for i, id := range vw.nets {
+		fmt.Fprintf(vw.w, "$var wire 1 %s %s $end\n", vw.codes[i], sanitize(c.Net(id).Name))
+	}
+	fmt.Fprintf(vw.w, "$upscope $end\n$enddefinitions $end\n")
+	return vw.w.Flush()
+}
+
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if ch == ' ' || ch == '$' {
+			ch = '_'
+		}
+		out = append(out, ch)
+	}
+	if len(out) == 0 {
+		return "_"
+	}
+	return string(out)
+}
+
+// DumpVector appends the waveform of the engine's last applied vector to
+// the dump: depth+1 time steps, change-compressed per VCD convention.
+func (vw *Writer) DumpVector() error {
+	if err := vw.Header(); err != nil {
+		return err
+	}
+	for t := 0; t <= vw.depth; t++ {
+		wroteTime := false
+		for i, id := range vw.nets {
+			v, ok := vw.src.ValueAt(id, t)
+			var cur int8
+			switch {
+			case !ok:
+				cur = -1
+			case v:
+				cur = 1
+			default:
+				cur = 0
+			}
+			if cur == vw.last[i] {
+				continue
+			}
+			if !wroteTime {
+				fmt.Fprintf(vw.w, "#%d\n", vw.time+t)
+				wroteTime = true
+			}
+			switch cur {
+			case -1:
+				fmt.Fprintf(vw.w, "x%s\n", vw.codes[i])
+			case 0:
+				fmt.Fprintf(vw.w, "0%s\n", vw.codes[i])
+			default:
+				fmt.Fprintf(vw.w, "1%s\n", vw.codes[i])
+			}
+			vw.last[i] = cur
+		}
+	}
+	vw.time += vw.depth + 1
+	return vw.w.Flush()
+}
+
+// Close flushes the dump and emits the final timestamp.
+func (vw *Writer) Close() error {
+	if err := vw.Header(); err != nil {
+		return err
+	}
+	fmt.Fprintf(vw.w, "#%d\n", vw.time)
+	return vw.w.Flush()
+}

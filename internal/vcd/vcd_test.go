@@ -1,0 +1,132 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+
+	"udsim/internal/circuit"
+	"udsim/internal/ckttest"
+	"udsim/internal/parsim"
+)
+
+type tracer struct{ s *parsim.Sim }
+
+func (t tracer) Circuit() *circuit.Circuit { return t.s.Circuit() }
+func (t tracer) Depth() int                { return t.s.Depth() }
+func (t tracer) ValueAt(n circuit.NetID, tm int) (bool, bool) {
+	return t.s.ValueAt(n, tm), true
+}
+
+func TestDumpGlitch(t *testing.T) {
+	c := ckttest.Fig11()
+	s, err := parsim.Compile(c, parsim.Config{WordBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ResetConsistent([]bool{false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyVector([]bool{true}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	w := New(&b, tracer{s}, nil)
+	if err := w.DumpVector(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"$enddefinitions $end",
+		"$var wire 1 ! A $end",
+		"$scope module fig11 $end",
+		"#0", "#1", "#2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// The glitch on C must appear: a 1<code> line at #1 and a 0<code>
+	// line at #2 for C's identifier.
+	cID, _ := s.Circuit().NetByName("C")
+	code := ""
+	for i, id := range New(&strings.Builder{}, tracer{s}, nil).nets {
+		if id == cID {
+			code = idCode(i)
+		}
+	}
+	if code == "" {
+		t.Fatal("C not among dumped nets")
+	}
+	if !strings.Contains(out, "1"+code) || !strings.Contains(out, "0"+code) {
+		t.Errorf("glitch transitions missing for code %q:\n%s", code, out)
+	}
+}
+
+func TestChangeCompression(t *testing.T) {
+	c := ckttest.Fig4()
+	s, err := parsim.Compile(c, parsim.Config{WordBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ResetConsistent(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyVector([]bool{false, false, false}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	w := New(&b, tracer{s}, nil)
+	if err := w.DumpVector(); err != nil {
+		t.Fatal(err)
+	}
+	first := b.Len()
+	// A second identical vector adds no value changes, only time passes.
+	if err := s.ApplyVector([]bool{false, false, false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DumpVector(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != first {
+		t.Errorf("identical vector emitted changes:\n%s", b.String()[first:])
+	}
+}
+
+func TestExplicitNetSelection(t *testing.T) {
+	c := ckttest.Fig4()
+	s, _ := parsim.Compile(c, parsim.Config{WordBits: 8})
+	_ = s.ResetConsistent(nil)
+	_ = s.ApplyVector([]bool{true, true, true})
+	d, _ := s.Circuit().NetByName("D")
+	var b strings.Builder
+	w := New(&b, tracer{s}, []circuit.NetID{d})
+	if err := w.DumpVector(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, " D ") {
+		t.Errorf("selected net missing:\n%s", out)
+	}
+	if strings.Contains(out, " E ") {
+		t.Errorf("unselected net present:\n%s", out)
+	}
+}
+
+func TestIDCodesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 20000; i++ {
+		c := idCode(i)
+		if seen[c] {
+			t.Fatalf("duplicate code %q at %d", c, i)
+		}
+		seen[c] = true
+		for j := 0; j < len(c); j++ {
+			if c[j] < 33 || c[j] > 126 {
+				t.Fatalf("unprintable code byte %d at %d", c[j], i)
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package vectors generates and serializes input-vector streams for the
+// simulation experiments. The paper drove every circuit with 5 000
+// uniformly random vectors; Random reproduces that workload with a seeded
+// generator so runs are exactly repeatable.
+package vectors
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+)
+
+// Set is an ordered collection of equal-width input vectors.
+type Set struct {
+	// Width is the number of primary inputs each vector covers.
+	Width int
+	// Bits holds the vectors; Bits[v][i] is input i of vector v.
+	Bits [][]bool
+}
+
+// Random generates n uniformly random vectors of the given width from the
+// given seed.
+func Random(n, width int, seed int64) *Set {
+	r := rand.New(rand.NewSource(seed))
+	s := &Set{Width: width, Bits: make([][]bool, n)}
+	for v := range s.Bits {
+		vec := make([]bool, width)
+		var w uint64
+		for i := range vec {
+			if i%64 == 0 {
+				w = r.Uint64()
+			}
+			vec[i] = w&1 == 1
+			w >>= 1
+		}
+		s.Bits[v] = vec
+	}
+	return s
+}
+
+// Exhaustive generates all 2^width vectors in counting order. Width must
+// be at most 20 to keep the set bounded.
+func Exhaustive(width int) (*Set, error) {
+	if width < 0 || width > 20 {
+		return nil, fmt.Errorf("vectors: exhaustive width %d out of range [0,20]", width)
+	}
+	n := 1 << width
+	s := &Set{Width: width, Bits: make([][]bool, n)}
+	for v := 0; v < n; v++ {
+		vec := make([]bool, width)
+		for i := range vec {
+			vec[i] = v>>i&1 == 1
+		}
+		s.Bits[v] = vec
+	}
+	return s, nil
+}
+
+// Len returns the number of vectors.
+func (s *Set) Len() int { return len(s.Bits) }
+
+// Write serializes the set as one line of '0'/'1' characters per vector.
+func (s *Set) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, vec := range s.Bits {
+		for _, b := range vec {
+			c := byte('0')
+			if b {
+				c = '1'
+			}
+			if err := bw.WriteByte(c); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the format produced by Write. Blank lines and lines starting
+// with '#' are ignored. All vectors must have equal width.
+func Read(r io.Reader) (*Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	s := &Set{Width: -1}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		vec := make([]bool, len(line))
+		for i := 0; i < len(line); i++ {
+			switch line[i] {
+			case '0':
+			case '1':
+				vec[i] = true
+			default:
+				return nil, fmt.Errorf("vectors: line %d: invalid character %q", lineNo, line[i])
+			}
+		}
+		if s.Width == -1 {
+			s.Width = len(vec)
+		} else if len(vec) != s.Width {
+			return nil, fmt.Errorf("vectors: line %d: width %d, want %d", lineNo, len(vec), s.Width)
+		}
+		s.Bits = append(s.Bits, vec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if s.Width == -1 {
+		s.Width = 0
+	}
+	return s, nil
+}
+
+// Packed returns the vectors transposed into 64-vector lanes for
+// data-parallel simulation: result[lane][i] packs vectors lane*64 ..
+// lane*64+63 of input i, one vector per bit. The tail lane is padded by
+// repeating the final vector, so every lane is full; callers use Len to
+// know how many lanes carry real data.
+func (s *Set) Packed() [][]uint64 {
+	if s.Len() == 0 {
+		return nil
+	}
+	lanes := (s.Len() + 63) / 64
+	out := make([][]uint64, lanes)
+	for l := 0; l < lanes; l++ {
+		words := make([]uint64, s.Width)
+		for b := 0; b < 64; b++ {
+			v := l*64 + b
+			if v >= s.Len() {
+				v = s.Len() - 1
+			}
+			for i, bit := range s.Bits[v] {
+				if bit {
+					words[i] |= 1 << uint(b)
+				}
+			}
+		}
+		out[l] = words
+	}
+	return out
+}

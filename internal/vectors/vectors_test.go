@@ -1,0 +1,137 @@
+package vectors
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(100, 37, 42)
+	b := Random(100, 37, 42)
+	if a.Len() != 100 || a.Width != 37 {
+		t.Fatalf("shape wrong: %d x %d", a.Len(), a.Width)
+	}
+	for v := range a.Bits {
+		for i := range a.Bits[v] {
+			if a.Bits[v][i] != b.Bits[v][i] {
+				t.Fatal("same seed produced different vectors")
+			}
+		}
+	}
+	c := Random(100, 37, 43)
+	same := true
+	for v := range a.Bits {
+		for i := range a.Bits[v] {
+			if a.Bits[v][i] != c.Bits[v][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical vectors")
+	}
+}
+
+func TestRandomBalance(t *testing.T) {
+	s := Random(2000, 8, 7)
+	ones := 0
+	for _, vec := range s.Bits {
+		for _, b := range vec {
+			if b {
+				ones++
+			}
+		}
+	}
+	total := 2000 * 8
+	if ones < total*45/100 || ones > total*55/100 {
+		t.Errorf("bit balance off: %d/%d ones", ones, total)
+	}
+}
+
+func TestExhaustive(t *testing.T) {
+	s, err := Exhaustive(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 8 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	// Vector 5 = 0b101: inputs 0 and 2 set.
+	if !s.Bits[5][0] || s.Bits[5][1] || !s.Bits[5][2] {
+		t.Errorf("vector 5 = %v", s.Bits[5])
+	}
+	if _, err := Exhaustive(21); err == nil {
+		t.Error("expected error for width 21")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := Random(50, 13, 3)
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() || got.Width != s.Width {
+		t.Fatalf("shape changed: %dx%d -> %dx%d", s.Len(), s.Width, got.Len(), got.Width)
+	}
+	for v := range s.Bits {
+		for i := range s.Bits[v] {
+			if s.Bits[v][i] != got.Bits[v][i] {
+				t.Fatalf("vector %d bit %d changed", v, i)
+			}
+		}
+	}
+}
+
+func TestReadCommentsAndErrors(t *testing.T) {
+	got, err := Read(strings.NewReader("# comment\n\n010\n111\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Width != 3 {
+		t.Fatalf("got %dx%d", got.Len(), got.Width)
+	}
+	if _, err := Read(strings.NewReader("01\n012\n")); err == nil {
+		t.Error("expected invalid-character error")
+	}
+	if _, err := Read(strings.NewReader("01\n0\n")); err == nil {
+		t.Error("expected width-mismatch error")
+	}
+	empty, err := Read(strings.NewReader(""))
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("empty read: %v, %d", err, empty.Len())
+	}
+}
+
+func TestPacked(t *testing.T) {
+	s := Random(130, 5, 9)
+	lanes := s.Packed()
+	if len(lanes) != 3 {
+		t.Fatalf("got %d lanes, want 3", len(lanes))
+	}
+	for l, lane := range lanes {
+		if len(lane) != 5 {
+			t.Fatalf("lane %d width %d", l, len(lane))
+		}
+		for b := 0; b < 64; b++ {
+			v := l*64 + b
+			if v >= s.Len() {
+				v = s.Len() - 1 // padding repeats the final vector
+			}
+			for i := 0; i < s.Width; i++ {
+				got := lane[i]>>uint(b)&1 == 1
+				if got != s.Bits[v][i] {
+					t.Fatalf("lane %d bit %d input %d mismatch", l, b, i)
+				}
+			}
+		}
+	}
+	if Packed := (&Set{Width: 3}).Packed(); Packed != nil {
+		t.Error("empty set should pack to nil")
+	}
+}

@@ -1,0 +1,41 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the Verilog parser never panics and that accepted
+// modules survive a write/reparse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(c17v)
+	f.Add("module m (a, y);\ninput a;\noutput y;\nnot g (y, a);\nendmodule\n")
+	f.Add("module m (a);\ninput a;\nendmodule")
+	f.Add("module m (a); /* x */ input a; endmodule")
+	f.Add("module m (a);\ninput a;\nassign a = 1'b1;\nendmodule\n")
+	f.Add("module ;\n")
+	f.Add("// nothing\n")
+	f.Add("module m (q, d);\ninput d;\noutput q;\ndff x (q, d);\nendmodule\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid circuit: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("accepted circuit failed to serialize: %v", err)
+		}
+		// Name mangling may rename nets, so only shape is compared.
+		back, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("own output failed to reparse: %v\n%s", err, buf.String())
+		}
+		if back.NumGates() != c.NumGates() || len(back.Inputs) != len(c.Inputs) {
+			t.Fatalf("round trip changed shape: %s vs %s", c, back)
+		}
+	})
+}

@@ -1,0 +1,489 @@
+// Package verilog reads and writes the structural gate-level Verilog
+// subset that netlist benchmarks circulate in:
+//
+//	module c17 (N1, N2, N3, N6, N7, N22, N23);
+//	  input N1, N2, N3, N6, N7;
+//	  output N22, N23;
+//	  wire N10, N11, N16, N19;
+//	  nand g0 (N10, N1, N3);
+//	  nand g1 (N11, N3, N6);
+//	  ...
+//	endmodule
+//
+// Supported constructs: one module per file; input/output/wire
+// declarations; the gate primitives and, or, nand, nor, xor, xnor, not,
+// buf (first terminal is the output); continuous assignments of a single
+// identifier or constant (assign y = x; assign y = 1'b0;); and dff
+// instances (dff d0 (Q, D);) for synchronous state. Everything else is
+// rejected with a line-accurate error.
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"udsim/internal/circuit"
+	"udsim/internal/logic"
+)
+
+type token struct {
+	text string
+	line int
+}
+
+// lex splits the source into identifier/punctuation tokens, dropping //
+// and /* */ comments.
+func lex(r io.Reader) ([]token, error) {
+	br := bufio.NewReader(r)
+	var toks []token
+	line := 1
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, token{cur.String(), line})
+			cur.Reset()
+		}
+	}
+	inLine, inBlock := false, false
+	var prev rune
+	for {
+		ch, _, err := br.ReadRune()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ch == '\n' {
+			line++
+			inLine = false
+			if !inBlock {
+				flush()
+			}
+			prev = ch
+			continue
+		}
+		if inLine {
+			prev = ch
+			continue
+		}
+		if inBlock {
+			if prev == '*' && ch == '/' {
+				inBlock = false
+				prev = 0
+				continue
+			}
+			prev = ch
+			continue
+		}
+		if prev == '/' && ch == '/' {
+			// Remove the '/' that was buffered as punctuation.
+			if n := len(toks); n > 0 && toks[n-1].text == "/" {
+				toks = toks[:n-1]
+			}
+			inLine = true
+			prev = ch
+			continue
+		}
+		if prev == '/' && ch == '*' {
+			if n := len(toks); n > 0 && toks[n-1].text == "/" {
+				toks = toks[:n-1]
+			}
+			inBlock = true
+			prev = ch
+			continue
+		}
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			flush()
+		case ch == '(' || ch == ')' || ch == ',' || ch == ';' || ch == '=' || ch == '/':
+			flush()
+			toks = append(toks, token{string(ch), line})
+		default:
+			cur.WriteRune(ch)
+		}
+		prev = ch
+	}
+	if inBlock {
+		return nil, fmt.Errorf("verilog: unterminated block comment")
+	}
+	flush()
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.eof() {
+		return token{"", -1}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return fmt.Errorf("verilog: line %d: expected %q, got %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+// identList parses "a, b, c ;" returning the names.
+func (p *parser) identList() ([]string, error) {
+	var names []string
+	for {
+		t := p.next()
+		if !isIdent(t.text) {
+			return nil, fmt.Errorf("verilog: line %d: expected identifier, got %q", t.line, t.text)
+		}
+		names = append(names, t.text)
+		sep := p.next()
+		switch sep.text {
+		case ",":
+		case ";":
+			return names, nil
+		default:
+			return nil, fmt.Errorf("verilog: line %d: expected ',' or ';', got %q", sep.line, sep.text)
+		}
+	}
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == '\\' || r == '[' || r == ']' || r == '$' || r == '.':
+		case r >= '0' && r <= '9':
+			_ = i // digits allowed anywhere; pure numbers accepted too (ISCAS names)
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var gatePrims = map[string]logic.GateType{
+	"and": logic.And, "or": logic.Or, "nand": logic.Nand, "nor": logic.Nor,
+	"xor": logic.Xor, "xnor": logic.Xnor, "not": logic.Not, "buf": logic.Buf,
+}
+
+// Parse reads one structural module and builds a circuit.
+func Parse(r io.Reader) (*circuit.Circuit, error) {
+	toks, err := lex(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	nameTok := p.next()
+	if !isIdent(nameTok.text) {
+		return nil, fmt.Errorf("verilog: line %d: bad module name %q", nameTok.line, nameTok.text)
+	}
+	b := circuit.NewBuilder(nameTok.text)
+	// Port list (names only; direction comes from declarations).
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.next()
+		if t.text == ")" {
+			break
+		}
+		if t.text == "," {
+			continue
+		}
+		if !isIdent(t.text) {
+			return nil, fmt.Errorf("verilog: line %d: bad port %q", t.line, t.text)
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	type gateInst struct {
+		line  int
+		prim  string
+		terms []string
+	}
+	var (
+		gates   []gateInst
+		outputs []string
+		assigns [][2]token // dst, src
+	)
+	declared := map[string]bool{}
+	gi := 0
+	for {
+		t := p.next()
+		switch t.text {
+		case "endmodule":
+			goto done
+		case "":
+			return nil, fmt.Errorf("verilog: unexpected end of file (missing endmodule)")
+		case "input":
+			names, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				if declared[n] {
+					return nil, fmt.Errorf("verilog: line %d: %q declared twice", t.line, n)
+				}
+				declared[n] = true
+				b.Input(n)
+			}
+		case "output":
+			names, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				if !declared[n] {
+					declared[n] = true
+					b.Net(n)
+				}
+				outputs = append(outputs, n)
+			}
+		case "wire":
+			names, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				if !declared[n] {
+					declared[n] = true
+					b.Net(n)
+				}
+			}
+		case "assign":
+			dst := p.next()
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			src := p.next()
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			assigns = append(assigns, [2]token{dst, src})
+		case "dff":
+			// Optional instance name.
+			inst := p.next()
+			if inst.text != "(" {
+				if err := p.expect("("); err != nil {
+					return nil, err
+				}
+			}
+			q := p.next()
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+			d := p.next()
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			if !isIdent(q.text) || !isIdent(d.text) {
+				return nil, fmt.Errorf("verilog: line %d: bad dff terminals", t.line)
+			}
+			b.DeclareFlipFlop(fmt.Sprintf("dff%d", gi), b.Net(q.text), b.Net(d.text))
+			gi++
+		default:
+			prim, ok := gatePrims[t.text]
+			if !ok {
+				return nil, fmt.Errorf("verilog: line %d: unsupported construct %q", t.line, t.text)
+			}
+			_ = prim
+			// Optional instance name before '('.
+			nt := p.next()
+			if nt.text != "(" {
+				if !isIdent(nt.text) {
+					return nil, fmt.Errorf("verilog: line %d: bad instance name %q", nt.line, nt.text)
+				}
+				if err := p.expect("("); err != nil {
+					return nil, err
+				}
+			}
+			var terms []string
+			for {
+				tt := p.next()
+				if tt.text == ")" {
+					break
+				}
+				if tt.text == "," {
+					continue
+				}
+				if !isIdent(tt.text) {
+					return nil, fmt.Errorf("verilog: line %d: bad terminal %q", tt.line, tt.text)
+				}
+				terms = append(terms, tt.text)
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			if len(terms) < 2 {
+				return nil, fmt.Errorf("verilog: line %d: gate needs an output and at least one input", t.line)
+			}
+			gates = append(gates, gateInst{t.line, t.text, terms})
+		}
+	}
+done:
+	for _, g := range gates {
+		out := b.Net(g.terms[0])
+		ins := make([]circuit.NetID, len(g.terms)-1)
+		for i, n := range g.terms[1:] {
+			ins[i] = b.Net(n)
+		}
+		b.GateInto(gatePrims[g.prim], out, ins...)
+	}
+	for _, as := range assigns {
+		dst, src := as[0], as[1]
+		if !isIdent(dst.text) {
+			return nil, fmt.Errorf("verilog: line %d: bad assign target %q", dst.line, dst.text)
+		}
+		switch src.text {
+		case "1'b0", "1'B0":
+			b.GateInto(logic.Const0, b.Net(dst.text))
+		case "1'b1", "1'B1":
+			b.GateInto(logic.Const1, b.Net(dst.text))
+		default:
+			if !isIdent(src.text) {
+				return nil, fmt.Errorf("verilog: line %d: unsupported assign source %q", src.line, src.text)
+			}
+			b.GateInto(logic.Buf, b.Net(dst.text), b.Net(src.text))
+		}
+	}
+	for _, n := range outputs {
+		id, ok := b.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("verilog: output %q never defined", n)
+		}
+		b.Output(id)
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("verilog: %w", err)
+	}
+	return c, nil
+}
+
+// Write emits the circuit as a structural Verilog module. Wired nets are
+// not representable; Normalize first.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	if c.HasWiredNets() {
+		return fmt.Errorf("verilog: circuit %s has wired nets; Normalize before writing", c.Name)
+	}
+	bw := bufio.NewWriter(w)
+	var ports []string
+	for _, id := range c.Inputs {
+		ports = append(ports, vname(c.Net(id).Name))
+	}
+	for _, id := range c.Outputs {
+		ports = append(ports, vname(c.Net(id).Name))
+	}
+	fmt.Fprintf(bw, "// %s — generated by udsim\nmodule %s (%s);\n",
+		c.Name, vname(c.Name), strings.Join(ports, ", "))
+	writeDecl := func(kw string, ids []circuit.NetID) {
+		if len(ids) == 0 {
+			return
+		}
+		names := make([]string, len(ids))
+		for i, id := range ids {
+			names[i] = vname(c.Net(id).Name)
+		}
+		fmt.Fprintf(bw, "  %s %s;\n", kw, strings.Join(names, ", "))
+	}
+	writeDecl("input", c.Inputs)
+	writeDecl("output", c.Outputs)
+	var wires []circuit.NetID
+	for i := range c.Nets {
+		n := &c.Nets[i]
+		if !n.IsInput && !n.IsOutput {
+			wires = append(wires, n.ID)
+		}
+	}
+	writeDecl("wire", wires)
+
+	ffs := append([]circuit.DFF(nil), c.FFs...)
+	sort.Slice(ffs, func(i, j int) bool { return ffs[i].Q < ffs[j].Q })
+	for i, ff := range ffs {
+		fmt.Fprintf(bw, "  dff d%d (%s, %s);\n", i, vname(c.Net(ff.Q).Name), vname(c.Net(ff.D).Name))
+	}
+
+	order, err := c.TopoGates()
+	if err != nil {
+		// Cyclic (asynchronous) circuits are still writable: emit gates
+		// in declaration order.
+		order = order[:0]
+		for i := range c.Gates {
+			order = append(order, circuit.GateID(i))
+		}
+	}
+	gi := 0
+	for _, gid := range order {
+		g := c.Gate(gid)
+		switch g.Type {
+		case logic.Const0:
+			fmt.Fprintf(bw, "  assign %s = 1'b0;\n", vname(c.Net(g.Output).Name))
+			continue
+		case logic.Const1:
+			fmt.Fprintf(bw, "  assign %s = 1'b1;\n", vname(c.Net(g.Output).Name))
+			continue
+		}
+		prim := strings.ToLower(g.Type.String())
+		terms := make([]string, 0, len(g.Inputs)+1)
+		terms = append(terms, vname(c.Net(g.Output).Name))
+		for _, in := range g.Inputs {
+			terms = append(terms, vname(c.Net(in).Name))
+		}
+		fmt.Fprintf(bw, "  %s g%d (%s);\n", prim, gi, strings.Join(terms, ", "))
+		gi++
+	}
+	fmt.Fprintf(bw, "endmodule\n")
+	return bw.Flush()
+}
+
+// vname makes a name safe as a Verilog identifier: names that start with
+// a digit or contain odd characters are prefixed/escaped.
+func vname(s string) string {
+	safe := true
+	for i, r := range s {
+		ok := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			safe = false
+			break
+		}
+	}
+	if safe && s != "" {
+		return s
+	}
+	var b strings.Builder
+	b.WriteString("n_")
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

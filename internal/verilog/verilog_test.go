@@ -1,0 +1,187 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"udsim/internal/equiv"
+	"udsim/internal/gen"
+	"udsim/internal/logic"
+	"udsim/internal/refsim"
+)
+
+const c17v = `
+// ISCAS-85 c17 in structural Verilog
+module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+  nand g0 (N10, N1, N3);
+  nand g1 (N11, N3, N6);
+  nand g2 (N16, N2, N11);
+  nand g3 (N19, N11, N7);
+  nand g4 (N22, N10, N16);
+  nand g5 (N23, N16, N19);
+endmodule
+`
+
+func TestParseC17(t *testing.T) {
+	c, err := Parse(strings.NewReader(c17v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "c17" || len(c.Inputs) != 5 || len(c.Outputs) != 2 || c.NumGates() != 6 {
+		t.Fatalf("shape wrong: %s", c)
+	}
+	// All-zero inputs → both outputs 0 (same truth check as the bench85
+	// tests, proving the two parsers agree).
+	vals, err := refsim.Evaluate(c, make([]bool, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"N22", "N23"} {
+		id, _ := c.NetByName(name)
+		if vals[id] {
+			t.Errorf("%s = 1, want 0", name)
+		}
+	}
+}
+
+func TestParseCommentsAndAssign(t *testing.T) {
+	src := `
+/* block
+   comment */
+module m (a, y, z, k);
+  input a;            // trailing comment
+  output y, z, k;
+  assign y = a;
+  assign z = 1'b1;
+  assign k = 1'b0;
+endmodule
+`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := refsim.Evaluate(c, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.NetByName("y")
+	z, _ := c.NetByName("z")
+	k, _ := c.NetByName("k")
+	if !vals[y] || !vals[z] || vals[k] {
+		t.Errorf("assign semantics wrong: y=%v z=%v k=%v", vals[y], vals[z], vals[k])
+	}
+}
+
+func TestParseDFF(t *testing.T) {
+	src := `
+module t (a, q);
+  input a;
+  output q;
+  wire d;
+  dff d0 (q, d);
+  xor g0 (d, a, q);
+endmodule
+`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.FFs) != 1 {
+		t.Fatalf("got %d flip-flops", len(c.FFs))
+	}
+}
+
+func TestParseAnonymousInstances(t *testing.T) {
+	src := "module m (a, b, y);\ninput a, b;\noutput y;\nand (y, a, b);\nendmodule\n"
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.NetByName("y")
+	if g := c.Gate(c.Net(y).Drivers[0]); g.Type != logic.And {
+		t.Errorf("got %v", g.Type)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no module":     "wire x;\n",
+		"bad construct": "module m (a);\ninput a;\nflipflop f (a);\nendmodule\n",
+		"no endmodule":  "module m (a);\ninput a;\n",
+		"few terms":     "module m (a, y);\ninput a;\noutput y;\nand g (y);\nendmodule\n",
+		"dup decl":      "module m (a);\ninput a;\ninput a;\nendmodule\n",
+		"undef output":  "module m (y);\noutput y2;\nendmodule\n",
+		"bad assign":    "module m (a, y);\ninput a;\noutput y;\nassign y = 2'b10;\nendmodule\n",
+		"unterminated":  "module m (a); /* foo",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteParseRoundTripEquivalent(t *testing.T) {
+	orig, err := gen.ISCAS85("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig.Normalize()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse: %v\nfirst lines:\n%s", err, firstLines(buf.String(), 12))
+	}
+	res, err := equiv.Check(orig, back, 2048, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatalf("round trip not equivalent: %+v", res.Counterexample)
+	}
+}
+
+func TestWriteSequentialAndConsts(t *testing.T) {
+	c := gen.Counter(3)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "dff d0 (") {
+		t.Errorf("missing dff:\n%s", out)
+	}
+	back, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.FFs) != 3 {
+		t.Errorf("flip-flops lost: %d", len(back.FFs))
+	}
+}
+
+func TestVName(t *testing.T) {
+	if vname("abc_1") != "abc_1" {
+		t.Error("safe name mangled")
+	}
+	if v := vname("123"); !strings.HasPrefix(v, "n_") {
+		t.Errorf("digit-leading name not prefixed: %q", v)
+	}
+	if v := vname("a.b$c"); strings.ContainsAny(v, ".$") {
+		t.Errorf("unsafe characters survive: %q", v)
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

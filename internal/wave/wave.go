@@ -1,0 +1,88 @@
+// Package wave renders unit-delay waveforms as terminal art, one row per
+// net, one column per gate delay:
+//
+//	A  ▁▁▁▔▔▔▔▔
+//	B  ▔▔▔▔▁▁▁▁
+//	C  ▁▁▁▁▔▁▁▁
+//
+// Used by cmd/udsim's -trace output; VCD output (package vcd) serves
+// external viewers.
+package wave
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Glyphs selects the rendering characters.
+type Glyphs struct {
+	High, Low, Rise, Fall, Unknown string
+}
+
+// Unicode is the default glyph set.
+var Unicode = Glyphs{High: "▔", Low: "▁", Rise: "╱", Fall: "╲", Unknown: "┄"}
+
+// ASCII is a plain-ASCII fallback.
+var ASCII = Glyphs{High: "-", Low: "_", Rise: "/", Fall: "\\", Unknown: "?"}
+
+// Lane is one named waveform. Know marks samples as valid; nil means all
+// valid.
+type Lane struct {
+	Name string
+	Bits []bool
+	Know []bool
+}
+
+// Render writes the lanes with a shared time ruler.
+func Render(w io.Writer, lanes []Lane, g Glyphs) error {
+	if len(lanes) == 0 {
+		return nil
+	}
+	nameW := 0
+	maxT := 0
+	for _, l := range lanes {
+		if len(l.Name) > nameW {
+			nameW = len(l.Name)
+		}
+		if len(l.Bits) > maxT {
+			maxT = len(l.Bits)
+		}
+	}
+	for _, l := range lanes {
+		var b strings.Builder
+		for t := 0; t < len(l.Bits); t++ {
+			if l.Know != nil && !l.Know[t] {
+				b.WriteString(g.Unknown)
+				continue
+			}
+			cur := l.Bits[t]
+			switch {
+			case t > 0 && knows(l, t-1) && l.Bits[t-1] != cur && cur:
+				b.WriteString(g.Rise)
+			case t > 0 && knows(l, t-1) && l.Bits[t-1] != cur && !cur:
+				b.WriteString(g.Fall)
+			case cur:
+				b.WriteString(g.High)
+			default:
+				b.WriteString(g.Low)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*s %s\n", nameW, l.Name, b.String()); err != nil {
+			return err
+		}
+	}
+	// Time ruler: a tick every five delays.
+	var ruler strings.Builder
+	for t := 0; t < maxT; t++ {
+		if t%5 == 0 {
+			ruler.WriteByte('|')
+		} else {
+			ruler.WriteByte(' ')
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s %s t (gate delays, ticks every 5)\n", nameW, "", ruler.String())
+	return err
+}
+
+func knows(l Lane, t int) bool { return l.Know == nil || l.Know[t] }

@@ -1,0 +1,67 @@
+package wave
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderTransitions(t *testing.T) {
+	var b strings.Builder
+	err := Render(&b, []Lane{
+		{Name: "A", Bits: []bool{false, true, true, false}},
+	}, ASCII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines:\n%s", len(lines), b.String())
+	}
+	if !strings.Contains(lines[0], "_/-\\") {
+		t.Errorf("waveform rendering wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "|") {
+		t.Errorf("ruler missing: %q", lines[1])
+	}
+}
+
+func TestRenderUnknown(t *testing.T) {
+	var b strings.Builder
+	err := Render(&b, []Lane{
+		{Name: "X", Bits: []bool{false, false, true}, Know: []bool{true, false, true}},
+	}, ASCII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "?") {
+		t.Errorf("unknown glyph missing:\n%s", b.String())
+	}
+}
+
+func TestRenderAlignsNames(t *testing.T) {
+	var b strings.Builder
+	err := Render(&b, []Lane{
+		{Name: "short", Bits: []bool{true}},
+		{Name: "muchlongername", Bits: []bool{false}},
+	}, Unicode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(b.String(), "\n")
+	// Both waveform columns start at the same offset.
+	i1 := strings.IndexAny(lines[0], "▔▁")
+	i2 := strings.IndexAny(lines[1], "▔▁")
+	if i1 != i2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", i1, i2, b.String())
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := Render(&b, nil, ASCII); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Error("empty input should render nothing")
+	}
+}

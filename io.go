@@ -1,0 +1,70 @@
+package udsim
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"udsim/internal/equiv"
+	"udsim/internal/verilog"
+)
+
+// ParseVerilog reads a structural gate-level Verilog module (the netlist
+// subset: input/output/wire declarations, gate primitives, single-source
+// assigns, dff instances).
+func ParseVerilog(r io.Reader) (*Circuit, error) { return verilog.Parse(r) }
+
+// WriteVerilog writes the circuit as a structural Verilog module.
+func WriteVerilog(w io.Writer, c *Circuit) error { return verilog.Write(w, c) }
+
+// LoadCircuitFile reads a netlist file, dispatching on the extension:
+// ".bench" (ISCAS-85 format) or ".v"/".sv" (structural Verilog).
+func LoadCircuitFile(path string) (*Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := filepath.Base(path)
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".bench":
+		return ParseBench(f, strings.TrimSuffix(base, filepath.Ext(base)))
+	case ".v", ".sv":
+		return ParseVerilog(f)
+	default:
+		return nil, fmt.Errorf("udsim: unknown netlist extension on %q (want .bench or .v)", path)
+	}
+}
+
+// SaveCircuitFile writes a netlist file, dispatching on the extension
+// like LoadCircuitFile. Wired nets are normalized away automatically.
+func SaveCircuitFile(path string, c *Circuit) error {
+	c = c.Normalize()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".bench":
+		return WriteBench(f, c)
+	case ".v", ".sv":
+		return WriteVerilog(f, c)
+	default:
+		return fmt.Errorf("udsim: unknown netlist extension on %q (want .bench or .v)", path)
+	}
+}
+
+// EquivResult reports an equivalence check.
+type EquivResult = equiv.Result
+
+// CheckEquivalence compares two combinational circuits by simulation,
+// matching primary inputs and outputs by name: exhaustively when circuit
+// a has at most maxExhaustiveInputs inputs, otherwise with nRandom random
+// vectors through 64-lane compiled simulation. Random agreement is
+// evidence, not proof.
+func CheckEquivalence(a, b *Circuit, nRandom, maxExhaustiveInputs int, seed int64) (*EquivResult, error) {
+	return equiv.Check(a, b, nRandom, maxExhaustiveInputs, seed)
+}

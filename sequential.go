@@ -1,0 +1,114 @@
+package udsim
+
+import (
+	"fmt"
+
+	"udsim/internal/circuit"
+)
+
+// Sequential simulates a synchronous sequential circuit cycle by cycle by
+// the paper's §1 construction: the circuit is broken at its flip-flops
+// (each Q becomes a primary input of the combinational core, each D a
+// primary output), the core is compiled with any combinational engine,
+// and Step feeds the previous state back each clock cycle.
+type Sequential struct {
+	orig   *Circuit
+	engine Engine
+	ffs    []circuit.DFF
+	state  []bool
+	nPI    int // primary inputs of the original circuit
+}
+
+// NewSequential breaks the circuit at its flip-flops and compiles the
+// combinational core with mk (for example
+// func(c *udsim.Circuit) (udsim.Engine, error) { return udsim.NewParallel(c) }).
+// All flip-flops start at zero; use SetState to load a different state.
+func NewSequential(c *Circuit, mk func(*Circuit) (Engine, error)) (*Sequential, error) {
+	if c.Combinational() {
+		return nil, fmt.Errorf("udsim: circuit %s has no flip-flops; use a combinational engine", c.Name)
+	}
+	comb, ffs := c.BreakFlipFlops()
+	e, err := mk(comb)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sequential{
+		orig:   c,
+		engine: e,
+		ffs:    ffs,
+		state:  make([]bool, len(ffs)),
+		nPI:    len(c.Inputs),
+	}
+	if err := s.reset(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Sequential) fullVector(primary []bool) []bool {
+	vec := make([]bool, s.nPI+len(s.ffs))
+	copy(vec, primary)
+	// BreakFlipFlops appends the flip-flop outputs after the original
+	// primary inputs, in flip-flop order.
+	for i := range s.ffs {
+		vec[s.nPI+i] = s.state[i]
+	}
+	return vec
+}
+
+func (s *Sequential) reset() error {
+	return s.engine.ResetConsistent(s.fullVector(make([]bool, s.nPI)))
+}
+
+// Engine returns the underlying combinational engine (over the broken
+// circuit), e.g. to inspect waveforms of the current cycle.
+func (s *Sequential) Engine() Engine { return s.engine }
+
+// Circuit returns the original (sequential) circuit.
+func (s *Sequential) Circuit() *Circuit { return s.orig }
+
+// NumFlipFlops returns the state width.
+func (s *Sequential) NumFlipFlops() int { return len(s.ffs) }
+
+// State returns a copy of the current flip-flop state, in flip-flop
+// declaration order.
+func (s *Sequential) State() []bool { return append([]bool(nil), s.state...) }
+
+// SetState loads the flip-flop state and re-settles the combinational
+// core so the next Step starts consistently.
+func (s *Sequential) SetState(state []bool) error {
+	if len(state) != len(s.ffs) {
+		return fmt.Errorf("udsim: state width %d, want %d", len(state), len(s.ffs))
+	}
+	copy(s.state, state)
+	return s.reset()
+}
+
+// Step applies one clock cycle: the primary inputs are presented, the
+// combinational core settles under the unit-delay model, and every
+// flip-flop loads the settled value of its D net. It returns the new
+// state.
+func (s *Sequential) Step(primary []bool) ([]bool, error) {
+	if len(primary) != s.nPI {
+		return nil, fmt.Errorf("udsim: %d primary inputs, want %d", len(primary), s.nPI)
+	}
+	if err := s.engine.Apply(s.fullVector(primary)); err != nil {
+		return nil, err
+	}
+	for i, ff := range s.ffs {
+		s.state[i] = s.engine.Final(ff.D)
+	}
+	return s.State(), nil
+}
+
+// Uint returns the current state interpreted as a little-endian unsigned
+// integer — convenient for counters and registers up to 64 bits wide.
+func (s *Sequential) Uint() uint64 {
+	var v uint64
+	for i, b := range s.state {
+		if b && i < 64 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

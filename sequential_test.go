@@ -1,0 +1,134 @@
+package udsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"udsim/internal/gen"
+	"udsim/internal/vectors"
+)
+
+// TestLFSRMaximalLength: a 10-bit maximal-length LFSR (taps 9,6) must
+// revisit its seed after exactly 2^10−1 steps, through a compiled core.
+func TestLFSRMaximalLength(t *testing.T) {
+	c := gen.LFSR(10, []int{9, 6})
+	seq, err := NewSequential(c, func(cc *Circuit) (Engine, error) {
+		return NewParallel(cc, WithShiftElimination(PathTracing))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := make([]bool, 10)
+	seed[0] = true
+	if err := seq.SetState(seed); err != nil {
+		t.Fatal(err)
+	}
+	start := seq.Uint()
+	period := 0
+	for step := 1; step <= 1<<11; step++ {
+		if _, err := seq.Step([]bool{true}); err != nil {
+			t.Fatal(err)
+		}
+		if seq.Uint() == start {
+			period = step
+			break
+		}
+	}
+	if period != 1<<10-1 {
+		t.Fatalf("period = %d, want %d", period, 1<<10-1)
+	}
+}
+
+// TestRandomSequentialCrossEngine: random synchronous machines stepped
+// through four different combinational cores must march through the same
+// state trajectory.
+func TestRandomSequentialCrossEngine(t *testing.T) {
+	techs := []string{"lcc", "pcset", "parallel", "parallel-pt-trim", "event2"}
+	f := func(seed int64) bool {
+		c := gen.RandomSequential(seed, 25, 4, 5)
+		vecs := vectors.Random(15, 4, seed).Bits
+		var trajectories [][]uint64
+		for _, tech := range techs {
+			tech := tech
+			seq, err := NewSequential(c, func(cc *Circuit) (Engine, error) {
+				return NewEngine(tech, cc)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var traj []uint64
+			for _, vec := range vecs {
+				if _, err := seq.Step(vec); err != nil {
+					t.Fatal(err)
+				}
+				traj = append(traj, seq.Uint())
+			}
+			trajectories = append(trajectories, traj)
+		}
+		for _, traj := range trajectories[1:] {
+			for i := range traj {
+				if traj[i] != trajectories[0][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSequentialThroughBenchRoundTrip: a sequential circuit written to
+// .bench (with DFF lines) and reparsed must march identically.
+func TestSequentialThroughBenchRoundTrip(t *testing.T) {
+	c := gen.RandomSequential(77, 30, 3, 4)
+	var err error
+	seq1, err := NewSequential(c, func(cc *Circuit) (Engine, error) { return NewParallel(cc) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trip.
+	tmp := t.TempDir() + "/m.bench"
+	if err := SaveCircuitFile(tmp, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCircuitFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := NewSequential(back, func(cc *Circuit) (Engine, error) { return NewParallel(cc) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := vectors.Random(20, 3, 9).Bits
+	for _, vec := range vecs {
+		s1, err := seq1.Step(vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := seq2.Step(vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Flip-flop order may differ after parsing; compare by name.
+		m1 := map[string]bool{}
+		for i, ff := range ffNames(seq1) {
+			m1[ff] = s1[i]
+		}
+		for i, ff := range ffNames(seq2) {
+			if m1[ff] != s2[i] {
+				t.Fatalf("state diverged on flip-flop %s", ff)
+			}
+		}
+	}
+}
+
+// ffNames exposes flip-flop names for the round-trip test.
+func ffNames(s *Sequential) []string {
+	out := make([]string, len(s.Circuit().FFs))
+	for i, ff := range s.Circuit().FFs {
+		out[i] = s.Circuit().Net(ff.Q).Name
+	}
+	return out
+}

@@ -1,0 +1,505 @@
+// Package udsim is a unit-delay compiled logic simulation library: a
+// complete implementation of the two techniques of Maurer's "Two New
+// Techniques for Unit-Delay Compiled Simulation" (DAC 1990) — the PC-set
+// method and the bit-parallel technique — together with the paper's
+// optimizations (bit-field trimming and shift elimination by path tracing
+// or cycle breaking), the interpreted event-driven baselines, zero-delay
+// levelized compiled code simulation, C/Go code generation, hazard
+// analysis, synthetic ISCAS-85-profile benchmark circuits, and the full
+// experiment harness that regenerates every table in the paper.
+//
+// # Quick start
+//
+//	b := udsim.NewBuilder("demo")
+//	a := b.Input("A")
+//	n := b.Gate(udsim.Not, "N", a)
+//	o := b.Gate(udsim.And, "O", a, n)
+//	b.Output(o)
+//	c := b.MustBuild()
+//
+//	sim, _ := udsim.NewParallel(c)
+//	sim.ResetConsistent(nil)
+//	sim.Apply([]bool{true})
+//	for t := 0; t <= sim.Depth(); t++ {
+//	    v, _ := sim.ValueAt(o, t)
+//	    fmt.Println(t, v) // shows the unit-delay glitch on O
+//	}
+package udsim
+
+import (
+	"fmt"
+	"io"
+
+	"udsim/internal/align"
+	"udsim/internal/bench85"
+	"udsim/internal/circuit"
+	"udsim/internal/eventsim"
+	"udsim/internal/gen"
+	"udsim/internal/lcc"
+	"udsim/internal/levelize"
+	"udsim/internal/logic"
+	"udsim/internal/parsim"
+	"udsim/internal/pcset"
+	"udsim/internal/program"
+)
+
+// Core circuit types, re-exported from the internal model.
+type (
+	// Circuit is an immutable combinational or synchronous-sequential
+	// gate-level netlist.
+	Circuit = circuit.Circuit
+	// Builder constructs circuits programmatically.
+	Builder = circuit.Builder
+	// NetID identifies a net within a circuit.
+	NetID = circuit.NetID
+	// GateID identifies a gate within a circuit.
+	GateID = circuit.GateID
+	// GateType is a primitive gate function.
+	GateType = logic.GateType
+	// V3 is a three-valued logic value (0, 1, X).
+	V3 = logic.V3
+)
+
+// Gate types.
+const (
+	Buf    = logic.Buf
+	Not    = logic.Not
+	And    = logic.And
+	Nand   = logic.Nand
+	Or     = logic.Or
+	Nor    = logic.Nor
+	Xor    = logic.Xor
+	Xnor   = logic.Xnor
+	Const0 = logic.Const0
+	Const1 = logic.Const1
+)
+
+// Three-valued logic values.
+const (
+	V0 = logic.V0
+	V1 = logic.V1
+	VX = logic.VX
+)
+
+// NewBuilder starts a new circuit.
+func NewBuilder(name string) *Builder { return circuit.NewBuilder(name) }
+
+// ParseBench reads an ISCAS-85 ".bench" netlist.
+func ParseBench(r io.Reader, name string) (*Circuit, error) { return bench85.Parse(r, name) }
+
+// WriteBench writes a circuit in ".bench" format.
+func WriteBench(w io.Writer, c *Circuit) error { return bench85.Write(w, c) }
+
+// ISCAS85 synthesizes the named benchmark profile circuit (c432…c7552).
+func ISCAS85(name string) (*Circuit, error) { return gen.ISCAS85(name) }
+
+// ISCAS85Names lists the available benchmark profiles in the paper's
+// order.
+func ISCAS85Names() []string { return gen.Names() }
+
+// Multiplier builds an n×n array multiplier (norCells selects the
+// authentic c6288-style 9-NOR full-adder cell).
+func Multiplier(n int, norCells bool) *Circuit { return gen.Multiplier(n, norCells) }
+
+// Counter builds an n-bit synchronous counter with an enable input — a
+// ready-made sequential circuit for NewSequential.
+func Counter(n int) *Circuit { return gen.Counter(n) }
+
+// Engine is the interface shared by every simulation engine. All engines
+// consume one input vector at a time (indexed like Circuit.Inputs) from a
+// consistent starting state and expose at least the final (settled) value
+// of every net.
+type Engine interface {
+	// EngineName identifies the technique.
+	EngineName() string
+	// Circuit returns the (normalized) circuit being simulated.
+	Circuit() *Circuit
+	// Depth returns the circuit depth in gate delays (0 for zero-delay
+	// engines).
+	Depth() int
+	// ResetConsistent initializes all state to the zero-delay settled
+	// state of the given input assignment (nil = all zeros).
+	ResetConsistent(inputs []bool) error
+	// Apply simulates one input vector.
+	Apply(vec []bool) error
+	// Final returns the settled value of a net after the last vector.
+	Final(n NetID) bool
+}
+
+// Tracer is implemented by engines that retain the complete unit-delay
+// waveform of the last vector.
+type Tracer interface {
+	// ValueAt returns the value of net n at time t (0..Depth) and
+	// whether that value is observable under the engine's monitoring.
+	ValueAt(n NetID, t int) (bool, bool)
+}
+
+// ShiftElimination selects the alignment algorithm for NewParallel.
+type ShiftElimination int
+
+const (
+	// NoShiftElimination compiles the classic zero-aligned layout.
+	NoShiftElimination ShiftElimination = iota
+	// PathTracing uses the Fig. 17 algorithm: right shifts only, never
+	// widens bit-fields, the paper's recommended optimization.
+	PathTracing
+	// CycleBreaking uses the spanning-forest algorithm; it removes the
+	// minimum number of edges but tends to widen bit-fields.
+	CycleBreaking
+)
+
+// ParallelOption configures NewParallel.
+type ParallelOption func(*parallelOpts)
+
+type parallelOpts struct {
+	wordBits int
+	trim     bool
+	shiftEl  ShiftElimination
+}
+
+// WithWordBits sets the logical word width (8, 16, 32 or 64; default 32,
+// the paper's machine word).
+func WithWordBits(w int) ParallelOption { return func(o *parallelOpts) { o.wordBits = w } }
+
+// WithTrimming enables bit-field trimming (§4).
+func WithTrimming() ParallelOption { return func(o *parallelOpts) { o.trim = true } }
+
+// WithShiftElimination enables shift elimination with the given
+// alignment algorithm (§4).
+func WithShiftElimination(m ShiftElimination) ParallelOption {
+	return func(o *parallelOpts) { o.shiftEl = m }
+}
+
+// NewParallel compiles a circuit with the parallel technique (§3),
+// optionally optimized.
+func NewParallel(c *Circuit, opts ...ParallelOption) (*ParallelSim, error) {
+	o := parallelOpts{wordBits: 32}
+	for _, f := range opts {
+		f(&o)
+	}
+	cfg := parsim.Config{WordBits: o.wordBits, Trim: o.trim}
+	target := c
+	if o.shiftEl != NoShiftElimination {
+		norm, a, err := parsim.Analyze(c)
+		if err != nil {
+			return nil, err
+		}
+		var res *align.Result
+		if o.shiftEl == PathTracing {
+			res = align.PathTrace(a)
+		} else {
+			res = align.CycleBreak(a)
+		}
+		if err := res.Validate(); err != nil {
+			return nil, err
+		}
+		cfg.Align = res
+		target = norm
+	}
+	s, err := parsim.Compile(target, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ParallelSim{s: s, opts: o}, nil
+}
+
+// ParallelSim is a compiled parallel-technique simulator.
+type ParallelSim struct {
+	s    *parsim.Sim
+	opts parallelOpts
+}
+
+// EngineName identifies the configuration.
+func (p *ParallelSim) EngineName() string {
+	n := "parallel"
+	if p.opts.trim {
+		n += "+trim"
+	}
+	switch p.opts.shiftEl {
+	case PathTracing:
+		n += "+path-tracing"
+	case CycleBreaking:
+		n += "+cycle-breaking"
+	}
+	return n
+}
+
+// Circuit returns the (normalized) circuit.
+func (p *ParallelSim) Circuit() *Circuit { return p.s.Circuit() }
+
+// Depth returns the circuit depth in gate delays.
+func (p *ParallelSim) Depth() int { return p.s.Depth() }
+
+// ResetConsistent initializes the state (nil = all-zeros assignment).
+func (p *ParallelSim) ResetConsistent(inputs []bool) error { return p.s.ResetConsistent(inputs) }
+
+// Apply simulates one input vector.
+func (p *ParallelSim) Apply(vec []bool) error { return p.s.ApplyVector(vec) }
+
+// Final returns the settled value of a net.
+func (p *ParallelSim) Final(n NetID) bool { return p.s.Final(n) }
+
+// ValueAt returns the value of net n at time t; always observable.
+func (p *ParallelSim) ValueAt(n NetID, t int) (bool, bool) { return p.s.ValueAt(n, t), true }
+
+// History returns net n's full waveform for the last vector.
+func (p *ParallelSim) History(n NetID) []bool { return p.s.History(n) }
+
+// CodeSize returns the number of compiled straight-line instructions.
+func (p *ParallelSim) CodeSize() int { return p.s.CodeSize() }
+
+// WordsPerField returns the widest bit-field in machine words.
+func (p *ParallelSim) WordsPerField() int { return p.s.WordsPerField() }
+
+// ShiftCount returns the number of shift instructions in the compiled
+// simulation code.
+func (p *ParallelSim) ShiftCount() int { return p.s.ShiftCount() }
+
+// NewPCSet compiles a circuit with the PC-set method (§2). monitor lists
+// the nets whose full waveforms must be observable (nil = the primary
+// outputs); monitored nets receive zero-insertion like inputs of the
+// paper's PRINT pseudo-gate.
+func NewPCSet(c *Circuit, monitor []NetID) (*PCSetSim, error) {
+	s, err := pcset.Compile(c, monitor)
+	if err != nil {
+		return nil, err
+	}
+	return &PCSetSim{s: s}, nil
+}
+
+// PCSetSim is a compiled PC-set method simulator.
+type PCSetSim struct{ s *pcset.Sim }
+
+// EngineName identifies the technique.
+func (p *PCSetSim) EngineName() string { return "pcset" }
+
+// Circuit returns the (normalized) circuit.
+func (p *PCSetSim) Circuit() *Circuit { return p.s.Circuit() }
+
+// Depth returns the circuit depth in gate delays.
+func (p *PCSetSim) Depth() int { return p.s.Depth() }
+
+// ResetConsistent initializes the state (nil = all-zeros assignment).
+func (p *PCSetSim) ResetConsistent(inputs []bool) error { return p.s.ResetConsistent(inputs) }
+
+// Apply simulates one input vector.
+func (p *PCSetSim) Apply(vec []bool) error { return p.s.ApplyVector(vec) }
+
+// Final returns the settled value of a net.
+func (p *PCSetSim) Final(n NetID) bool { return p.s.Final(n) }
+
+// ValueAt returns net n's value at time t, with ok=false when the time
+// precedes the net's first potential change and the net is unmonitored.
+func (p *PCSetSim) ValueAt(n NetID, t int) (bool, bool) { return p.s.ValueAt(n, t) }
+
+// ApplyLanes simulates 64 independent vector streams at once (§3's
+// data-parallel mode); packed is the layout of vectors.Set.Packed.
+func (p *PCSetSim) ApplyLanes(packed []uint64) error { return p.s.ApplyLanes(packed) }
+
+// LaneValueAt is ValueAt for one of the 64 data-parallel lanes.
+func (p *PCSetSim) LaneValueAt(n NetID, t, lane int) (bool, bool) {
+	return p.s.LaneValueAt(n, t, lane)
+}
+
+// NumVars returns the number of generated variables.
+func (p *PCSetSim) NumVars() int { return p.s.NumVars() }
+
+// CodeSize returns the number of compiled straight-line instructions.
+func (p *PCSetSim) CodeSize() int { return p.s.CodeSize() }
+
+// NewEventDriven builds the interpreted event-driven unit-delay baseline.
+// threeValued selects the {0,1,X} model; otherwise two-valued.
+func NewEventDriven(c *Circuit, threeValued bool) (*EventSim, error) {
+	m := eventsim.TwoValued
+	if threeValued {
+		m = eventsim.ThreeValued
+	}
+	s, err := eventsim.New(c, m)
+	if err != nil {
+		return nil, err
+	}
+	return &EventSim{s: s}, nil
+}
+
+// EventSim is the interpreted event-driven baseline simulator.
+type EventSim struct {
+	s    *eventsim.Sim
+	hist [][]logic.V3
+}
+
+// EngineName identifies the technique and logic model.
+func (e *EventSim) EngineName() string {
+	if e.s.Model() == eventsim.ThreeValued {
+		return "event-driven-3v"
+	}
+	return "event-driven-2v"
+}
+
+// Circuit returns the (normalized) circuit.
+func (e *EventSim) Circuit() *Circuit { return e.s.Circuit() }
+
+// Depth returns the circuit depth in gate delays.
+func (e *EventSim) Depth() int { return e.s.Depth() }
+
+// ResetConsistent initializes every net to the settled state.
+func (e *EventSim) ResetConsistent(inputs []bool) error {
+	e.hist = nil
+	return e.s.ResetConsistent(inputs)
+}
+
+// Apply simulates one input vector, retaining the waveform for ValueAt.
+func (e *EventSim) Apply(vec []bool) error {
+	h, err := e.s.ApplyVectorTrace(vec)
+	if err != nil {
+		return err
+	}
+	e.hist = h
+	return nil
+}
+
+// ApplyFast simulates one input vector without recording the waveform —
+// the mode used for benchmarking.
+func (e *EventSim) ApplyFast(vec []bool) error {
+	e.hist = nil
+	_, err := e.s.ApplyVector(vec)
+	return err
+}
+
+// Final returns the settled two-valued value of a net (X reads as false).
+func (e *EventSim) Final(n NetID) bool { return e.s.Value(n) == logic.V1 }
+
+// Value3 returns the current three-valued value of a net.
+func (e *EventSim) Value3(n NetID) V3 { return e.s.Value(n) }
+
+// ValueAt returns net n's value at time t from the last traced vector.
+func (e *EventSim) ValueAt(n NetID, t int) (bool, bool) {
+	if e.hist == nil || t < 0 || t >= len(e.hist) {
+		return false, false
+	}
+	return e.hist[t][n] == logic.V1, true
+}
+
+// Evals returns the number of gate evaluations performed so far.
+func (e *EventSim) Evals() int64 { return e.s.Evals }
+
+// Events returns the number of net value changes so far.
+func (e *EventSim) Events() int64 { return e.s.Events }
+
+// NewZeroDelay compiles a circuit as a classic zero-delay LCC simulator.
+func NewZeroDelay(c *Circuit) (*ZeroDelaySim, error) {
+	s, err := lcc.Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return &ZeroDelaySim{s: s}, nil
+}
+
+// ZeroDelaySim is a compiled zero-delay (LCC) simulator.
+type ZeroDelaySim struct{ s *lcc.Sim }
+
+// EngineName identifies the technique.
+func (z *ZeroDelaySim) EngineName() string { return "lcc-zero-delay" }
+
+// Circuit returns the (normalized) circuit.
+func (z *ZeroDelaySim) Circuit() *Circuit { return z.s.Circuit() }
+
+// Depth returns 0: zero-delay simulation has no time axis.
+func (z *ZeroDelaySim) Depth() int { return 0 }
+
+// ResetConsistent initializes the state (a formality for zero delay).
+func (z *ZeroDelaySim) ResetConsistent(inputs []bool) error { return z.s.ResetConsistent(inputs) }
+
+// Apply computes the steady state of one input vector.
+func (z *ZeroDelaySim) Apply(vec []bool) error { return z.s.ApplyVector(vec) }
+
+// Final returns the steady-state value of a net.
+func (z *ZeroDelaySim) Final(n NetID) bool { return z.s.Value(n) }
+
+// NewZeroDelayInterpreted builds the interpreted levelized zero-delay
+// simulator — the slow half of the paper's §5 zero-delay side study
+// (compiled LCC is the fast half).
+func NewZeroDelayInterpreted(c *Circuit) (*ZeroDelayInterp, error) {
+	s, err := eventsim.NewZeroDelay(c)
+	if err != nil {
+		return nil, err
+	}
+	return &ZeroDelayInterp{s: s}, nil
+}
+
+// ZeroDelayInterp is the interpreted zero-delay simulator.
+type ZeroDelayInterp struct{ s *eventsim.ZeroDelaySim }
+
+// Circuit returns the (normalized) circuit.
+func (z *ZeroDelayInterp) Circuit() *Circuit { return z.s.Circuit() }
+
+// ApplyVector computes the steady state of one input vector.
+func (z *ZeroDelayInterp) ApplyVector(vec []bool) error { return z.s.ApplyVector(vec) }
+
+// Value returns the current three-valued value of a net.
+func (z *ZeroDelayInterp) Value(n NetID) V3 { return z.s.Value(n) }
+
+// Static interface checks.
+var (
+	_ Engine = (*ParallelSim)(nil)
+	_ Engine = (*PCSetSim)(nil)
+	_ Engine = (*EventSim)(nil)
+	_ Engine = (*ZeroDelaySim)(nil)
+	_ Tracer = (*ParallelSim)(nil)
+	_ Tracer = (*PCSetSim)(nil)
+	_ Tracer = (*EventSim)(nil)
+)
+
+// Levelize exposes the level / minlevel / PC-set analysis of §§1–2 for a
+// combinational circuit.
+func Levelize(c *Circuit) (*levelize.Analysis, error) { return levelize.Analyze(c.Normalize()) }
+
+// Programs gives access to an engine's compiled instruction streams when
+// it has them (for disassembly or source generation).
+func Programs(e Engine) (init, sim *program.Program, ok bool) {
+	switch s := e.(type) {
+	case *ParallelSim:
+		i, m := s.s.Programs()
+		return i, m, true
+	case *PCSetSim:
+		i, m := s.s.Programs()
+		return i, m, true
+	case *ZeroDelaySim:
+		return &program.Program{WordBits: 64}, s.s.Program(), true
+	}
+	return nil, nil, false
+}
+
+// NewEngine builds an engine by technique name: "event3", "event2",
+// "pcset", "parallel", "parallel-trim", "parallel-pt", "parallel-pt-trim",
+// "parallel-cb", "lcc". Used by the CLI tools.
+func NewEngine(technique string, c *Circuit) (Engine, error) {
+	switch technique {
+	case "event3":
+		return NewEventDriven(c, true)
+	case "event2":
+		return NewEventDriven(c, false)
+	case "pcset":
+		return NewPCSet(c, nil)
+	case "parallel":
+		return NewParallel(c)
+	case "parallel-trim":
+		return NewParallel(c, WithTrimming())
+	case "parallel-pt":
+		return NewParallel(c, WithShiftElimination(PathTracing))
+	case "parallel-pt-trim":
+		return NewParallel(c, WithShiftElimination(PathTracing), WithTrimming())
+	case "parallel-cb":
+		return NewParallel(c, WithShiftElimination(CycleBreaking))
+	case "parallel-cb-trim":
+		return NewParallel(c, WithShiftElimination(CycleBreaking), WithTrimming())
+	case "lcc":
+		return NewZeroDelay(c)
+	}
+	return nil, fmt.Errorf("udsim: unknown technique %q", technique)
+}
+
+// Techniques lists the names accepted by NewEngine.
+func Techniques() []string {
+	return []string{"event3", "event2", "pcset", "parallel", "parallel-trim",
+		"parallel-pt", "parallel-pt-trim", "parallel-cb", "parallel-cb-trim", "lcc"}
+}

@@ -1,0 +1,283 @@
+package udsim
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"udsim/internal/ckttest"
+	"udsim/internal/vectors"
+)
+
+// glitchCircuit builds C = AND(A, NOT A).
+func glitchCircuit() *Circuit {
+	b := NewBuilder("glitch")
+	a := b.Input("A")
+	n := b.Gate(Not, "N", a)
+	c := b.Gate(And, "C", a, n)
+	b.Output(c)
+	return b.MustBuild()
+}
+
+func TestAllEnginesAgreeOnFinals(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 6; trial++ {
+		c := ckttest.Random(r, 40, 5)
+		engines := make([]Engine, 0, len(Techniques()))
+		for _, tech := range Techniques() {
+			e, err := NewEngine(tech, c)
+			if err != nil {
+				t.Fatalf("%s: %v", tech, err)
+			}
+			if err := e.ResetConsistent(nil); err != nil {
+				t.Fatal(err)
+			}
+			engines = append(engines, e)
+		}
+		vecs := vectors.Random(12, len(c.Inputs), int64(trial))
+		for _, vec := range vecs.Bits {
+			for _, e := range engines {
+				if err := e.Apply(vec); err != nil {
+					t.Fatalf("%s: %v", e.EngineName(), err)
+				}
+			}
+			ref := engines[0]
+			for _, e := range engines[1:] {
+				for n := 0; n < c.NumNets(); n++ {
+					// Engines may normalize differently; compare by
+					// name through each engine's own circuit.
+					name := c.Nets[n].Name
+					id1, ok1 := ref.Circuit().NetByName(name)
+					id2, ok2 := e.Circuit().NetByName(name)
+					if !ok1 || !ok2 {
+						t.Fatalf("net %s lost", name)
+					}
+					if ref.Final(id1) != e.Final(id2) {
+						t.Fatalf("%s and %s disagree on final of %s",
+							ref.EngineName(), e.EngineName(), name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTracersAgreeOnWaveforms(t *testing.T) {
+	c := glitchCircuit()
+	par, err := NewParallel(c, WithWordBits(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEventDriven(c, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cID, _ := c.NetByName("C")
+	for _, e := range []Engine{par, ev} {
+		if err := e.ResetConsistent([]bool{false}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Apply([]bool{true}); err != nil {
+			t.Fatal(err)
+		}
+		tr := e.(Tracer)
+		want := []bool{false, true, false}
+		for tm, w := range want {
+			got, ok := tr.ValueAt(cID, tm)
+			if !ok || got != w {
+				t.Errorf("%s: C at t=%d = %v,%v want %v", e.EngineName(), tm, got, ok, w)
+			}
+		}
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	c := glitchCircuit()
+	for _, tech := range Techniques() {
+		e, err := NewEngine(tech, c)
+		if err != nil {
+			t.Fatalf("%s: %v", tech, err)
+		}
+		if e.EngineName() == "" {
+			t.Errorf("%s: empty engine name", tech)
+		}
+	}
+	if _, err := NewEngine("frobnicate", c); err == nil {
+		t.Error("expected unknown-technique error")
+	}
+}
+
+func TestBenchRoundTripThroughFacade(t *testing.T) {
+	c, err := ISCAS85("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBench(&buf, "c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumGates() != c.NumGates() {
+		t.Errorf("round trip changed gate count: %d vs %d", back.NumGates(), c.NumGates())
+	}
+}
+
+func TestSequentialCounterAcrossEngines(t *testing.T) {
+	for _, tech := range []string{"parallel", "pcset", "event2", "lcc", "parallel-pt-trim"} {
+		c := Counter(5)
+		seq, err := NewSequential(c, func(cc *Circuit) (Engine, error) {
+			return NewEngine(tech, cc)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tech, err)
+		}
+		for step := 1; step <= 40; step++ {
+			if _, err := seq.Step([]bool{true}); err != nil {
+				t.Fatal(err)
+			}
+			if got := seq.Uint(); got != uint64(step%32) {
+				t.Fatalf("%s: after %d steps counter = %d", tech, step, got)
+			}
+		}
+		// Disabled counter holds.
+		before := seq.Uint()
+		if _, err := seq.Step([]bool{false}); err != nil {
+			t.Fatal(err)
+		}
+		if seq.Uint() != before {
+			t.Errorf("%s: disabled counter advanced", tech)
+		}
+	}
+}
+
+func TestSequentialSetState(t *testing.T) {
+	seq, err := NewSequential(Counter(4), func(c *Circuit) (Engine, error) {
+		return NewParallel(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.SetState([]bool{true, false, true, false}); err != nil {
+		t.Fatal(err)
+	}
+	if seq.Uint() != 5 {
+		t.Fatalf("state = %d, want 5", seq.Uint())
+	}
+	if _, err := seq.Step([]bool{true}); err != nil {
+		t.Fatal(err)
+	}
+	if seq.Uint() != 6 {
+		t.Errorf("5+1 = %d", seq.Uint())
+	}
+	if err := seq.SetState([]bool{true}); err == nil {
+		t.Error("expected width error")
+	}
+	if _, err := seq.Step([]bool{}); err == nil {
+		t.Error("expected input width error")
+	}
+	if seq.NumFlipFlops() != 4 || seq.Circuit().Name != "counter4" {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestSequentialRejectsCombinational(t *testing.T) {
+	if _, err := NewSequential(glitchCircuit(), func(c *Circuit) (Engine, error) {
+		return NewParallel(c)
+	}); err == nil {
+		t.Error("expected no-flip-flops error")
+	}
+}
+
+func TestProgramsAccessor(t *testing.T) {
+	c := glitchCircuit()
+	for _, tech := range []string{"pcset", "parallel", "lcc"} {
+		e, _ := NewEngine(tech, c)
+		_, sim, ok := Programs(e)
+		if !ok || sim == nil {
+			t.Errorf("%s: Programs not available", tech)
+		}
+		if len(sim.Code) == 0 {
+			t.Errorf("%s: empty sim program", tech)
+		}
+	}
+	ev, _ := NewEngine("event2", c)
+	if _, _, ok := Programs(ev); ok {
+		t.Error("event-driven engine should not expose programs")
+	}
+}
+
+// TestMultiplierPropertyAllEngines: the compiled engines compute real
+// products on the 8x8 multiplier.
+func TestMultiplierPropertyAllEngines(t *testing.T) {
+	c := Multiplier(8, false)
+	par, err := NewParallel(c, WithShiftElimination(PathTracing), WithTrimming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := par.ResetConsistent(nil); err != nil {
+		t.Fatal(err)
+	}
+	cn := par.Circuit()
+	f := func(x, y uint8) bool {
+		vec := make([]bool, 16)
+		for i := 0; i < 8; i++ {
+			vec[i] = x>>uint(i)&1 == 1
+			vec[8+i] = y>>uint(i)&1 == 1
+		}
+		if err := par.Apply(vec); err != nil {
+			return false
+		}
+		var p uint64
+		for i := 0; i < 16; i++ {
+			id, ok := cn.NetByName("p" + itoa(i))
+			if !ok {
+				return false
+			}
+			if par.Final(id) {
+				p |= 1 << uint(i)
+			}
+		}
+		return p == uint64(x)*uint64(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	s := ""
+	for i > 0 {
+		s = string(rune('0'+i%10)) + s
+		i /= 10
+	}
+	return s
+}
+
+func TestLevelizeFacade(t *testing.T) {
+	c := ckttest.Fig4()
+	a, err := Levelize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Depth != 2 {
+		t.Errorf("depth = %d, want 2", a.Depth)
+	}
+}
+
+func TestISCAS85NamesStable(t *testing.T) {
+	names := ISCAS85Names()
+	if len(names) != 10 || names[0] != "c432" || names[9] != "c7552" {
+		t.Errorf("names = %v", names)
+	}
+	if !strings.HasPrefix(names[8], "c6288") {
+		t.Errorf("names = %v", names)
+	}
+}
