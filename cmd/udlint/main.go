@@ -1,0 +1,152 @@
+// Command udlint statically verifies the compiled simulation programs of
+// a circuit: it compiles the netlist with every verifiable technique
+// (PC-set and all parallel-technique variants), runs the verify analyzer
+// over each instruction stream, and prints a findings table. The exit
+// status is 0 when every technique is clean, 1 when any error-severity
+// finding exists, and 2 when loading or compiling fails.
+//
+// Usage:
+//
+//	udlint -gen c432
+//	udlint -bench mycircuit.bench -wordbits 8 -dead
+//	udlint -gen c6288 -technique parallel-pt-trim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"udsim"
+	"udsim/internal/texttable"
+	"udsim/internal/verify"
+)
+
+var lintTechniques = []string{
+	"pcset", "parallel", "parallel-trim",
+	"parallel-pt", "parallel-pt-trim",
+	"parallel-cb", "parallel-cb-trim",
+}
+
+func main() {
+	var (
+		benchFile = flag.String("bench", "", "netlist file (.bench or structural .v)")
+		genName   = flag.String("gen", "", "synthesize a benchmark profile (c432..c7552)")
+		wordBits  = flag.Int("wordbits", 32, "parallel-technique word width")
+		technique = flag.String("technique", "", "comma-separated technique subset (default: all verifiable)")
+		dead      = flag.Bool("dead", false, "also report dead instructions as info findings")
+	)
+	flag.Parse()
+
+	var c *udsim.Circuit
+	var err error
+	switch {
+	case *benchFile != "":
+		c, err = udsim.LoadCircuitFile(*benchFile)
+	case *genName != "":
+		c, err = udsim.ISCAS85(*genName)
+	default:
+		err = fmt.Errorf("need -bench FILE or -gen NAME")
+	}
+	if err != nil {
+		fail(err)
+	}
+	if !c.Combinational() {
+		fmt.Printf("sequential circuit: %d flip-flops broken for analysis\n", len(c.FFs))
+		c, _ = c.BreakFlipFlops()
+	}
+
+	techs := lintTechniques
+	if *technique != "" {
+		techs = strings.Split(*technique, ",")
+	}
+
+	opts := udsim.VerifyOptions{ReportDead: *dead}
+	summary := texttable.New(fmt.Sprintf("static verification: %s", c.Name),
+		"technique", "init", "sim", "errors", "warnings", "dead", "unused slots", "word util")
+	var all []taggedFinding
+	errors := 0
+	for _, tech := range techs {
+		rep, err := lintOne(c, tech, *wordBits, opts)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", tech, err))
+		}
+		st := &rep.Stats
+		summary.Add(rep.Name, st.InitInstrs, st.SimInstrs,
+			rep.Count(verify.SevError), rep.Count(verify.SevWarning),
+			st.DeadInstructions(), st.UnusedSlots,
+			fmt.Sprintf("%.1f%%", 100*st.WordUtilization()))
+		errors += rep.Count(verify.SevError)
+		for _, f := range rep.Findings {
+			all = append(all, taggedFinding{rep.Name, f})
+		}
+	}
+	fmt.Println(summary)
+
+	if len(all) > 0 {
+		ft := texttable.New("findings", "technique", "rule", "severity", "location", "slot", "message")
+		for _, tf := range all {
+			loc := tf.f.Prog
+			if tf.f.Instr >= 0 {
+				loc = fmt.Sprintf("%s[%d]", tf.f.Prog, tf.f.Instr)
+			}
+			slot := ""
+			if tf.f.Slot >= 0 {
+				slot = fmt.Sprint(tf.f.Slot)
+			}
+			ft.Add(tf.tech, tf.f.Rule, tf.f.Severity.String(), loc, slot, tf.f.Msg)
+		}
+		fmt.Println(ft)
+	} else {
+		fmt.Println("no findings")
+	}
+
+	if errors > 0 {
+		os.Exit(1)
+	}
+}
+
+type taggedFinding struct {
+	tech string
+	f    udsim.VerifyFinding
+}
+
+// lintOne compiles the circuit with one technique at the requested word
+// width and runs the analyzer.
+func lintOne(c *udsim.Circuit, tech string, wordBits int, opts udsim.VerifyOptions) (*udsim.VerifyReport, error) {
+	var (
+		e   udsim.Engine
+		err error
+	)
+	if tech == "pcset" {
+		e, err = udsim.NewPCSet(c, nil)
+	} else {
+		po := []udsim.ParallelOption{udsim.WithWordBits(wordBits)}
+		switch tech {
+		case "parallel":
+		case "parallel-trim":
+			po = append(po, udsim.WithTrimming())
+		case "parallel-pt":
+			po = append(po, udsim.WithShiftElimination(udsim.PathTracing))
+		case "parallel-pt-trim":
+			po = append(po, udsim.WithShiftElimination(udsim.PathTracing), udsim.WithTrimming())
+		case "parallel-cb":
+			po = append(po, udsim.WithShiftElimination(udsim.CycleBreaking))
+		case "parallel-cb-trim":
+			po = append(po, udsim.WithShiftElimination(udsim.CycleBreaking), udsim.WithTrimming())
+		default:
+			return nil, fmt.Errorf("unknown technique (want one of %s)", strings.Join(lintTechniques, ", "))
+		}
+		e, err = udsim.NewParallel(c, po...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return udsim.Verify(e, opts)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "udlint:", err)
+	os.Exit(2)
+}

@@ -24,6 +24,7 @@ import (
 	"udsim/internal/scoap"
 	"udsim/internal/stats"
 	"udsim/internal/texttable"
+	"udsim/internal/verify"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 		benchFile = flag.String("bench", "", "netlist file (.bench or structural .v)")
 		genName   = flag.String("gen", "", "synthesize a benchmark profile (c432..c7552)")
 		wordBits  = flag.Int("wordbits", 32, "parallel-technique word width")
+		doVerify  = flag.Bool("verify", false, "run the static analyzer and report dead code and word utilization")
 	)
 	flag.Parse()
 
@@ -105,6 +107,13 @@ func main() {
 	fmt.Println(ts)
 
 	tc := texttable.New("generated code (C statements)", "technique", "instructions", "statements")
+	tv := texttable.New("static verification", "technique", "errors", "warnings", "dead instrs", "unused slots", "word util")
+	check := func(label string, spec *verify.Spec) {
+		rep := verify.Check(spec, verify.Options{})
+		tv.Add(label, rep.Count(verify.SevError), rep.Count(verify.SevWarning),
+			rep.Stats.DeadInstructions(), rep.Stats.UnusedSlots,
+			fmt.Sprintf("%.1f%%", 100*rep.Stats.WordUtilization()))
+	}
 	ps, err := pcset.Compile(norm, nil)
 	if err != nil {
 		fail(err)
@@ -112,6 +121,9 @@ func main() {
 	pi, pm := ps.Programs()
 	n1, _ := codegen.Emit(io.Discard, codegen.C, "x", []codegen.Unit{{Name: "i", Prog: pi}, {Name: "s", Prog: pm}})
 	tc.Add("pcset", ps.CodeSize(), n1)
+	if *doVerify {
+		check("pcset", ps.Spec())
+	}
 	for _, cfg := range []struct {
 		label string
 		conf  parsim.Config
@@ -128,8 +140,14 @@ func main() {
 		qi, qm := par.Programs()
 		n2, _ := codegen.Emit(io.Discard, codegen.C, "x", []codegen.Unit{{Name: "i", Prog: qi}, {Name: "s", Prog: qm}})
 		tc.Add(cfg.label, par.CodeSize(), n2)
+		if *doVerify {
+			check(cfg.label, par.Spec())
+		}
 	}
 	fmt.Println(tc)
+	if *doVerify {
+		fmt.Println(tv)
+	}
 }
 
 func fmtCost(v int64) string {

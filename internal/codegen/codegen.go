@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"udsim/internal/program"
+	"udsim/internal/verify"
 )
 
 // Language selects the output language.
@@ -116,6 +117,19 @@ func Emit(w io.Writer, lang Language, name string, units []Unit) (int, error) {
 	}
 	_, err := io.WriteString(w, b.String())
 	return stmts, err
+}
+
+// EmitChecked runs the static analyzer over the simulator's spec before
+// emitting, refusing to generate source from programs with any warning or
+// error finding — broken generated code is far harder to debug than a
+// structured diagnostic. A nil spec skips the analysis.
+func EmitChecked(w io.Writer, lang Language, name string, units []Unit, spec *verify.Spec, opts verify.Options) (int, error) {
+	if spec != nil {
+		if err := verify.Check(spec, opts).Err(); err != nil {
+			return 0, fmt.Errorf("codegen: %w", err)
+		}
+	}
+	return Emit(w, lang, name, units)
 }
 
 func v(i int32) string { return fmt.Sprintf("st[%d]", i) }

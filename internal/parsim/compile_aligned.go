@@ -37,6 +37,7 @@ func (s *Sim) compileAligned() error {
 		next += int32(nw)
 	}
 	fieldEnd := next
+	s.scratchStart = fieldEnd
 
 	names := make([]string, 0, int(fieldEnd)+16)
 	for i := range c.Nets {

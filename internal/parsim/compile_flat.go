@@ -42,6 +42,7 @@ func (s *Sim) compileFlat() error {
 	}
 	tempBase := int32(c.NumNets() * nw)
 	numVars := int(tempBase) + nw
+	s.scratchStart = tempBase
 
 	names := make([]string, numVars)
 	for i := range c.Nets {

@@ -24,6 +24,7 @@ import (
 	"udsim/internal/levelize"
 	"udsim/internal/program"
 	"udsim/internal/refsim"
+	"udsim/internal/verify"
 )
 
 // Config selects the compilation variant.
@@ -43,6 +44,9 @@ type Config struct {
 	// but the optimizations are unit-delay constructions, so Delays is
 	// mutually exclusive with Trim and Align.
 	Delays []int
+	// Verify runs the static analyzer (package verify) over the compiled
+	// programs and fails the compile on any warning or error finding.
+	Verify bool
 }
 
 // Sim is a compiled parallel-technique simulator.
@@ -60,6 +64,8 @@ type Sim struct {
 	words   []int32 // per net: words in the field
 	alignOf []int   // per net: alignment (all zero when cfg.Align == nil)
 	width   []int   // per net: valid field width in bits
+
+	scratchStart int32 // first non-field (temporary/scratch) state slot
 
 	prevFinal []bool // final values before the last vector (for t < alignment reads)
 	prevPI    []bool // previous primary-input values (for negative-alignment PI bits)
@@ -133,6 +139,11 @@ func Compile(c *circuit.Circuit, cfg Config) (*Sim, error) {
 	}
 	if err := s.simProg.Validate(); err != nil {
 		return nil, fmt.Errorf("parsim: sim program invalid: %w", err)
+	}
+	if cfg.Verify {
+		if err := verify.Check(s.Spec(), verify.Options{}).Err(); err != nil {
+			return nil, fmt.Errorf("parsim: %w", err)
+		}
 	}
 	s.st = make([]uint64, s.simProg.NumVars)
 	s.piBuf = make([]uint64, 0, 8)

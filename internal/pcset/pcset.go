@@ -21,6 +21,7 @@ import (
 	"udsim/internal/levelize"
 	"udsim/internal/program"
 	"udsim/internal/refsim"
+	"udsim/internal/verify"
 )
 
 // Sim is a compiled PC-set unit-delay simulator.
@@ -31,8 +32,9 @@ type Sim struct {
 	initProg *program.Program // per-vector initialization (zero moves)
 	simProg  *program.Program // gate simulations in levelized order
 
-	st   []uint64
-	vars [][]int32 // per net: state index per PC element, parallel to a.NetPC
+	st      []uint64
+	vars    [][]int32       // per net: state index per PC element, parallel to a.NetPC
+	monitor []circuit.NetID // resolved monitor set (PRINT-gate inputs)
 }
 
 // Compile builds the PC-set program for a combinational circuit. The
@@ -132,6 +134,7 @@ func CompileWithDelays(c *circuit.Circuit, monitor []circuit.NetID, gateDelay []
 		simProg:  mk(simCode),
 		st:       make([]uint64, next),
 		vars:     vars,
+		monitor:  monitor,
 	}
 	if err := s.initProg.Validate(); err != nil {
 		return nil, err
@@ -140,6 +143,47 @@ func CompileWithDelays(c *circuit.Circuit, monitor []circuit.NetID, gateDelay []
 		return nil, err
 	}
 	return s, nil
+}
+
+// CompileChecked is Compile followed by the static analyzer (package
+// verify); any warning or error finding fails the compile.
+func CompileChecked(c *circuit.Circuit, monitor []circuit.NetID) (*Sim, error) {
+	s, err := Compile(c, monitor)
+	if err != nil {
+		return nil, err
+	}
+	if err := verify.Check(s.Spec(), verify.Options{}).Err(); err != nil {
+		return nil, fmt.Errorf("pcset: %w", err)
+	}
+	return s, nil
+}
+
+// Spec builds the static-verification spec for the compiled programs.
+// Every variable is persistent state (the PC-set method has no scratch
+// region and no packed bit-fields, so the layout and phase rules are
+// vacuous); the runtime writes each primary input's time-zero variable,
+// and the observable slots are every variable of every monitored net plus
+// the final-value variable of every net, which Final and the next
+// vector's zero-insertion read.
+func (s *Sim) Spec() *verify.Spec {
+	spec := &verify.Spec{
+		Name:         "pcset",
+		Init:         s.initProg,
+		Sim:          s.simProg,
+		ScratchStart: int32(len(s.st)),
+	}
+	for _, id := range s.c.Inputs {
+		spec.RuntimeWritten = append(spec.RuntimeWritten, s.vars[id][0])
+	}
+	for _, id := range s.monitor {
+		spec.LiveOut = append(spec.LiveOut, s.vars[id]...)
+	}
+	for i := range s.c.Nets {
+		if vs := s.vars[i]; len(vs) > 0 {
+			spec.LiveOut = append(spec.LiveOut, vs[len(vs)-1])
+		}
+	}
+	return spec
 }
 
 // varAt returns the state index of net's variable for PC element t,

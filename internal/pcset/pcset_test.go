@@ -273,3 +273,23 @@ func TestErrors(t *testing.T) {
 		t.Error("expected packed width error")
 	}
 }
+
+// TestCompileChecked runs the static analyzer over PC-set compiles, both
+// output-monitored and fully monitored.
+func TestCompileChecked(t *testing.T) {
+	c := ckttest.Fig4()
+	if _, err := CompileChecked(c, nil); err != nil {
+		t.Fatalf("CompileChecked(outputs): %v", err)
+	}
+	s, err := CompileChecked(c, allNets(c))
+	if err != nil {
+		t.Fatalf("CompileChecked(all nets): %v", err)
+	}
+	spec := s.Spec()
+	if spec.ScratchStart != int32(s.NumVars()) {
+		t.Errorf("ScratchStart = %d, want %d (PC-set has no scratch)", spec.ScratchStart, s.NumVars())
+	}
+	if spec.Fields != nil || spec.Phase != nil {
+		t.Error("PC-set spec must not declare fields or phases")
+	}
+}

@@ -113,6 +113,53 @@ type Instr struct {
 	Sh  uint8
 }
 
+// UsesA reports whether the instruction reads operand A.
+func (in *Instr) UsesA() bool {
+	switch in.Op {
+	case OpNop, OpConst0, OpConst1:
+		return false
+	}
+	return true
+}
+
+// UsesBSlot reports whether operand B is a state-array index that the
+// instruction reads (OpFillLowN's B is a bit count, not a slot).
+func (in *Instr) UsesBSlot() bool {
+	switch in.Op {
+	case OpAnd, OpOr, OpXor, OpNand, OpNor, OpXnor:
+		return in.B != None
+	case OpShlOr, OpShlMove, OpShrMove:
+		return in.B != None
+	}
+	return false
+}
+
+// Accumulates reports whether the instruction merges into Dst rather than
+// fully defining it, i.e. it reads Dst's prior value (OpOrMove, OpShlOr).
+func (in *Instr) Accumulates() bool {
+	return in.Op == OpOrMove || in.Op == OpShlOr
+}
+
+// Writes reports whether the instruction writes Dst (everything but nop).
+func (in *Instr) Writes() bool { return in.Op != OpNop }
+
+// ReadSlots appends the state slots the instruction reads to buf and
+// returns it: operand A, operand B when it is a slot, and Dst for
+// accumulating instructions. A fold-continuation read of Dst through
+// operand A or B (e.g. "dst = dst & s") is included as that operand.
+func (in *Instr) ReadSlots(buf []int32) []int32 {
+	if in.UsesA() {
+		buf = append(buf, in.A)
+	}
+	if in.UsesBSlot() {
+		buf = append(buf, in.B)
+	}
+	if in.Accumulates() {
+		buf = append(buf, in.Dst)
+	}
+	return buf
+}
+
 // Program is a straight-line instruction sequence over NumVars state words.
 type Program struct {
 	// WordBits is the logical word width W (8, 16, 32 or 64).

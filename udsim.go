@@ -41,6 +41,7 @@ import (
 	"udsim/internal/parsim"
 	"udsim/internal/pcset"
 	"udsim/internal/program"
+	"udsim/internal/verify"
 )
 
 // Core circuit types, re-exported from the internal model.
@@ -155,6 +156,7 @@ type parallelOpts struct {
 	wordBits int
 	trim     bool
 	shiftEl  ShiftElimination
+	verify   bool
 }
 
 // WithWordBits sets the logical word width (8, 16, 32 or 64; default 32,
@@ -170,6 +172,10 @@ func WithShiftElimination(m ShiftElimination) ParallelOption {
 	return func(o *parallelOpts) { o.shiftEl = m }
 }
 
+// WithVerify runs the static analyzer over the compiled programs and
+// fails the compile on any warning or error finding (see Verify).
+func WithVerify() ParallelOption { return func(o *parallelOpts) { o.verify = true } }
+
 // NewParallel compiles a circuit with the parallel technique (§3),
 // optionally optimized.
 func NewParallel(c *Circuit, opts ...ParallelOption) (*ParallelSim, error) {
@@ -177,7 +183,7 @@ func NewParallel(c *Circuit, opts ...ParallelOption) (*ParallelSim, error) {
 	for _, f := range opts {
 		f(&o)
 	}
-	cfg := parsim.Config{WordBits: o.wordBits, Trim: o.trim}
+	cfg := parsim.Config{WordBits: o.wordBits, Trim: o.trim, Verify: o.verify}
 	target := c
 	if o.shiftEl != NoShiftElimination {
 		norm, a, err := parsim.Analyze(c)
@@ -467,6 +473,32 @@ func Programs(e Engine) (init, sim *program.Program, ok bool) {
 		return &program.Program{WordBits: 64}, s.s.Program(), true
 	}
 	return nil, nil, false
+}
+
+// Static-verification types, re-exported from the internal analyzer.
+type (
+	// VerifyReport is the structured result of a static-analysis run.
+	VerifyReport = verify.Report
+	// VerifyFinding is one diagnostic (rule ID, severity, location).
+	VerifyFinding = verify.Finding
+	// VerifyOptions configures a verification run.
+	VerifyOptions = verify.Options
+)
+
+// Verify runs the static analyzer over an engine's compiled programs:
+// def-before-use, single assignment, bit-field layout, shift/phase
+// consistency, dead code, and combinational-cycle checks (rules
+// V001–V007). Engines without compiled instruction streams (the
+// interpreted baselines and the zero-delay LCC engine, whose program has
+// no unit-delay layout metadata) return an error.
+func Verify(e Engine, opts VerifyOptions) (*VerifyReport, error) {
+	switch s := e.(type) {
+	case *ParallelSim:
+		return verify.Check(s.s.Spec(), opts), nil
+	case *PCSetSim:
+		return verify.Check(s.s.Spec(), opts), nil
+	}
+	return nil, fmt.Errorf("udsim: engine %s has no statically verifiable programs", e.EngineName())
 }
 
 // NewEngine builds an engine by technique name: "event3", "event2",

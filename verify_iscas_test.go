@@ -1,0 +1,117 @@
+package udsim
+
+import (
+	"fmt"
+	"testing"
+
+	"udsim/internal/gen"
+	"udsim/internal/verify"
+)
+
+// verifyTechniques are the compiled techniques with statically verifiable
+// programs: the PC-set method and every parallel-technique variant.
+var verifyTechniques = []string{
+	"pcset", "parallel", "parallel-trim",
+	"parallel-pt", "parallel-pt-trim",
+	"parallel-cb", "parallel-cb-trim",
+}
+
+// TestVerifyISCAS85 runs the static analyzer over every synthesized
+// ISCAS-85 profile circuit under every compiled technique and requires a
+// clean report: zero warnings and zero errors. This is the analyzer's
+// soundness contract with the compilers — any finding here is a bug in
+// one or the other.
+func TestVerifyISCAS85(t *testing.T) {
+	for _, name := range gen.Names() {
+		c, err := ISCAS85(name)
+		if err != nil {
+			t.Fatalf("ISCAS85(%s): %v", name, err)
+		}
+		for _, tech := range verifyTechniques {
+			t.Run(name+"/"+tech, func(t *testing.T) {
+				e, err := NewEngine(tech, c)
+				if err != nil {
+					t.Fatalf("NewEngine: %v", err)
+				}
+				rep, err := Verify(e, VerifyOptions{})
+				if err != nil {
+					t.Fatalf("Verify: %v", err)
+				}
+				if !rep.Clean() {
+					t.Fatalf("findings on %s/%s:\n%s", name, tech, rep)
+				}
+			})
+		}
+	}
+}
+
+// TestVerifyNarrowWords re-runs the analyzer with 8-bit logical words,
+// which forces many-word fields, word-boundary carries and gap/low word
+// classifications even on the small profile circuits.
+func TestVerifyNarrowWords(t *testing.T) {
+	c, err := ISCAS85("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, trim := range []bool{false, true} {
+		for _, se := range []ShiftElimination{NoShiftElimination, PathTracing, CycleBreaking} {
+			opts := []ParallelOption{WithWordBits(8), WithVerify()}
+			if trim {
+				opts = append(opts, WithTrimming())
+			}
+			if se != NoShiftElimination {
+				opts = append(opts, WithShiftElimination(se))
+			}
+			name := fmt.Sprintf("trim=%v/se=%d", trim, se)
+			t.Run(name, func(t *testing.T) {
+				// WithVerify makes the compile itself fail on findings.
+				if _, err := NewParallel(c, opts...); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestVerifyCompileOption checks that the opt-in Verify compile option is
+// actually wired through the facade (a clean compile succeeds with it on).
+func TestVerifyCompileOption(t *testing.T) {
+	c, err := ISCAS85("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewParallel(c, WithVerify(), WithTrimming()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifyStatsPopulated checks the report's census side: instruction
+// counts and field utilization must be filled in for parallel compiles.
+func TestVerifyStatsPopulated(t *testing.T) {
+	c, err := ISCAS85("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine("parallel-trim", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(e, VerifyOptions{ReportDead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.SimInstrs == 0 {
+		t.Error("SimInstrs not populated")
+	}
+	if rep.Stats.FieldCapacityBits == 0 || rep.Stats.FieldUsedBits == 0 {
+		t.Error("field utilization not populated")
+	}
+	if u := rep.Stats.WordUtilization(); u <= 0 || u > 1 {
+		t.Errorf("word utilization %v out of (0,1]", u)
+	}
+	for _, f := range rep.Findings {
+		if f.Rule != verify.RuleDead {
+			t.Errorf("unexpected non-V005 finding with ReportDead: %s", f)
+		}
+	}
+}
