@@ -180,3 +180,47 @@ func BenchmarkCompile(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkParallelExec times the multicore execution strategies on the
+// vector-stream path. One op is a whole 256-vector stream. The steady
+// state must not allocate: run with -benchmem and expect 0 allocs/op for
+// every strategy (clones and worker buffers are built during warm-up).
+func BenchmarkParallelExec(b *testing.B) {
+	cfgs := []struct {
+		name     string
+		strategy ExecStrategy
+	}{
+		{"seq", ExecSequential},
+		{"sharded", ExecSharded},
+		{"batch", ExecVectorBatch},
+	}
+	for _, ckt := range []string{"c1908", "c6288"} {
+		for _, cfg := range cfgs {
+			b.Run(fmt.Sprintf("%s/%s", ckt, cfg.name), func(b *testing.B) {
+				c, err := ISCAS85(ckt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e, err := NewParallel(c, WithParallelExec(cfg.strategy, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer e.Close()
+				if err := e.ResetConsistent(nil); err != nil {
+					b.Fatal(err)
+				}
+				vecs := vectors.Random(benchVecPool, len(e.Circuit().Inputs), 1990)
+				if err := e.ApplyStream(vecs.Bits); err != nil { // warm-up
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := e.ApplyStream(vecs.Bits); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -8,12 +8,14 @@
 //	udbench -exp fig19,fig21     # selected experiments
 //	udbench -vectors 500         # faster run
 //	udbench -circuits c432,c6288 # selected circuits
+//	udbench -json BENCH_r2.json -rev r2   # machine-readable perf matrix
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"udsim/internal/harness"
@@ -21,18 +23,59 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments (fig19..fig24, zerodelay, codesize, dataparallel, faultcov, activity, timing) or all")
+		exps     = flag.String("exp", "all", "comma-separated experiments (fig19..fig24, zerodelay, parallel, codesize, dataparallel, faultcov, activity, timing) or all")
 		circuits = flag.String("circuits", "", "comma-separated circuit subset (default all ten)")
 		nvec     = flag.Int("vectors", 5000, "vectors per circuit (the paper used 5000)")
 		seed     = flag.Int64("seed", 1990, "vector seed")
 		wordBits = flag.Int("wordbits", 32, "parallel-technique word width (8,16,32,64)")
 		repeats  = flag.Int("repeats", 3, "timing repetitions; fastest run reported")
+		jsonOut  = flag.String("json", "", "write the circuit x technique x strategy x workers bench matrix to FILE as JSON (skips -exp)")
+		rev      = flag.String("rev", "dev", "revision label recorded in the -json bench file")
+		workers  = flag.String("workers", "", "comma-separated worker counts for the -json matrix (default GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	opt := harness.Options{Vectors: *nvec, Seed: *seed, WordBits: *wordBits, Repeats: *repeats}
 	if *circuits != "" {
 		opt.Circuits = strings.Split(*circuits, ",")
+	}
+
+	if *jsonOut != "" {
+		var workersList []int
+		if *workers != "" {
+			for _, s := range strings.Split(*workers, ",") {
+				w, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || w < 1 {
+					fail(fmt.Errorf("bad -workers value %q", s))
+				}
+				workersList = append(workersList, w)
+			}
+		}
+		file, err := harness.BenchMatrix(opt, *rev, workersList)
+		if err != nil {
+			fail(err)
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := file.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		// Round-trip the emitted file so CI smoke runs validate the format.
+		rf, err := os.Open(*jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		defer rf.Close()
+		if _, err := harness.ParseBenchFile(rf); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d records)\n", *jsonOut, len(file.Records))
+		return
 	}
 
 	if *exps == "all" {

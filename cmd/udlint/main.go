@@ -10,6 +10,7 @@
 //	udlint -gen c432
 //	udlint -bench mycircuit.bench -wordbits 8 -dead
 //	udlint -gen c6288 -technique parallel-pt-trim
+//	udlint -gen c880 -workers 4    # also verify the shard plan (rule V008)
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 		wordBits  = flag.Int("wordbits", 32, "parallel-technique word width")
 		technique = flag.String("technique", "", "comma-separated technique subset (default: all verifiable)")
 		dead      = flag.Bool("dead", false, "also report dead instructions as info findings")
+		workers   = flag.Int("workers", 0, "build a sharded execution plan for this many workers and verify it (rule V008); 0 lints sequential programs only")
 	)
 	flag.Parse()
 
@@ -68,7 +70,7 @@ func main() {
 	var all []taggedFinding
 	errors := 0
 	for _, tech := range techs {
-		rep, err := lintOne(c, tech, *wordBits, opts)
+		rep, err := lintOne(c, tech, *wordBits, *workers, opts)
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", tech, err))
 		}
@@ -113,16 +115,24 @@ type taggedFinding struct {
 }
 
 // lintOne compiles the circuit with one technique at the requested word
-// width and runs the analyzer.
-func lintOne(c *udsim.Circuit, tech string, wordBits int, opts udsim.VerifyOptions) (*udsim.VerifyReport, error) {
+// width and runs the analyzer. With workers > 0 the engine is built with
+// a sharded execution plan so the analyzer also checks rule V008.
+func lintOne(c *udsim.Circuit, tech string, wordBits, workers int, opts udsim.VerifyOptions) (*udsim.VerifyReport, error) {
 	var (
 		e   udsim.Engine
 		err error
 	)
 	if tech == "pcset" {
-		e, err = udsim.NewPCSet(c, nil)
+		var po []udsim.PCSetOption
+		if workers > 0 {
+			po = append(po, udsim.WithPCSetParallelExec(udsim.ExecSharded, workers))
+		}
+		e, err = udsim.NewPCSet(c, nil, po...)
 	} else {
 		po := []udsim.ParallelOption{udsim.WithWordBits(wordBits)}
+		if workers > 0 {
+			po = append(po, udsim.WithParallelExec(udsim.ExecSharded, workers))
+		}
 		switch tech {
 		case "parallel":
 		case "parallel-trim":
@@ -142,6 +152,9 @@ func lintOne(c *udsim.Circuit, tech string, wordBits int, opts udsim.VerifyOptio
 	}
 	if err != nil {
 		return nil, err
+	}
+	if closer, ok := e.(interface{ Close() }); ok {
+		defer closer.Close()
 	}
 	return udsim.Verify(e, opts)
 }

@@ -101,6 +101,13 @@ type Sim struct {
 	a     *levelize.Analysis
 	base  *program.Program
 	varOf []int32
+
+	// Reusable per-batch buffers, pre-sized once so repeated Run calls
+	// (fault-coverage sweeps) do not re-allocate state or code.
+	lastWrite []int32 // per var: index of its last write in base code, -1 if none
+	outVars   []int32
+	stBuf     []uint64
+	codeBuf   []program.Instr
 }
 
 // New compiles the fault simulator for a combinational circuit.
@@ -133,7 +140,21 @@ func New(c *circuit.Circuit) (*Sim, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Sim{c: c, a: a, base: p, varOf: varOf}, nil
+	s := &Sim{c: c, a: a, base: p, varOf: varOf}
+	s.lastWrite = make([]int32, p.NumVars)
+	for i := range s.lastWrite {
+		s.lastWrite[i] = -1
+	}
+	for i, in := range p.Code {
+		s.lastWrite[in.Dst] = int32(i)
+	}
+	s.outVars = make([]int32, len(c.Outputs))
+	for i, o := range c.Outputs {
+		s.outVars[i] = varOf[o]
+	}
+	s.stBuf = make([]uint64, 0, p.NumVars+2*BatchSize)
+	s.codeBuf = make([]program.Instr, 0, len(p.Code)+2*BatchSize)
+	return s, nil
 }
 
 // Circuit returns the (normalized) circuit.
@@ -204,11 +225,15 @@ func (s *Sim) Run(faults []Fault, vecs [][]bool) (*Result, error) {
 // runBatch compiles the fault-injected program for one batch and grades
 // it, returning batch-index → first detecting vector.
 func (s *Sim) runBatch(batch []Fault, vecs [][]bool) (map[int]int, error) {
-	// Mask state words: two per distinct faulted net in this batch.
+	// Mask state words: two per distinct faulted net in this batch. The
+	// state and code buffers are pre-sized in New and reused per batch.
 	nVars := s.base.NumVars
 	type maskPair struct{ and, or int32 }
 	masks := make(map[circuit.NetID]maskPair)
-	st := make([]uint64, nVars, nVars+2*len(batch))
+	st := s.stBuf[:nVars]
+	for i := range st {
+		st[i] = 0
+	}
 	newWord := func(init uint64) int32 {
 		st = append(st, init)
 		return int32(len(st) - 1)
@@ -231,11 +256,7 @@ func (s *Sim) runBatch(batch []Fault, vecs [][]bool) (map[int]int, error) {
 	// final assignment (zero-delay: each net is assigned exactly once,
 	// at the end of its gate's emission group). Primary-input faults are
 	// injected up front each vector.
-	var code []program.Instr
-	lastWrite := make(map[int32]int) // var → index of last write in base code
-	for i, in := range s.base.Code {
-		lastWrite[in.Dst] = i
-	}
+	code := s.codeBuf[:0]
 	inject := func(v int32, mp maskPair) {
 		code = append(code,
 			program.Instr{Op: program.OpAnd, Dst: v, A: v, B: mp.and},
@@ -253,21 +274,19 @@ func (s *Sim) runBatch(batch []Fault, vecs [][]bool) (map[int]int, error) {
 		code = append(code, in)
 		for net, mp := range masks {
 			v := s.varOf[net]
-			if in.Dst == v && lastWrite[v] == i {
+			if in.Dst == v && s.lastWrite[v] == int32(i) {
 				inject(v, mp)
 			}
 		}
 	}
+	s.codeBuf = code[:0]
 	p := &program.Program{WordBits: 64, NumVars: len(st), Code: code}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 
 	detected := make(map[int]int)
-	outVars := make([]int32, len(s.c.Outputs))
-	for i, o := range s.c.Outputs {
-		outVars[i] = s.varOf[o]
-	}
+	outVars := s.outVars
 	undetectedMask := ^uint64(1) // lanes 1..63 pending
 	if len(batch) < BatchSize {
 		undetectedMask &= (1 << uint(len(batch)+1)) - 1

@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"udsim/internal/circuit"
+	"udsim/internal/parsim"
+	"udsim/internal/pcset"
+	"udsim/internal/shard"
+)
+
+// BenchSchema identifies the bench-file format; bump on incompatible
+// changes.
+const BenchSchema = "udbench/v1"
+
+// BenchRecord is one measured configuration: a circuit simulated with a
+// technique under an execution strategy and worker count.
+type BenchRecord struct {
+	Circuit         string  `json:"circuit"`
+	Technique       string  `json:"technique"`
+	Strategy        string  `json:"strategy"`
+	Workers         int     `json:"workers"`
+	NsPerVector     float64 `json:"ns_per_vector"`
+	AllocsPerVector float64 `json:"allocs_per_vector"`
+	BytesPerVector  float64 `json:"bytes_per_vector"`
+}
+
+// BenchFile is the machine-readable benchmark emitted by `udbench -json`,
+// checked in as BENCH_<rev>.json so the performance trajectory is
+// tracked across revisions.
+type BenchFile struct {
+	Schema     string        `json:"schema"`
+	Revision   string        `json:"revision"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	WordBits   int           `json:"word_bits"`
+	Vectors    int           `json:"vectors"`
+	Records    []BenchRecord `json:"records"`
+}
+
+// WriteJSON renders the bench file as indented JSON.
+func (b *BenchFile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ParseBenchFile reads and validates a bench file.
+func ParseBenchFile(r io.Reader) (*BenchFile, error) {
+	var b BenchFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("harness: bench file: %w", err)
+	}
+	if b.Schema != BenchSchema {
+		return nil, fmt.Errorf("harness: bench file schema %q, want %q", b.Schema, BenchSchema)
+	}
+	if len(b.Records) == 0 {
+		return nil, fmt.Errorf("harness: bench file has no records")
+	}
+	return &b, nil
+}
+
+// streamEngine is the slice of the compiled simulators the bench matrix
+// needs: both parsim.Sim and pcset.Sim implement it.
+type streamEngine interface {
+	ResetConsistent(inputs []bool) error
+	ApplyStream(vecs [][]bool) error
+	Close()
+}
+
+// measureStream times the vector stream through the engine (best of
+// repeats, one warm-up pass first) and measures the steady-state
+// allocation rate of the streaming loop.
+func measureStream(e streamEngine, vecs [][]bool, repeats int) (BenchRecord, error) {
+	var rec BenchRecord
+	if err := e.ResetConsistent(nil); err != nil {
+		return rec, err
+	}
+	if err := e.ApplyStream(vecs); err != nil { // warm-up: lazy buffers, clones
+		return rec, err
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	var best time.Duration
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	for r := 0; r < repeats; r++ {
+		start := time.Now()
+		if err := e.ApplyStream(vecs); err != nil {
+			return rec, err
+		}
+		if d := time.Since(start); r == 0 || d < best {
+			best = d
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	n := float64(len(vecs) * repeats)
+	rec.NsPerVector = float64(best.Nanoseconds()) / float64(len(vecs))
+	rec.AllocsPerVector = float64(ms1.Mallocs-ms0.Mallocs) / n
+	rec.BytesPerVector = float64(ms1.TotalAlloc-ms0.TotalAlloc) / n
+	return rec, nil
+}
+
+// benchTechniques are the compiled techniques the bench matrix covers.
+var benchTechniques = []string{"parallel", "pcset"}
+
+// buildStreamEngine compiles one technique with an execution strategy.
+func buildStreamEngine(technique string, o Options, c *circuit.Circuit, strategy shard.Strategy, workers int) (streamEngine, error) {
+	switch technique {
+	case "parallel":
+		s, err := parsim.Compile(c, parsim.Config{WordBits: o.WordBits})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.ConfigureExec(strategy, workers); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case "pcset":
+		s, err := pcset.Compile(c, nil)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.ConfigureExec(strategy, workers); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("harness: unknown bench technique %q", technique)
+}
+
+// BenchMatrix measures circuit × technique × strategy × workers and
+// returns the machine-readable bench file. The sequential strategy is
+// measured once (workers is meaningless for it); sharded and
+// vector-batch are measured at every worker count in workersList.
+func BenchMatrix(o Options, rev string, workersList []int) (*BenchFile, error) {
+	o = o.withDefaults()
+	if len(workersList) == 0 {
+		workersList = []int{runtime.GOMAXPROCS(0)}
+	}
+	file := &BenchFile{
+		Schema:     BenchSchema,
+		Revision:   rev,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		WordBits:   o.WordBits,
+		Vectors:    o.Vectors,
+	}
+	type cfg struct {
+		strategy shard.Strategy
+		workers  int
+	}
+	cfgs := []cfg{{shard.Sequential, 1}}
+	for _, w := range workersList {
+		cfgs = append(cfgs, cfg{shard.Sharded, w}, cfg{shard.VectorBatch, w})
+	}
+	for _, name := range o.Circuits {
+		c, vecs, err := bench(o, name)
+		if err != nil {
+			return nil, err
+		}
+		for _, tech := range benchTechniques {
+			for _, cf := range cfgs {
+				e, err := buildStreamEngine(tech, o, c, cf.strategy, cf.workers)
+				if err != nil {
+					return nil, err
+				}
+				rec, err := measureStream(e, vecs.Bits, o.Repeats)
+				e.Close()
+				if err != nil {
+					return nil, err
+				}
+				rec.Circuit = name
+				rec.Technique = tech
+				rec.Strategy = cf.strategy.String()
+				rec.Workers = cf.workers
+				file.Records = append(file.Records, rec)
+			}
+		}
+	}
+	return file, nil
+}

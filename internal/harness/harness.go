@@ -443,6 +443,7 @@ var Experiments = []struct {
 	{"fig23", Fig23},
 	{"fig24", Fig24},
 	{"zerodelay", ZeroDelay},
+	{"parallel", ParallelExec},
 	{"codesize", CodeSize},
 	{"dataparallel", DataParallel},
 	{"faultcov", FaultCoverage},

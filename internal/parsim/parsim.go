@@ -24,6 +24,7 @@ import (
 	"udsim/internal/levelize"
 	"udsim/internal/program"
 	"udsim/internal/refsim"
+	"udsim/internal/shard"
 	"udsim/internal/verify"
 )
 
@@ -70,6 +71,15 @@ type Sim struct {
 	prevFinal []bool // final values before the last vector (for t < alignment reads)
 	prevPI    []bool // previous primary-input values (for negative-alignment PI bits)
 	piBuf     []uint64
+
+	// Multicore execution (ConfigureExec): a sharded engine, or a worker
+	// pool plus clones for vector batching; nil/Sequential by default.
+	exec         *shard.Engine
+	pool         *shard.Pool
+	clones       []*Sim
+	execStrategy shard.Strategy
+
+	ref *refsim.Evaluator // lazily built zero-delay oracle for ResetConsistent
 }
 
 // Compile builds the parallel-technique program for a combinational
@@ -208,7 +218,13 @@ func (s *Sim) ResetConsistent(inputs []bool) error {
 	if inputs == nil {
 		inputs = make([]bool, len(s.c.Inputs))
 	}
-	settled, err := refsim.Evaluate(s.c, inputs)
+	if s.ref == nil {
+		var err error
+		if s.ref, err = refsim.NewEvaluator(s.c); err != nil {
+			return err
+		}
+	}
+	settled, err := s.ref.Evaluate(inputs)
 	if err != nil {
 		return err
 	}
@@ -272,7 +288,7 @@ func (s *Sim) ApplyVector(inputs []bool) error {
 		}
 		s.prevPI[i] = inputs[i]
 	}
-	s.simProg.Run(s.st)
+	s.runSim()
 	return nil
 }
 

@@ -73,5 +73,10 @@ func (s *Sim) Spec() *verify.Spec {
 		}
 		spec.Phase = phase
 	}
+	// When a sharded engine is configured, export its static plan so rule
+	// V008 checks the partition against the sequential dataflow.
+	if s.exec != nil {
+		spec.Shards = s.exec.Plan().Assignment()
+	}
 	return spec
 }

@@ -21,6 +21,7 @@ import (
 	"udsim/internal/levelize"
 	"udsim/internal/program"
 	"udsim/internal/refsim"
+	"udsim/internal/shard"
 	"udsim/internal/verify"
 )
 
@@ -35,6 +36,15 @@ type Sim struct {
 	st      []uint64
 	vars    [][]int32       // per net: state index per PC element, parallel to a.NetPC
 	monitor []circuit.NetID // resolved monitor set (PRINT-gate inputs)
+
+	// Multicore execution (ConfigureExec): a sharded engine, or a worker
+	// pool plus clones for vector batching; nil/Sequential by default.
+	exec         *shard.Engine
+	pool         *shard.Pool
+	clones       []*Sim
+	execStrategy shard.Strategy
+
+	ref *refsim.Evaluator // lazily built zero-delay oracle for ResetConsistent
 }
 
 // Compile builds the PC-set program for a combinational circuit. The
@@ -183,6 +193,11 @@ func (s *Sim) Spec() *verify.Spec {
 			spec.LiveOut = append(spec.LiveOut, vs[len(vs)-1])
 		}
 	}
+	// When a sharded engine is configured, export its static plan so rule
+	// V008 checks the partition against the sequential dataflow.
+	if s.exec != nil {
+		spec.Shards = s.exec.Plan().Assignment()
+	}
 	return spec
 }
 
@@ -231,7 +246,13 @@ func (s *Sim) ResetConsistent(inputs []bool) error {
 	if inputs == nil {
 		inputs = make([]bool, len(s.c.Inputs))
 	}
-	settled, err := refsim.Evaluate(s.c, inputs)
+	if s.ref == nil {
+		var err error
+		if s.ref, err = refsim.NewEvaluator(s.c); err != nil {
+			return err
+		}
+	}
+	settled, err := s.ref.Evaluate(inputs)
 	if err != nil {
 		return err
 	}
@@ -261,7 +282,7 @@ func (s *Sim) ApplyVector(inputs []bool) error {
 		}
 		s.st[s.vars[id][0]] = w
 	}
-	s.simProg.Run(s.st)
+	s.runSim()
 	return nil
 }
 
@@ -278,7 +299,7 @@ func (s *Sim) ApplyLanes(packed []uint64) error {
 	for i, id := range s.c.Inputs {
 		s.st[s.vars[id][0]] = packed[i]
 	}
-	s.simProg.Run(s.st)
+	s.runSim()
 	return nil
 }
 

@@ -229,13 +229,21 @@ func (p *Program) Validate() error {
 }
 
 // Run executes the program over the given state, which must have at least
-// NumVars words. The hot loop is deliberately a single switch over a flat
-// slice: no per-instruction allocation, no bounds rechecking beyond the
-// slice accesses.
-func (p *Program) Run(st []uint64) {
-	mask := p.Mask()
-	w := uint(p.WordBits)
-	code := p.Code
+// NumVars words.
+func (p *Program) Run(st []uint64) { Exec(p.Code, st, p.WordBits) }
+
+// Exec executes a straight-line instruction slice over st with the given
+// logical word width. It is the shared hot loop behind Program.Run and the
+// sharded multicore engine (package shard), which executes per-level,
+// per-worker sub-slices of a program's code. The loop is deliberately a
+// single switch over a flat slice: no per-instruction allocation, no
+// bounds rechecking beyond the slice accesses.
+func Exec(code []Instr, st []uint64, wordBits int) {
+	mask := ^uint64(0)
+	if wordBits < 64 {
+		mask = (uint64(1) << wordBits) - 1
+	}
+	w := uint(wordBits)
 	for i := range code {
 		in := &code[i]
 		switch in.Op {

@@ -18,49 +18,97 @@ import (
 // Evaluate computes the zero-delay steady state of a combinational circuit
 // for the given primary-input assignment (indexed like c.Inputs). Wired
 // nets resolve with their declared wired function. The result is indexed
-// by NetID.
+// by NetID. Callers that evaluate repeatedly should build an Evaluator
+// once instead — this convenience wrapper re-derives the topological
+// order and re-allocates every buffer per call.
 func Evaluate(c *circuit.Circuit, inputs []bool) ([]bool, error) {
-	if len(inputs) != len(c.Inputs) {
-		return nil, fmt.Errorf("refsim: %d input values for %d primary inputs", len(inputs), len(c.Inputs))
+	e, err := NewEvaluator(c)
+	if err != nil {
+		return nil, err
 	}
+	vals, err := e.Evaluate(inputs)
+	if err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// Evaluator computes zero-delay steady states repeatedly without
+// allocating: the topological order, value array and wired-net buffers
+// are built once and reused across Evaluate calls. Not safe for
+// concurrent use.
+type Evaluator struct {
+	c       *circuit.Circuit
+	order   []circuit.GateID
+	resolve func(n *circuit.Net, outs []bool) bool
+	vals    []bool
+	done    []int
+	outBuf  map[circuit.NetID][]bool
+	ins     []bool
+}
+
+// NewEvaluator builds the reusable zero-delay oracle for a circuit.
+func NewEvaluator(c *circuit.Circuit) (*Evaluator, error) {
 	order, err := c.TopoGates()
 	if err != nil {
 		return nil, err
 	}
-	vals := make([]bool, c.NumNets())
-	for i, id := range c.Inputs {
-		vals[id] = inputs[i]
+	e := &Evaluator{
+		c:       c,
+		order:   order,
+		resolve: makeResolver(c),
+		vals:    make([]bool, c.NumNets()),
+		done:    make([]int, c.NumNets()),
+		outBuf:  make(map[circuit.NetID][]bool, 4),
+		ins:     make([]bool, 0, 8),
 	}
-	resolve := makeResolver(c)
-	done := make([]int, c.NumNets()) // drivers evaluated so far
-	outBuf := make(map[circuit.NetID][]bool, 4)
 	for i := range c.Nets {
 		n := &c.Nets[i]
 		if len(n.Drivers) > 1 {
-			outBuf[n.ID] = make([]bool, 0, len(n.Drivers))
+			e.outBuf[n.ID] = make([]bool, 0, len(n.Drivers))
 		}
 	}
-	ins := make([]bool, 0, 8)
-	for _, gid := range order {
+	return e, nil
+}
+
+// Evaluate computes the steady state for one input assignment. The
+// returned slice is owned by the Evaluator and overwritten by the next
+// call.
+func (e *Evaluator) Evaluate(inputs []bool) ([]bool, error) {
+	c := e.c
+	if len(inputs) != len(c.Inputs) {
+		return nil, fmt.Errorf("refsim: %d input values for %d primary inputs", len(inputs), len(c.Inputs))
+	}
+	for i := range e.vals {
+		e.vals[i] = false
+	}
+	for i, id := range c.Inputs {
+		e.vals[id] = inputs[i]
+	}
+	for id := range e.outBuf {
+		e.done[id] = 0
+		e.outBuf[id] = e.outBuf[id][:0]
+	}
+	for _, gid := range e.order {
 		g := c.Gate(gid)
-		ins = ins[:0]
+		e.ins = e.ins[:0]
 		for _, in := range g.Inputs {
-			ins = append(ins, vals[in])
+			e.ins = append(e.ins, e.vals[in])
 		}
-		out := g.Type.EvalBool(ins)
+		out := g.Type.EvalBool(e.ins)
 		n := c.Net(g.Output)
 		if len(n.Drivers) > 1 {
-			buf := append(outBuf[n.ID], out)
-			outBuf[n.ID] = buf
-			done[n.ID]++
-			if done[n.ID] == len(n.Drivers) {
-				vals[n.ID] = resolve(n, buf)
+			buf := append(e.outBuf[n.ID], out)
+			e.outBuf[n.ID] = buf
+			e.done[n.ID]++
+			if e.done[n.ID] == len(n.Drivers) {
+				e.vals[n.ID] = e.resolve(n, buf)
 			}
 		} else {
-			vals[n.ID] = out
+			e.vals[n.ID] = out
 		}
 	}
-	return vals, nil
+	return e.vals, nil
 }
 
 func makeResolver(c *circuit.Circuit) func(n *circuit.Net, outs []bool) bool {

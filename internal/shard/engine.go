@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"udsim/internal/program"
+)
+
+// barrier is a reusable generation barrier for a fixed party count. The
+// fast path is an atomic countdown with a bounded spin on the generation
+// counter; waiters that exhaust the spin budget fall back to a condition
+// variable, so the barrier stays correct (and livelock-free) even with
+// GOMAXPROCS=1 or more parties than cores.
+type barrier struct {
+	parties int32
+	arrived atomic.Int32
+	gen     atomic.Uint32
+	mu      sync.Mutex
+	cond    *sync.Cond
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: int32(parties)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// spinBudget bounds the optimistic spin before a waiter blocks on the
+// condition variable. Each iteration yields the processor, so the budget
+// costs scheduler quanta, not burned cycles.
+const spinBudget = 128
+
+// await blocks until all parties have arrived at the barrier's current
+// generation. The last arriver resets the countdown and advances the
+// generation; the generation advance is the release point that orders
+// every party's pre-barrier writes before every party's post-barrier
+// reads.
+func (b *barrier) await() {
+	gen := b.gen.Load()
+	if b.arrived.Add(1) == b.parties {
+		b.arrived.Store(0)
+		b.mu.Lock()
+		b.gen.Store(gen + 1)
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for i := 0; i < spinBudget; i++ {
+		if b.gen.Load() != gen {
+			return
+		}
+		runtime.Gosched()
+	}
+	b.mu.Lock()
+	for b.gen.Load() == gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Engine executes a shard plan on a persistent worker pool: one goroutine
+// per shard beyond the caller's own, parked between runs, with one
+// barrier crossing per level. Run is bit-identical to executing the
+// original program sequentially.
+//
+// An Engine is not safe for concurrent Run calls; Close releases the
+// workers.
+type Engine struct {
+	plan  *Plan
+	bar   *barrier
+	start []chan struct{} // one per helper worker, buffered
+	done  sync.WaitGroup
+	st    []uint64
+}
+
+// NewEngine builds the persistent runtime for a plan. The helper workers
+// (plan.Workers()-1 of them; the Run caller executes shard 0) are spawned
+// once and parked on their start channels between runs.
+func NewEngine(plan *Plan) *Engine {
+	e := &Engine{plan: plan}
+	if plan.workers > 1 {
+		e.bar = newBarrier(plan.workers)
+		e.start = make([]chan struct{}, plan.workers-1)
+		for w := 1; w < plan.workers; w++ {
+			ch := make(chan struct{}, 1)
+			e.start[w-1] = ch
+			e.done.Add(1)
+			go func(w int, ch chan struct{}) {
+				defer e.done.Done()
+				for range ch {
+					e.runShard(w)
+				}
+			}(w, ch)
+		}
+	}
+	return e
+}
+
+// Plan returns the static schedule the engine executes.
+func (e *Engine) Plan() *Plan { return e.plan }
+
+// StateSize returns the required state-array length (see Plan.StateSize).
+func (e *Engine) StateSize() int { return e.plan.StateSize() }
+
+// Run executes the plan over st, which must have at least StateSize()
+// words; the first NumVars words are the program state and the rest are
+// the shards' private scratch arenas. The channel send publishes st to
+// each helper (happens-before the helper's receive), and the caller's
+// final barrier crossing orders every helper's writes before Run returns.
+func (e *Engine) Run(st []uint64) {
+	if e.plan.workers == 1 {
+		for _, level := range e.plan.levels {
+			program.Exec(level[0], st, e.plan.wordBits)
+		}
+		return
+	}
+	e.st = st
+	for _, ch := range e.start {
+		ch <- struct{}{}
+	}
+	e.runShard(0)
+}
+
+// runShard executes one shard's slice of every level, crossing the
+// barrier after each.
+func (e *Engine) runShard(w int) {
+	st := e.st
+	wb := e.plan.wordBits
+	for _, level := range e.plan.levels {
+		program.Exec(level[w], st, wb)
+		e.bar.await()
+	}
+}
+
+// Close parks and releases the helper workers. The engine must not be
+// run again after Close; Close on a single-worker engine is a no-op.
+func (e *Engine) Close() {
+	for _, ch := range e.start {
+		close(ch)
+	}
+	e.done.Wait()
+	e.start = nil
+}
+
+// Pool is a minimal persistent worker pool for vector-batch parallelism:
+// Do runs f(worker) once per worker concurrently, with the caller
+// executing worker 0. Unlike Engine it carries no plan — callers
+// partition the vector stream themselves.
+type Pool struct {
+	n     int
+	start []chan func(int)
+	fin   chan struct{}
+	done  sync.WaitGroup
+}
+
+// NewPool spawns n-1 helper goroutines (the Do caller is worker 0).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{n: n}
+	if n > 1 {
+		p.start = make([]chan func(int), n-1)
+		p.fin = make(chan struct{}, n-1)
+		for w := 1; w < n; w++ {
+			ch := make(chan func(int), 1)
+			p.start[w-1] = ch
+			p.done.Add(1)
+			go func(w int, ch chan func(int)) {
+				defer p.done.Done()
+				for f := range ch {
+					f(w)
+					p.fin <- struct{}{}
+				}
+			}(w, ch)
+		}
+	}
+	return p
+}
+
+// Workers returns the pool's party count.
+func (p *Pool) Workers() int { return p.n }
+
+// Do runs f(0) .. f(n-1) concurrently and returns when all have finished.
+func (p *Pool) Do(f func(worker int)) {
+	for _, ch := range p.start {
+		ch <- f
+	}
+	f(0)
+	for range p.start {
+		<-p.fin
+	}
+}
+
+// Close releases the helper goroutines.
+func (p *Pool) Close() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+	p.done.Wait()
+	p.start = nil
+}

@@ -41,6 +41,7 @@ const (
 	RuleDead      = "V005"
 	RuleCycle     = "V006"
 	RuleStructure = "V007"
+	RuleShard     = "V008"
 )
 
 // Finding is one structured diagnostic.

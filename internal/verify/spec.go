@@ -96,6 +96,29 @@ type Spec struct {
 	// the right setting for programs whose slots are not time-packed
 	// words (the PC-set method) or that use non-unit gate delays.
 	Phase []int
+
+	// Shards optionally carries the multicore engine's static shard plan
+	// for Sim, enabling rule V008; nil when executing sequentially.
+	Shards *ShardAssignment
+}
+
+// ShardAssignment is a bulk-synchronous schedule for the simulation
+// program: instruction i runs in level Level[i] on shard Shard[i], levels
+// are separated by barriers, and shards within a level run concurrently.
+// A shard index names the same worker in every level. Rule V008 checks
+// that the assignment preserves the sequential program's dataflow: every
+// value read must have been produced in an earlier level or earlier by
+// the same shard, and no two shards may race on a slot within a level.
+type ShardAssignment struct {
+	// Workers is the number of shards per level.
+	Workers int
+	// Levels is the number of bulk-synchronous levels.
+	Levels int
+	// Level and Shard give each Sim instruction's assignment, indexed by
+	// instruction; both must have length len(Sim.Code).
+	Level []int32
+	// Shard is the per-instruction shard index in [0,Workers).
+	Shard []int32
 }
 
 // numVars returns the state-array size shared by both programs.

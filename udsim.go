@@ -41,6 +41,7 @@ import (
 	"udsim/internal/parsim"
 	"udsim/internal/pcset"
 	"udsim/internal/program"
+	"udsim/internal/shard"
 	"udsim/internal/verify"
 )
 
@@ -149,14 +150,39 @@ const (
 	CycleBreaking
 )
 
+// ExecStrategy selects how a compiled engine executes its instruction
+// stream (see the internal shard package for the partitioning scheme).
+type ExecStrategy = shard.Strategy
+
+const (
+	// ExecSequential is the classic single-core dispatch loop.
+	ExecSequential = shard.Sequential
+	// ExecSharded runs the level-sharded plan on a persistent worker
+	// pool, bit-identical to sequential execution.
+	ExecSharded = shard.Sharded
+	// ExecVectorBatch runs contiguous blocks of an ApplyStream vector
+	// stream concurrently as independent substreams on cloned state.
+	ExecVectorBatch = shard.VectorBatch
+	// ExecAuto picks ExecSharded or ExecVectorBatch from the shard plan's
+	// critical-path/width ratio.
+	ExecAuto = shard.Auto
+)
+
+// ParseExecStrategy parses "sequential", "sharded", "vector-batch" or
+// "auto" (CLI spellings).
+func ParseExecStrategy(s string) (ExecStrategy, error) { return shard.ParseStrategy(s) }
+
 // ParallelOption configures NewParallel.
 type ParallelOption func(*parallelOpts)
 
 type parallelOpts struct {
-	wordBits int
-	trim     bool
-	shiftEl  ShiftElimination
-	verify   bool
+	wordBits    int
+	trim        bool
+	shiftEl     ShiftElimination
+	verify      bool
+	exec        ExecStrategy
+	execWorkers int
+	execSet     bool
 }
 
 // WithWordBits sets the logical word width (8, 16, 32 or 64; default 32,
@@ -175,6 +201,15 @@ func WithShiftElimination(m ShiftElimination) ParallelOption {
 // WithVerify runs the static analyzer over the compiled programs and
 // fails the compile on any warning or error finding (see Verify).
 func WithVerify() ParallelOption { return func(o *parallelOpts) { o.verify = true } }
+
+// WithParallelExec configures multicore execution: strategy selects
+// level-sharded, vector-batch or automatic execution, and workers is the
+// number of cores to use (<= 0 means GOMAXPROCS). Sharded execution is
+// bit-identical to the sequential engine; call Close when done to
+// release the workers.
+func WithParallelExec(strategy ExecStrategy, workers int) ParallelOption {
+	return func(o *parallelOpts) { o.exec, o.execWorkers, o.execSet = strategy, workers, true }
+}
 
 // NewParallel compiles a circuit with the parallel technique (§3),
 // optionally optimized.
@@ -205,6 +240,11 @@ func NewParallel(c *Circuit, opts ...ParallelOption) (*ParallelSim, error) {
 	s, err := parsim.Compile(target, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if o.execSet {
+		if _, err := s.ConfigureExec(o.exec, o.execWorkers); err != nil {
+			return nil, err
+		}
 	}
 	return &ParallelSim{s: s, opts: o}, nil
 }
@@ -242,6 +282,25 @@ func (p *ParallelSim) ResetConsistent(inputs []bool) error { return p.s.ResetCon
 // Apply simulates one input vector.
 func (p *ParallelSim) Apply(vec []bool) error { return p.s.ApplyVector(vec) }
 
+// ApplyStream simulates a stream of input vectors under the configured
+// execution strategy (see WithParallelExec). Sequential and sharded
+// execution produce one coherent, bit-identical stream; vector batching
+// splits the stream into per-worker blocks that run concurrently as
+// independent substreams.
+func (p *ParallelSim) ApplyStream(vecs [][]bool) error { return p.s.ApplyStream(vecs) }
+
+// ExecStrategy returns the resolved execution strategy (ExecSequential
+// unless WithParallelExec was given).
+func (p *ParallelSim) ExecStrategy() ExecStrategy { return p.s.ExecStrategy() }
+
+// BlockFinal returns the final value of a net in vector-batch block k
+// (block 0 is the stream the simulator itself carries).
+func (p *ParallelSim) BlockFinal(k int, n NetID) bool { return p.s.BlockFinal(k, n) }
+
+// Close releases any multicore execution workers; the simulator remains
+// usable sequentially. A no-op for sequential engines.
+func (p *ParallelSim) Close() { p.s.Close() }
+
 // Final returns the settled value of a net.
 func (p *ParallelSim) Final(n NetID) bool { return p.s.Final(n) }
 
@@ -261,14 +320,37 @@ func (p *ParallelSim) WordsPerField() int { return p.s.WordsPerField() }
 // simulation code.
 func (p *ParallelSim) ShiftCount() int { return p.s.ShiftCount() }
 
+// PCSetOption configures NewPCSet.
+type PCSetOption func(*pcsetOpts)
+
+type pcsetOpts struct {
+	exec        ExecStrategy
+	execWorkers int
+	execSet     bool
+}
+
+// WithPCSetParallelExec is WithParallelExec for the PC-set method.
+func WithPCSetParallelExec(strategy ExecStrategy, workers int) PCSetOption {
+	return func(o *pcsetOpts) { o.exec, o.execWorkers, o.execSet = strategy, workers, true }
+}
+
 // NewPCSet compiles a circuit with the PC-set method (§2). monitor lists
 // the nets whose full waveforms must be observable (nil = the primary
 // outputs); monitored nets receive zero-insertion like inputs of the
 // paper's PRINT pseudo-gate.
-func NewPCSet(c *Circuit, monitor []NetID) (*PCSetSim, error) {
+func NewPCSet(c *Circuit, monitor []NetID, opts ...PCSetOption) (*PCSetSim, error) {
+	var o pcsetOpts
+	for _, f := range opts {
+		f(&o)
+	}
 	s, err := pcset.Compile(c, monitor)
 	if err != nil {
 		return nil, err
+	}
+	if o.execSet {
+		if _, err := s.ConfigureExec(o.exec, o.execWorkers); err != nil {
+			return nil, err
+		}
 	}
 	return &PCSetSim{s: s}, nil
 }
@@ -290,6 +372,22 @@ func (p *PCSetSim) ResetConsistent(inputs []bool) error { return p.s.ResetConsis
 
 // Apply simulates one input vector.
 func (p *PCSetSim) Apply(vec []bool) error { return p.s.ApplyVector(vec) }
+
+// ApplyStream simulates a stream of input vectors under the configured
+// execution strategy (see WithPCSetParallelExec).
+func (p *PCSetSim) ApplyStream(vecs [][]bool) error { return p.s.ApplyStream(vecs) }
+
+// ExecStrategy returns the resolved execution strategy (ExecSequential
+// unless WithPCSetParallelExec was given).
+func (p *PCSetSim) ExecStrategy() ExecStrategy { return p.s.ExecStrategy() }
+
+// BlockFinal returns the final value of a net in vector-batch block k
+// (block 0 is the stream the simulator itself carries).
+func (p *PCSetSim) BlockFinal(k int, n NetID) bool { return p.s.BlockFinal(k, n) }
+
+// Close releases any multicore execution workers; the simulator remains
+// usable sequentially. A no-op for sequential engines.
+func (p *PCSetSim) Close() { p.s.Close() }
 
 // Final returns the settled value of a net.
 func (p *PCSetSim) Final(n NetID) bool { return p.s.Final(n) }
@@ -488,7 +586,9 @@ type (
 // Verify runs the static analyzer over an engine's compiled programs:
 // def-before-use, single assignment, bit-field layout, shift/phase
 // consistency, dead code, and combinational-cycle checks (rules
-// V001–V007). Engines without compiled instruction streams (the
+// V001–V007), plus the shard-plan rule V008 when the engine was built
+// with a sharded execution strategy. Engines without compiled
+// instruction streams (the
 // interpreted baselines and the zero-delay LCC engine, whose program has
 // no unit-delay layout metadata) return an error.
 func Verify(e Engine, opts VerifyOptions) (*VerifyReport, error) {

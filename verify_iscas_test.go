@@ -115,3 +115,51 @@ func TestVerifyStatsPopulated(t *testing.T) {
 		}
 	}
 }
+
+// TestVerifyISCAS85Sharded re-runs the analyzer with a sharded execution
+// plan attached, so rule V008 (shard-plan level/ownership consistency)
+// is exercised on every profile circuit for both compiled techniques.
+// Any finding means the planner and the analyzer disagree about what a
+// legal bulk-synchronous schedule is.
+func TestVerifyISCAS85Sharded(t *testing.T) {
+	names := gen.Names()
+	if testing.Short() {
+		names = []string{"c432", "c6288"}
+	}
+	for _, name := range names {
+		c, err := ISCAS85(name)
+		if err != nil {
+			t.Fatalf("ISCAS85(%s): %v", name, err)
+		}
+		for _, workers := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%s/parallel/w%d", name, workers), func(t *testing.T) {
+				e, err := NewParallel(c, WithParallelExec(ExecSharded, workers))
+				if err != nil {
+					t.Fatalf("NewParallel: %v", err)
+				}
+				defer e.Close()
+				rep, err := Verify(e, VerifyOptions{})
+				if err != nil {
+					t.Fatalf("Verify: %v", err)
+				}
+				if !rep.Clean() {
+					t.Fatalf("findings:\n%s", rep)
+				}
+			})
+			t.Run(fmt.Sprintf("%s/pcset/w%d", name, workers), func(t *testing.T) {
+				e, err := NewPCSet(c, nil, WithPCSetParallelExec(ExecSharded, workers))
+				if err != nil {
+					t.Fatalf("NewPCSet: %v", err)
+				}
+				defer e.Close()
+				rep, err := Verify(e, VerifyOptions{})
+				if err != nil {
+					t.Fatalf("Verify: %v", err)
+				}
+				if !rep.Clean() {
+					t.Fatalf("findings:\n%s", rep)
+				}
+			})
+		}
+	}
+}
