@@ -43,14 +43,27 @@ type ActivityReport = activity.Report
 
 // ProfileActivity simulates the vector stream with the parallel technique
 // and returns per-net switching statistics.
-func ProfileActivity(c *Circuit, vecs [][]bool, opts ...ParallelOption) (*ActivityReport, error) {
-	o := parallelOpts{wordBits: 32}
+func ProfileActivity(c *Circuit, vecs [][]bool, opts ...Option) (*ActivityReport, error) {
+	var o options
 	for _, f := range opts {
-		f(&o)
+		if f != nil {
+			f(&o)
+		}
 	}
 	// Alignment changes nothing for activity (waveforms are identical);
 	// keep the zero-aligned layout for simplicity.
 	return activity.Profile(c, vecs, parsim.Config{WordBits: o.wordBits, Trim: o.trim})
+}
+
+// ActivityFromSnapshot converts an activity-enabled observer snapshot
+// (see ObserverConfig.Activity) into an ActivityReport — the same
+// statistics ProfileActivity computes with a dedicated pass, here
+// recovered from counters collected during normal simulation.
+func ActivityFromSnapshot(c *Circuit, s *Snapshot) (*ActivityReport, error) {
+	if s == nil || s.NetToggles == nil {
+		return nil, fmt.Errorf("udsim: snapshot has no activity counters (enable ObserverConfig.Activity)")
+	}
+	return activity.FromCounts(c, s.NetToggles, s.NetGlitches, int(s.ActivityVectors))
 }
 
 // --- Fault simulation ----------------------------------------------------

@@ -181,6 +181,49 @@ func BenchmarkCompile(b *testing.B) {
 	}
 }
 
+// BenchmarkObservedStream times the streaming loop with and without a
+// runtime observer attached — the observability layer's overhead budget.
+// Run with -benchmem: both variants must report 0 allocs/op, and the
+// observed ns/op should sit within a few percent of the bare ns/op.
+func BenchmarkObservedStream(b *testing.B) {
+	for _, observed := range []bool{false, true} {
+		name := "bare"
+		if observed {
+			name = "observed"
+		}
+		b.Run(fmt.Sprintf("c1908/sharded/%s", name), func(b *testing.B) {
+			c, err := ISCAS85("c1908")
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := []Option{WithExec(ExecSharded, 0)}
+			if observed {
+				opts = append(opts, WithObserver(NewObserver(ObserverConfig{})))
+			}
+			e, err := Open(c, TechParallel, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.(Closer).Close()
+			if err := e.ResetConsistent(nil); err != nil {
+				b.Fatal(err)
+			}
+			se := e.(Streamer)
+			vecs := vectors.Random(benchVecPool, len(e.Circuit().Inputs), 1990)
+			if err := se.ApplyStream(vecs.Bits); err != nil { // warm-up
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := se.ApplyStream(vecs.Bits); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkParallelExec times the multicore execution strategies on the
 // vector-stream path. One op is a whole 256-vector stream. The steady
 // state must not allocate: run with -benchmem and expect 0 allocs/op for

@@ -9,16 +9,20 @@
 //	udbench -vectors 500         # faster run
 //	udbench -circuits c432,c6288 # selected circuits
 //	udbench -json BENCH_r2.json -rev r2   # machine-readable perf matrix
+//	udbench -profile -circuits c880 -workers 4   # per-level heat profile
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"udsim"
 	"udsim/internal/harness"
+	"udsim/internal/obs"
 )
 
 func main() {
@@ -31,7 +35,8 @@ func main() {
 		repeats  = flag.Int("repeats", 3, "timing repetitions; fastest run reported")
 		jsonOut  = flag.String("json", "", "write the circuit x technique x strategy x workers bench matrix to FILE as JSON (skips -exp)")
 		rev      = flag.String("rev", "dev", "revision label recorded in the -json bench file")
-		workers  = flag.String("workers", "", "comma-separated worker counts for the -json matrix (default GOMAXPROCS)")
+		workers  = flag.String("workers", "", "comma-separated worker counts for the -json matrix / first value for -profile (default GOMAXPROCS)")
+		profile  = flag.Bool("profile", false, "print each circuit's per-level heat and worker-utilization profile from an observed sharded run (skips -exp)")
 	)
 	flag.Parse()
 
@@ -39,18 +44,46 @@ func main() {
 	if *circuits != "" {
 		opt.Circuits = strings.Split(*circuits, ",")
 	}
+	var workersList []int
+	if *workers != "" {
+		for _, s := range strings.Split(*workers, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || w < 1 {
+				fail(fmt.Errorf("bad -workers value %q", s))
+			}
+			workersList = append(workersList, w)
+		}
+	}
+
+	if *profile {
+		names := opt.Circuits
+		if len(names) == 0 {
+			names = udsim.ISCAS85Names()
+		}
+		w := 0
+		if len(workersList) > 0 {
+			w = workersList[0]
+		}
+		for _, name := range names {
+			r, err := harness.ObsProfile(opt, strings.TrimSpace(name), w)
+			if err != nil {
+				fail(err)
+			}
+			// The text exposition is the machine-readable contract;
+			// refuse to print a profile whose export does not validate.
+			var buf bytes.Buffer
+			if err := r.WriteText(&buf); err != nil {
+				fail(err)
+			}
+			if err := obs.ValidateText(bytes.NewReader(buf.Bytes())); err != nil {
+				fail(fmt.Errorf("%s: malformed observability export: %w", name, err))
+			}
+			fmt.Println(r)
+		}
+		return
+	}
 
 	if *jsonOut != "" {
-		var workersList []int
-		if *workers != "" {
-			for _, s := range strings.Split(*workers, ",") {
-				w, err := strconv.Atoi(strings.TrimSpace(s))
-				if err != nil || w < 1 {
-					fail(fmt.Errorf("bad -workers value %q", s))
-				}
-				workersList = append(workersList, w)
-			}
-		}
 		file, err := harness.BenchMatrix(opt, *rev, workersList)
 		if err != nil {
 			fail(err)

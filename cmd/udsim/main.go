@@ -32,6 +32,9 @@ func main() {
 		trace     = flag.String("trace", "", "comma-separated nets whose full waveforms to print")
 		vcdFile   = flag.String("vcd", "", "write waveforms of the primary I/O to a VCD file")
 		quiet     = flag.Bool("quiet", false, "suppress per-vector output (timing runs)")
+		execFlag  = flag.String("exec", "", "multicore execution strategy for compiled engines: sequential, sharded, vector-batch, auto")
+		workers   = flag.Int("workers", 0, "worker count for -exec (0 = GOMAXPROCS)")
+		obsFlag   = flag.Bool("obs", false, "attach a runtime observer and print its text export after the run (compiled engines)")
 	)
 	flag.Parse()
 
@@ -44,9 +47,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "note: %d flip-flops broken into primary I/O (see udsim.Sequential for cycle mode)\n", len(c.FFs))
 		c = comb
 	}
-	e, err := udsim.NewEngine(*engine, c)
+	tech, topts, err := udsim.ParseTechnique(*engine)
 	if err != nil {
 		fail(err)
+	}
+	if *execFlag != "" {
+		strategy, err := udsim.ParseExecStrategy(*execFlag)
+		if err != nil {
+			fail(err)
+		}
+		topts = append(topts, udsim.WithExec(strategy, *workers))
+	}
+	var ob *udsim.Observer
+	if *obsFlag {
+		ob = udsim.NewObserver(udsim.ObserverConfig{Activity: true})
+		topts = append(topts, udsim.WithObserver(ob))
+	}
+	e, err := udsim.Open(c, tech, topts...)
+	if err != nil {
+		fail(err)
+	}
+	if cl, ok := e.(udsim.Closer); ok {
+		defer cl.Close()
 	}
 	if err := e.ResetConsistent(nil); err != nil {
 		fail(err)
@@ -100,6 +122,23 @@ func main() {
 
 	fmt.Printf("# %s, engine=%s, depth=%d, %d vectors\n",
 		e.Circuit(), e.EngineName(), e.Depth(), vecs.Len())
+	if *quiet && vcdW == nil {
+		// Timing mode: drive the whole stream through the Streamer
+		// interface so a -exec strategy actually streams.
+		if st, ok := e.(udsim.Streamer); ok {
+			if err := st.ApplyStream(vecs.Bits); err != nil {
+				fail(err)
+			}
+		} else {
+			for _, vec := range vecs.Bits {
+				if err := e.Apply(vec); err != nil {
+					fail(err)
+				}
+			}
+		}
+		dumpObs(ob)
+		return
+	}
 	for v, vec := range vecs.Bits {
 		if err := e.Apply(vec); err != nil {
 			fail(err)
@@ -138,6 +177,17 @@ func main() {
 				fail(err)
 			}
 		}
+	}
+	dumpObs(ob)
+}
+
+// dumpObs prints the observer's text exposition, if one is attached.
+func dumpObs(ob *udsim.Observer) {
+	if ob == nil {
+		return
+	}
+	if err := ob.Snapshot().WriteText(os.Stdout); err != nil {
+		fail(err)
 	}
 }
 

@@ -91,6 +91,24 @@ func Profile(c *circuit.Circuit, vecs [][]bool, cfg parsim.Config) (*Report, err
 	return col.Report(), nil
 }
 
+// FromCounts builds a Report from externally accumulated per-net
+// counters — the bridge from the runtime observability layer (package
+// obs), whose activity-enabled observers collect the same toggle and
+// glitch totals during normal simulation instead of a dedicated
+// profiling pass. The slices are copied.
+func FromCounts(c *circuit.Circuit, toggles, glitches []int64, vectors int) (*Report, error) {
+	if len(toggles) != c.NumNets() || len(glitches) != c.NumNets() {
+		return nil, fmt.Errorf("activity: %d toggle / %d glitch counters for %d nets",
+			len(toggles), len(glitches), c.NumNets())
+	}
+	return &Report{
+		C:        c,
+		Toggles:  append([]int64(nil), toggles...),
+		Glitches: append([]int64(nil), glitches...),
+		Vectors:  vectors,
+	}, nil
+}
+
 // TotalToggles sums toggles over all nets.
 func (r *Report) TotalToggles() int64 {
 	var t int64

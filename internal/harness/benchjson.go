@@ -7,14 +7,13 @@ import (
 	"runtime"
 	"time"
 
+	"udsim"
 	"udsim/internal/circuit"
-	"udsim/internal/parsim"
-	"udsim/internal/pcset"
-	"udsim/internal/shard"
 )
 
 // BenchSchema identifies the bench-file format; bump on incompatible
-// changes.
+// changes. Optional fields (the obs_* observability columns) are added
+// with omitempty so older checked-in files still parse.
 const BenchSchema = "udbench/v1"
 
 // BenchRecord is one measured configuration: a circuit simulated with a
@@ -27,6 +26,14 @@ type BenchRecord struct {
 	NsPerVector     float64 `json:"ns_per_vector"`
 	AllocsPerVector float64 `json:"allocs_per_vector"`
 	BytesPerVector  float64 `json:"bytes_per_vector"`
+
+	// Observability columns, filled from a separate observed pass so the
+	// timing columns above stay clean of instrumentation overhead.
+	ObsLevels                 int     `json:"obs_levels,omitempty"`
+	ObsInstrsPerVector        float64 `json:"obs_instrs_per_vector,omitempty"`
+	ObsWordsPerVector         float64 `json:"obs_words_per_vector,omitempty"`
+	ObsUtilization            float64 `json:"obs_utilization,omitempty"`
+	ObsBarrierWaitNsPerVector float64 `json:"obs_barrier_wait_ns_per_vector,omitempty"`
 }
 
 // BenchFile is the machine-readable benchmark emitted by `udbench -json`,
@@ -65,12 +72,14 @@ func ParseBenchFile(r io.Reader) (*BenchFile, error) {
 	return &b, nil
 }
 
-// streamEngine is the slice of the compiled simulators the bench matrix
-// needs: both parsim.Sim and pcset.Sim implement it.
+// streamEngine is the facade slice the bench matrix drives: a generic
+// engine that streams vectors, releases its workers, and accepts a
+// runtime observer. Both compiled techniques satisfy it.
 type streamEngine interface {
-	ResetConsistent(inputs []bool) error
-	ApplyStream(vecs [][]bool) error
-	Close()
+	udsim.Engine
+	udsim.Streamer
+	udsim.Closer
+	udsim.Observable
 }
 
 // measureStream times the vector stream through the engine (best of
@@ -107,32 +116,55 @@ func measureStream(e streamEngine, vecs [][]bool, repeats int) (BenchRecord, err
 	return rec, nil
 }
 
+// observeStream replays the stream once with an observer attached and
+// fills the record's obs_* columns. It runs after measureStream so the
+// timing columns never include instrumentation overhead (tiny as it is).
+func observeStream(e streamEngine, vecs [][]bool, rec *BenchRecord) error {
+	ob := udsim.NewObserver(udsim.ObserverConfig{})
+	e.Observe(ob)
+	defer e.Observe(nil)
+	if err := e.ResetConsistent(nil); err != nil {
+		return err
+	}
+	if err := e.ApplyStream(vecs); err != nil {
+		return err
+	}
+	s := e.Snapshot()
+	if s == nil || s.Vectors == 0 {
+		return fmt.Errorf("harness: observer saw no vectors")
+	}
+	n := float64(s.Vectors)
+	rec.ObsLevels = s.Levels
+	rec.ObsInstrsPerVector = float64(s.Instrs) / n
+	rec.ObsWordsPerVector = float64(s.Words) / n
+	rec.ObsUtilization = s.MeanUtilization()
+	rec.ObsBarrierWaitNsPerVector = float64(s.BarrierWaitNanos()) / n
+	return nil
+}
+
 // benchTechniques are the compiled techniques the bench matrix covers.
 var benchTechniques = []string{"parallel", "pcset"}
 
-// buildStreamEngine compiles one technique with an execution strategy.
-func buildStreamEngine(technique string, o Options, c *circuit.Circuit, strategy shard.Strategy, workers int) (streamEngine, error) {
-	switch technique {
-	case "parallel":
-		s, err := parsim.Compile(c, parsim.Config{WordBits: o.WordBits})
-		if err != nil {
-			return nil, err
-		}
-		if _, err := s.ConfigureExec(strategy, workers); err != nil {
-			return nil, err
-		}
-		return s, nil
-	case "pcset":
-		s, err := pcset.Compile(c, nil)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := s.ConfigureExec(strategy, workers); err != nil {
-			return nil, err
-		}
-		return s, nil
+// buildStreamEngine opens one technique through the facade with an
+// execution strategy configured.
+func buildStreamEngine(technique string, o Options, c *circuit.Circuit, strategy udsim.ExecStrategy, workers int) (streamEngine, error) {
+	t, topts, err := udsim.ParseTechnique(technique)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("harness: unknown bench technique %q", technique)
+	if t == udsim.TechParallel {
+		topts = append(topts, udsim.WithWordBits(o.WordBits))
+	}
+	topts = append(topts, udsim.WithExec(strategy, workers))
+	e, err := udsim.Open(c, t, topts...)
+	if err != nil {
+		return nil, err
+	}
+	se, ok := e.(streamEngine)
+	if !ok {
+		return nil, fmt.Errorf("harness: technique %q cannot stream", technique)
+	}
+	return se, nil
 }
 
 // BenchMatrix measures circuit × technique × strategy × workers and
@@ -152,12 +184,12 @@ func BenchMatrix(o Options, rev string, workersList []int) (*BenchFile, error) {
 		Vectors:    o.Vectors,
 	}
 	type cfg struct {
-		strategy shard.Strategy
+		strategy udsim.ExecStrategy
 		workers  int
 	}
-	cfgs := []cfg{{shard.Sequential, 1}}
+	cfgs := []cfg{{udsim.ExecSequential, 1}}
 	for _, w := range workersList {
-		cfgs = append(cfgs, cfg{shard.Sharded, w}, cfg{shard.VectorBatch, w})
+		cfgs = append(cfgs, cfg{udsim.ExecSharded, w}, cfg{udsim.ExecVectorBatch, w})
 	}
 	for _, name := range o.Circuits {
 		c, vecs, err := bench(o, name)
@@ -171,6 +203,9 @@ func BenchMatrix(o Options, rev string, workersList []int) (*BenchFile, error) {
 					return nil, err
 				}
 				rec, err := measureStream(e, vecs.Bits, o.Repeats)
+				if err == nil {
+					err = observeStream(e, vecs.Bits, &rec)
+				}
 				e.Close()
 				if err != nil {
 					return nil, err

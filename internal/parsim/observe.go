@@ -1,0 +1,63 @@
+package parsim
+
+import (
+	"udsim/internal/circuit"
+	"udsim/internal/obs"
+)
+
+// SetObserver attaches a runtime observer (nil detaches). Attaching
+// resets the observer's counters and sizes its per-level/per-shard grid
+// for the current execution configuration; ConfigureExec re-attaches
+// automatically when the shape changes. Clones made after the call
+// share the observer, so vector-batch blocks merge into one counter
+// set. Must not be called while a simulation is running.
+func (s *Sim) SetObserver(o *obs.Observer) {
+	s.obs = o
+	if s.exec != nil {
+		s.exec.SetObserver(o)
+	}
+	for _, cl := range s.clones {
+		cl.obs = o
+	}
+	if o == nil {
+		return
+	}
+	shape := obs.Shape{
+		Engine:     "parallel",
+		Steps:      s.a.Depth + 1,
+		Nets:       s.c.NumNets(),
+		SimInstrs:  len(s.simProg.Code),
+		InitInstrs: len(s.initProg.Code),
+	}
+	shape.SimWords, shape.SimScratch = s.simProg.TouchStats(s.scratchStart)
+	shape.InitWords, _ = s.initProg.TouchStats(s.scratchStart)
+	if s.exec != nil {
+		shape.Levels = s.exec.Levels()
+		shape.Workers = s.exec.Plan().Workers()
+	}
+	o.Attach(shape)
+}
+
+// Observer returns the attached observer, nil when observability is
+// disabled.
+func (s *Sim) Observer() *obs.Observer { return s.obs }
+
+// Snapshot returns the attached observer's counters, nil without one.
+func (s *Sim) Snapshot() *obs.Snapshot {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.Snapshot()
+}
+
+// Trace implements the facade's Tracer contract: the value of net n at
+// time t and whether that value is observable. The parallel technique
+// retains every net's complete waveform, so every time 0..Depth (and
+// beyond, clamped to the final value) is observable; negative times are
+// not — they belong to the previous vector.
+func (s *Sim) Trace(n circuit.NetID, t int) (bool, bool) {
+	if t < 0 {
+		return false, false
+	}
+	return s.ValueAt(n, t), true
+}

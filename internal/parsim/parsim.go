@@ -18,10 +18,12 @@ package parsim
 
 import (
 	"fmt"
+	"time"
 
 	"udsim/internal/align"
 	"udsim/internal/circuit"
 	"udsim/internal/levelize"
+	"udsim/internal/obs"
 	"udsim/internal/program"
 	"udsim/internal/refsim"
 	"udsim/internal/shard"
@@ -78,6 +80,11 @@ type Sim struct {
 	pool         *shard.Pool
 	clones       []*Sim
 	execStrategy shard.Strategy
+
+	// Runtime observability (SetObserver); nil = disabled, and every
+	// hot-path hook is behind a nil check. Clones share the pointer, so
+	// vector-batch blocks feed one set of counters.
+	obs *obs.Observer
 
 	ref *refsim.Evaluator // lazily built zero-delay oracle for ResetConsistent
 }
@@ -255,7 +262,14 @@ func (s *Sim) ApplyVector(inputs []bool) error {
 	for i := range s.c.Nets {
 		s.prevFinal[i] = s.finalBit(circuit.NetID(i))
 	}
-	s.initProg.Run(s.st)
+	if o := s.obs; o != nil {
+		o.AddVectors(1)
+		t0 := time.Now()
+		s.initProg.Run(s.st)
+		o.AddInit(time.Since(t0))
+	} else {
+		s.initProg.Run(s.st)
+	}
 	mask := s.simProg.Mask()
 	W := s.cfg.WordBits
 	for i, id := range s.c.Inputs {
@@ -289,7 +303,35 @@ func (s *Sim) ApplyVector(inputs []bool) error {
 		s.prevPI[i] = inputs[i]
 	}
 	s.runSim()
+	if s.obs.ActivityEnabled() {
+		s.observeActivity()
+	}
 	return nil
+}
+
+// observeActivity scans every net's waveform of the last vector into
+// the observer's activity profile: one transition per (net, time) value
+// change, per-net toggle totals. Allocation-free; O(nets × depth).
+func (s *Sim) observeActivity() {
+	o := s.obs
+	d := s.a.Depth
+	for n := range s.c.Nets {
+		id := circuit.NetID(n)
+		prev := s.ValueAt(id, 0)
+		var toggles int64
+		for t := 1; t <= d; t++ {
+			v := s.ValueAt(id, t)
+			if v != prev {
+				o.AddTransition(t)
+				toggles++
+			}
+			prev = v
+		}
+		if toggles > 0 {
+			o.AddNetToggles(n, toggles)
+		}
+	}
+	o.AddActivityVector()
 }
 
 // finalBit reads the current final value of a net (bit level−alignment).

@@ -3,6 +3,7 @@ package pcset
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"udsim/internal/circuit"
 	"udsim/internal/shard"
@@ -42,6 +43,12 @@ func (s *Sim) ConfigureExec(strategy shard.Strategy, workers int) (shard.Strateg
 		return 0, fmt.Errorf("pcset: cannot configure strategy %v", strategy)
 	}
 	s.execStrategy = strategy
+	if s.obs != nil {
+		// Re-attach: the shape (levels × workers) just changed, so the
+		// observer's cell grid must be resized — which resets counters
+		// and starts a new observation window.
+		s.SetObserver(s.obs)
+	}
 	return strategy, nil
 }
 
@@ -58,12 +65,30 @@ func (s *Sim) ExecPlan() *shard.Plan {
 }
 
 // runSim executes the simulation program under the configured strategy.
+// With an observer attached it brackets the run with monotonic-clock
+// reads; the sequential path additionally books the whole program as
+// level 0 of a 1×1 grid (the sharded engine books its own per-level
+// cells).
 func (s *Sim) runSim() {
+	o := s.obs
+	if o == nil {
+		if s.exec != nil {
+			s.exec.Run(s.st)
+			return
+		}
+		s.simProg.Run(s.st)
+		return
+	}
+	t0 := time.Now()
 	if s.exec != nil {
 		s.exec.Run(s.st)
+		o.AddRun(time.Since(t0))
 		return
 	}
 	s.simProg.Run(s.st)
+	d := time.Since(t0)
+	o.AddRun(d)
+	o.AddLevel(0, 0, d, len(s.simProg.Code))
 }
 
 // Clone returns an independent simulator sharing the compiled programs

@@ -1,0 +1,64 @@
+package pcset
+
+import (
+	"udsim/internal/circuit"
+	"udsim/internal/obs"
+)
+
+// SetObserver attaches a runtime observer (nil detaches). Attaching
+// resets the observer's counters and sizes its per-level/per-shard grid
+// for the current execution configuration; ConfigureExec re-attaches
+// automatically when the shape changes. Clones made after the call
+// share the observer, so vector-batch blocks merge into one counter
+// set. Must not be called while a simulation is running.
+func (s *Sim) SetObserver(o *obs.Observer) {
+	s.obs = o
+	if s.exec != nil {
+		s.exec.SetObserver(o)
+	}
+	for _, cl := range s.clones {
+		cl.obs = o
+	}
+	if o == nil {
+		return
+	}
+	shape := obs.Shape{
+		Engine:     "pcset",
+		Steps:      s.a.Depth + 1,
+		Nets:       s.c.NumNets(),
+		SimInstrs:  len(s.simProg.Code),
+		InitInstrs: len(s.initProg.Code),
+	}
+	// The PC-set method has no scratch region: every slot is persistent.
+	shape.SimWords, _ = s.simProg.TouchStats(int32(s.simProg.NumVars))
+	shape.InitWords, _ = s.initProg.TouchStats(int32(s.initProg.NumVars))
+	if s.exec != nil {
+		shape.Levels = s.exec.Levels()
+		shape.Workers = s.exec.Plan().Workers()
+	}
+	o.Attach(shape)
+}
+
+// Observer returns the attached observer, nil when observability is
+// disabled.
+func (s *Sim) Observer() *obs.Observer { return s.obs }
+
+// Snapshot returns the attached observer's counters, nil without one.
+func (s *Sim) Snapshot() *obs.Snapshot {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.Snapshot()
+}
+
+// Trace implements the facade's Tracer contract: the value of net n at
+// time t and whether that value is observable. Negative times belong to
+// the previous vector and are never observable; otherwise observability
+// follows the PC-set monitoring rule (ValueAt): false when t precedes
+// the net's first PC element and the net had no zero inserted.
+func (s *Sim) Trace(n circuit.NetID, t int) (bool, bool) {
+	if t < 0 {
+		return false, false
+	}
+	return s.laneValueAt(n, t, 0)
+}

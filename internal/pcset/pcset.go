@@ -16,9 +16,11 @@ package pcset
 
 import (
 	"fmt"
+	"time"
 
 	"udsim/internal/circuit"
 	"udsim/internal/levelize"
+	"udsim/internal/obs"
 	"udsim/internal/program"
 	"udsim/internal/refsim"
 	"udsim/internal/shard"
@@ -43,6 +45,10 @@ type Sim struct {
 	pool         *shard.Pool
 	clones       []*Sim
 	execStrategy shard.Strategy
+
+	// Runtime observability (SetObserver); nil = disabled, and every
+	// hot-path hook is behind a nil check. Clones share the pointer.
+	obs *obs.Observer
 
 	ref *refsim.Evaluator // lazily built zero-delay oracle for ResetConsistent
 }
@@ -274,7 +280,7 @@ func (s *Sim) ApplyVector(inputs []bool) error {
 	if len(inputs) != len(s.c.Inputs) {
 		return fmt.Errorf("pcset: %d input values for %d primary inputs", len(inputs), len(s.c.Inputs))
 	}
-	s.initProg.Run(s.st)
+	s.runInit(1)
 	for i, id := range s.c.Inputs {
 		var w uint64
 		if inputs[i] {
@@ -283,7 +289,51 @@ func (s *Sim) ApplyVector(inputs []bool) error {
 		s.st[s.vars[id][0]] = w
 	}
 	s.runSim()
+	if s.obs.ActivityEnabled() {
+		s.observeActivity()
+	}
 	return nil
+}
+
+// runInit executes the initialization program, booking it (and the
+// vector count) with the observer when one is attached.
+func (s *Sim) runInit(vectors int64) {
+	if o := s.obs; o != nil {
+		o.AddVectors(vectors)
+		t0 := time.Now()
+		s.initProg.Run(s.st)
+		o.AddInit(time.Since(t0))
+		return
+	}
+	s.initProg.Run(s.st)
+}
+
+// observeActivity scans lane 0 of every net's history into the
+// observer's activity profile. A net's value only changes at its PC
+// elements, so the scan compares consecutive PC variables instead of
+// stepping time — O(total PC-set size) per vector, allocation-free.
+// Unmonitored nets (no zero inserted) have no observable time-zero
+// value, so a change from the previous vector's final into the first PC
+// element is not counted — activity is profiled under the engine's own
+// observability, exactly like ValueAt. Monitor every net to make the
+// profile complete.
+func (s *Sim) observeActivity() {
+	o := s.obs
+	for n := range s.c.Nets {
+		pc := s.a.NetPC[n]
+		vs := s.vars[n]
+		var toggles int64
+		for j := 1; j < len(vs); j++ {
+			if (s.st[vs[j]]^s.st[vs[j-1]])&1 != 0 {
+				o.AddTransition(pc[j])
+				toggles++
+			}
+		}
+		if toggles > 0 {
+			o.AddNetToggles(n, toggles)
+		}
+	}
+	o.AddActivityVector()
 }
 
 // ApplyLanes simulates up to 64 independent input vectors at once:
@@ -295,11 +345,14 @@ func (s *Sim) ApplyLanes(packed []uint64) error {
 	if len(packed) != len(s.c.Inputs) {
 		return fmt.Errorf("pcset: %d packed inputs for %d primary inputs", len(packed), len(s.c.Inputs))
 	}
-	s.initProg.Run(s.st)
+	s.runInit(64)
 	for i, id := range s.c.Inputs {
 		s.st[s.vars[id][0]] = packed[i]
 	}
 	s.runSim()
+	if s.obs.ActivityEnabled() {
+		s.observeActivity() // lane 0 only; the other 63 lanes are not scanned
+	}
 	return nil
 }
 

@@ -346,6 +346,34 @@ func (p *Program) OpCounts() map[Op]int {
 	return m
 }
 
+// TouchStats sums the static state-array traffic of one execution of
+// the program: words is the total operand slots touched (destination
+// plus read slots per instruction, counting repeats — a measure of
+// memory pressure in the spirit of the paper's word counts) and scratch
+// is the subset of those references at or above scratchStart, the
+// temporary-slot region. The observability layer adds these constants
+// per program run instead of metering the hot loop.
+func (p *Program) TouchStats(scratchStart int32) (words, scratch int64) {
+	var buf []int32
+	for i := range p.Code {
+		in := &p.Code[i]
+		if !in.Writes() {
+			continue
+		}
+		buf = in.ReadSlots(buf[:0])
+		words += int64(len(buf)) + 1
+		if in.Dst >= scratchStart {
+			scratch++
+		}
+		for _, s := range buf {
+			if s >= scratchStart {
+				scratch++
+			}
+		}
+	}
+	return words, scratch
+}
+
 // ShiftCount returns the number of shift instructions (the quantity
 // tracked by Fig. 21 of the paper).
 func (p *Program) ShiftCount() int {

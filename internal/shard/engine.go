@@ -1,10 +1,15 @@
 package shard
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"udsim/internal/obs"
 	"udsim/internal/program"
 )
 
@@ -73,6 +78,7 @@ type Engine struct {
 	start []chan struct{} // one per helper worker, buffered
 	done  sync.WaitGroup
 	st    []uint64
+	obs   *obs.Observer // nil = observability disabled
 }
 
 // NewEngine builds the persistent runtime for a plan. The helper workers
@@ -89,6 +95,10 @@ func NewEngine(plan *Plan) *Engine {
 			e.done.Add(1)
 			go func(w int, ch chan struct{}) {
 				defer e.done.Done()
+				// Label the worker so pprof profiles attribute shard time
+				// to the right goroutine family and shard index.
+				pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+					pprof.Labels("udsim", "shard-worker", "shard", strconv.Itoa(w))))
 				for range ch {
 					e.runShard(w)
 				}
@@ -101,6 +111,18 @@ func NewEngine(plan *Plan) *Engine {
 // Plan returns the static schedule the engine executes.
 func (e *Engine) Plan() *Plan { return e.plan }
 
+// SetObserver attaches (or with nil detaches) an observer that receives
+// per-level execution time, per-shard instruction counts and barrier
+// wait time. The observer must already be Attach-ed with this plan's
+// Levels()/Workers() shape. Must not be called concurrently with Run:
+// the publication to the helper workers rides the same channel sends
+// that publish the state array.
+func (e *Engine) SetObserver(o *obs.Observer) { e.obs = o }
+
+// Levels returns the number of bulk-synchronous levels in the plan —
+// the first dimension of the observer's cell grid.
+func (e *Engine) Levels() int { return len(e.plan.levels) }
+
 // StateSize returns the required state-array length (see Plan.StateSize).
 func (e *Engine) StateSize() int { return e.plan.StateSize() }
 
@@ -111,6 +133,14 @@ func (e *Engine) StateSize() int { return e.plan.StateSize() }
 // final barrier crossing orders every helper's writes before Run returns.
 func (e *Engine) Run(st []uint64) {
 	if e.plan.workers == 1 {
+		if o := e.obs; o != nil {
+			for l, level := range e.plan.levels {
+				t0 := time.Now()
+				program.Exec(level[0], st, e.plan.wordBits)
+				o.AddLevel(l, 0, time.Since(t0), len(level[0]))
+			}
+			return
+		}
 		for _, level := range e.plan.levels {
 			program.Exec(level[0], st, e.plan.wordBits)
 		}
@@ -124,13 +154,27 @@ func (e *Engine) Run(st []uint64) {
 }
 
 // runShard executes one shard's slice of every level, crossing the
-// barrier after each.
+// barrier after each. With an observer attached it brackets each level
+// slice and each barrier crossing with monotonic-clock reads — three
+// time.Now() calls per (level, worker), no allocation.
 func (e *Engine) runShard(w int) {
 	st := e.st
 	wb := e.plan.wordBits
-	for _, level := range e.plan.levels {
+	o := e.obs
+	if o == nil {
+		for _, level := range e.plan.levels {
+			program.Exec(level[w], st, wb)
+			e.bar.await()
+		}
+		return
+	}
+	for l, level := range e.plan.levels {
+		t0 := time.Now()
 		program.Exec(level[w], st, wb)
+		t1 := time.Now()
+		o.AddLevel(l, w, t1.Sub(t0), len(level[w]))
 		e.bar.await()
+		o.AddWait(w, time.Since(t1))
 	}
 }
 
@@ -170,6 +214,8 @@ func NewPool(n int) *Pool {
 			p.done.Add(1)
 			go func(w int, ch chan func(int)) {
 				defer p.done.Done()
+				pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+					pprof.Labels("udsim", "batch-worker", "block", strconv.Itoa(w))))
 				for f := range ch {
 					f(w)
 					p.fin <- struct{}{}

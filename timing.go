@@ -91,10 +91,12 @@ func NewNominalPCSet(c *Circuit, monitor []NetID, dm DelayModel) (*PCSetSim, err
 // previous-vector values. Waveforms coincide exactly with
 // NewNominalDelay's (tested). The unit-delay optimizations (trimming,
 // shift elimination) do not combine with nominal delays.
-func NewNominalParallel(c *Circuit, dm DelayModel, opts ...ParallelOption) (*ParallelSim, error) {
-	o := parallelOpts{wordBits: 32}
+func NewNominalParallel(c *Circuit, dm DelayModel, opts ...Option) (*ParallelSim, error) {
+	var o options
 	for _, f := range opts {
-		f(&o)
+		if f != nil {
+			f(&o)
+		}
 	}
 	if o.trim || o.shiftEl != NoShiftElimination {
 		return nil, fmt.Errorf("udsim: nominal delays are mutually exclusive with trimming and shift elimination")

@@ -38,6 +38,7 @@ import (
 	"udsim/internal/lcc"
 	"udsim/internal/levelize"
 	"udsim/internal/logic"
+	"udsim/internal/obs"
 	"udsim/internal/parsim"
 	"udsim/internal/pcset"
 	"udsim/internal/program"
@@ -133,8 +134,76 @@ type Engine interface {
 type Tracer interface {
 	// ValueAt returns the value of net n at time t (0..Depth) and
 	// whether that value is observable under the engine's monitoring.
+	// Every engine reports ok=false for out-of-range times (t < 0
+	// belongs to the previous vector); the PC-set method additionally
+	// reports ok=false before an unmonitored net's first potential
+	// change (see WithMonitor).
 	ValueAt(n NetID, t int) (bool, bool)
 }
+
+// Closer is implemented by engines that own releasable resources —
+// today the multicore execution workers configured with WithExec.
+// Closing never invalidates the engine; it reverts to sequential
+// execution.
+type Closer interface {
+	Close()
+}
+
+// Streamer is implemented by engines that accept whole vector streams
+// and execute them under a configured strategy (WithExec). Consumers
+// such as the CLIs and the benchmark harness should drive engines
+// through this interface rather than concrete types.
+type Streamer interface {
+	// ApplyStream simulates a stream of input vectors. Sequential and
+	// sharded execution produce one coherent, bit-identical stream;
+	// vector batching splits the stream into per-worker blocks that run
+	// concurrently as independent substreams.
+	ApplyStream(vecs [][]bool) error
+	// ExecStrategy returns the resolved execution strategy
+	// (ExecSequential unless WithExec was given).
+	ExecStrategy() ExecStrategy
+	// BlockFinal returns the final value of a net in vector-batch block
+	// k (block 0 is the stream the engine itself carries).
+	BlockFinal(k int, n NetID) bool
+}
+
+// Introspector is implemented by compiled engines that can report the
+// size of their generated straight-line code.
+type Introspector interface {
+	CodeSize() int
+}
+
+// Observable is implemented by engines that support the runtime
+// observability layer: attach an Observer (or pass WithObserver to
+// Open) and read aggregated counters back as a Snapshot.
+type Observable interface {
+	// Observe attaches an observer (nil detaches). Attaching resets the
+	// observer's counters and sizes its per-level/per-shard grid for
+	// the engine's current execution configuration.
+	Observe(o *Observer)
+	// Snapshot returns a consistent copy of the attached observer's
+	// counters, or nil when no observer is attached.
+	Snapshot() *Snapshot
+}
+
+// Runtime observability types, re-exported from the internal collector.
+type (
+	// Observer collects low-overhead runtime counters from a compiled
+	// engine: per-level/per-shard wall time and instruction counts,
+	// stream-level throughput, barrier wait per worker, and (optionally)
+	// unit-delay activity profiles. Enabled collection is allocation-free
+	// in steady state; a nil observer costs one pointer check.
+	Observer = obs.Observer
+	// Snapshot is a consistent copy of an Observer's counters.
+	Snapshot = obs.Snapshot
+	// ObserverConfig configures NewObserver.
+	ObserverConfig = obs.Config
+)
+
+// NewObserver builds a runtime observer. Attach it with WithObserver or
+// Observable.Observe; it is valid for exactly one engine at a time
+// (attaching resets it).
+func NewObserver(cfg ObserverConfig) *Observer { return obs.New(cfg) }
 
 // ShiftElimination selects the alignment algorithm for NewParallel.
 type ShiftElimination int
@@ -172,10 +241,63 @@ const (
 // "auto" (CLI spellings).
 func ParseExecStrategy(s string) (ExecStrategy, error) { return shard.ParseStrategy(s) }
 
-// ParallelOption configures NewParallel.
-type ParallelOption func(*parallelOpts)
+// Technique selects a simulation technique for Open.
+type Technique int
 
-type parallelOpts struct {
+const (
+	// TechParallel is the bit-parallel technique (§3), optionally
+	// optimized with WithTrimming and WithShiftElimination (§4).
+	TechParallel Technique = iota
+	// TechPCSet is the PC-set method (§2); WithMonitor selects the nets
+	// whose full waveforms stay observable.
+	TechPCSet
+	// TechEvent3 is the interpreted event-driven baseline over {0,1,X}.
+	TechEvent3
+	// TechEvent2 is the interpreted event-driven baseline, two-valued.
+	TechEvent2
+	// TechLCC is zero-delay levelized compiled code (§5).
+	TechLCC
+)
+
+// String returns the technique's canonical CLI name.
+func (t Technique) String() string {
+	switch t {
+	case TechParallel:
+		return "parallel"
+	case TechPCSet:
+		return "pcset"
+	case TechEvent3:
+		return "event3"
+	case TechEvent2:
+		return "event2"
+	case TechLCC:
+		return "lcc"
+	}
+	return fmt.Sprintf("technique(%d)", int(t))
+}
+
+// Option configures Open. One generic option set serves every
+// technique; Open rejects options that do not apply to the selected
+// technique (e.g. WithWordBits on TechPCSet) instead of silently
+// ignoring them.
+type Option func(*options)
+
+// Deprecated per-technique option aliases: the facade once had separate
+// ParallelOption and PCSetOption families. They are now the same type,
+// so existing code — including mixed slices built for NewParallel or
+// NewPCSet — keeps compiling unchanged.
+type (
+	// ParallelOption is Option.
+	//
+	// Deprecated: use Option.
+	ParallelOption = Option
+	// PCSetOption is Option.
+	//
+	// Deprecated: use Option.
+	PCSetOption = Option
+)
+
+type options struct {
 	wordBits    int
 	trim        bool
 	shiftEl     ShiftElimination
@@ -183,41 +305,138 @@ type parallelOpts struct {
 	exec        ExecStrategy
 	execWorkers int
 	execSet     bool
+	observer    *Observer
+	monitor     []NetID
+	monitorSet  bool
+	// parallelOnly names the parallel-technique-specific options that
+	// were applied, so Open can reject them for other techniques.
+	parallelOnly []string
 }
 
-// WithWordBits sets the logical word width (8, 16, 32 or 64; default 32,
-// the paper's machine word).
-func WithWordBits(w int) ParallelOption { return func(o *parallelOpts) { o.wordBits = w } }
+// compiledOnly returns the name of an applied option that requires a
+// compiled technique (parallel or pcset), or "".
+func (o *options) compiledOnly() string {
+	switch {
+	case len(o.parallelOnly) > 0:
+		return o.parallelOnly[0]
+	case o.monitorSet:
+		return "WithMonitor"
+	case o.verify:
+		return "WithVerify"
+	case o.execSet:
+		return "WithExec"
+	case o.observer != nil:
+		return "WithObserver"
+	}
+	return ""
+}
 
-// WithTrimming enables bit-field trimming (§4).
-func WithTrimming() ParallelOption { return func(o *parallelOpts) { o.trim = true } }
+// WithWordBits sets the parallel technique's logical word width (8, 16,
+// 32 or 64; default 32, the paper's machine word).
+func WithWordBits(w int) Option {
+	return func(o *options) {
+		o.wordBits = w
+		o.parallelOnly = append(o.parallelOnly, "WithWordBits")
+	}
+}
+
+// WithTrimming enables bit-field trimming (§4; parallel technique only).
+func WithTrimming() Option {
+	return func(o *options) {
+		o.trim = true
+		o.parallelOnly = append(o.parallelOnly, "WithTrimming")
+	}
+}
 
 // WithShiftElimination enables shift elimination with the given
-// alignment algorithm (§4).
-func WithShiftElimination(m ShiftElimination) ParallelOption {
-	return func(o *parallelOpts) { o.shiftEl = m }
+// alignment algorithm (§4; parallel technique only).
+func WithShiftElimination(m ShiftElimination) Option {
+	return func(o *options) {
+		o.shiftEl = m
+		o.parallelOnly = append(o.parallelOnly, "WithShiftElimination")
+	}
 }
 
 // WithVerify runs the static analyzer over the compiled programs and
 // fails the compile on any warning or error finding (see Verify).
-func WithVerify() ParallelOption { return func(o *parallelOpts) { o.verify = true } }
+func WithVerify() Option { return func(o *options) { o.verify = true } }
 
-// WithParallelExec configures multicore execution: strategy selects
+// WithExec configures multicore execution: strategy selects
 // level-sharded, vector-batch or automatic execution, and workers is the
 // number of cores to use (<= 0 means GOMAXPROCS). Sharded execution is
-// bit-identical to the sequential engine; call Close when done to
+// bit-identical to the sequential engine; Close the engine when done to
 // release the workers.
-func WithParallelExec(strategy ExecStrategy, workers int) ParallelOption {
-	return func(o *parallelOpts) { o.exec, o.execWorkers, o.execSet = strategy, workers, true }
+func WithExec(strategy ExecStrategy, workers int) Option {
+	return func(o *options) { o.exec, o.execWorkers, o.execSet = strategy, workers, true }
 }
 
-// NewParallel compiles a circuit with the parallel technique (§3),
-// optionally optimized.
-func NewParallel(c *Circuit, opts ...ParallelOption) (*ParallelSim, error) {
-	o := parallelOpts{wordBits: 32}
+// WithObserver attaches a runtime observer (see NewObserver) during
+// construction: the engine fills in its shape and resets the observer's
+// counters. Equivalent to calling Observe on the built engine.
+func WithObserver(ob *Observer) Option { return func(o *options) { o.observer = ob } }
+
+// WithMonitor selects the nets whose full waveforms must stay
+// observable under the PC-set method (zero-insertion, like inputs of
+// the paper's PRINT pseudo-gate). Without it the primary outputs are
+// monitored.
+func WithMonitor(nets ...NetID) Option {
+	return func(o *options) { o.monitor, o.monitorSet = nets, true }
+}
+
+// WithParallelExec is WithExec.
+//
+// Deprecated: use WithExec.
+func WithParallelExec(strategy ExecStrategy, workers int) Option {
+	return WithExec(strategy, workers)
+}
+
+// WithPCSetParallelExec is WithExec.
+//
+// Deprecated: use WithExec.
+func WithPCSetParallelExec(strategy ExecStrategy, workers int) Option {
+	return WithExec(strategy, workers)
+}
+
+// Open builds a simulation engine for the circuit with the given
+// technique — the single constructor behind every CLI and harness
+// entry point. Options that do not apply to the technique are an error.
+// Engines built with WithExec own worker goroutines; release them via
+// the Closer interface when done.
+func Open(c *Circuit, technique Technique, opts ...Option) (Engine, error) {
+	var o options
 	for _, f := range opts {
-		f(&o)
+		if f != nil {
+			f(&o)
+		}
 	}
+	switch technique {
+	case TechParallel:
+		if o.monitorSet {
+			return nil, fmt.Errorf("udsim: WithMonitor applies only to %v", TechPCSet)
+		}
+		return openParallel(c, o)
+	case TechPCSet:
+		if len(o.parallelOnly) > 0 {
+			return nil, fmt.Errorf("udsim: %s applies only to %v", o.parallelOnly[0], TechParallel)
+		}
+		return openPCSet(c, o)
+	case TechEvent3, TechEvent2:
+		if name := o.compiledOnly(); name != "" {
+			return nil, fmt.Errorf("udsim: %s applies only to compiled techniques", name)
+		}
+		return NewEventDriven(c, technique == TechEvent3)
+	case TechLCC:
+		if name := o.compiledOnly(); name != "" {
+			return nil, fmt.Errorf("udsim: %s applies only to compiled techniques", name)
+		}
+		return NewZeroDelay(c)
+	}
+	return nil, fmt.Errorf("udsim: unknown technique %v", technique)
+}
+
+// openParallel builds the parallel-technique engine from resolved
+// options (shared by Open and the deprecated NewParallel).
+func openParallel(c *Circuit, o options) (*ParallelSim, error) {
 	cfg := parsim.Config{WordBits: o.wordBits, Trim: o.trim, Verify: o.verify}
 	target := c
 	if o.shiftEl != NoShiftElimination {
@@ -246,13 +465,60 @@ func NewParallel(c *Circuit, opts ...ParallelOption) (*ParallelSim, error) {
 			return nil, err
 		}
 	}
+	if o.observer != nil {
+		s.SetObserver(o.observer)
+	}
 	return &ParallelSim{s: s, opts: o}, nil
+}
+
+// openPCSet builds the PC-set engine from resolved options (shared by
+// Open and the deprecated NewPCSet).
+func openPCSet(c *Circuit, o options) (*PCSetSim, error) {
+	var (
+		s   *pcset.Sim
+		err error
+	)
+	if o.verify {
+		s, err = pcset.CompileChecked(c, o.monitor)
+	} else {
+		s, err = pcset.Compile(c, o.monitor)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if o.execSet {
+		if _, err := s.ConfigureExec(o.exec, o.execWorkers); err != nil {
+			return nil, err
+		}
+	}
+	if o.observer != nil {
+		s.SetObserver(o.observer)
+	}
+	return &PCSetSim{s: s}, nil
+}
+
+// NewParallel compiles a circuit with the parallel technique (§3),
+// optionally optimized.
+//
+// Deprecated: use Open(c, TechParallel, opts...); NewParallel remains
+// as a thin wrapper with a concrete return type.
+func NewParallel(c *Circuit, opts ...Option) (*ParallelSim, error) {
+	var o options
+	for _, f := range opts {
+		if f != nil {
+			f(&o)
+		}
+	}
+	if o.monitorSet {
+		return nil, fmt.Errorf("udsim: WithMonitor applies only to %v", TechPCSet)
+	}
+	return openParallel(c, o)
 }
 
 // ParallelSim is a compiled parallel-technique simulator.
 type ParallelSim struct {
 	s    *parsim.Sim
-	opts parallelOpts
+	opts options
 }
 
 // EngineName identifies the configuration.
@@ -304,8 +570,16 @@ func (p *ParallelSim) Close() { p.s.Close() }
 // Final returns the settled value of a net.
 func (p *ParallelSim) Final(n NetID) bool { return p.s.Final(n) }
 
-// ValueAt returns the value of net n at time t; always observable.
-func (p *ParallelSim) ValueAt(n NetID, t int) (bool, bool) { return p.s.ValueAt(n, t), true }
+// ValueAt returns the value of net n at time t (ok=false for negative
+// times, which belong to the previous vector; all in-range times are
+// observable — the parallel technique retains every waveform).
+func (p *ParallelSim) ValueAt(n NetID, t int) (bool, bool) { return p.s.Trace(n, t) }
+
+// Observe attaches a runtime observer (nil detaches); see NewObserver.
+func (p *ParallelSim) Observe(o *Observer) { p.s.SetObserver(o) }
+
+// Snapshot returns the attached observer's counters, nil without one.
+func (p *ParallelSim) Snapshot() *Snapshot { return p.s.Snapshot() }
 
 // History returns net n's full waveform for the last vector.
 func (p *ParallelSim) History(n NetID) []bool { return p.s.History(n) }
@@ -320,39 +594,28 @@ func (p *ParallelSim) WordsPerField() int { return p.s.WordsPerField() }
 // simulation code.
 func (p *ParallelSim) ShiftCount() int { return p.s.ShiftCount() }
 
-// PCSetOption configures NewPCSet.
-type PCSetOption func(*pcsetOpts)
-
-type pcsetOpts struct {
-	exec        ExecStrategy
-	execWorkers int
-	execSet     bool
-}
-
-// WithPCSetParallelExec is WithParallelExec for the PC-set method.
-func WithPCSetParallelExec(strategy ExecStrategy, workers int) PCSetOption {
-	return func(o *pcsetOpts) { o.exec, o.execWorkers, o.execSet = strategy, workers, true }
-}
-
 // NewPCSet compiles a circuit with the PC-set method (§2). monitor lists
 // the nets whose full waveforms must be observable (nil = the primary
 // outputs); monitored nets receive zero-insertion like inputs of the
 // paper's PRINT pseudo-gate.
-func NewPCSet(c *Circuit, monitor []NetID, opts ...PCSetOption) (*PCSetSim, error) {
-	var o pcsetOpts
+//
+// Deprecated: use Open(c, TechPCSet, WithMonitor(nets...), opts...);
+// NewPCSet remains as a thin wrapper with a concrete return type. A
+// WithMonitor option takes precedence over the monitor argument.
+func NewPCSet(c *Circuit, monitor []NetID, opts ...Option) (*PCSetSim, error) {
+	var o options
 	for _, f := range opts {
-		f(&o)
-	}
-	s, err := pcset.Compile(c, monitor)
-	if err != nil {
-		return nil, err
-	}
-	if o.execSet {
-		if _, err := s.ConfigureExec(o.exec, o.execWorkers); err != nil {
-			return nil, err
+		if f != nil {
+			f(&o)
 		}
 	}
-	return &PCSetSim{s: s}, nil
+	if len(o.parallelOnly) > 0 {
+		return nil, fmt.Errorf("udsim: %s applies only to %v", o.parallelOnly[0], TechParallel)
+	}
+	if !o.monitorSet {
+		o.monitor = monitor
+	}
+	return openPCSet(c, o)
 }
 
 // PCSetSim is a compiled PC-set method simulator.
@@ -392,9 +655,16 @@ func (p *PCSetSim) Close() { p.s.Close() }
 // Final returns the settled value of a net.
 func (p *PCSetSim) Final(n NetID) bool { return p.s.Final(n) }
 
-// ValueAt returns net n's value at time t, with ok=false when the time
-// precedes the net's first potential change and the net is unmonitored.
-func (p *PCSetSim) ValueAt(n NetID, t int) (bool, bool) { return p.s.ValueAt(n, t) }
+// ValueAt returns net n's value at time t, with ok=false for negative
+// times and when the time precedes the net's first potential change and
+// the net is unmonitored.
+func (p *PCSetSim) ValueAt(n NetID, t int) (bool, bool) { return p.s.Trace(n, t) }
+
+// Observe attaches a runtime observer (nil detaches); see NewObserver.
+func (p *PCSetSim) Observe(o *Observer) { p.s.SetObserver(o) }
+
+// Snapshot returns the attached observer's counters, nil without one.
+func (p *PCSetSim) Snapshot() *Snapshot { return p.s.Snapshot() }
 
 // ApplyLanes simulates 64 independent vector streams at once (§3's
 // data-parallel mode); packed is the layout of vectors.Set.Packed.
@@ -551,6 +821,15 @@ var (
 	_ Tracer = (*ParallelSim)(nil)
 	_ Tracer = (*PCSetSim)(nil)
 	_ Tracer = (*EventSim)(nil)
+
+	_ Closer       = (*ParallelSim)(nil)
+	_ Closer       = (*PCSetSim)(nil)
+	_ Streamer     = (*ParallelSim)(nil)
+	_ Streamer     = (*PCSetSim)(nil)
+	_ Introspector = (*ParallelSim)(nil)
+	_ Introspector = (*PCSetSim)(nil)
+	_ Observable   = (*ParallelSim)(nil)
+	_ Observable   = (*PCSetSim)(nil)
 )
 
 // Levelize exposes the level / minlevel / PC-set analysis of §§1–2 for a
@@ -601,33 +880,45 @@ func Verify(e Engine, opts VerifyOptions) (*VerifyReport, error) {
 	return nil, fmt.Errorf("udsim: engine %s has no statically verifiable programs", e.EngineName())
 }
 
-// NewEngine builds an engine by technique name: "event3", "event2",
-// "pcset", "parallel", "parallel-trim", "parallel-pt", "parallel-pt-trim",
-// "parallel-cb", "lcc". Used by the CLI tools.
-func NewEngine(technique string, c *Circuit) (Engine, error) {
-	switch technique {
+// ParseTechnique maps a CLI technique name — "event3", "event2",
+// "pcset", "parallel", "parallel-trim", "parallel-pt",
+// "parallel-pt-trim", "parallel-cb", "parallel-cb-trim", "lcc" — to the
+// Technique plus the Options the name implies, ready to pass to Open
+// (possibly with further options appended).
+func ParseTechnique(name string) (Technique, []Option, error) {
+	switch name {
 	case "event3":
-		return NewEventDriven(c, true)
+		return TechEvent3, nil, nil
 	case "event2":
-		return NewEventDriven(c, false)
+		return TechEvent2, nil, nil
 	case "pcset":
-		return NewPCSet(c, nil)
+		return TechPCSet, nil, nil
 	case "parallel":
-		return NewParallel(c)
+		return TechParallel, nil, nil
 	case "parallel-trim":
-		return NewParallel(c, WithTrimming())
+		return TechParallel, []Option{WithTrimming()}, nil
 	case "parallel-pt":
-		return NewParallel(c, WithShiftElimination(PathTracing))
+		return TechParallel, []Option{WithShiftElimination(PathTracing)}, nil
 	case "parallel-pt-trim":
-		return NewParallel(c, WithShiftElimination(PathTracing), WithTrimming())
+		return TechParallel, []Option{WithShiftElimination(PathTracing), WithTrimming()}, nil
 	case "parallel-cb":
-		return NewParallel(c, WithShiftElimination(CycleBreaking))
+		return TechParallel, []Option{WithShiftElimination(CycleBreaking)}, nil
 	case "parallel-cb-trim":
-		return NewParallel(c, WithShiftElimination(CycleBreaking), WithTrimming())
+		return TechParallel, []Option{WithShiftElimination(CycleBreaking), WithTrimming()}, nil
 	case "lcc":
-		return NewZeroDelay(c)
+		return TechLCC, nil, nil
 	}
-	return nil, fmt.Errorf("udsim: unknown technique %q", technique)
+	return 0, nil, fmt.Errorf("udsim: unknown technique %q", name)
+}
+
+// NewEngine builds an engine by technique name (see ParseTechnique).
+// Used by the CLI tools; equivalent to ParseTechnique followed by Open.
+func NewEngine(technique string, c *Circuit) (Engine, error) {
+	t, opts, err := ParseTechnique(technique)
+	if err != nil {
+		return nil, err
+	}
+	return Open(c, t, opts...)
 }
 
 // Techniques lists the names accepted by NewEngine.
