@@ -10,7 +10,9 @@
 //	udlint -gen c432
 //	udlint -bench mycircuit.bench -wordbits 8 -dead
 //	udlint -gen c6288 -technique parallel-pt-trim
-//	udlint -gen c880 -workers 4    # also verify the shard plan (rule V008)
+//	udlint -gen c880 -workers 4        # verify the shard plan (rules V008, V012)
+//	udlint -gen c432 -format=json      # stable machine-readable report
+//	udlint -gen c432 -format=sarif     # SARIF 2.1.0 for CI annotators
 package main
 
 import (
@@ -37,9 +39,16 @@ func main() {
 		wordBits  = flag.Int("wordbits", 32, "parallel-technique word width")
 		technique = flag.String("technique", "", "comma-separated technique subset (default: all verifiable)")
 		dead      = flag.Bool("dead", false, "also report dead instructions as info findings")
-		workers   = flag.Int("workers", 0, "build a sharded execution plan for this many workers and verify it (rule V008); 0 lints sequential programs only")
+		constProp = flag.Bool("const", false, "also report constant-propagation results (rule V010) as info findings")
+		workers   = flag.Int("workers", 0, "build a sharded execution plan for this many workers and verify it (rules V008, V012); 0 lints sequential programs only")
+		format    = flag.String("format", "text", "output format: text, json or sarif")
 	)
 	flag.Parse()
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fail(fmt.Errorf("unknown format %q (want text, json or sarif)", *format))
+	}
 
 	var c *udsim.Circuit
 	var err error
@@ -64,22 +73,47 @@ func main() {
 		techs = strings.Split(*technique, ",")
 	}
 
-	opts := udsim.VerifyOptions{ReportDead: *dead}
-	summary := texttable.New(fmt.Sprintf("static verification: %s", c.Name),
-		"technique", "init", "sim", "errors", "warnings", "dead", "unused slots", "word util")
-	var all []taggedFinding
+	opts := udsim.VerifyOptions{ReportDead: *dead, ReportConst: *constProp}
+	var reports []*udsim.VerifyReport
 	errors := 0
 	for _, tech := range techs {
 		rep, err := lintOne(c, tech, *wordBits, *workers, opts)
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", tech, err))
 		}
+		errors += rep.Count(verify.SevError)
+		reports = append(reports, rep)
+	}
+
+	switch *format {
+	case "json":
+		if err := verify.WriteJSON(os.Stdout, c.Name, reports); err != nil {
+			fail(err)
+		}
+	case "sarif":
+		if err := verify.WriteSARIF(os.Stdout, c.Name, reports); err != nil {
+			fail(err)
+		}
+	default:
+		printText(c.Name, reports)
+	}
+
+	if errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// printText renders the human-readable summary and findings tables.
+func printText(circuit string, reports []*udsim.VerifyReport) {
+	summary := texttable.New(fmt.Sprintf("static verification: %s", circuit),
+		"technique", "init", "sim", "errors", "warnings", "dead", "unused slots", "word util")
+	var all []taggedFinding
+	for _, rep := range reports {
 		st := &rep.Stats
 		summary.Add(rep.Name, st.InitInstrs, st.SimInstrs,
 			rep.Count(verify.SevError), rep.Count(verify.SevWarning),
 			st.DeadInstructions(), st.UnusedSlots,
 			fmt.Sprintf("%.1f%%", 100*st.WordUtilization()))
-		errors += rep.Count(verify.SevError)
 		for _, f := range rep.Findings {
 			all = append(all, taggedFinding{rep.Name, f})
 		}
@@ -102,10 +136,6 @@ func main() {
 		fmt.Println(ft)
 	} else {
 		fmt.Println("no findings")
-	}
-
-	if errors > 0 {
-		os.Exit(1)
 	}
 }
 

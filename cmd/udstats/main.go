@@ -107,11 +107,14 @@ func main() {
 	fmt.Println(ts)
 
 	tc := texttable.New("generated code (C statements)", "technique", "instructions", "statements")
-	tv := texttable.New("static verification", "technique", "errors", "warnings", "dead instrs", "unused slots", "word util")
+	tv := texttable.New("static verification", "technique", "errors", "warnings", "dead instrs",
+		"unused slots", "live-in slots", "passes", "const instrs", "no-op accums", "word util")
 	check := func(label string, spec *verify.Spec) {
 		rep := verify.Check(spec, verify.Options{})
 		tv.Add(label, rep.Count(verify.SevError), rep.Count(verify.SevWarning),
 			rep.Stats.DeadInstructions(), rep.Stats.UnusedSlots,
+			rep.Stats.LiveInSlots, rep.Stats.LivenessPasses,
+			rep.Stats.ConstInstrs, rep.Stats.NoOpAccums,
 			fmt.Sprintf("%.1f%%", 100*rep.Stats.WordUtilization()))
 	}
 	ps, err := pcset.Compile(norm, nil)

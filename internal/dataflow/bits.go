@@ -1,0 +1,30 @@
+package dataflow
+
+// BitSet is a dense bitmap over state slots.
+type BitSet []uint64
+
+// NewBitSet returns a set holding n slots.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Get reports whether slot s is in the set.
+func (b BitSet) Get(s int32) bool { return b[s>>6]>>(uint(s)&63)&1 == 1 }
+
+// Set adds slot s.
+func (b BitSet) Set(s int32) { b[s>>6] |= 1 << (uint(s) & 63) }
+
+// Clear removes slot s.
+func (b BitSet) Clear(s int32) { b[s>>6] &^= 1 << (uint(s) & 63) }
+
+// Clone deep-copies the set.
+func (b BitSet) Clone() BitSet { return append(BitSet(nil), b...) }
+
+// Count returns the number of set slots.
+func (b BitSet) Count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,270 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"udsim/internal/program"
+)
+
+// ConstKind classifies a constant-propagation finding.
+type ConstKind int
+
+const (
+	// ConstResult marks a simulation instruction whose packed result is
+	// provably the same constant for every input vector.
+	ConstResult ConstKind = iota
+	// ConstNoOpAccum marks an accumulating instruction that provably
+	// merges zero bits into its destination.
+	ConstNoOpAccum
+)
+
+// ConstFinding is one constant-propagation diagnostic (rule V010).
+type ConstFinding struct {
+	// Kind classifies the finding.
+	Kind ConstKind
+	// Seg and Index locate the instruction.
+	Seg   Segment
+	Index int
+	// Slot is the destination slot.
+	Slot int32
+	// Msg is the human-readable diagnosis.
+	Msg string
+}
+
+// constFact tracks, per slot, whether the word's value is a compile-time
+// constant and what it is. Primary inputs are pinned by the vectors, so
+// the runtime write drops them to unknown; persistent slots enter the
+// vector unknown (their value is previous-vector state), which keeps the
+// lattice sound without a cross-vector fixpoint.
+type constFact struct {
+	known BitSet
+	val   []uint64
+}
+
+func (f constFact) get(s int32) (uint64, bool) {
+	if !f.known.Get(s) {
+		return 0, false
+	}
+	return f.val[s], true
+}
+
+func (f constFact) set(s int32, v uint64) {
+	f.known.Set(s)
+	f.val[s] = v
+}
+
+func (f constFact) unset(s int32) { f.known.Clear(s) }
+
+// consts is the forward constant-propagation lattice over packed words,
+// folding the AND/OR/XOR identities that hold bit-parallel.
+type consts struct {
+	st   *Stream
+	mask uint64
+	w    uint
+}
+
+func (c *consts) Direction() Direction { return Forward }
+
+func (c *consts) Boundary() constFact {
+	nv := c.st.NumVars()
+	return constFact{known: NewBitSet(nv), val: make([]uint64, nv)}
+}
+
+func (c *consts) Clone(f constFact) constFact {
+	return constFact{known: f.known.Clone(), val: append([]uint64(nil), f.val...)}
+}
+
+func (c *consts) Meet(boundary, wrapped constFact) (constFact, bool) {
+	// No cross-vector propagation: persistent slots re-enter unknown.
+	return boundary, false
+}
+
+// eval returns the instruction's result value when it is provably
+// constant under the fact. Accumulating ops need their destination's
+// prior value as well; incoming computes just the merged-in part.
+func (c *consts) eval(in *program.Instr, f constFact) (uint64, bool) {
+	var a, b uint64
+	var aok, bok bool
+	if in.UsesA() {
+		a, aok = f.get(in.A)
+	}
+	if in.UsesBSlot() {
+		b, bok = f.get(in.B)
+	}
+	d, dok := f.get(in.Dst)
+	switch in.Op {
+	case program.OpConst0:
+		return 0, true
+	case program.OpConst1:
+		return c.mask, true
+	case program.OpAnd:
+		switch {
+		case aok && bok:
+			return a & b, true
+		case aok && a == 0, bok && b == 0:
+			return 0, true
+		case in.A == in.B && aok:
+			return a, true
+		}
+	case program.OpOr:
+		switch {
+		case aok && bok:
+			return a | b, true
+		case aok && a == c.mask, bok && b == c.mask:
+			return c.mask, true
+		case in.A == in.B && aok:
+			return a, true
+		}
+	case program.OpXor:
+		if in.A == in.B {
+			return 0, true // x ^ x = 0 even when x is unknown
+		}
+		if aok && bok {
+			return a ^ b, true
+		}
+	case program.OpNand:
+		switch {
+		case aok && bok:
+			return c.mask &^ (a & b), true
+		case aok && a == 0, bok && b == 0:
+			return c.mask, true
+		}
+	case program.OpNor:
+		switch {
+		case aok && bok:
+			return c.mask &^ (a | b), true
+		case aok && a == c.mask, bok && b == c.mask:
+			return 0, true
+		}
+	case program.OpXnor:
+		if in.A == in.B {
+			return c.mask, true
+		}
+		if aok && bok {
+			return c.mask &^ (a ^ b), true
+		}
+	case program.OpNot:
+		if aok {
+			return c.mask &^ a, true
+		}
+	case program.OpMove:
+		if aok {
+			return a, true
+		}
+	case program.OpOrMove:
+		switch {
+		case aok && dok:
+			return d | a, true
+		case aok && a == c.mask, dok && d == c.mask:
+			return c.mask, true
+		}
+	case program.OpShlOr:
+		if v, ok := c.incoming(in, f); ok && dok {
+			return d | v, true
+		}
+	case program.OpShlMove, program.OpShrMove:
+		return c.incoming(in, f)
+	case program.OpFill:
+		if aok {
+			if a>>in.Sh&1 == 1 {
+				return c.mask, true
+			}
+			return 0, true
+		}
+	case program.OpBit:
+		if aok {
+			return a >> in.Sh & 1, true
+		}
+	case program.OpFillLowN:
+		if aok {
+			low := ^uint64(0) >> (64 - uint(in.B))
+			if a>>in.Sh&1 == 1 {
+				return low, true
+			}
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+// incoming computes the shifted-and-carried value a shift instruction
+// merges or moves into its destination, when provably constant.
+func (c *consts) incoming(in *program.Instr, f constFact) (uint64, bool) {
+	a, aok := f.get(in.A)
+	if !aok {
+		return 0, false
+	}
+	v := a << in.Sh
+	if in.B != program.None && in.Sh > 0 {
+		b, bok := f.get(in.B)
+		if !bok {
+			return 0, false
+		}
+		v |= b >> (c.w - uint(in.Sh))
+	}
+	return v & c.mask, true
+}
+
+func (c *consts) Transfer(pt Point, f constFact) constFact {
+	if pt.Seg == SegRuntime {
+		for _, s := range c.st.RuntimeWritten {
+			f.unset(s)
+		}
+		return f
+	}
+	in := pt.Instr
+	if !in.Writes() {
+		return f
+	}
+	if v, ok := c.eval(in, f); ok {
+		f.set(in.Dst, v)
+	} else {
+		f.unset(in.Dst)
+	}
+	return f
+}
+
+// Consts runs forward constant propagation and returns its diagnostics:
+// accumulating instructions that provably merge zero bits into their
+// destination (removable work the compiler should not have emitted), and
+// simulation-phase instructions that compute a provable constant into a
+// persistent slot (a gate whose packed result does not depend on the
+// vector — suspicious in a compiled netlist). Both are advisory: they
+// cannot make results wrong, only reveal that the stream computes less
+// than its shape suggests.
+func Consts(st *Stream) []ConstFinding {
+	c := &consts{st: st, mask: st.Sim.Mask(), w: uint(st.Sim.WordBits)}
+	var out []ConstFinding
+	Solve[constFact](st, c, func(pt Point, f constFact) {
+		in := pt.Instr
+		if in == nil || !in.Writes() {
+			return
+		}
+		if in.Accumulates() {
+			var v uint64
+			var ok bool
+			if in.Op == program.OpOrMove {
+				v, ok = f.get(in.A)
+			} else {
+				v, ok = c.incoming(in, f)
+			}
+			if ok && v == 0 {
+				out = append(out, ConstFinding{Kind: ConstNoOpAccum, Seg: pt.Seg, Index: pt.Index, Slot: in.Dst,
+					Msg: fmt.Sprintf("%s accumulates a provably-zero value", in.Op)})
+			}
+			return
+		}
+		if pt.Seg != SegSim || !st.Persistent(in.Dst) {
+			return
+		}
+		switch in.Op {
+		case program.OpConst0, program.OpConst1:
+			return // literal constants are the compiler's own idiom
+		}
+		if v, ok := c.eval(in, f); ok {
+			out = append(out, ConstFinding{Kind: ConstResult, Seg: pt.Seg, Index: pt.Index, Slot: in.Dst,
+				Msg: fmt.Sprintf("%s computes the constant %#x regardless of the input vector", in.Op, v)})
+		}
+	})
+	return out
+}

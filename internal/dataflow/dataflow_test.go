@@ -1,0 +1,315 @@
+// Unit tests for the dataflow engine and its four clients on tiny
+// hand-built streams where the exact solution is known. The ISCAS-scale
+// behaviour is covered by package verify's mutation tests; these pin the
+// lattice semantics themselves.
+package dataflow_test
+
+import (
+	"strings"
+	"testing"
+
+	"udsim/internal/dataflow"
+	"udsim/internal/program"
+)
+
+func prog(numVars int, code ...program.Instr) *program.Program {
+	return &program.Program{WordBits: 8, NumVars: numVars, Code: code}
+}
+
+func instr(op program.Op, dst, a, b int32, sh uint8) program.Instr {
+	return program.Instr{Op: op, Dst: dst, A: a, B: b, Sh: sh}
+}
+
+// TestLivenessCrossVector is the back edge in miniature: LiveOut demands
+// only slot 1, but Init copies slot 0 into it — so the previous vector's
+// Sim write of slot 0 is live even though no LiveOut slot names it. A
+// single backward pass would call that write dead; the fixpoint may not.
+func TestLivenessCrossVector(t *testing.T) {
+	st := &dataflow.Stream{
+		Init: prog(3, instr(program.OpMove, 1, 0, program.None, 0)),
+		Sim: prog(3,
+			instr(program.OpConst1, 0, program.None, program.None, 0),
+		),
+		ScratchStart: 2,
+		LiveOut:      []int32{1},
+	}
+	res := dataflow.Liveness(st)
+	if res.NDead() != 0 {
+		t.Fatalf("cross-vector live store marked dead: %+v", res)
+	}
+	if res.Passes < 2 {
+		t.Fatalf("fixpoint converged in %d pass(es); the back edge demands at least 2", res.Passes)
+	}
+	if !res.LiveIn.Get(0) {
+		t.Fatal("slot 0 feeds next-vector init but is not in LiveIn")
+	}
+	if res.LiveIn.Get(1) {
+		t.Fatal("slot 1 is overwritten by init before any read; must not be in LiveIn")
+	}
+}
+
+// TestLivenessDeadStore: the first of two writes to one slot with no
+// read between them is dead; the second is demanded by LiveOut.
+func TestLivenessDeadStore(t *testing.T) {
+	st := &dataflow.Stream{
+		Sim: prog(3,
+			instr(program.OpConst1, 0, program.None, program.None, 0), // dead: overwritten below
+			instr(program.OpConst0, 0, program.None, program.None, 0),
+			instr(program.OpConst1, 2, program.None, program.None, 0), // dead: scratch, never read
+		),
+		ScratchStart: 2,
+		LiveOut:      []int32{0},
+	}
+	res := dataflow.Liveness(st)
+	if res.NDeadSim != 2 || !res.DeadSim[0] || res.DeadSim[1] || !res.DeadSim[2] {
+		t.Fatalf("dead marks wrong: %+v", res.DeadSim)
+	}
+}
+
+// TestLivenessRuntimeKill: the runtime input-write between Init and Sim
+// overwrites slot 0, so an Init store into it can never be observed.
+func TestLivenessRuntimeKill(t *testing.T) {
+	st := &dataflow.Stream{
+		Init:           prog(2, instr(program.OpConst1, 0, program.None, program.None, 0)),
+		Sim:            prog(2, instr(program.OpMove, 1, 0, program.None, 0)),
+		ScratchStart:   2,
+		RuntimeWritten: []int32{0},
+		LiveOut:        []int32{1},
+	}
+	res := dataflow.Liveness(st)
+	if res.NDeadInit != 1 || !res.DeadInit[0] {
+		t.Fatalf("init store under a runtime write not marked dead: %+v", res)
+	}
+}
+
+// TestConstsXorSelf: XOR of a slot with itself is zero regardless of the
+// unknown input, and the engine must prove it even though the operand
+// value is bottom. Both writes land in persistent slots, which is where
+// constant results are reported (a constant scratch temporary is the
+// compiler's business; a constant net result is suspicious).
+func TestConstsXorSelf(t *testing.T) {
+	st := &dataflow.Stream{
+		Sim: prog(3,
+			instr(program.OpXor, 2, 0, 0, 0),             // provably 0
+			instr(program.OpMove, 1, 2, program.None, 0), // provably 0 too
+		),
+		ScratchStart: 3,
+		LiveOut:      []int32{1},
+	}
+	fs := dataflow.Consts(st)
+	if len(fs) != 2 {
+		t.Fatalf("got %d findings, want 2: %+v", len(fs), fs)
+	}
+	for _, f := range fs {
+		if f.Kind != dataflow.ConstResult || f.Seg != dataflow.SegSim {
+			t.Fatalf("unexpected finding: %+v", f)
+		}
+	}
+	if fs[0].Slot != 2 || fs[1].Slot != 1 {
+		t.Fatalf("finding slots wrong: %+v", fs)
+	}
+
+	// The same computation into scratch slots is the compiler's own
+	// idiom and must not be reported.
+	st.ScratchStart = 2
+	if fs := dataflow.Consts(st); len(fs) != 1 || fs[0].Slot != 1 {
+		t.Fatalf("scratch constants should be silent: %+v", fs)
+	}
+}
+
+// TestConstsNoOpAccum: OR-merging a provably-zero word is classified as
+// a no-op accumulation, not a constant result (the destination itself is
+// not constant — it holds whatever the real producer wrote).
+func TestConstsNoOpAccum(t *testing.T) {
+	st := &dataflow.Stream{
+		Sim: prog(4,
+			instr(program.OpMove, 1, 0, program.None, 0), // real value
+			instr(program.OpConst0, 2, program.None, program.None, 0),
+			instr(program.OpShlOr, 1, 2, program.None, 4), // merges provable zero
+		),
+		ScratchStart: 3,
+		LiveOut:      []int32{1},
+	}
+	fs := dataflow.Consts(st)
+	// Exactly one finding: the Const0 literal is the compiler's own idiom
+	// (never reported), and the destination word is not itself constant —
+	// only the accumulation is provably useless.
+	if len(fs) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(fs), fs)
+	}
+	f := fs[0]
+	if f.Kind != dataflow.ConstNoOpAccum || f.Index != 2 || f.Slot != 1 {
+		t.Fatalf("no-op accumulation witness wrong: %+v", f)
+	}
+}
+
+// TestConstsUnknownInputsStayUnknown: runtime-written slots are pinned by
+// the vectors, so nothing downstream of one may be called constant.
+func TestConstsUnknownInputsStayUnknown(t *testing.T) {
+	st := &dataflow.Stream{
+		Sim: prog(3,
+			instr(program.OpAnd, 1, 0, 0, 0),
+			instr(program.OpNot, 2, 1, program.None, 0),
+		),
+		ScratchStart:   2,
+		RuntimeWritten: []int32{0},
+		LiveOut:        []int32{1},
+	}
+	if fs := dataflow.Consts(st); len(fs) != 0 {
+		t.Fatalf("input-dependent values reported constant: %+v", fs)
+	}
+}
+
+// packingStream builds the parallel technique's accumulation idiom in
+// miniature: extract single-bit payloads from an input word, open the
+// destination with a fresh ShlMove, then append the next phase with a
+// shifted ShlOr. sh2 picks the second payload's landing position — 1 is
+// the legal discipline (above the bit already used), 0 collides.
+func packingStream(sh2 uint8) *dataflow.Stream {
+	return &dataflow.Stream{
+		Sim: prog(5,
+			instr(program.OpBit, 3, 0, program.None, 0),     // payload: bit span [0,0]
+			instr(program.OpShlMove, 1, 3, program.None, 0), // opening write, dst span [0,0]
+			instr(program.OpBit, 4, 0, program.None, 1),     // next payload: [0,0]
+			instr(program.OpShlOr, 1, 4, program.None, sh2),
+		),
+		ScratchStart:   2,
+		RuntimeWritten: []int32{0},
+		LiveOut:        []int32{1},
+	}
+}
+
+// TestIntervalsCollision: the appended payload lands on a bit position
+// the destination word already uses — the accumulation must be flagged
+// with both colliding spans in the witness.
+func TestIntervalsCollision(t *testing.T) {
+	fs := dataflow.Intervals(packingStream(0))
+	if len(fs) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(fs), fs)
+	}
+	f := fs[0]
+	if f.Seg != dataflow.SegSim || f.Index != 3 || f.Slot != 1 {
+		t.Fatalf("collision witness wrong: %+v", f)
+	}
+	if !f.In.Overlaps(f.Dst) {
+		t.Fatalf("witness spans do not overlap: %+v", f)
+	}
+	if !strings.Contains(f.Msg(), "collide") {
+		t.Fatalf("unexpected message: %s", f.Msg())
+	}
+}
+
+// TestIntervalsDisjointPacking: the legal packing discipline — each shift
+// places its payload above the bits already used — must verify silently.
+func TestIntervalsDisjointPacking(t *testing.T) {
+	if fs := dataflow.Intervals(packingStream(1)); len(fs) != 0 {
+		t.Fatalf("disjoint packing flagged: %+v", fs)
+	}
+}
+
+// schedule builds a Schedule with one instruction per (level, shard) pair
+// given as parallel slices.
+func schedule(workers int, levels []int32, shards []int32) *dataflow.Schedule {
+	maxL := int32(0)
+	for _, l := range levels {
+		if l >= maxL {
+			maxL = l + 1
+		}
+	}
+	return &dataflow.Schedule{Workers: workers, Levels: int(maxL), Level: levels, Shard: shards}
+}
+
+// TestCheckScheduleClean: producer on level 0, consumer on level 1 —
+// ordered by the barrier regardless of shard.
+func TestCheckScheduleClean(t *testing.T) {
+	code := []program.Instr{
+		instr(program.OpConst1, 0, program.None, program.None, 0),
+		instr(program.OpMove, 1, 0, program.None, 0),
+	}
+	races, err := dataflow.CheckSchedule(code, 2, schedule(2, []int32{0, 1}, []int32{0, 1}))
+	if err != nil || len(races) != 0 {
+		t.Fatalf("clean schedule rejected: races=%v err=%v", races, err)
+	}
+}
+
+// TestCheckScheduleStaleRead: consumer in the same level on a different
+// shard — no barrier between producer and consumer.
+func TestCheckScheduleStaleRead(t *testing.T) {
+	code := []program.Instr{
+		instr(program.OpConst1, 0, program.None, program.None, 0),
+		instr(program.OpMove, 1, 0, program.None, 0),
+	}
+	races, err := dataflow.CheckSchedule(code, 2, schedule(2, []int32{0, 0}, []int32{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races) != 1 || races[0].Kind != dataflow.RaceStaleRead {
+		t.Fatalf("stale read not detected: %v", races)
+	}
+	r := races[0]
+	if r.Slot != 0 || r.First != 0 || r.Second != 1 {
+		t.Fatalf("witness coordinates wrong: %+v", r)
+	}
+	if !strings.Contains(r.String(), "stale-read on slot 0") {
+		t.Fatalf("unexpected witness rendering: %s", r)
+	}
+}
+
+// TestCheckScheduleScratchEscape: a scratch value consumed on another
+// shard in a LATER level. Persistent state would be fine (the barrier
+// orders it); scratch lives in per-shard arenas, so it is an escape.
+func TestCheckScheduleScratchEscape(t *testing.T) {
+	code := []program.Instr{
+		instr(program.OpConst1, 2, program.None, program.None, 0), // scratch producer
+		instr(program.OpMove, 0, 2, program.None, 0),              // consumer, other shard
+	}
+	races, err := dataflow.CheckSchedule(code, 2, schedule(2, []int32{0, 1}, []int32{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races) != 1 || races[0].Kind != dataflow.RaceScratchEscape {
+		t.Fatalf("scratch escape not detected: %v", races)
+	}
+	// Same pair on the same shard is the private-arena happy path.
+	races, err = dataflow.CheckSchedule(code, 2, schedule(2, []int32{0, 1}, []int32{1, 1}))
+	if err != nil || len(races) != 0 {
+		t.Fatalf("same-shard scratch flow flagged: races=%v err=%v", races, err)
+	}
+}
+
+// TestCheckScheduleWriteWrite: two unordered writes of one persistent
+// slot; and the same pair ordered by a barrier verifies silently.
+func TestCheckScheduleWriteWrite(t *testing.T) {
+	code := []program.Instr{
+		instr(program.OpConst1, 0, program.None, program.None, 0),
+		instr(program.OpConst0, 0, program.None, program.None, 0),
+	}
+	races, err := dataflow.CheckSchedule(code, 2, schedule(2, []int32{0, 0}, []int32{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races) != 1 || races[0].Kind != dataflow.RaceWriteWrite {
+		t.Fatalf("write-write not detected: %v", races)
+	}
+	races, err = dataflow.CheckSchedule(code, 2, schedule(2, []int32{0, 1}, []int32{0, 1}))
+	if err != nil || len(races) != 0 {
+		t.Fatalf("barrier-ordered writes flagged: races=%v err=%v", races, err)
+	}
+}
+
+// TestCheckScheduleMalformed: wrong lengths and out-of-range coordinates
+// are schedule errors, not races.
+func TestCheckScheduleMalformed(t *testing.T) {
+	code := []program.Instr{instr(program.OpConst1, 0, program.None, program.None, 0)}
+	cases := []*dataflow.Schedule{
+		{Workers: 2, Levels: 1, Level: []int32{0, 0}, Shard: []int32{0, 0}}, // wrong length
+		{Workers: 2, Levels: 1, Level: []int32{1}, Shard: []int32{0}},       // level out of range
+		{Workers: 2, Levels: 1, Level: []int32{0}, Shard: []int32{2}},       // shard out of range
+		{Workers: 2, Levels: 1, Level: []int32{-1}, Shard: []int32{0}},      // negative level
+	}
+	for i, sch := range cases {
+		if _, err := dataflow.CheckSchedule(code, 1, sch); err == nil {
+			t.Fatalf("case %d: malformed schedule accepted", i)
+		}
+	}
+}

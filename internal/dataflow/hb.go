@@ -1,0 +1,190 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"udsim/internal/program"
+)
+
+// Schedule is a bulk-synchronous shard plan over a simulation program:
+// instruction i runs in level Level[i] on shard Shard[i], levels are
+// separated by barriers, and shards within a level run concurrently.
+// It mirrors verify.ShardAssignment, which package verify converts from
+// (verify imports dataflow, not the other way around).
+type Schedule struct {
+	// Workers is the number of shards per level.
+	Workers int
+	// Levels is the number of bulk-synchronous levels.
+	Levels int
+	// Level and Shard give each instruction's assignment; both must have
+	// length len(code).
+	Level []int32
+	// Shard is the per-instruction shard index in [0,Workers).
+	Shard []int32
+}
+
+// RaceKind classifies a happens-before violation.
+type RaceKind int
+
+const (
+	// RaceStaleRead: a read is not ordered after the write that produces
+	// its value (the write is in a later level, or concurrent).
+	RaceStaleRead RaceKind = iota
+	// RaceScratchEscape: a scratch value crosses shards. Shards execute
+	// scratch in private arenas, so the consumer would read its own
+	// arena's stale word, never the producer's value.
+	RaceScratchEscape
+	// RaceWriteWrite: two writes of one slot are unordered, so the
+	// surviving value depends on shard timing.
+	RaceWriteWrite
+	// RaceWriteOvertakesRead: a write is not ordered after an earlier
+	// instruction's read of the old value.
+	RaceWriteOvertakesRead
+)
+
+// String names the race kind.
+func (k RaceKind) String() string {
+	switch k {
+	case RaceStaleRead:
+		return "stale-read"
+	case RaceScratchEscape:
+		return "scratch-escape"
+	case RaceWriteWrite:
+		return "write-write"
+	case RaceWriteOvertakesRead:
+		return "write-after-read"
+	}
+	return fmt.Sprintf("race(%d)", int(k))
+}
+
+// Race is one happens-before violation with its complete witness: the
+// two conflicting instruction addresses in sequential stream order, the
+// slot they collide on, and both (level, shard) coordinates.
+type Race struct {
+	Kind RaceKind
+	// Slot is the state slot both instructions touch.
+	Slot int32
+	// First and Second are the conflicting instruction indices in
+	// sequential stream order (First < Second).
+	First, Second int
+	// LevelFirst/ShardFirst and LevelSecond/ShardSecond are the two
+	// instructions' schedule coordinates.
+	LevelFirst, ShardFirst   int32
+	LevelSecond, ShardSecond int32
+}
+
+// String renders the witness as one line.
+func (r Race) String() string {
+	return fmt.Sprintf("%v on slot %d: sim[%d] (level %d shard %d) vs sim[%d] (level %d shard %d)",
+		r.Kind, r.Slot, r.First, r.LevelFirst, r.ShardFirst, r.Second, r.LevelSecond, r.ShardSecond)
+}
+
+// maxRaces bounds the witness list: one bad plan breaks thousands of
+// accesses and the first few localize it.
+const maxRaces = 256
+
+// CheckSchedule is the static race detector behind rule V012: it proves
+// every pair of conflicting accesses in the schedule is ordered by
+// happens-before, or returns a witness for each violation found.
+//
+// The schedule's happens-before is the transitive order "earlier level,
+// or same level on the same shard in stream order": barriers order
+// levels, and a shard executes its slice of a level sequentially. Two
+// same-level instructions on different shards are never ordered, so any
+// pair touching one slot with at least one write must be proven apart —
+// which the sweep does per slot, against the last write and the reads
+// since it. Adjacent-pair checking suffices: happens-before here is
+// transitive over stream order, so an unordered non-adjacent pair forces
+// some adjacent pair to be unordered too, and at least one witness
+// surfaces. Scratch slots follow the private-arena model (package
+// shard): per-shard copies make cross-shard scratch write-write and
+// write-after-read pairs harmless, while any cross-shard scratch
+// read-after-write is an escape and therefore always a violation.
+//
+// An error reports a malformed schedule (wrong lengths, out-of-range
+// coordinates); races are only meaningful for a well-formed one.
+func CheckSchedule(code []program.Instr, scratchStart int32, sch *Schedule) ([]Race, error) {
+	n := len(code)
+	if len(sch.Level) != n || len(sch.Shard) != n {
+		return nil, fmt.Errorf("dataflow: schedule covers %d/%d instructions, program has %d",
+			len(sch.Level), len(sch.Shard), n)
+	}
+	if sch.Workers < 1 || sch.Levels < 1 && n > 0 {
+		return nil, fmt.Errorf("dataflow: schedule has %d workers, %d levels", sch.Workers, sch.Levels)
+	}
+	for i := 0; i < n; i++ {
+		if sch.Level[i] < 0 || int(sch.Level[i]) >= sch.Levels || sch.Shard[i] < 0 || int(sch.Shard[i]) >= sch.Workers {
+			return nil, fmt.Errorf("dataflow: instruction %d assigned to level %d shard %d, outside %d levels x %d workers",
+				i, sch.Level[i], sch.Shard[i], sch.Levels, sch.Workers)
+		}
+	}
+
+	// happens-before for stream-ordered i < j.
+	hb := func(i, j int) bool {
+		return sch.Level[i] < sch.Level[j] || sch.Level[i] == sch.Level[j] && sch.Shard[i] == sch.Shard[j]
+	}
+
+	nv := 0
+	for i := range code {
+		in := &code[i]
+		for _, s := range []int32{in.Dst, in.A, in.B} {
+			if int(s) >= nv {
+				nv = int(s) + 1
+			}
+		}
+	}
+	lastWrite := make([]int, nv)
+	for i := range lastWrite {
+		lastWrite[i] = -1
+	}
+	readers := make([][]int, nv) // reads of the current value, per persistent slot
+	var races []Race
+	emit := func(kind RaceKind, s int32, first, second int) {
+		if len(races) >= maxRaces {
+			return
+		}
+		races = append(races, Race{Kind: kind, Slot: s, First: first, Second: second,
+			LevelFirst: sch.Level[first], ShardFirst: sch.Shard[first],
+			LevelSecond: sch.Level[second], ShardSecond: sch.Shard[second]})
+	}
+	var rbuf []int32
+	for j := 0; j < n; j++ {
+		in := &code[j]
+		rbuf = in.ReadSlots(rbuf[:0])
+		for _, s := range rbuf {
+			i := lastWrite[s]
+			if i < 0 {
+				continue // pre-run state: ordered before every shard's start
+			}
+			switch {
+			case s >= scratchStart && sch.Shard[i] != sch.Shard[j]:
+				emit(RaceScratchEscape, s, i, j)
+			case !hb(i, j):
+				emit(RaceStaleRead, s, i, j)
+			}
+		}
+		if in.Writes() {
+			s := in.Dst
+			if s < scratchStart {
+				if i := lastWrite[s]; i >= 0 && i != j && !hb(i, j) {
+					emit(RaceWriteWrite, s, i, j)
+				}
+				for _, r := range readers[s] {
+					if !hb(r, j) {
+						emit(RaceWriteOvertakesRead, s, r, j)
+					}
+				}
+				readers[s] = readers[s][:0]
+			}
+			lastWrite[s] = j
+		}
+		// Record reads after the write checks: an instruction reading its
+		// own destination orders itself.
+		for _, s := range rbuf {
+			if s < scratchStart {
+				readers[s] = append(readers[s], j)
+			}
+		}
+	}
+	return races, nil
+}

@@ -1,0 +1,232 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"udsim/internal/program"
+)
+
+// Span is a conservative interval of possibly-set bit positions within a
+// packed word: every 1 bit of the abstracted value lies in [Lo,Hi].
+// Lo > Hi means the value is provably zero.
+type Span struct{ Lo, Hi int16 }
+
+// Empty reports whether the span abstracts only the zero word.
+func (s Span) Empty() bool { return s.Lo > s.Hi }
+
+// Overlaps reports whether two spans share a bit position.
+func (s Span) Overlaps(o Span) bool {
+	return !s.Empty() && !o.Empty() && s.Lo <= o.Hi && o.Lo <= s.Hi
+}
+
+func (s Span) String() string {
+	if s.Empty() {
+		return "∅"
+	}
+	return fmt.Sprintf("[%d,%d]", s.Lo, s.Hi)
+}
+
+var emptySpan = Span{Lo: 1, Hi: 0}
+
+func fullSpan(w int) Span { return Span{Lo: 0, Hi: int16(w - 1)} }
+
+func hull(a, b Span) Span {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
+	if b.Lo < a.Lo {
+		a.Lo = b.Lo
+	}
+	if b.Hi > a.Hi {
+		a.Hi = b.Hi
+	}
+	return a
+}
+
+func intersect(a, b Span) Span {
+	if a.Empty() || b.Empty() {
+		return emptySpan
+	}
+	if b.Lo > a.Lo {
+		a.Lo = b.Lo
+	}
+	if b.Hi < a.Hi {
+		a.Hi = b.Hi
+	}
+	return a
+}
+
+// IntervalFinding is one bit-interval diagnostic (rule V011): an
+// accumulating write whose merged-in bits may collide with bits already
+// present in the destination word — a bit-level write-after-write the
+// single-assignment rule cannot see, because OR-accumulation is a legal
+// second write at the word level.
+type IntervalFinding struct {
+	// Seg and Index locate the instruction.
+	Seg   Segment
+	Index int
+	// Slot is the destination slot.
+	Slot int32
+	// In and Dst are the colliding spans: the merged-in value's
+	// possibly-set bits and the destination's current possibly-set bits.
+	In, Dst Span
+}
+
+// Msg renders the diagnosis.
+func (f IntervalFinding) Msg() string {
+	return fmt.Sprintf("accumulated bits %s may collide with bits %s already in the word", f.In, f.Dst)
+}
+
+// intervals is the forward possibly-set bit-interval lattice. Its job is
+// to prove the parallel technique's packing discipline: every shift's
+// payload and carry land in bit positions the destination word has not
+// used yet, so OR-accumulation never silently merges two time phases
+// into one bit.
+type intervals struct {
+	st *Stream
+	w  int
+}
+
+func (c *intervals) Direction() Direction { return Forward }
+
+func (c *intervals) Boundary() []Span {
+	f := make([]Span, c.st.NumVars())
+	for i := range f {
+		f[i] = fullSpan(c.w) // previous-vector state and unwritten scratch: anything
+	}
+	return f
+}
+
+func (c *intervals) Clone(f []Span) []Span { return append([]Span(nil), f...) }
+
+func (c *intervals) Meet(boundary, wrapped []Span) ([]Span, bool) {
+	return boundary, false // boundary is already top for persistent slots
+}
+
+// shlSpan abstracts (a << Sh | b >> (W-Sh)) & mask: the payload moves up
+// by Sh (bits pushed past W-1 drop) and the carry contributes the top Sh
+// bits of b, landing in [0,Sh).
+func (c *intervals) shlSpan(in *program.Instr, f []Span) Span {
+	a := f[in.A]
+	v := emptySpan
+	if !a.Empty() && int(a.Lo)+int(in.Sh) <= c.w-1 {
+		v = Span{Lo: a.Lo + int16(in.Sh), Hi: a.Hi + int16(in.Sh)}
+		if v.Hi > int16(c.w-1) {
+			v.Hi = int16(c.w - 1)
+		}
+	}
+	if in.B != program.None && in.Sh > 0 {
+		b := intersect(f[in.B], Span{Lo: int16(c.w - int(in.Sh)), Hi: int16(c.w - 1)})
+		if !b.Empty() {
+			v = hull(v, Span{Lo: b.Lo - int16(c.w-int(in.Sh)), Hi: b.Hi - int16(c.w-int(in.Sh))})
+		}
+	}
+	return v
+}
+
+// shrSpan abstracts (a >> Sh | b << (W-Sh)) & mask.
+func (c *intervals) shrSpan(in *program.Instr, f []Span) Span {
+	a := f[in.A]
+	v := emptySpan
+	if !a.Empty() && int(a.Hi) >= int(in.Sh) {
+		v = Span{Lo: a.Lo - int16(in.Sh), Hi: a.Hi - int16(in.Sh)}
+		if v.Lo < 0 {
+			v.Lo = 0
+		}
+	}
+	if in.B != program.None && in.Sh > 0 {
+		b := intersect(f[in.B], Span{Lo: 0, Hi: int16(in.Sh - 1)})
+		if !b.Empty() {
+			v = hull(v, Span{Lo: b.Lo + int16(c.w-int(in.Sh)), Hi: b.Hi + int16(c.w-int(in.Sh))})
+		}
+	}
+	return v
+}
+
+// contains reports whether bit Sh of slot a may be set.
+func contains(f []Span, a int32, sh uint8) bool {
+	s := f[a]
+	return !s.Empty() && int16(sh) >= s.Lo && int16(sh) <= s.Hi
+}
+
+func (c *intervals) Transfer(pt Point, f []Span) []Span {
+	if pt.Seg == SegRuntime {
+		for _, s := range c.st.RuntimeWritten {
+			f[s] = fullSpan(c.w)
+		}
+		return f
+	}
+	in := pt.Instr
+	switch in.Op {
+	case program.OpNop:
+	case program.OpAnd:
+		f[in.Dst] = intersect(f[in.A], f[in.B])
+	case program.OpOr, program.OpXor:
+		f[in.Dst] = hull(f[in.A], f[in.B])
+	case program.OpNand, program.OpNor, program.OpXnor, program.OpNot:
+		f[in.Dst] = fullSpan(c.w) // complements may set any bit
+	case program.OpMove:
+		f[in.Dst] = f[in.A]
+	case program.OpOrMove:
+		f[in.Dst] = hull(f[in.Dst], f[in.A])
+	case program.OpConst0:
+		f[in.Dst] = emptySpan
+	case program.OpConst1:
+		f[in.Dst] = fullSpan(c.w)
+	case program.OpShlOr:
+		f[in.Dst] = hull(f[in.Dst], c.shlSpan(in, f))
+	case program.OpShlMove:
+		f[in.Dst] = c.shlSpan(in, f)
+	case program.OpShrMove:
+		f[in.Dst] = c.shrSpan(in, f)
+	case program.OpFill:
+		if contains(f, in.A, in.Sh) {
+			f[in.Dst] = fullSpan(c.w)
+		} else {
+			f[in.Dst] = emptySpan
+		}
+	case program.OpBit:
+		if contains(f, in.A, in.Sh) {
+			f[in.Dst] = Span{Lo: 0, Hi: 0}
+		} else {
+			f[in.Dst] = emptySpan
+		}
+	case program.OpFillLowN:
+		if contains(f, in.A, in.Sh) {
+			f[in.Dst] = Span{Lo: 0, Hi: int16(in.B - 1)}
+		} else {
+			f[in.Dst] = emptySpan
+		}
+	}
+	return f
+}
+
+// Intervals runs the possibly-set bit-interval analysis and returns every
+// accumulating write into a persistent slot whose merged-in span may
+// overlap bits the destination word already holds. A clean compile keeps
+// the two disjoint by construction: the word's low bits carry earlier
+// phases (initialized by Init), the shift appends exactly the next phase.
+func Intervals(st *Stream) []IntervalFinding {
+	c := &intervals{st: st, w: st.Sim.WordBits}
+	var out []IntervalFinding
+	Solve[[]Span](st, c, func(pt Point, f []Span) {
+		in := pt.Instr
+		if in == nil || !in.Accumulates() || !st.Persistent(in.Dst) {
+			return
+		}
+		var v Span
+		if in.Op == program.OpShlOr {
+			v = c.shlSpan(in, f)
+		} else {
+			v = f[in.A]
+		}
+		if v.Overlaps(f[in.Dst]) {
+			out = append(out, IntervalFinding{Seg: pt.Seg, Index: pt.Index, Slot: in.Dst,
+				In: v, Dst: f[in.Dst]})
+		}
+	})
+	return out
+}

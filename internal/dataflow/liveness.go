@@ -1,0 +1,121 @@
+package dataflow
+
+// LivenessResult is the fixpoint liveness solution over the per-vector
+// cycle: which instructions are dead stores, and which persistent slots
+// are live at the vector entry (read by Init before anything writes
+// them — exactly the state the previous vector must leave behind).
+type LivenessResult struct {
+	// DeadInit and DeadSim mark dead instructions per program, indexed by
+	// instruction: a store is dead when its destination is not live at
+	// the point just after it, so removing it cannot change any live-out
+	// slot of any vector.
+	DeadInit []bool
+	DeadSim  []bool
+	// NDeadInit and NDeadSim count the marks.
+	NDeadInit int
+	NDeadSim  int
+	// LiveIn holds the persistent slots live at the vector entry.
+	LiveIn BitSet
+	// Passes is the number of fixpoint passes taken (1 means the given
+	// LiveOut set already covered every cross-vector dependency).
+	Passes int
+}
+
+// NDead returns the total dead-store count.
+func (r *LivenessResult) NDead() int { return r.NDeadInit + r.NDeadSim }
+
+// liveness is the backward bitset lattice: a slot is in the fact when its
+// current value may still reach a live-out slot.
+type liveness struct {
+	st     *Stream
+	liveIn BitSet // persistent part of the last wrapped fact (set by Meet)
+	rbuf   []int32
+}
+
+func (l *liveness) Direction() Direction { return Backward }
+
+func (l *liveness) Boundary() BitSet {
+	b := NewBitSet(l.st.NumVars())
+	for _, s := range l.st.LiveOut {
+		b.Set(s)
+	}
+	return b
+}
+
+func (l *liveness) Clone(f BitSet) BitSet { return f.Clone() }
+
+func (l *liveness) Transfer(pt Point, f BitSet) BitSet {
+	if pt.Seg == SegRuntime {
+		// The runtime fully overwrites the input slots: whatever was in
+		// them before cannot be observed.
+		for _, s := range l.st.RuntimeWritten {
+			f.Clear(s)
+		}
+		return f
+	}
+	in := pt.Instr
+	if !in.Writes() || !f.Get(in.Dst) {
+		return f // a store into a dead slot transfers nothing
+	}
+	if !in.Accumulates() {
+		f.Clear(in.Dst)
+	}
+	l.rbuf = in.ReadSlots(l.rbuf[:0])
+	for _, s := range l.rbuf {
+		f.Set(s)
+	}
+	return f
+}
+
+func (l *liveness) Meet(boundary, wrapped BitSet) (BitSet, bool) {
+	// The back edge: a persistent slot live at the vector entry must be
+	// live at the previous vector's sim exit. Scratch does not survive
+	// the loop (a live scratch slot here is a read-before-write, which is
+	// rule V001's business, not liveness's).
+	changed := false
+	l.liveIn = NewBitSet(l.st.NumVars())
+	for s := int32(0); s < l.st.ScratchStart; s++ {
+		if wrapped.Get(s) {
+			l.liveIn.Set(s)
+			if !boundary.Get(s) {
+				boundary.Set(s)
+				changed = true
+			}
+		}
+	}
+	return boundary, changed
+}
+
+// Liveness solves backward liveness over the stream's per-vector cycle.
+// Unlike a single backward pass seeded with LiveOut, the fixpoint also
+// chases values around the vector loop: a slot Init reads is demanded
+// from the previous vector's Sim, so a store feeding only next-vector
+// initialization is still live.
+func Liveness(st *Stream) *LivenessResult {
+	l := &liveness{st: st}
+	res := &LivenessResult{
+		DeadSim: make([]bool, len(st.Sim.Code)),
+	}
+	if st.Init != nil {
+		res.DeadInit = make([]bool, len(st.Init.Code))
+	}
+	_, passes := Solve[BitSet](st, l, func(pt Point, f BitSet) {
+		if pt.Instr == nil || !pt.Instr.Writes() || f.Get(pt.Instr.Dst) {
+			return
+		}
+		switch pt.Seg {
+		case SegInit:
+			res.DeadInit[pt.Index] = true
+			res.NDeadInit++
+		case SegSim:
+			res.DeadSim[pt.Index] = true
+			res.NDeadSim++
+		}
+	})
+	res.Passes = passes
+	res.LiveIn = l.liveIn
+	if res.LiveIn == nil {
+		res.LiveIn = NewBitSet(st.NumVars())
+	}
+	return res
+}

@@ -449,6 +449,7 @@ var Experiments = []struct {
 	{"faultcov", FaultCoverage},
 	{"activity", Activity},
 	{"timing", Timing},
+	{"deadstore", DeadStore},
 }
 
 // Run executes one experiment by name.

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 
+	"udsim/internal/dataflow"
 	"udsim/internal/program"
 	"udsim/internal/verify"
 )
@@ -389,6 +390,18 @@ func (p *Plan) Stats() Stats { return p.stats }
 // Assignment exports the per-instruction (level, shard) assignment for
 // static verification (rule V008 in package verify).
 func (p *Plan) Assignment() *verify.ShardAssignment { return p.assign }
+
+// Races runs the happens-before race detector over the plan for the
+// given program — the same proof as verify rule V012, available directly
+// to engine code and tests. A nil result means every conflicting access
+// pair is ordered by the plan's barrier/shard structure; the program must
+// be the one the plan was partitioned from.
+func (p *Plan) Races(prog *program.Program) ([]dataflow.Race, error) {
+	a := p.assign
+	return dataflow.CheckSchedule(prog.Code, p.scratchStart, &dataflow.Schedule{
+		Workers: a.Workers, Levels: a.Levels, Level: a.Level, Shard: a.Shard,
+	})
+}
 
 // EstimatedSpeedup predicts the sharded engine's speedup over sequential
 // execution from the cost model: the sequential cost divided by the

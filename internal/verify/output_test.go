@@ -1,0 +1,136 @@
+package verify_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"udsim/internal/parsim"
+	"udsim/internal/verify"
+)
+
+// reportsFor compiles c432 and returns one clean report plus one with
+// findings (a dropped live-out slot), exercising both writer branches.
+func reportsFor(t *testing.T) []*verify.Report {
+	t.Helper()
+	clean := verify.Check(compileSpec(t, parsim.Config{}), verify.Options{})
+	if !clean.Clean() {
+		t.Fatalf("baseline not clean:\n%s", clean)
+	}
+	broken := cloneSpec(compileSpec(t, parsim.Config{}))
+	dropLoopLiveOut(t, broken)
+	dirty := verify.Check(broken, verify.Options{})
+	if dirty.Clean() {
+		t.Fatal("mutated spec unexpectedly clean")
+	}
+	return []*verify.Report{clean, dirty}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := verify.WriteJSON(&buf, "c432", reportsFor(t)); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string `json:"schema"`
+		Circuit string `json:"circuit"`
+		Reports []struct {
+			Technique string `json:"technique"`
+			Clean     bool   `json:"clean"`
+			Stats     struct {
+				SimInstrs      int `json:"simInstrs"`
+				LiveInSlots    int `json:"liveInSlots"`
+				LivenessPasses int `json:"livenessPasses"`
+			} `json:"stats"`
+			Findings []struct {
+				Rule     string `json:"rule"`
+				Severity string `json:"severity"`
+				Prog     string `json:"prog"`
+				Instr    int    `json:"instr"`
+				Slot     int    `json:"slot"`
+				Msg      string `json:"msg"`
+			} `json:"findings"`
+		} `json:"reports"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if doc.Schema != "udlint/v1" {
+		t.Fatalf("schema = %q, want udlint/v1", doc.Schema)
+	}
+	if doc.Circuit != "c432" || len(doc.Reports) != 2 {
+		t.Fatalf("circuit %q, %d reports", doc.Circuit, len(doc.Reports))
+	}
+	if !doc.Reports[0].Clean || doc.Reports[1].Clean {
+		t.Fatal("clean flags inverted")
+	}
+	if doc.Reports[0].Stats.SimInstrs == 0 || doc.Reports[0].Stats.LiveInSlots == 0 ||
+		doc.Reports[0].Stats.LivenessPasses == 0 {
+		t.Fatalf("stats not populated: %+v", doc.Reports[0].Stats)
+	}
+	fs := doc.Reports[1].Findings
+	if len(fs) == 0 || fs[0].Rule == "" || fs[0].Severity == "" || fs[0].Msg == "" {
+		t.Fatalf("findings not serialized: %+v", fs)
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := verify.WriteSARIF(&buf, "c432", reportsFor(t)); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Schema  string `json:"$schema"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					LogicalLocations []struct {
+						FullyQualifiedName string `json:"fullyQualifiedName"`
+					} `json:"logicalLocations"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted SARIF does not parse: %v\n%s", err, buf.String())
+	}
+	if doc.Version != "2.1.0" || !strings.Contains(doc.Schema, "sarif-2.1.0") {
+		t.Fatalf("version %q schema %q", doc.Version, doc.Schema)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("%d runs, want 1", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "udlint" {
+		t.Fatalf("driver %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(verify.RuleDocs) {
+		t.Fatalf("%d rules in driver, want %d", len(run.Tool.Driver.Rules), len(verify.RuleDocs))
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("dirty report produced no SARIF results")
+	}
+	res := run.Results[0]
+	if res.RuleID == "" || res.Level == "" || res.Message.Text == "" {
+		t.Fatalf("result missing fields: %+v", res)
+	}
+	if len(res.Locations) == 0 || len(res.Locations[0].LogicalLocations) == 0 ||
+		res.Locations[0].LogicalLocations[0].FullyQualifiedName == "" {
+		t.Fatalf("result missing logical location: %+v", res)
+	}
+}

@@ -42,6 +42,10 @@ const (
 	RuleCycle     = "V006"
 	RuleStructure = "V007"
 	RuleShard     = "V008"
+	RuleLoopLive  = "V009"
+	RuleConst     = "V010"
+	RuleInterval  = "V011"
+	RuleRace      = "V012"
 )
 
 // Finding is one structured diagnostic.
@@ -89,6 +93,20 @@ type Stats struct {
 	// allocated word capacity versus meaningful bits (from Spec.Fields).
 	FieldCapacityBits int
 	FieldUsedBits     int
+	// LiveInSlots counts the persistent slots live at the vector entry —
+	// the state one vector actually hands the next (rule V009's fixpoint
+	// liveness).
+	LiveInSlots int
+	// LivenessPasses is the number of fixpoint passes rule V009's
+	// analysis took; 1 means LiveOut already covered every cross-vector
+	// dependency.
+	LivenessPasses int
+	// ConstInstrs counts simulation instructions whose packed result is
+	// provably constant, and NoOpAccums the accumulations that provably
+	// merge zero bits — rule V010's census (findings under
+	// Options.ReportConst).
+	ConstInstrs int
+	NoOpAccums  int
 }
 
 // DeadInstructions returns the total dead-instruction count.
@@ -170,8 +188,11 @@ func (r *Report) String() string {
 // add records a finding.
 func (r *Report) add(f Finding) { r.Findings = append(r.Findings, f) }
 
-// sortFindings orders findings most severe first, then by program and
-// instruction index for stable output.
+// sortFindings orders findings deterministically: most severe first,
+// then by (rule, program, instruction address, slot, message). The full
+// tiebreak chain matters — repeated runs and the ISCAS integration test
+// must produce byte-identical reports, and several rules emit multiple
+// findings at one instruction address.
 func (r *Report) sortFindings() {
 	sort.SliceStable(r.Findings, func(i, j int) bool {
 		a, b := r.Findings[i], r.Findings[j]
@@ -184,7 +205,13 @@ func (r *Report) sortFindings() {
 		if a.Prog != b.Prog {
 			return a.Prog < b.Prog
 		}
-		return a.Instr < b.Instr
+		if a.Instr != b.Instr {
+			return a.Instr < b.Instr
+		}
+		if a.Slot != b.Slot {
+			return a.Slot < b.Slot
+		}
+		return a.Msg < b.Msg
 	})
 }
 

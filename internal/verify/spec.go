@@ -33,6 +33,22 @@
 //	      simulation program must be acyclic — a backstop to levelize.
 //	V007  structural validity: opcode, operand and shift ranges (wraps
 //	      program.Validate), plus spec metadata consistency.
+//	V008  shard-plan dataflow: a multicore shard assignment must preserve
+//	      the sequential program's dependencies across levels and shards.
+//	V009  vector-loop liveness: the fixpoint liveness over the per-vector
+//	      cycle (package dataflow) must agree with the single-pass census
+//	      of V005 — disagreement means LiveOut omits state the next
+//	      vector's init reads, and the dead-store eliminator must not run.
+//	V010  constant propagation: instructions whose packed result is
+//	      provably constant, and accumulations that provably merge zero
+//	      bits (census in Stats; findings under Options.ReportConst).
+//	V011  bit-interval containment: every accumulating write into a
+//	      persistent word must merge bits provably disjoint from the bits
+//	      the word already holds — the bit-level complement of V002.
+//	V012  happens-before races: every conflicting access pair in a shard
+//	      plan must be ordered by the plan's happens-before relation;
+//	      violations carry complete witnesses (slot, both instruction
+//	      addresses, both level/shard coordinates).
 package verify
 
 import (

@@ -12,6 +12,9 @@ type Options struct {
 	// ReportDead promotes the dead-code census (rule V005) from
 	// stats-only to Info findings.
 	ReportDead bool
+	// ReportConst promotes the constant-propagation census (rule V010)
+	// from stats-only to Info findings.
+	ReportConst bool
 	// Disable lists rule IDs to skip (e.g. "V004").
 	Disable []string
 }
@@ -56,8 +59,20 @@ func Check(spec *Spec, opts Options) *Report {
 	if spec.Shards != nil && !opts.disabled(RuleShard) {
 		checkShards(spec, r)
 	}
+	if spec.Shards != nil && !opts.disabled(RuleRace) {
+		checkRaces(spec, r)
+	}
 	if !opts.disabled(RuleDead) {
 		checkLiveness(spec, r, opts)
+	}
+	if !opts.disabled(RuleLoopLive) {
+		checkLoopLiveness(spec, r, !opts.disabled(RuleDead))
+	}
+	if !opts.disabled(RuleConst) {
+		checkConsts(spec, r, opts)
+	}
+	if !opts.disabled(RuleInterval) {
+		checkIntervals(spec, r)
 	}
 	r.Stats.SimInstrs = len(spec.Sim.Code)
 	if spec.Init != nil {
@@ -152,7 +167,9 @@ func checkLayout(spec *Spec, r *Report) {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return spec.Fields[idx[a]].Base < spec.Fields[idx[b]].Base })
+	// Stable so fields sharing a base (possible only in a broken layout)
+	// keep declaration order and the findings stay deterministic.
+	sort.SliceStable(idx, func(a, b int) bool { return spec.Fields[idx[a]].Base < spec.Fields[idx[b]].Base })
 	for _, i := range idx {
 		f := &spec.Fields[i]
 		if f.Base < 0 || f.Words < 0 || int(f.Base)+int(f.Words) > int(spec.ScratchStart) {

@@ -302,6 +302,7 @@ type options struct {
 	trim        bool
 	shiftEl     ShiftElimination
 	verify      bool
+	deadStore   bool
 	exec        ExecStrategy
 	execWorkers int
 	execSet     bool
@@ -323,6 +324,8 @@ func (o *options) compiledOnly() string {
 		return "WithMonitor"
 	case o.verify:
 		return "WithVerify"
+	case o.deadStore:
+		return "WithDeadStoreElimination"
 	case o.execSet:
 		return "WithExec"
 	case o.observer != nil:
@@ -360,6 +363,15 @@ func WithShiftElimination(m ShiftElimination) Option {
 // WithVerify runs the static analyzer over the compiled programs and
 // fails the compile on any warning or error finding (see Verify).
 func WithVerify() Option { return func(o *options) { o.verify = true } }
+
+// WithDeadStoreElimination strips the instructions the vector-loop
+// liveness fixpoint (verify rule V009's analysis) proves dead after
+// compilation. Settled values, output waveforms and monitored nets are
+// provably unaffected, and the stripped programs are re-verified before
+// being accepted; waveform reads of eliminated intermediate words of
+// non-output (or unmonitored) nets, however, may return stale bits —
+// hence an explicit option rather than a default.
+func WithDeadStoreElimination() Option { return func(o *options) { o.deadStore = true } }
 
 // WithExec configures multicore execution: strategy selects
 // level-sharded, vector-batch or automatic execution, and workers is the
@@ -460,6 +472,11 @@ func openParallel(c *Circuit, o options) (*ParallelSim, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.deadStore {
+		if _, err := s.EliminateDeadStores(); err != nil {
+			return nil, err
+		}
+	}
 	if o.execSet {
 		if _, err := s.ConfigureExec(o.exec, o.execWorkers); err != nil {
 			return nil, err
@@ -485,6 +502,11 @@ func openPCSet(c *Circuit, o options) (*PCSetSim, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if o.deadStore {
+		if _, err := s.EliminateDeadStores(); err != nil {
+			return nil, err
+		}
 	}
 	if o.execSet {
 		if _, err := s.ConfigureExec(o.exec, o.execWorkers); err != nil {
@@ -587,6 +609,10 @@ func (p *ParallelSim) History(n NetID) []bool { return p.s.History(n) }
 // CodeSize returns the number of compiled straight-line instructions.
 func (p *ParallelSim) CodeSize() int { return p.s.CodeSize() }
 
+// EliminateDeadStores strips the provably-dead instructions (see
+// WithDeadStoreElimination) and returns how many were removed.
+func (p *ParallelSim) EliminateDeadStores() (int, error) { return p.s.EliminateDeadStores() }
+
 // WordsPerField returns the widest bit-field in machine words.
 func (p *ParallelSim) WordsPerField() int { return p.s.WordsPerField() }
 
@@ -680,6 +706,10 @@ func (p *PCSetSim) NumVars() int { return p.s.NumVars() }
 
 // CodeSize returns the number of compiled straight-line instructions.
 func (p *PCSetSim) CodeSize() int { return p.s.CodeSize() }
+
+// EliminateDeadStores strips the provably-dead instructions (see
+// WithDeadStoreElimination) and returns how many were removed.
+func (p *PCSetSim) EliminateDeadStores() (int, error) { return p.s.EliminateDeadStores() }
 
 // NewEventDriven builds the interpreted event-driven unit-delay baseline.
 // threeValued selects the {0,1,X} model; otherwise two-valued.
@@ -864,12 +894,14 @@ type (
 
 // Verify runs the static analyzer over an engine's compiled programs:
 // def-before-use, single assignment, bit-field layout, shift/phase
-// consistency, dead code, and combinational-cycle checks (rules
-// V001–V007), plus the shard-plan rule V008 when the engine was built
-// with a sharded execution strategy. Engines without compiled
-// instruction streams (the
-// interpreted baselines and the zero-delay LCC engine, whose program has
-// no unit-delay layout metadata) return an error.
+// consistency, dead code, combinational-cycle and structural checks
+// (rules V001–V007), the dataflow rules — vector-loop liveness agreement,
+// constant propagation, bit-interval containment (V009–V011) — and the
+// shard-plan rules V008 and V012 (happens-before race proofs) when the
+// engine was built with a sharded execution strategy. Engines without
+// compiled instruction streams (the interpreted baselines and the
+// zero-delay LCC engine, whose program has no unit-delay layout metadata)
+// return an error.
 func Verify(e Engine, opts VerifyOptions) (*VerifyReport, error) {
 	switch s := e.(type) {
 	case *ParallelSim:

@@ -109,6 +109,12 @@ func TestVerifyStatsPopulated(t *testing.T) {
 	if u := rep.Stats.WordUtilization(); u <= 0 || u > 1 {
 		t.Errorf("word utilization %v out of (0,1]", u)
 	}
+	if rep.Stats.LivenessPasses < 1 {
+		t.Error("liveness fixpoint pass count not populated")
+	}
+	if rep.Stats.LiveInSlots == 0 {
+		t.Error("live-in slot count not populated")
+	}
 	for _, f := range rep.Findings {
 		if f.Rule != verify.RuleDead {
 			t.Errorf("unexpected non-V005 finding with ReportDead: %s", f)
