@@ -1,6 +1,8 @@
 package udsim
 
 import (
+	"context"
+
 	"udsim/internal/async"
 )
 
@@ -44,6 +46,13 @@ func (a *AsyncSim) Circuit() *Circuit { return a.s.Circuit() }
 // the circuit settles or an oscillation is detected, returning the
 // outcome and the number of time steps simulated.
 func (a *AsyncSim) Apply(vec []bool) (Outcome, int, error) { return a.s.ApplyVector(vec) }
+
+// ApplyCtx is Apply under guard: ctx is checked between time steps, so a
+// deadline or cancellation interrupts even a pathological settling loop,
+// surfacing as a typed *EngineFault.
+func (a *AsyncSim) ApplyCtx(ctx context.Context, vec []bool) (Outcome, int, error) {
+	return a.s.ApplyVectorCtx(ctx, vec)
+}
 
 // Value returns the current three-valued value of a net (X until driven).
 func (a *AsyncSim) Value(n NetID) V3 { return a.s.Value(n) }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,8 @@ func main() {
 		execFlag  = flag.String("exec", "", "multicore execution strategy for compiled engines: sequential, sharded, vector-batch, auto")
 		workers   = flag.Int("workers", 0, "worker count for -exec (0 = GOMAXPROCS)")
 		obsFlag   = flag.Bool("obs", false, "attach a runtime observer and print its text export after the run (compiled engines)")
+		guard     = flag.Bool("guard", false, "run under the guarded supervisor: panics/stalls degrade to sequential replay instead of crashing (compiled engines)")
+		deadline  = flag.Duration("deadline", 0, "overall stream deadline for -guard (0 = none)")
 	)
 	flag.Parse()
 
@@ -62,6 +65,12 @@ func main() {
 	if *obsFlag {
 		ob = udsim.NewObserver(udsim.ObserverConfig{Activity: true})
 		topts = append(topts, udsim.WithObserver(ob))
+	}
+	if *deadline > 0 && !*guard {
+		fail(fmt.Errorf("-deadline requires -guard"))
+	}
+	if *guard {
+		topts = append(topts, udsim.WithGuard(udsim.DefaultGuardPolicy()))
 	}
 	e, err := udsim.Open(c, tech, topts...)
 	if err != nil {
@@ -120,12 +129,31 @@ func main() {
 		defer vcdW.Close()
 	}
 
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	// applyOne simulates one vector, through the guarded supervisor when
+	// -guard is set (a one-vector checkpointed batch honoring -deadline).
+	applyOne := func(vec []bool) error {
+		if g, ok := e.(*udsim.GuardedSim); ok {
+			return g.ApplyStreamCtx(ctx, [][]bool{vec})
+		}
+		return e.Apply(vec)
+	}
+
 	fmt.Printf("# %s, engine=%s, depth=%d, %d vectors\n",
 		e.Circuit(), e.EngineName(), e.Depth(), vecs.Len())
 	if *quiet && vcdW == nil {
 		// Timing mode: drive the whole stream through the Streamer
 		// interface so a -exec strategy actually streams.
-		if st, ok := e.(udsim.Streamer); ok {
+		if g, ok := e.(*udsim.GuardedSim); ok {
+			if err := g.ApplyStreamCtx(ctx, vecs.Bits); err != nil {
+				failGuarded(err)
+			}
+		} else if st, ok := e.(udsim.Streamer); ok {
 			if err := st.ApplyStream(vecs.Bits); err != nil {
 				fail(err)
 			}
@@ -136,12 +164,13 @@ func main() {
 				}
 			}
 		}
+		reportGuard(e)
 		dumpObs(ob)
 		return
 	}
 	for v, vec := range vecs.Bits {
-		if err := e.Apply(vec); err != nil {
-			fail(err)
+		if err := applyOne(vec); err != nil {
+			failGuarded(err)
 		}
 		if vcdW != nil {
 			if err := vcdW.DumpVector(); err != nil {
@@ -178,7 +207,28 @@ func main() {
 			}
 		}
 	}
+	reportGuard(e)
 	dumpObs(ob)
+}
+
+// reportGuard notes on stderr when the supervisor degraded the run —
+// the simulation completed, but on the sequential fallback path.
+func reportGuard(e udsim.Engine) {
+	g, ok := e.(*udsim.GuardedSim)
+	if !ok || !g.Degraded() {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "note: guarded engine degraded to sequential execution after: %v\n", g.LastFault())
+}
+
+// failGuarded renders a typed engine fault with its witness coordinates
+// before exiting; other errors fall through to fail.
+func failGuarded(err error) {
+	if f, ok := udsim.AsEngineFault(err); ok {
+		fmt.Fprintf(os.Stderr, "udsim: engine fault (%v): %v\n", f.Kind, f)
+		os.Exit(1)
+	}
+	fail(err)
 }
 
 // dumpObs prints the observer's text exposition, if one is attached.

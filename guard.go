@@ -1,0 +1,417 @@
+package udsim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"udsim/internal/parsim"
+	"udsim/internal/pcset"
+	"udsim/internal/refsim"
+	"udsim/internal/resilience"
+)
+
+// Guarded execution: Open(c, tech, WithGuard(policy)) wraps a compiled
+// engine in a supervisor that turns panics, barrier stalls, caller
+// cancellations and silently corrupted outputs into typed *EngineFault
+// values and — where possible — recovers by degrading gracefully instead
+// of surfacing them at all. The degradation ladder, applied per vector
+// batch (one ApplyStream/ApplyStreamCtx call, or a single Apply):
+//
+//  1. The batch starts from a checkpoint of the engine's mutable state.
+//  2. On the first fault the configured execution strategy is
+//     quarantined — workers released, engine reverted to sequential —
+//     the batch is rolled back to the checkpoint and replayed on the
+//     sequential path. Outputs stay bit-identical to an all-sequential
+//     run.
+//  3. A transient fault on the sequential path is retried with capped
+//     exponential backoff, up to GuardPolicy.MaxRetries rollbacks.
+//  4. Cancellations and persistent faults are rolled back and returned.
+//
+// Every fault, retry, quarantine, replayed vector and oracle cross-check
+// is recorded on the attached Observer and exported by WriteText as the
+// udsim_guard_* counter families.
+
+// Resilience types, re-exported from the internal supervision layer.
+type (
+	// EngineFault is a typed, located engine failure: fault kind plus
+	// level/shard/instruction witness coordinates (V012-style).
+	EngineFault = resilience.EngineFault
+	// FaultKind classifies an EngineFault.
+	FaultKind = resilience.FaultKind
+	// GuardPolicy tunes the guarded engine's supervision knobs.
+	GuardPolicy = resilience.Policy
+	// FaultInjector is the chaos seam consulted by guarded paths only;
+	// see internal/resilience/chaos for deterministic implementations.
+	FaultInjector = resilience.Injector
+)
+
+// Fault kinds, re-exported.
+const (
+	// FaultPanic is a recovered worker or dispatch-loop panic.
+	FaultPanic = resilience.FaultPanic
+	// FaultDeadline is a watchdog-caught barrier stall or an expired
+	// context deadline.
+	FaultDeadline = resilience.FaultDeadline
+	// FaultCanceled is a caller cancellation.
+	FaultCanceled = resilience.FaultCanceled
+	// FaultCorruption is a cross-check mismatch against the zero-delay
+	// oracle.
+	FaultCorruption = resilience.FaultCorruption
+)
+
+// AsEngineFault extracts an *EngineFault from an error chain.
+func AsEngineFault(err error) (*EngineFault, bool) { return resilience.AsFault(err) }
+
+// DefaultGuardPolicy is the conservative default supervision
+// configuration: one-second watchdog budget, two retries with
+// millisecond backoff, no output sampling.
+func DefaultGuardPolicy() GuardPolicy { return resilience.DefaultPolicy() }
+
+// WithGuard wraps the engine in the guarded supervisor (compiled
+// techniques only). Open then returns a *GuardedSim.
+func WithGuard(p GuardPolicy) Option {
+	return func(o *options) { o.guard, o.guardSet = p, true }
+}
+
+// WithFaultInjection attaches a chaos injector to the guarded paths —
+// testing and drills only; requires WithGuard.
+func WithFaultInjection(inj FaultInjector) Option {
+	return func(o *options) { o.inject = inj }
+}
+
+// guardBase is the engine surface GuardedSim supervises and delegates
+// to; both compiled wrappers satisfy it.
+type guardBase interface {
+	Engine
+	Tracer
+	Closer
+	Streamer
+	Introspector
+	Observable
+}
+
+// guardCore is the technique-neutral view of a compiled simulator's
+// guard primitives (the concrete checkpoint types differ).
+type guardCore interface {
+	ApplyVectorCtx(ctx context.Context, vec []bool) error
+	ArmGuard(ctx context.Context)
+	DisarmGuard()
+	Save()
+	Rollback(detach bool) error
+	Quarantine() bool
+	SetGuard(budget, grace time.Duration)
+	SetInjector(inj FaultInjector)
+	FinalSlot(n NetID) (slot int, mask uint64)
+	ScheduleLevels() int
+}
+
+type parallelCore struct {
+	s  *parsim.Sim
+	ck parsim.Checkpoint
+}
+
+func (c *parallelCore) ApplyVectorCtx(ctx context.Context, vec []bool) error {
+	return c.s.ApplyVectorCtx(ctx, vec)
+}
+func (c *parallelCore) ArmGuard(ctx context.Context) { c.s.ArmGuard(ctx) }
+func (c *parallelCore) DisarmGuard()                 { c.s.DisarmGuard() }
+func (c *parallelCore) Save()                        { c.s.Save(&c.ck) }
+func (c *parallelCore) Rollback(detach bool) error {
+	if detach {
+		c.s.DetachState()
+	}
+	return c.s.Restore(&c.ck)
+}
+func (c *parallelCore) Quarantine() bool                     { return c.s.Quarantine() }
+func (c *parallelCore) SetGuard(budget, grace time.Duration) { c.s.SetGuard(budget, grace) }
+func (c *parallelCore) SetInjector(inj FaultInjector)        { c.s.SetInjector(inj) }
+func (c *parallelCore) FinalSlot(n NetID) (int, uint64)      { return c.s.FinalSlot(n) }
+func (c *parallelCore) ScheduleLevels() int {
+	if p := c.s.ExecPlan(); p != nil {
+		return p.Assignment().Levels
+	}
+	return 1
+}
+
+type pcsetCore struct {
+	s  *pcset.Sim
+	ck pcset.Checkpoint
+}
+
+func (c *pcsetCore) ApplyVectorCtx(ctx context.Context, vec []bool) error {
+	return c.s.ApplyVectorCtx(ctx, vec)
+}
+func (c *pcsetCore) ArmGuard(ctx context.Context) { c.s.ArmGuard(ctx) }
+func (c *pcsetCore) DisarmGuard()                 { c.s.DisarmGuard() }
+func (c *pcsetCore) Save()                        { c.s.Save(&c.ck) }
+func (c *pcsetCore) Rollback(detach bool) error {
+	if detach {
+		c.s.DetachState()
+	}
+	return c.s.Restore(&c.ck)
+}
+func (c *pcsetCore) Quarantine() bool                     { return c.s.Quarantine() }
+func (c *pcsetCore) SetGuard(budget, grace time.Duration) { c.s.SetGuard(budget, grace) }
+func (c *pcsetCore) SetInjector(inj FaultInjector)        { c.s.SetInjector(inj) }
+func (c *pcsetCore) FinalSlot(n NetID) (int, uint64)      { return c.s.FinalSlot(n) }
+func (c *pcsetCore) ScheduleLevels() int {
+	if p := c.s.ExecPlan(); p != nil {
+		return p.Assignment().Levels
+	}
+	return 1
+}
+
+// wrapGuard applies the WithGuard/WithFaultInjection options to a built
+// compiled engine.
+func wrapGuard(base guardBase, core guardCore, o options) (Engine, error) {
+	if !o.guardSet {
+		if o.inject != nil {
+			return nil, fmt.Errorf("udsim: WithFaultInjection requires WithGuard")
+		}
+		return base, nil
+	}
+	core.SetGuard(o.guard.LevelBudget, o.guard.Grace())
+	core.SetInjector(o.inject)
+	return &GuardedSim{
+		base: base,
+		core: core,
+		pol:  o.guard,
+		obs:  o.observer,
+		one:  make([][]bool, 1),
+	}, nil
+}
+
+// GuardedSim is a compiled engine under supervision — the result of
+// Open with WithGuard. It implements the same optional interfaces as
+// the engine it wraps (Tracer, Closer, Streamer, Introspector,
+// Observable); waveform reads, finals and snapshots delegate to the
+// underlying simulator.
+//
+// Like the engines it wraps, a GuardedSim is not safe for concurrent
+// use.
+type GuardedSim struct {
+	base guardBase
+	core guardCore
+	pol  GuardPolicy
+	obs  *Observer
+
+	ref  *refsim.Evaluator // lazily built oracle for cross-checks
+	one  [][]bool          // reusable single-vector batch
+
+	applied   int64 // successfully applied vectors (cross-check phase)
+	degraded  bool
+	lastFault *EngineFault
+}
+
+// EngineName identifies the wrapped configuration.
+func (g *GuardedSim) EngineName() string { return g.base.EngineName() + "+guarded" }
+
+// Circuit returns the (normalized) circuit.
+func (g *GuardedSim) Circuit() *Circuit { return g.base.Circuit() }
+
+// Depth returns the circuit depth in gate delays.
+func (g *GuardedSim) Depth() int { return g.base.Depth() }
+
+// ResetConsistent initializes the state (nil = all-zeros assignment).
+func (g *GuardedSim) ResetConsistent(inputs []bool) error { return g.base.ResetConsistent(inputs) }
+
+// Final returns the settled value of a net.
+func (g *GuardedSim) Final(n NetID) bool { return g.base.Final(n) }
+
+// ValueAt returns net n's value at time t (see Tracer).
+func (g *GuardedSim) ValueAt(n NetID, t int) (bool, bool) { return g.base.ValueAt(n, t) }
+
+// BlockFinal delegates to the wrapped engine. Guarded streams never use
+// vector batching, so only block 0 is meaningful.
+func (g *GuardedSim) BlockFinal(k int, n NetID) bool { return g.base.BlockFinal(k, n) }
+
+// CodeSize returns the number of compiled straight-line instructions.
+func (g *GuardedSim) CodeSize() int { return g.base.CodeSize() }
+
+// ExecStrategy returns the wrapped engine's current strategy —
+// ExecSequential after a quarantine degraded it.
+func (g *GuardedSim) ExecStrategy() ExecStrategy { return g.base.ExecStrategy() }
+
+// Observe attaches a runtime observer (nil detaches); the guard counters
+// feed the same observer as the engine's performance counters.
+func (g *GuardedSim) Observe(o *Observer) {
+	g.obs = o
+	g.base.Observe(o)
+}
+
+// Snapshot returns the attached observer's counters, nil without one.
+func (g *GuardedSim) Snapshot() *Snapshot { return g.base.Snapshot() }
+
+// Close releases the wrapped engine's workers.
+func (g *GuardedSim) Close() { g.base.Close() }
+
+// Degraded reports whether a fault has quarantined the execution
+// strategy (the engine now runs sequentially).
+func (g *GuardedSim) Degraded() bool { return g.degraded }
+
+// LastFault returns the most recent fault the supervisor handled —
+// including faults that were recovered by degradation and never
+// surfaced to the caller — or nil.
+func (g *GuardedSim) LastFault() *EngineFault { return g.lastFault }
+
+// Policy returns the supervision configuration.
+func (g *GuardedSim) Policy() GuardPolicy { return g.pol }
+
+// FaultTarget returns the chaos-injection coordinate of net n's settled
+// bit: the state word and mask a corruption injector must flip for the
+// flip to stay output-visible, and the last bulk-synchronous level of
+// the current schedule (a flip injected any earlier may be overwritten
+// before the vector finishes). Drills and tests only.
+func (g *GuardedSim) FaultTarget(n NetID) (slot int, mask uint64, lastLevel int) {
+	slot, mask = g.core.FinalSlot(n)
+	return slot, mask, g.core.ScheduleLevels() - 1
+}
+
+// Apply simulates one input vector under guard — a one-vector batch:
+// checkpointed, degraded and replayed exactly like ApplyStream.
+func (g *GuardedSim) Apply(vec []bool) error {
+	g.one[0] = vec
+	err := g.ApplyStreamCtx(context.Background(), g.one)
+	g.one[0] = nil
+	return err
+}
+
+// ApplyStream simulates a vector stream under guard with no deadline.
+func (g *GuardedSim) ApplyStream(vecs [][]bool) error {
+	return g.ApplyStreamCtx(context.Background(), vecs)
+}
+
+// ApplyStreamCtx simulates a vector stream under guard: the batch is
+// checkpointed, faults degrade execution per the policy ladder (see the
+// package comment above), and ctx cancels or deadlines the stream
+// mid-flight. On a nil return the stream completed coherently — possibly
+// degraded, but bit-identical to a sequential run. On a non-nil return
+// the state has been rolled back to the batch checkpoint and the error
+// carries (or is) a typed *EngineFault.
+func (g *GuardedSim) ApplyStreamCtx(ctx context.Context, vecs [][]bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(vecs) == 0 {
+		return nil
+	}
+	g.core.Save()
+	// Arm the watchdog once for the whole batch — per-vector arming
+	// would pay two channel handshakes with the watchdog goroutine per
+	// run. It must be disarmed before quarantining (which closes the
+	// sharded engine) and before returning.
+	g.core.ArmGuard(ctx)
+	defer g.core.DisarmGuard()
+	attempt := 0
+	for i := 0; i < len(vecs); {
+		err := g.core.ApplyVectorCtx(ctx, vecs[i])
+		if err == nil {
+			g.applied++
+			if n := g.pol.CrossCheckEvery; n > 0 && g.applied%int64(n) == 0 {
+				err = g.crossCheck(vecs[i])
+			}
+		}
+		if err == nil {
+			i++
+			continue
+		}
+		f, ok := resilience.AsFault(err)
+		if !ok {
+			return err // not a fault: validation error, oracle failure
+		}
+		g.lastFault = f
+		if g.obs != nil {
+			g.obs.AddGuardFault(f.Kind)
+		}
+		// A canceled context is an instruction, not a failure: roll the
+		// batch back and honor it.
+		if f.Kind == resilience.FaultCanceled || ctx.Err() != nil {
+			g.rollback(i, false)
+			return f
+		}
+		if !g.degraded {
+			// First fault: quarantine the execution strategy and replay
+			// the batch sequentially from the checkpoint. Quarantining is
+			// not a retry — the sequential path gets its own attempts.
+			g.core.DisarmGuard()
+			leaked := g.core.Quarantine()
+			g.degraded = true
+			if g.obs != nil {
+				g.obs.AddGuardQuarantine()
+				g.obs.AddGuardReplays(int64(i + 1))
+			}
+			if rerr := g.rollback(i, leaked); rerr != nil {
+				return rerr
+			}
+			i, attempt = 0, 0
+			continue
+		}
+		if f.Transient() && attempt < g.pol.MaxRetries {
+			if g.obs != nil {
+				g.obs.AddGuardRetry()
+				g.obs.AddGuardReplays(int64(i + 1))
+			}
+			if d := g.pol.Backoff(attempt); d > 0 {
+				time.Sleep(d)
+			}
+			attempt++
+			if rerr := g.rollback(i, false); rerr != nil {
+				return rerr
+			}
+			i = 0
+			continue
+		}
+		g.rollback(i, false)
+		return f
+	}
+	return nil
+}
+
+// rollback rewinds the batch: the i successfully applied vectors are
+// un-counted and the engine state restored from the checkpoint. detach
+// abandons the state array first (a leaked worker may still write it).
+func (g *GuardedSim) rollback(i int, detach bool) error {
+	g.applied -= int64(i)
+	return g.core.Rollback(detach)
+}
+
+// crossCheck compares the primary outputs of the last applied vector
+// against the zero-delay oracle (for a combinational circuit the settled
+// zero-delay values equal the unit-delay finals). A mismatch is silent
+// corruption: a FaultCorruption carrying the first diverging output net.
+func (g *GuardedSim) crossCheck(vec []bool) error {
+	if g.obs != nil {
+		g.obs.AddGuardCrossCheck()
+	}
+	if g.ref == nil {
+		ref, err := refsim.NewEvaluator(g.base.Circuit())
+		if err != nil {
+			return err
+		}
+		g.ref = ref
+	}
+	settled, err := g.ref.Evaluate(vec)
+	if err != nil {
+		return err
+	}
+	for _, id := range g.base.Circuit().Outputs {
+		if g.base.Final(id) != settled[id] {
+			if g.obs != nil {
+				g.obs.AddGuardMismatch()
+			}
+			return resilience.Corruption(g.base.EngineName(), int(id))
+		}
+	}
+	return nil
+}
+
+// Interface conformance.
+var (
+	_ Engine       = (*GuardedSim)(nil)
+	_ Tracer       = (*GuardedSim)(nil)
+	_ Closer       = (*GuardedSim)(nil)
+	_ Streamer     = (*GuardedSim)(nil)
+	_ Introspector = (*GuardedSim)(nil)
+	_ Observable   = (*GuardedSim)(nil)
+)

@@ -12,10 +12,12 @@
 package async
 
 import (
+	"context"
 	"fmt"
 
 	"udsim/internal/circuit"
 	"udsim/internal/logic"
+	"udsim/internal/resilience"
 )
 
 // Outcome describes how the circuit responded to one input vector.
@@ -48,6 +50,11 @@ type Sim struct {
 	val       []logic.V3
 	evalStamp []int64
 	stamp     int64
+
+	// pending holds the nets whose fanout was not yet evaluated when a
+	// context cancellation interrupted settling; the next apply resumes
+	// from them.
+	pending []int32
 
 	// MaxSteps bounds one vector's settling time before the state-cycle
 	// detector takes over; it only controls how often the detector
@@ -117,11 +124,40 @@ func (s *Sim) SetNet(id circuit.NetID, v logic.V3) { s.val[id] = v }
 // until the circuit settles or an oscillation is detected. It returns the
 // outcome and the number of time steps simulated. Oscillating nets are
 // left at the values of the step where the repeat was detected.
+//
+// Settling is bounded: a circuit that oscillates with period p, entering
+// its state cycle at step e, is reported Oscillating within
+// max(MaxSteps, e) + p steps — once the settling budget is spent every
+// global state is snapshotted, so the first full lap through the cycle
+// revisits one. A circuit that settles does so before any bound matters.
 func (s *Sim) ApplyVector(inputs []bool) (Outcome, int, error) {
+	return s.applyVector(nil, inputs)
+}
+
+// ApplyVectorCtx is ApplyVector under guard: the settling loop checks
+// ctx between time steps, so a cancellation or deadline interrupts even
+// a pathological near-oscillation, surfacing as a typed
+// *resilience.EngineFault. The net values are left at the interrupted
+// step — call ApplyVector again (same inputs) to resume settling.
+func (s *Sim) ApplyVectorCtx(ctx context.Context, inputs []bool) (Outcome, int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.applyVector(ctx, inputs)
+}
+
+func (s *Sim) applyVector(ctx context.Context, inputs []bool) (Outcome, int, error) {
 	if len(inputs) != len(s.c.Inputs) {
 		return Settled, 0, fmt.Errorf("async: %d input values for %d primary inputs", len(inputs), len(s.c.Inputs))
 	}
-	pending := make([]int32, 0, 64)
+	// Resume any events an interrupted apply left behind, then fold in
+	// the new input changes (duplicates are fine: fanout evaluation
+	// dedups per step via evalStamp).
+	pending := s.pending
+	s.pending = nil
+	if pending == nil {
+		pending = make([]int32, 0, 64)
+	}
 	for i, id := range s.c.Inputs {
 		nv := logic.FromBool(inputs[i])
 		if s.val[id] != nv {
@@ -140,6 +176,12 @@ func (s *Sim) ApplyVector(inputs []bool) (Outcome, int, error) {
 		snapshot = func() string { return string(valBytes(s.val)) }
 	)
 	for t := 1; len(pending) > 0; t++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				s.pending = pending // resume point for the next apply
+				return Settled, t - 1, resilience.FromContext("async", err)
+			}
+		}
 		s.Steps++
 		s.stamp++
 		gates = gates[:0]

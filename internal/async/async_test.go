@@ -1,11 +1,15 @@
 package async
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"udsim/internal/circuit"
 	"udsim/internal/ckttest"
 	"udsim/internal/logic"
+	"udsim/internal/resilience"
 )
 
 // srLatch builds a cross-coupled NAND SR latch: Q = NAND(Sn, Qb),
@@ -104,6 +108,104 @@ func TestRingOscillatorDetected(t *testing.T) {
 	}
 	if s.Oscillations != 1 {
 		t.Errorf("oscillation counter = %d", s.Oscillations)
+	}
+}
+
+// ringCircuit builds a 3-inverter ring gated by an enabling NAND: the
+// loop n1→n2→n3→n1 is inverting while en=1, so the enabled ring
+// oscillates with period 2·3 = 6 unit delays.
+func ringCircuit(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("ring")
+	en := b.Input("en")
+	n1 := b.Net("n1")
+	n2 := b.Gate(logic.Not, "n2", n1)
+	n3 := b.Gate(logic.Not, "n3", n2)
+	b.GateInto(logic.Nand, n1, en, n3)
+	b.Output(n3)
+	c, err := b.BuildAsync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestOscillationStepBound pins the documented detection bound: a
+// circuit oscillating with period p whose cycle is entered at step e is
+// reported Oscillating within max(MaxSteps, e) + p steps. For the
+// enabled ring, p = 6 and the cycle is entered well inside MaxSteps, so
+// the detector must fire within MaxSteps + 6 — the settling loop may
+// not spin past the budget by more than one period.
+func TestOscillationStepBound(t *testing.T) {
+	c := ringCircuit(t)
+	for _, maxSteps := range []int{8, 12, 64} {
+		s, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.MaxSteps = maxSteps
+		if out, _, err := s.ApplyVector([]bool{false}); err != nil || out != Settled {
+			t.Fatalf("MaxSteps=%d: disabled ring: out=%v err=%v", maxSteps, out, err)
+		}
+		out, steps, err := s.ApplyVector([]bool{true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const period = 6
+		if out != Oscillating {
+			t.Fatalf("MaxSteps=%d: enabled ring: out=%v after %d steps", maxSteps, out, steps)
+		}
+		if steps > maxSteps+period {
+			t.Errorf("MaxSteps=%d: oscillation reported after %d steps, documented bound is %d",
+				maxSteps, steps, maxSteps+period)
+		}
+	}
+}
+
+// TestApplyVectorCtxCancellation proves the context-aware settling loop
+// cannot spin unbounded: a canceled context interrupts settling with a
+// typed *resilience.EngineFault, a missed deadline reports FaultDeadline,
+// and the interrupted state is resumable — re-applying the same vector
+// without a context finishes the detection normally.
+func TestApplyVectorCtxCancellation(t *testing.T) {
+	c := ringCircuit(t)
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Settle the disabled ring first so enabling it starts a real
+	// oscillation (straight from all-X the ring settles at X).
+	if out, _, err := s.ApplyVector([]bool{false}); err != nil || out != Settled {
+		t.Fatalf("disabled ring: out=%v err=%v", out, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, steps, err := s.ApplyVectorCtx(ctx, []bool{true})
+	f, ok := resilience.AsFault(err)
+	if !ok || f.Kind != resilience.FaultCanceled {
+		t.Fatalf("canceled settling returned %v, want FaultCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("fault does not unwrap to context.Canceled: %v", err)
+	}
+	if steps != 0 {
+		t.Fatalf("pre-canceled context still simulated %d steps", steps)
+	}
+	// Resume: the interrupted vector finishes under a live context.
+	out, _, err := s.ApplyVectorCtx(context.Background(), []bool{true})
+	if err != nil {
+		t.Fatalf("resume after cancellation: %v", err)
+	}
+	if out != Oscillating {
+		t.Fatalf("resume after cancellation: out=%v, want Oscillating", out)
+	}
+
+	// An expired deadline is a FaultDeadline, not a cancellation.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	_, _, err = s.ApplyVectorCtx(dctx, []bool{false})
+	if f, ok := resilience.AsFault(err); !ok || f.Kind != resilience.FaultDeadline {
+		t.Fatalf("expired deadline returned %v, want FaultDeadline", err)
 	}
 }
 

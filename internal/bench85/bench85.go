@@ -36,10 +36,15 @@ func Parse(r io.Reader, name string) (*circuit.Circuit, error) {
 		op   string
 		args []string
 	}
+	type outDecl struct {
+		line int
+		name string
+	}
 	var (
 		defs    []gateDef
-		outputs []string
+		outputs []outDecl
 		inputs  = map[string]bool{}
+		defined = map[string]int{} // gate/DFF output net -> defining line
 		lineNo  int
 	)
 	for sc.Scan() {
@@ -64,7 +69,7 @@ func Parse(r io.Reader, name string) (*circuit.Circuit, error) {
 			if arg == "" {
 				return nil, fmt.Errorf("bench85: line %d: empty OUTPUT", lineNo)
 			}
-			outputs = append(outputs, arg)
+			outputs = append(outputs, outDecl{lineNo, arg})
 		default:
 			eq := strings.Index(line, "=")
 			if eq < 0 {
@@ -78,21 +83,32 @@ func Parse(r io.Reader, name string) (*circuit.Circuit, error) {
 			}
 			op := strings.ToUpper(strings.TrimSpace(rhs[:open]))
 			argStr := rhs[open+1 : len(rhs)-1]
+			if strings.TrimSpace(argStr) == "" {
+				return nil, fmt.Errorf("bench85: line %d: %s() has no arguments", lineNo, op)
+			}
 			var args []string
-			for _, a := range strings.Split(argStr, ",") {
+			for i, a := range strings.Split(argStr, ",") {
 				a = strings.TrimSpace(a)
-				if a != "" {
-					args = append(args, a)
+				if a == "" {
+					return nil, fmt.Errorf("bench85: line %d: empty argument %d in %s(%s)", lineNo, i+1, op, argStr)
 				}
+				args = append(args, a)
 			}
 			if out == "" {
 				return nil, fmt.Errorf("bench85: line %d: empty output name", lineNo)
 			}
+			if prev, dup := defined[out]; dup {
+				return nil, fmt.Errorf("bench85: line %d: net %s already defined at line %d", lineNo, out, prev)
+			}
+			if inputs[out] {
+				return nil, fmt.Errorf("bench85: line %d: net %s already declared INPUT", lineNo, out)
+			}
+			defined[out] = lineNo
 			defs = append(defs, gateDef{lineNo, out, op, args})
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bench85: read failed after line %d: %w", lineNo, err)
 	}
 
 	// Declare all defined nets first so forward references resolve.
@@ -129,9 +145,9 @@ func Parse(r io.Reader, name string) (*circuit.Circuit, error) {
 		b.DeclareFlipFlop(d.out, q, dNet)
 	}
 	for _, o := range outputs {
-		id, ok := lookup(b, o)
+		id, ok := lookup(b, o.name)
 		if !ok {
-			return nil, fmt.Errorf("bench85: OUTPUT(%s) references an undefined net", o)
+			return nil, fmt.Errorf("bench85: line %d: OUTPUT(%s) references an undefined net", o.line, o.name)
 		}
 		b.Output(id)
 	}

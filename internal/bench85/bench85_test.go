@@ -2,6 +2,8 @@ package bench85
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -113,19 +115,77 @@ Y = INV(B)
 
 func TestParseErrors(t *testing.T) {
 	cases := map[string]string{
-		"empty input":     "INPUT()\n",
-		"duplicate input": "INPUT(A)\nINPUT(A)\n",
-		"no assignment":   "INPUT(A)\nGARBAGE\n",
-		"bad rhs":         "INPUT(A)\nX = NOT A\n",
-		"unknown op":      "INPUT(A)\nX = FROB(A)\n",
-		"bad dff":         "INPUT(A)\nX = DFF(A, A)\n",
-		"undefined out":   "INPUT(A)\nOUTPUT(Z)\nX = NOT(A)\n",
-		"empty out name":  "INPUT(A)\n = NOT(A)\n",
+		"empty input":      "INPUT()\n",
+		"duplicate input":  "INPUT(A)\nINPUT(A)\n",
+		"no assignment":    "INPUT(A)\nGARBAGE\n",
+		"bad rhs":          "INPUT(A)\nX = NOT A\n",
+		"unknown op":       "INPUT(A)\nX = FROB(A)\n",
+		"bad dff":          "INPUT(A)\nX = DFF(A, A)\n",
+		"undefined out":    "INPUT(A)\nOUTPUT(Z)\nX = NOT(A)\n",
+		"empty out name":   "INPUT(A)\n = NOT(A)\n",
+		"empty arg list":   "INPUT(A)\nX = NOT()\n",
+		"empty arg token":  "INPUT(A)\nX = AND(A, , A)\n",
+		"trailing comma":   "INPUT(A)\nX = AND(A, A,)\n",
+		"duplicate gate":   "INPUT(A)\nX = NOT(A)\nX = AND(A, A)\n",
+		"redefined input":  "INPUT(A)\nA = NOT(A)\n",
+		"redefined as dff": "INPUT(A)\nQ = NOT(A)\nQ = DFF(A)\n",
 	}
 	for name, src := range cases {
 		if _, err := Parse(strings.NewReader(src), name); err == nil {
 			t.Errorf("%s: expected parse error", name)
 		}
+	}
+}
+
+// TestParseErrorLineNumbers pins the parser's error locating: a malformed
+// line is reported by its own 1-based number, never silently skipped.
+func TestParseErrorLineNumbers(t *testing.T) {
+	cases := map[string]struct {
+		src  string
+		want string
+	}{
+		"empty token":   {"INPUT(A)\n\n# pad\nX = AND(A, , A)\n", "line 4"},
+		"dup gate":      {"INPUT(A)\nX = NOT(A)\nX = AND(A, A)\n", "line 3: net X already defined at line 2"},
+		"redef input":   {"INPUT(A)\nA = NOT(A)\n", "line 2: net A already declared INPUT"},
+		"undefined out": {"INPUT(A)\nOUTPUT(Z)\nX = NOT(A)\n", "line 2: OUTPUT(Z)"},
+	}
+	for name, tc := range cases {
+		_, err := Parse(strings.NewReader(tc.src), name)
+		if err == nil {
+			t.Errorf("%s: expected parse error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+// errReader fails after its content is consumed, like a flaky file.
+type errReader struct{ done bool }
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if r.done {
+		return 0, errReadFailed
+	}
+	r.done = true
+	return copy(p, "INPUT(A)\n"), nil
+}
+
+var errReadFailed = fmt.Errorf("disk on fire")
+
+// TestParseScannerError checks that an underlying read error is wrapped
+// (errors.Is-visible) and located, not returned bare or swallowed.
+func TestParseScannerError(t *testing.T) {
+	_, err := Parse(&errReader{}, "flaky")
+	if err == nil {
+		t.Fatal("expected read error")
+	}
+	if !errors.Is(err, errReadFailed) {
+		t.Errorf("error %q does not wrap the read error", err)
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error %q does not locate the failure", err)
 	}
 }
 

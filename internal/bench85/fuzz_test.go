@@ -17,6 +17,11 @@ func FuzzParse(f *testing.F) {
 	f.Add("INPUT(A)\nY = AND(A, A\n")
 	f.Add("OUTPUT()\n")
 	f.Add(strings.Repeat("INPUT(A)\n", 3))
+	f.Add("INPUT(A)\nX = NOT(A)\nX = AND(A, A)\n")
+	f.Add("INPUT(A)\nA = NOT(A)\n")
+	f.Add("INPUT(A)\nX = AND(A, A,)\n")
+	f.Add("INPUT(A)\nX = NOT()\nOUTPUT(X)\n")
+	f.Add("INPUT(A)\nOUTPUT(Q)\nQ = DFF(Q)\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		c, err := Parse(strings.NewReader(src), "fuzz")
 		if err != nil {

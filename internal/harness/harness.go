@@ -450,6 +450,7 @@ var Experiments = []struct {
 	{"activity", Activity},
 	{"timing", Timing},
 	{"deadstore", DeadStore},
+	{"chaos", Chaos},
 }
 
 // Run executes one experiment by name.

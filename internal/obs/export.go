@@ -81,6 +81,22 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 			sample("udsim_level_utilization", fmt.Sprintf("level=%q", strconv.Itoa(l)), s.Level[l].Utilization())
 		}
 	}
+	family("udsim_guard_faults_total", "counter")
+	sample("udsim_guard_faults_total", `kind="panic"`, float64(s.Guard.Panics))
+	sample("udsim_guard_faults_total", `kind="deadline"`, float64(s.Guard.Deadlines))
+	sample("udsim_guard_faults_total", `kind="canceled"`, float64(s.Guard.Cancels))
+	sample("udsim_guard_faults_total", `kind="corruption"`, float64(s.Guard.Corruptions))
+	family("udsim_guard_retries_total", "counter")
+	sample("udsim_guard_retries_total", "", float64(s.Guard.Retries))
+	family("udsim_guard_quarantines_total", "counter")
+	sample("udsim_guard_quarantines_total", "", float64(s.Guard.Quarantines))
+	family("udsim_guard_replayed_vectors_total", "counter")
+	sample("udsim_guard_replayed_vectors_total", "", float64(s.Guard.ReplayedVectors))
+	family("udsim_guard_crosschecks_total", "counter")
+	sample("udsim_guard_crosschecks_total", "", float64(s.Guard.CrossChecks))
+	family("udsim_guard_crosscheck_mismatches_total", "counter")
+	sample("udsim_guard_crosscheck_mismatches_total", "", float64(s.Guard.Mismatches))
+
 	if s.Steps != nil {
 		family("udsim_activity_vectors_total", "counter")
 		sample("udsim_activity_vectors_total", "", float64(s.ActivityVectors))

@@ -1,0 +1,91 @@
+package obs
+
+import "udsim/internal/resilience"
+
+// Guard counters: the observability face of the resilience layer. The
+// guarded engine (facade WithGuard) records every fault, retry,
+// quarantine, sequential replay and oracle cross-check here, and
+// WriteText exports them as udsim_guard_* families so a scraper can
+// alert on degradation the same way it scrapes throughput.
+//
+// All Add* methods follow the package contract: atomic, allocation-free,
+// safe for concurrent use, and a nil *Observer check at the caller is
+// the entire disabled cost. The counters deliberately survive Attach
+// (see the field comment in obs.go): Attach marks an observation epoch
+// for performance counters, but fault history must span the engine
+// reconfiguration that a quarantine performs.
+
+// AddGuardFault counts one typed engine fault by kind.
+func (o *Observer) AddGuardFault(kind resilience.FaultKind) {
+	if int(kind) >= 0 && int(kind) < len(o.guardFaults) {
+		o.guardFaults[kind].Add(1)
+	}
+}
+
+// AddGuardRetry counts one sequential-replay retry of a transient fault.
+func (o *Observer) AddGuardRetry() { o.guardRetries.Add(1) }
+
+// AddGuardQuarantine counts one execution-strategy quarantine (the
+// engine reverted to sequential execution after a fault).
+func (o *Observer) AddGuardQuarantine() { o.guardQuarantines.Add(1) }
+
+// AddGuardReplays counts n vectors replayed on the sequential path after
+// a fault rolled their batch back.
+func (o *Observer) AddGuardReplays(n int64) { o.guardReplays.Add(n) }
+
+// AddGuardCrossCheck counts one primary-output comparison against the
+// zero-delay reference oracle.
+func (o *Observer) AddGuardCrossCheck() { o.guardChecks.Add(1) }
+
+// AddGuardMismatch counts one cross-check that caught corrupted outputs.
+func (o *Observer) AddGuardMismatch() { o.guardMismatches.Add(1) }
+
+// GuardStats is the guard-counter section of a Snapshot.
+type GuardStats struct {
+	// Panics, Deadlines, Cancels and Corruptions count faults by kind.
+	Panics      int64 `json:"panics"`
+	Deadlines   int64 `json:"deadlines"`
+	Cancels     int64 `json:"cancels"`
+	Corruptions int64 `json:"corruptions"`
+	// Retries counts transient-fault replay retries, Quarantines the
+	// strategy fallbacks, ReplayedVectors the vectors re-run sequentially.
+	Retries         int64 `json:"retries"`
+	Quarantines     int64 `json:"quarantines"`
+	ReplayedVectors int64 `json:"replayed_vectors"`
+	// CrossChecks counts oracle comparisons; Mismatches the failures.
+	CrossChecks int64 `json:"cross_checks"`
+	Mismatches  int64 `json:"mismatches"`
+}
+
+// Faults sums the per-kind fault counts.
+func (g *GuardStats) Faults() int64 {
+	return g.Panics + g.Deadlines + g.Cancels + g.Corruptions
+}
+
+// guardStats reads the guard counters into a coherent GuardStats.
+func (o *Observer) guardStats() GuardStats {
+	return GuardStats{
+		Panics:          o.guardFaults[resilience.FaultPanic].Load(),
+		Deadlines:       o.guardFaults[resilience.FaultDeadline].Load(),
+		Cancels:         o.guardFaults[resilience.FaultCanceled].Load(),
+		Corruptions:     o.guardFaults[resilience.FaultCorruption].Load(),
+		Retries:         o.guardRetries.Load(),
+		Quarantines:     o.guardQuarantines.Load(),
+		ReplayedVectors: o.guardReplays.Load(),
+		CrossChecks:     o.guardChecks.Load(),
+		Mismatches:      o.guardMismatches.Load(),
+	}
+}
+
+// merge folds t into g.
+func (g *GuardStats) merge(t *GuardStats) {
+	g.Panics += t.Panics
+	g.Deadlines += t.Deadlines
+	g.Cancels += t.Cancels
+	g.Corruptions += t.Corruptions
+	g.Retries += t.Retries
+	g.Quarantines += t.Quarantines
+	g.ReplayedVectors += t.ReplayedVectors
+	g.CrossChecks += t.CrossChecks
+	g.Mismatches += t.Mismatches
+}

@@ -31,6 +31,8 @@ import (
 	"expvar"
 	"sync/atomic"
 	"time"
+
+	"udsim/internal/resilience"
 )
 
 // Config selects the optional collections of an Observer. The zero value
@@ -116,6 +118,17 @@ type Observer struct {
 	netToggles  []atomic.Int64
 	netGlitches []atomic.Int64
 	actVectors  atomic.Int64
+
+	// Guard counters (see guard.go): resilience events recorded by the
+	// guarded engine. Unlike every other counter these survive Attach —
+	// quarantining an execution strategy reconfigures the engine, and the
+	// fault record must outlive the reconfiguration it caused.
+	guardFaults      [resilience.NumFaultKinds]atomic.Int64
+	guardRetries     atomic.Int64
+	guardQuarantines atomic.Int64
+	guardReplays     atomic.Int64
+	guardChecks      atomic.Int64
+	guardMismatches  atomic.Int64
 }
 
 // New creates a detached Observer. It collects nothing until an engine

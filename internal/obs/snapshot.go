@@ -103,6 +103,10 @@ type Snapshot struct {
 	NetToggles      []int64 `json:"net_toggles,omitempty"`
 	NetGlitches     []int64 `json:"net_glitches,omitempty"`
 	ActivityVectors int64   `json:"activity_vectors"`
+
+	// Guard is the resilience-event section (see guard.go); all zeros
+	// unless the engine runs guarded.
+	Guard GuardStats `json:"guard"`
 }
 
 // Snapshot copies the counters into a coherent read-only view. It
@@ -120,6 +124,7 @@ func (o *Observer) Snapshot() *Snapshot {
 		RunNanos:  o.runNanos.Load(),
 		InitRuns:  o.initRuns.Load(),
 		InitNanos: o.initNanos.Load(),
+		Guard:     o.guardStats(),
 	}
 	if !o.start.IsZero() {
 		s.WallNanos = int64(time.Since(o.start))
@@ -264,5 +269,6 @@ func (s *Snapshot) Merge(t *Snapshot) error {
 		s.NetGlitches[n] += t.NetGlitches[n]
 	}
 	s.ActivityVectors += t.ActivityVectors
+	s.Guard.merge(&t.Guard)
 	return nil
 }

@@ -40,6 +40,8 @@ func (s *Sim) ConfigureExec(strategy shard.Strategy, workers int) (shard.Strateg
 			s.st = st
 		}
 		s.exec = shard.NewEngine(plan)
+		s.exec.SetGuard(s.levelBudget, s.guardGrace)
+		s.exec.SetInjector(s.inj)
 	case shard.VectorBatch:
 		s.pool = shard.NewPool(workers)
 	default:

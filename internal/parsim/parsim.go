@@ -17,6 +17,7 @@
 package parsim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"udsim/internal/obs"
 	"udsim/internal/program"
 	"udsim/internal/refsim"
+	"udsim/internal/resilience"
 	"udsim/internal/shard"
 	"udsim/internal/verify"
 )
@@ -87,6 +89,12 @@ type Sim struct {
 	obs *obs.Observer
 
 	ref *refsim.Evaluator // lazily built zero-delay oracle for ResetConsistent
+
+	// Guarded execution (guard.go): fault injector and watchdog budgets
+	// forwarded to the sharded engine, consulted only on the ctx paths.
+	inj         resilience.Injector
+	levelBudget time.Duration
+	guardGrace  time.Duration
 }
 
 // Compile builds the parallel-technique program for a combinational
@@ -254,7 +262,12 @@ func (s *Sim) ResetConsistent(inputs []bool) error {
 
 // ApplyVector simulates one input vector, computing the complete
 // unit-delay history of every net in its bit-field.
-func (s *Sim) ApplyVector(inputs []bool) error {
+func (s *Sim) ApplyVector(inputs []bool) error { return s.apply(nil, inputs) }
+
+// apply is the shared ApplyVector body; a nil ctx selects the unguarded
+// hot path (runSim), a non-nil ctx the guarded one (runSimCtx, see
+// guard.go).
+func (s *Sim) apply(ctx context.Context, inputs []bool) error {
 	if len(inputs) != len(s.c.Inputs) {
 		return fmt.Errorf("parsim: %d input values for %d primary inputs", len(inputs), len(s.c.Inputs))
 	}
@@ -302,7 +315,11 @@ func (s *Sim) ApplyVector(inputs []bool) error {
 		}
 		s.prevPI[i] = inputs[i]
 	}
-	s.runSim()
+	if ctx == nil {
+		s.runSim()
+	} else if err := s.runSimCtx(ctx); err != nil {
+		return err
+	}
 	if s.obs.ActivityEnabled() {
 		s.observeActivity()
 	}

@@ -15,6 +15,7 @@
 package pcset
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"udsim/internal/obs"
 	"udsim/internal/program"
 	"udsim/internal/refsim"
+	"udsim/internal/resilience"
 	"udsim/internal/shard"
 	"udsim/internal/verify"
 )
@@ -51,6 +53,12 @@ type Sim struct {
 	obs *obs.Observer
 
 	ref *refsim.Evaluator // lazily built zero-delay oracle for ResetConsistent
+
+	// Guarded execution (guard.go): fault injector and watchdog budgets
+	// forwarded to the sharded engine, consulted only on the ctx paths.
+	inj         resilience.Injector
+	levelBudget time.Duration
+	guardGrace  time.Duration
 }
 
 // Compile builds the PC-set program for a combinational circuit. The
@@ -276,7 +284,12 @@ func (s *Sim) ResetConsistent(inputs []bool) error {
 
 // ApplyVector simulates one input vector, producing the complete history
 // in the net variables. All 64 lanes carry the same vector.
-func (s *Sim) ApplyVector(inputs []bool) error {
+func (s *Sim) ApplyVector(inputs []bool) error { return s.apply(nil, inputs) }
+
+// apply is the shared ApplyVector body; a nil ctx selects the unguarded
+// hot path (runSim), a non-nil ctx the guarded one (runSimCtx, see
+// guard.go).
+func (s *Sim) apply(ctx context.Context, inputs []bool) error {
 	if len(inputs) != len(s.c.Inputs) {
 		return fmt.Errorf("pcset: %d input values for %d primary inputs", len(inputs), len(s.c.Inputs))
 	}
@@ -288,7 +301,11 @@ func (s *Sim) ApplyVector(inputs []bool) error {
 		}
 		s.st[s.vars[id][0]] = w
 	}
-	s.runSim()
+	if ctx == nil {
+		s.runSim()
+	} else if err := s.runSimCtx(ctx); err != nil {
+		return err
+	}
 	if s.obs.ActivityEnabled() {
 		s.observeActivity()
 	}

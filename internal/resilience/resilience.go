@@ -1,0 +1,369 @@
+// Package resilience is the supervision layer around the compiled
+// simulation engines: typed engine faults, guard policies, the barrier
+// watchdog, and the fault-injection seam the chaos harness drives.
+//
+// The paper's compiled techniques produce straight-line programs with no
+// branches — and therefore no error paths. That is exactly right for the
+// hot loop and exactly wrong for a runtime meant to serve heavy traffic:
+// a panicking shard worker must not kill the process, a wedged worker
+// must not hang a barrier forever, and silent state corruption must be
+// detectable. This package supplies the vocabulary (EngineFault, with
+// level/shard/instruction witness coordinates in the style of the static
+// race proofs of rule V012), the knobs (Policy), and the machinery
+// (Watchdog) that the shard engine, the compiled simulators and the
+// facade's Guarded engine share. It imports nothing but the standard
+// library, so every engine package can depend on it.
+//
+// The degradation ladder implemented by the guarded facade engine:
+//
+//  1. A fault on the sharded path (panic, barrier stall, corruption
+//     caught by cross-check) quarantines the shard plan: the worker pool
+//     is released and the engine reverts to sequential execution.
+//  2. The faulted vector batch is rolled back to its checkpoint and
+//     replayed on the sequential engine — outputs stay bit-identical to
+//     an all-sequential run.
+//  3. Transient faults on the sequential path (panics) are retried with
+//     capped exponential backoff up to Policy.MaxRetries.
+//  4. Persistent faults and caller cancellations surface to the caller
+//     as *EngineFault after the state is rolled back to the checkpoint.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// FaultKind classifies an engine fault.
+type FaultKind int
+
+const (
+	// FaultPanic is a recovered panic in a shard worker or the sequential
+	// dispatch loop.
+	FaultPanic FaultKind = iota
+	// FaultDeadline is a deadline violation: the barrier watchdog caught
+	// a generation stuck past the per-level budget, or the caller's
+	// context deadline expired.
+	FaultDeadline
+	// FaultCanceled is a caller cancellation through context.Context.
+	FaultCanceled
+	// FaultCorruption is silent state corruption caught by the guarded
+	// engine's output cross-check against the zero-delay oracle.
+	FaultCorruption
+
+	// NumFaultKinds sizes per-kind counter arrays.
+	NumFaultKinds int = iota
+)
+
+// String names the fault kind (the obs counter label).
+func (k FaultKind) String() string {
+	switch k {
+	case FaultPanic:
+		return "panic"
+	case FaultDeadline:
+		return "deadline"
+	case FaultCanceled:
+		return "canceled"
+	case FaultCorruption:
+		return "corruption"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Sentinel causes wrapped by EngineFault.
+var (
+	// ErrBarrierStall marks a watchdog-detected barrier generation stuck
+	// past the per-level budget.
+	ErrBarrierStall = errors.New("resilience: barrier generation stalled past level budget")
+	// ErrQuarantined marks an attempt to run an engine that already
+	// faulted; a faulted sharded engine supports only Close.
+	ErrQuarantined = errors.New("resilience: engine is quarantined after a fault")
+	// ErrCrossCheck marks a guarded-engine output mismatch against the
+	// zero-delay reference oracle.
+	ErrCrossCheck = errors.New("resilience: output cross-check mismatch")
+)
+
+// EngineFault is a typed, located engine failure. It carries the same
+// witness coordinates the static race proofs (verify rule V012) use —
+// level, shard, instruction — so a runtime fault and a static finding
+// read the same way. Unknown coordinates are -1.
+type EngineFault struct {
+	// Kind classifies the fault.
+	Kind FaultKind
+	// Engine names the faulting engine ("parallel", "pcset", "shard",
+	// "async").
+	Engine string
+	// Level, Shard and Instr locate the fault in the bulk-synchronous
+	// schedule (-1 when unknown; sequential execution is level 0 shard 0).
+	Level, Shard, Instr int
+	// Value is the recovered panic value for FaultPanic.
+	Value any
+	// Stack is the panicking goroutine's stack for FaultPanic.
+	Stack []byte
+	// Err is the wrapped cause (context errors, sentinel causes).
+	Err error
+}
+
+// Error renders the fault as a one-line witness:
+//
+//	resilience: panic in parallel (level 3 shard 1): runtime error: ...
+func (f *EngineFault) Error() string {
+	loc := ""
+	if f.Level >= 0 {
+		loc = fmt.Sprintf(" (level %d shard %d", f.Level, f.Shard)
+		if f.Instr >= 0 {
+			loc += fmt.Sprintf(" instr %d", f.Instr)
+		}
+		loc += ")"
+	}
+	cause := ""
+	switch {
+	case f.Kind == FaultPanic && f.Value != nil:
+		cause = fmt.Sprintf(": %v", f.Value)
+	case f.Err != nil:
+		cause = fmt.Sprintf(": %v", f.Err)
+	}
+	return fmt.Sprintf("resilience: %v in %s%s%s", f.Kind, f.Engine, loc, cause)
+}
+
+// Unwrap exposes the cause to errors.Is/errors.As.
+func (f *EngineFault) Unwrap() error { return f.Err }
+
+// Transient reports whether retrying the same work can plausibly
+// succeed: panics and stalls may be environmental; corruption needs a
+// different execution path, cancellation must be honored, and a
+// quarantined engine stays quarantined — none of those are retried.
+func (f *EngineFault) Transient() bool {
+	if errors.Is(f.Err, ErrQuarantined) {
+		return false
+	}
+	return f.Kind == FaultPanic || (f.Kind == FaultDeadline && errors.Is(f.Err, ErrBarrierStall))
+}
+
+// AsFault extracts an *EngineFault from an error chain.
+func AsFault(err error) (*EngineFault, bool) {
+	var f *EngineFault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}
+
+// FromPanic converts a recovered panic value into a fault. If the panic
+// value already is an *EngineFault (a chaos injector panicking with a
+// pre-located fault), it is returned as-is so injected coordinates
+// survive.
+func FromPanic(engine string, level, shard, instr int, v any) *EngineFault {
+	if f, ok := v.(*EngineFault); ok {
+		return f
+	}
+	return &EngineFault{
+		Kind: FaultPanic, Engine: engine,
+		Level: level, Shard: shard, Instr: instr,
+		Value: v, Stack: debug.Stack(),
+	}
+}
+
+// FromContext converts a context error into a fault (deadline or
+// cancellation).
+func FromContext(engine string, err error) *EngineFault {
+	k := FaultCanceled
+	if errors.Is(err, context.DeadlineExceeded) {
+		k = FaultDeadline
+	}
+	return &EngineFault{Kind: k, Engine: engine, Level: -1, Shard: -1, Instr: -1, Err: err}
+}
+
+// Stall builds the watchdog's barrier-stall fault at the given level.
+func Stall(engine string, level int) *EngineFault {
+	return &EngineFault{Kind: FaultDeadline, Engine: engine, Level: level, Shard: -1, Instr: -1, Err: ErrBarrierStall}
+}
+
+// Quarantined builds the fault returned when a faulted engine is run
+// again.
+func Quarantined(engine string) *EngineFault {
+	return &EngineFault{Kind: FaultPanic, Engine: engine, Level: -1, Shard: -1, Instr: -1, Err: ErrQuarantined}
+}
+
+// Corruption builds the cross-check-mismatch fault; slot is the state
+// index (or net id) that diverged from the oracle.
+func Corruption(engine string, slot int) *EngineFault {
+	return &EngineFault{
+		Kind: FaultCorruption, Engine: engine,
+		Level: -1, Shard: -1, Instr: slot, Err: ErrCrossCheck,
+	}
+}
+
+// Policy is the guard configuration of the facade's Guarded engine and
+// the shard engine's guarded run path. The zero value guards panics and
+// cancellation but runs no watchdog, no retries and no cross-checks;
+// DefaultPolicy enables the full ladder with conservative budgets.
+type Policy struct {
+	// LevelBudget is the barrier watchdog's stall budget: a guarded
+	// sharded run whose barrier generation does not advance within the
+	// budget is canceled with a FaultDeadline. 0 disables the watchdog.
+	LevelBudget time.Duration
+	// MaxRetries bounds sequential-replay retries of a transient fault.
+	MaxRetries int
+	// RetryBackoff is the initial pause before a retry; it doubles per
+	// attempt and is capped at 16×.
+	RetryBackoff time.Duration
+	// CrossCheckEvery samples every Nth vector's primary outputs against
+	// the zero-delay reference oracle, converting silent corruption into
+	// a FaultCorruption. 0 disables cross-checking.
+	CrossCheckEvery int
+	// QuarantineGrace bounds how long a faulted run waits for in-flight
+	// workers before abandoning them (leaking the goroutine and detaching
+	// the state arena). 0 means one second.
+	QuarantineGrace time.Duration
+}
+
+// DefaultPolicy returns the guard configuration used when a caller asks
+// for guarding without tuning knobs: a generous watchdog, two retries
+// with millisecond backoff, and no output sampling.
+func DefaultPolicy() Policy {
+	return Policy{
+		LevelBudget:     time.Second,
+		MaxRetries:      2,
+		RetryBackoff:    time.Millisecond,
+		QuarantineGrace: time.Second,
+	}
+}
+
+// Grace returns QuarantineGrace with its default applied.
+func (p Policy) Grace() time.Duration {
+	if p.QuarantineGrace <= 0 {
+		return time.Second
+	}
+	return p.QuarantineGrace
+}
+
+// Backoff returns the pause before retry attempt (0-based), doubling
+// from RetryBackoff and capped at 16×.
+func (p Policy) Backoff(attempt int) time.Duration {
+	if p.RetryBackoff <= 0 {
+		return 0
+	}
+	d := p.RetryBackoff
+	for i := 0; i < attempt && d < 16*p.RetryBackoff; i++ {
+		d *= 2
+	}
+	if max := 16 * p.RetryBackoff; d > max {
+		d = max
+	}
+	return d
+}
+
+// Injector is the fault-injection seam consulted by the guarded
+// execution paths (and only by them — the unguarded hot paths never see
+// it). Implementations may panic (worker-panic injection), sleep
+// (barrier-stall injection) or mutate the state array (corruption
+// injection); package chaos provides deterministic, seeded ones.
+type Injector interface {
+	// BeginRun is called once per simulation-program execution (one per
+	// vector), before any level runs.
+	BeginRun()
+	// AtLevel is called by worker shard before it executes its slice of
+	// level. Sequential dispatch calls it once per run with (0, 0).
+	AtLevel(level, shard int, st []uint64)
+}
+
+// Watchdog supervises guarded runs from a single persistent goroutine:
+// Arm starts watching a progress counter (the barrier generation) and a
+// context; if the counter fails to advance within the budget the stall
+// callback fires, and if the context ends first the context callback
+// fires. Disarm must be called exactly once per Arm, after the guarded
+// run finishes. Arm/Disarm are allocation-free, so guarded steady-state
+// execution stays at 0 allocs/op.
+type Watchdog struct {
+	arm    chan watch
+	disarm chan struct{}
+	tick   *time.Ticker
+	closed chan struct{}
+}
+
+type watch struct {
+	done     <-chan struct{} // ctx.Done(); nil when the context cannot end
+	budget   time.Duration   // 0 = no stall detection
+	progress *atomic.Uint32
+	onStall  func()
+	onCtx    func()
+}
+
+// NewWatchdog spawns the supervisor goroutine. Close releases it.
+func NewWatchdog() *Watchdog {
+	w := &Watchdog{
+		arm:    make(chan watch),
+		disarm: make(chan struct{}),
+		tick:   time.NewTicker(time.Hour),
+		closed: make(chan struct{}),
+	}
+	w.tick.Stop()
+	go w.loop()
+	return w
+}
+
+// Arm starts supervising one guarded run. progress must be advanced by
+// the supervised run (one increment per barrier generation); onStall and
+// onCtx must be safe to call from the watchdog goroutine and must cause
+// the run to finish so Disarm is reached.
+func (w *Watchdog) Arm(ctx context.Context, budget time.Duration, progress *atomic.Uint32, onStall, onCtx func()) {
+	w.arm <- watch{done: ctx.Done(), budget: budget, progress: progress, onStall: onStall, onCtx: onCtx}
+}
+
+// Disarm ends the supervision started by the last Arm.
+func (w *Watchdog) Disarm() { w.disarm <- struct{}{} }
+
+// Close terminates the supervisor goroutine; the Watchdog must be
+// disarmed.
+func (w *Watchdog) Close() {
+	close(w.arm)
+	<-w.closed
+	w.tick.Stop()
+}
+
+func (w *Watchdog) loop() {
+	defer close(w.closed)
+	for a := range w.arm {
+		if a.budget > 0 {
+			poll := a.budget / 4
+			if poll < time.Millisecond {
+				poll = time.Millisecond
+			}
+			w.tick.Reset(poll)
+		}
+		last := a.progress.Load()
+		deadline := time.Now().Add(a.budget)
+		armed := true
+		for armed {
+			select {
+			case <-w.disarm:
+				armed = false
+			case <-a.done:
+				a.onCtx()
+				<-w.disarm
+				armed = false
+			case <-w.tick.C:
+				// A stale tick from a previous arming is harmless: the
+				// progress/deadline checks below are idempotent.
+				if a.budget <= 0 {
+					continue
+				}
+				if g := a.progress.Load(); g != last {
+					last = g
+					deadline = time.Now().Add(a.budget)
+					continue
+				}
+				if time.Now().After(deadline) {
+					a.onStall()
+					<-w.disarm
+					armed = false
+				}
+			}
+		}
+		w.tick.Stop()
+	}
+}

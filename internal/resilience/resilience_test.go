@@ -1,0 +1,218 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFaultError(t *testing.T) {
+	cases := []struct {
+		f    *EngineFault
+		want string
+	}{
+		{
+			&EngineFault{Kind: FaultPanic, Engine: "parallel", Level: 3, Shard: 1, Instr: -1, Value: "boom"},
+			"resilience: panic in parallel (level 3 shard 1): boom",
+		},
+		{
+			&EngineFault{Kind: FaultPanic, Engine: "shard", Level: 2, Shard: 0, Instr: 17, Value: "x"},
+			"resilience: panic in shard (level 2 shard 0 instr 17): x",
+		},
+		{
+			Stall("shard", 4),
+			"resilience: deadline in shard (level 4 shard -1): " + ErrBarrierStall.Error(),
+		},
+		{
+			FromContext("pcset", context.Canceled),
+			"resilience: canceled in pcset: context canceled",
+		},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Error(); got != tc.want {
+			t.Errorf("Error() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	want := map[FaultKind]string{
+		FaultPanic:      "panic",
+		FaultDeadline:   "deadline",
+		FaultCanceled:   "canceled",
+		FaultCorruption: "corruption",
+	}
+	if len(want) != NumFaultKinds {
+		t.Fatalf("test covers %d kinds, NumFaultKinds = %d", len(want), NumFaultKinds)
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestTransient(t *testing.T) {
+	cases := []struct {
+		f    *EngineFault
+		want bool
+	}{
+		{FromPanic("shard", 1, 0, -1, "boom"), true},
+		{Stall("shard", 2), true},
+		{FromContext("shard", context.Canceled), false},
+		{FromContext("shard", context.DeadlineExceeded), false}, // caller deadline, not a stall
+		{Corruption("parallel", 9), false},
+		{Quarantined("shard"), false}, // wraps ErrQuarantined, not retryable
+	}
+	for i, tc := range cases {
+		if got := tc.f.Transient(); got != tc.want {
+			t.Errorf("case %d (%v): Transient() = %v, want %v", i, tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestFromPanicPassthrough(t *testing.T) {
+	orig := &EngineFault{Kind: FaultPanic, Engine: "chaos", Level: 5, Shard: 2, Instr: -1, Value: "injected"}
+	got := FromPanic("shard", 0, 0, -1, orig)
+	if got != orig {
+		t.Fatal("FromPanic rewrote a pre-located fault; injected coordinates lost")
+	}
+	plain := FromPanic("shard", 1, 2, 3, "runtime error")
+	if plain.Level != 1 || plain.Shard != 2 || plain.Instr != 3 {
+		t.Fatalf("FromPanic coordinates = (%d,%d,%d)", plain.Level, plain.Shard, plain.Instr)
+	}
+	if len(plain.Stack) == 0 {
+		t.Fatal("FromPanic did not capture a stack")
+	}
+}
+
+func TestAsFault(t *testing.T) {
+	f := Stall("shard", 1)
+	wrapped := fmt.Errorf("outer: %w", f)
+	got, ok := AsFault(wrapped)
+	if !ok || got != f {
+		t.Fatal("AsFault did not find the fault through a wrap")
+	}
+	if !errors.Is(wrapped, ErrBarrierStall) {
+		t.Fatal("stall cause not visible through errors.Is")
+	}
+	if _, ok := AsFault(errors.New("plain")); ok {
+		t.Fatal("AsFault invented a fault")
+	}
+}
+
+func TestPolicyBackoff(t *testing.T) {
+	p := Policy{RetryBackoff: time.Millisecond}
+	want := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 16 * time.Millisecond, 16 * time.Millisecond,
+		16 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if (Policy{}).Backoff(3) != 0 {
+		t.Error("zero policy should not back off")
+	}
+}
+
+func TestPolicyGrace(t *testing.T) {
+	if (Policy{}).Grace() != time.Second {
+		t.Error("zero QuarantineGrace should default to one second")
+	}
+	if (Policy{QuarantineGrace: time.Minute}).Grace() != time.Minute {
+		t.Error("explicit QuarantineGrace ignored")
+	}
+}
+
+func TestWatchdogStall(t *testing.T) {
+	w := NewWatchdog()
+	defer w.Close()
+	var progress atomic.Uint32
+	stalled := make(chan struct{})
+	w.Arm(context.Background(), 5*time.Millisecond, &progress,
+		func() { close(stalled) },
+		func() { t.Error("onCtx fired for a background context") })
+	select {
+	case <-stalled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never detected the stall")
+	}
+	w.Disarm()
+}
+
+func TestWatchdogProgressSuppressesStall(t *testing.T) {
+	w := NewWatchdog()
+	defer w.Close()
+	var progress atomic.Uint32
+	var stalls atomic.Int32
+	w.Arm(context.Background(), 40*time.Millisecond, &progress,
+		func() { stalls.Add(1) }, func() {})
+	// Keep advancing well within the budget: no stall may fire.
+	for i := 0; i < 10; i++ {
+		time.Sleep(10 * time.Millisecond)
+		progress.Add(1)
+	}
+	w.Disarm()
+	if n := stalls.Load(); n != 0 {
+		t.Fatalf("watchdog fired %d stalls despite steady progress", n)
+	}
+}
+
+func TestWatchdogContext(t *testing.T) {
+	w := NewWatchdog()
+	defer w.Close()
+	var progress atomic.Uint32
+	ctx, cancel := context.WithCancel(context.Background())
+	fired := make(chan struct{})
+	w.Arm(ctx, 0, &progress, func() { t.Error("onStall fired with no budget") }, func() { close(fired) })
+	cancel()
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never saw the cancellation")
+	}
+	w.Disarm()
+}
+
+// TestWatchdogReuse arms the same watchdog many times in a row — the
+// usage pattern of guarded streaming — interleaving clean runs, stalls
+// and cancellations.
+func TestWatchdogReuse(t *testing.T) {
+	w := NewWatchdog()
+	defer w.Close()
+	var progress atomic.Uint32
+	for i := 0; i < 20; i++ {
+		switch i % 3 {
+		case 0: // clean run
+			w.Arm(context.Background(), time.Second, &progress, func() {}, func() {})
+			progress.Add(1)
+			w.Disarm()
+		case 1: // stall
+			st := make(chan struct{})
+			w.Arm(context.Background(), time.Millisecond, &progress, func() { close(st) }, func() {})
+			<-st
+			w.Disarm()
+		case 2: // cancellation
+			ctx, cancel := context.WithCancel(context.Background())
+			cx := make(chan struct{})
+			w.Arm(ctx, time.Second, &progress, func() {}, func() { close(cx) })
+			cancel()
+			<-cx
+			w.Disarm()
+		}
+	}
+}
+
+func TestFaultErrorOmitsUnknownLocation(t *testing.T) {
+	f := FromContext("parallel", context.Canceled)
+	if s := f.Error(); strings.Contains(s, "level") {
+		t.Fatalf("unknown coordinates rendered: %q", s)
+	}
+}

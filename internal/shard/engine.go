@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
 	"sync"
@@ -11,6 +12,7 @@ import (
 
 	"udsim/internal/obs"
 	"udsim/internal/program"
+	"udsim/internal/resilience"
 )
 
 // barrier is a reusable generation barrier for a fixed party count. The
@@ -22,6 +24,7 @@ type barrier struct {
 	parties int32
 	arrived atomic.Int32
 	gen     atomic.Uint32
+	poison  atomic.Bool
 	mu      sync.Mutex
 	cond    *sync.Cond
 }
@@ -38,11 +41,20 @@ func newBarrier(parties int) *barrier {
 const spinBudget = 128
 
 // await blocks until all parties have arrived at the barrier's current
-// generation. The last arriver resets the countdown and advances the
-// generation; the generation advance is the release point that orders
-// every party's pre-barrier writes before every party's post-barrier
-// reads.
-func (b *barrier) await() {
+// generation, reporting true. The last arriver resets the countdown and
+// advances the generation; the generation advance is the release point
+// that orders every party's pre-barrier writes before every party's
+// post-barrier reads.
+//
+// await returns false if the barrier was poisoned (see cancel) before
+// the generation advanced: a party died or a watchdog gave up, so the
+// crossing can never complete and the waiter must abandon the run. A
+// poisoned barrier is unusable; unguarded Run ignores the result because
+// nothing poisons the barrier on the unguarded path.
+func (b *barrier) await() bool {
+	if b.poison.Load() {
+		return false
+	}
 	gen := b.gen.Load()
 	if b.arrived.Add(1) == b.parties {
 		b.arrived.Store(0)
@@ -50,19 +62,34 @@ func (b *barrier) await() {
 		b.gen.Store(gen + 1)
 		b.mu.Unlock()
 		b.cond.Broadcast()
-		return
+		return true
 	}
 	for i := 0; i < spinBudget; i++ {
 		if b.gen.Load() != gen {
-			return
+			return true
+		}
+		if b.poison.Load() {
+			return false
 		}
 		runtime.Gosched()
 	}
 	b.mu.Lock()
-	for b.gen.Load() == gen {
+	for b.gen.Load() == gen && !b.poison.Load() {
 		b.cond.Wait()
 	}
+	ok := b.gen.Load() != gen
 	b.mu.Unlock()
+	return ok
+}
+
+// cancel poisons the barrier, releasing every current and future waiter
+// with await() == false. The store happens under the condition variable's
+// mutex so blocked waiters cannot miss the wakeup.
+func (b *barrier) cancel() {
+	b.mu.Lock()
+	b.poison.Store(true)
+	b.mu.Unlock()
+	b.cond.Broadcast()
 }
 
 // Engine executes a shard plan on a persistent worker pool: one goroutine
@@ -76,9 +103,26 @@ type Engine struct {
 	plan  *Plan
 	bar   *barrier
 	start []chan struct{} // one per helper worker, buffered
+	fin   chan struct{}   // guarded-run abandon reports, one per abandoning helper
 	done  sync.WaitGroup
 	st    []uint64
 	obs   *obs.Observer // nil = observability disabled
+
+	// Guarded-run state (see guard.go). guarded is written by RunCtx
+	// before the start-channel sends that publish it to the helpers.
+	guarded     bool
+	poisoned    bool
+	leaked      bool
+	streamArmed bool // watchdog armed once for a whole stream (ArmStream)
+	budget      time.Duration // per-level watchdog stall budget (0 = off)
+	grace       time.Duration // faulted-run drain bound (0 = 1s)
+	inj         resilience.Injector
+	fault       atomic.Pointer[resilience.EngineFault]
+	wd          *resilience.Watchdog
+	ctx         context.Context // the active guarded run's context
+	runStartGen uint32          // barrier generation at guarded-run start
+	onStall     func()          // prebuilt watchdog callbacks (0 allocs/run)
+	onCtx       func()
 }
 
 // NewEngine builds the persistent runtime for a plan. The helper workers
@@ -89,6 +133,7 @@ func NewEngine(plan *Plan) *Engine {
 	if plan.workers > 1 {
 		e.bar = newBarrier(plan.workers)
 		e.start = make([]chan struct{}, plan.workers-1)
+		e.fin = make(chan struct{}, plan.workers-1)
 		for w := 1; w < plan.workers; w++ {
 			ch := make(chan struct{}, 1)
 			e.start[w-1] = ch
@@ -100,7 +145,17 @@ func NewEngine(plan *Plan) *Engine {
 				pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
 					pprof.Labels("udsim", "shard-worker", "shard", strconv.Itoa(w))))
 				for range ch {
-					e.runShard(w)
+					if e.guarded {
+						// An abandoned run reports in so the faulted
+						// caller's drain knows this helper parked; a
+						// clean run's final barrier crossing is the
+						// synchronization and needs no token.
+						if !e.runShardGuarded(w) {
+							e.fin <- struct{}{}
+						}
+					} else {
+						e.runShard(w)
+					}
 				}
 			}(w, ch)
 		}
@@ -180,11 +235,21 @@ func (e *Engine) runShard(w int) {
 
 // Close parks and releases the helper workers. The engine must not be
 // run again after Close; Close on a single-worker engine is a no-op.
+// If a guarded run abandoned a wedged worker (Leaked), Close does not
+// wait for it: the worker exits on its own when (if) it ever returns
+// and finds its start channel closed.
 func (e *Engine) Close() {
+	e.DisarmStream() // backstop: a quarantined stream may still be armed
 	for _, ch := range e.start {
 		close(ch)
 	}
-	e.done.Wait()
+	if !e.leaked {
+		e.done.Wait()
+	}
+	if e.wd != nil {
+		e.wd.Close()
+		e.wd = nil
+	}
 	e.start = nil
 }
 
@@ -197,6 +262,14 @@ type Pool struct {
 	start []chan func(int)
 	fin   chan struct{}
 	done  sync.WaitGroup
+	fault atomic.Pointer[poolPanic]
+}
+
+// poolPanic carries the first panic recovered in any pool worker so Do
+// can re-raise it in the caller after every worker has parked.
+type poolPanic struct {
+	val   any
+	stack []byte
 }
 
 // NewPool spawns n-1 helper goroutines (the Do caller is worker 0).
@@ -217,7 +290,7 @@ func NewPool(n int) *Pool {
 				pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
 					pprof.Labels("udsim", "batch-worker", "block", strconv.Itoa(w))))
 				for f := range ch {
-					f(w)
+					p.call(w, f)
 					p.fin <- struct{}{}
 				}
 			}(w, ch)
@@ -229,14 +302,34 @@ func NewPool(n int) *Pool {
 // Workers returns the pool's party count.
 func (p *Pool) Workers() int { return p.n }
 
+// call runs f(w) under a recover so a panicking task cannot kill a pool
+// goroutine or strand Do's completion drain; the first panic is kept and
+// re-raised by Do.
+func (p *Pool) call(w int, f func(int)) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.fault.CompareAndSwap(nil, &poolPanic{val: r, stack: debug.Stack()})
+		}
+	}()
+	f(w)
+}
+
 // Do runs f(0) .. f(n-1) concurrently and returns when all have finished.
+// A panic in any worker is caught, the remaining workers are allowed to
+// finish (so no goroutine is left mid-task), and the first panic value
+// is re-raised in the caller — where a guarded engine's recover can turn
+// it into a typed fault.
 func (p *Pool) Do(f func(worker int)) {
 	for _, ch := range p.start {
 		ch <- f
 	}
-	f(0)
+	p.call(0, f)
 	for range p.start {
 		<-p.fin
+	}
+	if pp := p.fault.Load(); pp != nil {
+		p.fault.Store(nil)
+		panic(pp.val)
 	}
 }
 

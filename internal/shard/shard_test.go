@@ -12,7 +12,8 @@ import (
 // persistent slots followed by a shared scratch region, with every
 // scratch read preceded by a scratch write in the same emission group —
 // the shape every compiler in this repository produces.
-func genProgram(rng *rand.Rand, numPersist, numScratch, groups int) (*program.Program, int32) {
+func genProgram(tb testing.TB, rng *rand.Rand, numPersist, numScratch, groups int) (*program.Program, int32) {
+	tb.Helper()
 	scratchStart := int32(numPersist)
 	nv := numPersist + numScratch
 	var code []program.Instr
@@ -58,7 +59,7 @@ func genProgram(rng *rand.Rand, numPersist, numScratch, groups int) (*program.Pr
 	}
 	p := &program.Program{WordBits: 32, NumVars: nv, Code: code}
 	if err := p.Validate(); err != nil {
-		panic(err)
+		tb.Fatalf("generated program does not validate: %v", err)
 	}
 	return p, scratchStart
 }
@@ -69,7 +70,7 @@ func genProgram(rng *rand.Rand, numPersist, numScratch, groups int) (*program.Pr
 func TestEngineEquivalence(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		p, scratchStart := genProgram(rng, 40+rng.Intn(40), 4+rng.Intn(8), 30+rng.Intn(60))
+		p, scratchStart := genProgram(t, rng, 40+rng.Intn(40), 4+rng.Intn(8), 30+rng.Intn(60))
 		want := make([]uint64, p.NumVars)
 		for i := range want {
 			want[i] = rng.Uint64()
@@ -101,7 +102,7 @@ func TestEngineEquivalence(t *testing.T) {
 func TestPlanPassesV008(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		rng := rand.New(rand.NewSource(1000 + seed))
-		p, scratchStart := genProgram(rng, 30, 6, 40)
+		p, scratchStart := genProgram(t, rng, 30, 6, 40)
 		for _, workers := range []int{1, 2, 4, 8} {
 			plan, err := Partition(p, scratchStart, workers)
 			if err != nil {
@@ -131,7 +132,7 @@ func TestPlanPassesV008(t *testing.T) {
 // object — the rule must have teeth.
 func TestV008CatchesBadPlan(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	p, scratchStart := genProgram(rng, 30, 6, 40)
+	p, scratchStart := genProgram(t, rng, 30, 6, 40)
 	plan, err := Partition(p, scratchStart, 4)
 	if err != nil {
 		t.Fatal(err)

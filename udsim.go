@@ -309,6 +309,9 @@ type options struct {
 	observer    *Observer
 	monitor     []NetID
 	monitorSet  bool
+	guard       GuardPolicy
+	guardSet    bool
+	inject      FaultInjector
 	// parallelOnly names the parallel-technique-specific options that
 	// were applied, so Open can reject them for other techniques.
 	parallelOnly []string
@@ -330,6 +333,10 @@ func (o *options) compiledOnly() string {
 		return "WithExec"
 	case o.observer != nil:
 		return "WithObserver"
+	case o.guardSet:
+		return "WithGuard"
+	case o.inject != nil:
+		return "WithFaultInjection"
 	}
 	return ""
 }
@@ -426,12 +433,20 @@ func Open(c *Circuit, technique Technique, opts ...Option) (Engine, error) {
 		if o.monitorSet {
 			return nil, fmt.Errorf("udsim: WithMonitor applies only to %v", TechPCSet)
 		}
-		return openParallel(c, o)
+		p, err := openParallel(c, o)
+		if err != nil {
+			return nil, err
+		}
+		return wrapGuard(p, &parallelCore{s: p.s}, o)
 	case TechPCSet:
 		if len(o.parallelOnly) > 0 {
 			return nil, fmt.Errorf("udsim: %s applies only to %v", o.parallelOnly[0], TechParallel)
 		}
-		return openPCSet(c, o)
+		p, err := openPCSet(c, o)
+		if err != nil {
+			return nil, err
+		}
+		return wrapGuard(p, &pcsetCore{s: p.s}, o)
 	case TechEvent3, TechEvent2:
 		if name := o.compiledOnly(); name != "" {
 			return nil, fmt.Errorf("udsim: %s applies only to compiled techniques", name)
@@ -533,6 +548,9 @@ func NewParallel(c *Circuit, opts ...Option) (*ParallelSim, error) {
 	}
 	if o.monitorSet {
 		return nil, fmt.Errorf("udsim: WithMonitor applies only to %v", TechPCSet)
+	}
+	if o.guardSet || o.inject != nil {
+		return nil, fmt.Errorf("udsim: WithGuard requires Open (the guarded engine wraps the concrete simulator)")
 	}
 	return openParallel(c, o)
 }
@@ -637,6 +655,9 @@ func NewPCSet(c *Circuit, monitor []NetID, opts ...Option) (*PCSetSim, error) {
 	}
 	if len(o.parallelOnly) > 0 {
 		return nil, fmt.Errorf("udsim: %s applies only to %v", o.parallelOnly[0], TechParallel)
+	}
+	if o.guardSet || o.inject != nil {
+		return nil, fmt.Errorf("udsim: WithGuard requires Open (the guarded engine wraps the concrete simulator)")
 	}
 	if !o.monitorSet {
 		o.monitor = monitor
