@@ -11,6 +11,7 @@
 //	udlint -bench mycircuit.bench -wordbits 8 -dead
 //	udlint -gen c6288 -technique parallel-pt-trim
 //	udlint -gen c880 -workers 4        # verify the shard plan (rules V008, V012)
+//	udlint -gen c499 -resub            # optimize first: V013/V014 certificate replay
 //	udlint -gen c432 -format=json      # stable machine-readable report
 //	udlint -gen c432 -format=sarif     # SARIF 2.1.0 for CI annotators
 package main
@@ -41,6 +42,7 @@ func main() {
 		dead      = flag.Bool("dead", false, "also report dead instructions as info findings")
 		constProp = flag.Bool("const", false, "also report constant-propagation results (rule V010) as info findings")
 		workers   = flag.Int("workers", 0, "build a sharded execution plan for this many workers and verify it (rules V008, V012); 0 lints sequential programs only")
+		resub     = flag.Bool("resub", false, "run the simulation-guided resubstitution pass first: replay its certificate (rules V013, V014) and lint the optimized netlist")
 		format    = flag.String("format", "text", "output format: text, json or sarif")
 	)
 	flag.Parse()
@@ -76,6 +78,20 @@ func main() {
 	opts := udsim.VerifyOptions{ReportDead: *dead, ReportConst: *constProp}
 	var reports []*udsim.VerifyReport
 	errors := 0
+	if *resub {
+		// Optimize first: the "resub" report replays the certificate
+		// (V013 structural invariants, V014 proof replay + end-to-end
+		// equivalence) and the per-technique reports below lint the
+		// optimized netlist's compiled programs.
+		res, err := udsim.Resubstitute(c, udsim.ResubConfig{})
+		if err != nil {
+			fail(err)
+		}
+		rep := udsim.VerifyRewrite(res)
+		errors += rep.Count(verify.SevError)
+		reports = append(reports, rep)
+		c = res.Optimized
+	}
 	for _, tech := range techs {
 		rep, err := lintOne(c, tech, *wordBits, *workers, opts)
 		if err != nil {

@@ -7,6 +7,7 @@
 //
 //	udstats -gen c432
 //	udstats -bench mycircuit.bench -wordbits 32
+//	udstats -gen c499 -resub           # resubstitution census (merged/const/stripped)
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"udsim"
 	"udsim/internal/align"
@@ -33,6 +36,7 @@ func main() {
 		genName   = flag.String("gen", "", "synthesize a benchmark profile (c432..c7552)")
 		wordBits  = flag.Int("wordbits", 32, "parallel-technique word width")
 		doVerify  = flag.Bool("verify", false, "run the static analyzer and report dead code and word utilization")
+		doResub   = flag.Bool("resub", false, "run the simulation-guided resubstitution pass and report the merged/constant/stripped-net census")
 	)
 	flag.Parse()
 
@@ -106,12 +110,20 @@ func main() {
 	}
 	fmt.Println(ts)
 
+	if *doResub {
+		printResub(c)
+	}
+
 	tc := texttable.New("generated code (C statements)", "technique", "instructions", "statements")
-	tv := texttable.New("static verification", "technique", "errors", "warnings", "dead instrs",
-		"unused slots", "live-in slots", "passes", "const instrs", "no-op accums", "word util")
+	// The verification table reports rule IDs dynamically: any rule that
+	// fires — including the netlist-level rules above V012 — lands in the
+	// "rules fired" column instead of being silently dropped.
+	tv := texttable.New("static verification", "technique", "errors", "warnings", "rules fired",
+		"dead instrs", "unused slots", "live-in slots", "passes", "const instrs", "no-op accums", "word util")
 	check := func(label string, spec *verify.Spec) {
 		rep := verify.Check(spec, verify.Options{})
 		tv.Add(label, rep.Count(verify.SevError), rep.Count(verify.SevWarning),
+			rulesFired(rep),
 			rep.Stats.DeadInstructions(), rep.Stats.UnusedSlots,
 			rep.Stats.LiveInSlots, rep.Stats.LivenessPasses,
 			rep.Stats.ConstInstrs, rep.Stats.NoOpAccums,
@@ -150,6 +162,71 @@ func main() {
 	fmt.Println(tc)
 	if *doVerify {
 		fmt.Println(tv)
+		// Enumerate the full rule catalogue so rules above V012 — the
+		// netlist-level resubstitution rules — are visible even when the
+		// per-technique instruction-stream checks cannot fire them.
+		tr := texttable.New(fmt.Sprintf("verification rules (%d documented)", len(verify.RuleDocs)),
+			"rule", "title")
+		for _, d := range verify.RuleDocs {
+			tr.Add(d.ID, d.Title)
+		}
+		fmt.Println(tr)
+	}
+}
+
+// rulesFired lists the distinct rule IDs of a report's findings.
+func rulesFired(rep *verify.Report) string {
+	seen := map[string]bool{}
+	var ids []string
+	for _, f := range rep.Findings {
+		if !seen[f.Rule] {
+			seen[f.Rule] = true
+			ids = append(ids, f.Rule)
+		}
+	}
+	if len(ids) == 0 {
+		return "-"
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ",")
+}
+
+// printResub runs the resubstitution pass and reports the optimizer
+// census plus the certificate audit (rules V013/V014).
+func printResub(c *udsim.Circuit) {
+	res, err := udsim.Resubstitute(c, udsim.ResubConfig{})
+	if err != nil {
+		fail(err)
+	}
+	cert := res.Cert
+	t := texttable.New("resubstitution (proof-carrying)", "metric", "value")
+	t.Add("gates before / after", fmt.Sprintf("%d / %d", cert.GatesBefore, cert.GatesAfter))
+	t.Add("nets before / after", fmt.Sprintf("%d / %d", cert.NetsBefore, cert.NetsAfter))
+	t.Add("merged nets", res.MergedCount())
+	t.Add("proven constants", res.ConstCount())
+	t.Add("stripped nets", res.StrippedCount())
+	exh := 0
+	for _, m := range cert.Merges {
+		if m.Exhaustive {
+			exh++
+		}
+	}
+	for _, k := range cert.Constants {
+		if k.Exhaustive {
+			exh++
+		}
+	}
+	t.Add("exhaustive proofs", fmt.Sprintf("%d of %d", exh, len(cert.Merges)+len(cert.Constants)))
+	rep := udsim.VerifyRewrite(res)
+	status := "clean"
+	if !rep.Clean() {
+		status = fmt.Sprintf("%d errors, %d warnings", rep.Count(verify.SevError), rep.Count(verify.SevWarning))
+	}
+	t.Add("certificate replay (V013/V014)", status)
+	fmt.Println(t)
+	if !rep.Clean() {
+		fmt.Println(rep)
+		fail(fmt.Errorf("resubstitution certificate replay failed"))
 	}
 }
 

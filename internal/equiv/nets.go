@@ -1,0 +1,251 @@
+package equiv
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"udsim/internal/circuit"
+	"udsim/internal/lcc"
+)
+
+// NetProver proves value relations between internal nets of a single
+// combinational circuit: net-to-net equivalence (plain or complemented)
+// and net-to-constant stuck-at facts. The circuit's zero-delay program is
+// compiled once at construction; every Check* call reuses the compiled
+// 64-lane evaluator, so a resubstitution pass can afford hundreds of
+// proofs per circuit.
+//
+// Proofs are exhaustive whenever the union of the candidate nets'
+// transitive primary-input supports is small enough: a net's value
+// depends only on its support, so enumerating those inputs (with the
+// rest held at zero) covers the full function. Larger supports fall back
+// to seeded random vectors, consistent with Check's contract.
+type NetProver struct {
+	sim     *lcc.Sim
+	c       *circuit.Circuit
+	piPos   map[circuit.NetID]int
+	support map[circuit.NetID][]int // memoized PI positions, sorted
+}
+
+// NewNetProver compiles the circuit for intra-circuit proofs. The
+// circuit must be combinational; wired nets are normalized away (original
+// net IDs are preserved, so callers may keep using their IDs).
+func NewNetProver(c *circuit.Circuit) (*NetProver, error) {
+	sim, err := lcc.Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	nc := sim.Circuit()
+	return &NetProver{
+		sim:     sim,
+		c:       nc,
+		piPos:   nc.InputIndex(),
+		support: make(map[circuit.NetID][]int),
+	}, nil
+}
+
+// Circuit returns the normalized circuit the prover evaluates.
+func (p *NetProver) Circuit() *circuit.Circuit { return p.c }
+
+// Support returns the positions (indices into c.Inputs) of the primary
+// inputs the net transitively depends on, sorted ascending. Supports are
+// memoized at every net of the cone, so a pass querying many nets pays
+// each union once; the result must not be mutated.
+func (p *NetProver) Support(n circuit.NetID) []int {
+	if s, ok := p.support[n]; ok {
+		return s
+	}
+	net := p.c.Net(n)
+	var s []int
+	if net.IsInput {
+		s = []int{p.piPos[n]}
+	} else {
+		for _, g := range net.Drivers {
+			for _, in := range p.c.Gate(g).Inputs {
+				s = unionSorted(s, p.Support(in))
+			}
+		}
+		if s == nil {
+			s = []int{} // constant gates: empty support
+		}
+	}
+	p.support[n] = s
+	return s
+}
+
+// unionSorted merges two sorted int slices without duplicates.
+func unionSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// checkWord is one proof obligation expressed over lane words: given the
+// current lane assignment, return the 64-bit disagreement word (bit l set
+// means lane l violates the claim).
+type checkWord func() uint64
+
+// run drives one proof: exhaustive over the support when it fits the
+// cutoff, seeded random vectors otherwise. witnessNet names the net a
+// counterexample is attributed to.
+func (p *NetProver) run(sup []int, disagree checkWord, witnessNet string,
+	nRandom, maxExhaustiveInputs int, seed int64) (*Result, error) {
+
+	nin := len(p.c.Inputs)
+	packed := make([]uint64, nin)
+	res := &Result{Equivalent: true}
+
+	mkCounter := func(lane int) {
+		assign := make([]bool, nin)
+		for i := range assign {
+			assign[i] = packed[i]>>uint(lane)&1 == 1
+		}
+		res.Equivalent = false
+		res.Counterexample = &Counterexample{Inputs: assign, Output: witnessNet}
+	}
+
+	if len(sup) <= maxExhaustiveInputs && len(sup) <= 30 {
+		res.Exhaustive = true
+		total := 1 << uint(len(sup))
+		for base := 0; base < total; base += 64 {
+			for i := range packed {
+				packed[i] = 0
+			}
+			lanes := 64
+			if total-base < 64 {
+				lanes = total - base
+			}
+			for l := 0; l < lanes; l++ {
+				v := base + l
+				for i, pi := range sup {
+					if v>>uint(i)&1 == 1 {
+						packed[pi] |= 1 << uint(l)
+					}
+				}
+			}
+			res.VectorsTried += lanes
+			if err := p.sim.ApplyLanes(packed); err != nil {
+				return nil, err
+			}
+			d := disagree()
+			if lanes < 64 {
+				d &= 1<<uint(lanes) - 1
+			}
+			if d != 0 {
+				mkCounter(bits.TrailingZeros64(d))
+				return res, nil
+			}
+		}
+		return res, nil
+	}
+
+	r := rand.New(rand.NewSource(seed))
+	for done := 0; done < nRandom; done += 64 {
+		for i := range packed {
+			packed[i] = r.Uint64()
+		}
+		res.VectorsTried += 64
+		if err := p.sim.ApplyLanes(packed); err != nil {
+			return nil, err
+		}
+		if d := disagree(); d != 0 {
+			mkCounter(bits.TrailingZeros64(d))
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// CheckNets proves (or refutes) that two internal nets of the circuit
+// compute the same function of the primary inputs — the complemented
+// function when complement is true. The proof is exhaustive when the
+// union of the two nets' supports has at most maxExhaustiveInputs
+// members (and at most 30); otherwise nRandom seeded random vectors are
+// simulated. A counterexample carries the full primary-input assignment
+// (indexed like c.Inputs) and names net b as the differing signal.
+func (p *NetProver) CheckNets(a, b circuit.NetID, complement bool,
+	nRandom, maxExhaustiveInputs int, seed int64) (*Result, error) {
+
+	if err := p.checkID(a); err != nil {
+		return nil, err
+	}
+	if err := p.checkID(b); err != nil {
+		return nil, err
+	}
+	sup := unionSorted(p.Support(a), p.Support(b))
+	disagree := func() uint64 {
+		wb := p.sim.Word(b)
+		if complement {
+			wb = ^wb
+		}
+		return p.sim.Word(a) ^ wb
+	}
+	return p.run(sup, disagree, p.c.Net(b).Name, nRandom, maxExhaustiveInputs, seed)
+}
+
+// CheckConst proves (or refutes) that a net is stuck at the given
+// constant value for every primary-input assignment. Proof strategy and
+// result conventions match CheckNets.
+func (p *NetProver) CheckConst(n circuit.NetID, want bool,
+	nRandom, maxExhaustiveInputs int, seed int64) (*Result, error) {
+
+	if err := p.checkID(n); err != nil {
+		return nil, err
+	}
+	disagree := func() uint64 {
+		w := p.sim.Word(n)
+		if want {
+			w = ^w
+		}
+		return w
+	}
+	return p.run(p.Support(n), disagree, p.c.Net(n).Name, nRandom, maxExhaustiveInputs, seed)
+}
+
+func (p *NetProver) checkID(n circuit.NetID) error {
+	if n < 0 || int(n) >= p.c.NumNets() {
+		return fmt.Errorf("equiv: net %d out of range (%d nets)", n, p.c.NumNets())
+	}
+	return nil
+}
+
+// CheckNets is the one-shot form of NetProver.CheckNets: it proves
+// equivalence of two internal nets within one circuit. Callers with many
+// proofs against the same circuit should construct a NetProver instead
+// to amortize the compile.
+func CheckNets(c *circuit.Circuit, a, b circuit.NetID, complement bool,
+	nRandom, maxExhaustiveInputs int, seed int64) (*Result, error) {
+
+	p, err := NewNetProver(c)
+	if err != nil {
+		return nil, err
+	}
+	return p.CheckNets(a, b, complement, nRandom, maxExhaustiveInputs, seed)
+}
+
+// CheckConst is the one-shot form of NetProver.CheckConst.
+func CheckConst(c *circuit.Circuit, n circuit.NetID, want bool,
+	nRandom, maxExhaustiveInputs int, seed int64) (*Result, error) {
+
+	p, err := NewNetProver(c)
+	if err != nil {
+		return nil, err
+	}
+	return p.CheckConst(n, want, nRandom, maxExhaustiveInputs, seed)
+}

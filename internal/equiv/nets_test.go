@@ -1,0 +1,173 @@
+package equiv
+
+import (
+	"testing"
+
+	"udsim/internal/circuit"
+	"udsim/internal/logic"
+	"udsim/internal/refsim"
+)
+
+// netPairCircuit builds one circuit holding several intra-circuit proof
+// targets: d1 and d2 are structurally distinct duplicates of the same
+// XOR function, nd1 is its complement, k0 is constant false, and w is a
+// genuinely different function (AND).
+func netPairCircuit(t *testing.T) (*circuit.Circuit, map[string]circuit.NetID) {
+	t.Helper()
+	b := circuit.NewBuilder("netpairs")
+	a := b.Input("a")
+	x := b.Input("x")
+	d1 := b.Gate(logic.Xor, "d1", a, x)
+	// Same function built differently: (a AND NOT x) OR (NOT a AND x).
+	na := b.Gate(logic.Not, "na", a)
+	nx := b.Gate(logic.Not, "nx", x)
+	t1 := b.Gate(logic.And, "t1", a, nx)
+	t2 := b.Gate(logic.And, "t2", na, x)
+	d2 := b.Gate(logic.Or, "d2", t1, t2)
+	nd1 := b.Gate(logic.Xnor, "nd1", a, x)
+	k0 := b.Gate(logic.And, "k0", a, na) // a AND NOT a == 0
+	w := b.Gate(logic.And, "w", a, x)
+	b.Output(d1)
+	b.Output(d2)
+	b.Output(nd1)
+	b.Output(k0)
+	b.Output(w)
+	c := b.MustBuild()
+	ids := map[string]circuit.NetID{}
+	for _, name := range []string{"a", "x", "d1", "d2", "nd1", "k0", "w"} {
+		id, ok := c.NetByName(name)
+		if !ok {
+			t.Fatalf("net %q missing", name)
+		}
+		ids[name] = id
+	}
+	return c, ids
+}
+
+func TestCheckNetsEquivalentExhaustive(t *testing.T) {
+	c, ids := netPairCircuit(t)
+	res, err := CheckNets(c, ids["d1"], ids["d2"], false, 0, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent || !res.Exhaustive {
+		t.Fatalf("d1==d2 should prove exhaustively: %+v", res)
+	}
+	// Support of {d1,d2} is {a,x}: exactly 4 assignments.
+	if res.VectorsTried != 4 {
+		t.Fatalf("expected 4 support vectors, tried %d", res.VectorsTried)
+	}
+}
+
+func TestCheckNetsComplement(t *testing.T) {
+	c, ids := netPairCircuit(t)
+	res, err := CheckNets(c, ids["d1"], ids["nd1"], true, 0, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent || !res.Exhaustive {
+		t.Fatalf("d1 == NOT nd1 should hold: %+v", res)
+	}
+	// And without the complement flag they must differ.
+	res, err = CheckNets(c, ids["d1"], ids["nd1"], false, 0, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Fatal("d1 vs nd1 uncomplemented reported equivalent")
+	}
+}
+
+// TestCheckNetsCounterexample refutes d1 == w and validates the witness
+// against the reference simulator: the returned assignment really must
+// drive the two nets to different values.
+func TestCheckNetsCounterexample(t *testing.T) {
+	c, ids := netPairCircuit(t)
+	res, err := CheckNets(c, ids["d1"], ids["w"], false, 0, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent || res.Counterexample == nil {
+		t.Fatalf("d1 vs w should be refuted: %+v", res)
+	}
+	cx := res.Counterexample
+	if cx.Output != "w" {
+		t.Errorf("counterexample names %q, want net b (%q)", cx.Output, "w")
+	}
+	settled, err := refsim.Evaluate(c, cx.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if settled[ids["d1"]] == settled[ids["w"]] {
+		t.Fatalf("counterexample %v does not distinguish d1 from w", cx.Inputs)
+	}
+}
+
+func TestCheckConst(t *testing.T) {
+	c, ids := netPairCircuit(t)
+	res, err := CheckConst(c, ids["k0"], false, 0, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent || !res.Exhaustive {
+		t.Fatalf("k0 stuck-at-0 should prove: %+v", res)
+	}
+	// The wrong polarity must be refuted with a real witness.
+	res, err = CheckConst(c, ids["k0"], true, 0, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent || res.Counterexample == nil {
+		t.Fatal("k0 stuck-at-1 incorrectly proven")
+	}
+	settled, err := refsim.Evaluate(c, res.Counterexample.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if settled[ids["k0"]] != false {
+		t.Fatal("stuck-at-1 counterexample does not show k0 low")
+	}
+}
+
+// TestCheckNetsRandomFallback forces the random path with a support
+// cutoff of zero and checks a true inequivalence is still found (the
+// functions differ on half the space, so 64 random lanes cannot miss).
+func TestCheckNetsRandomFallback(t *testing.T) {
+	c, ids := netPairCircuit(t)
+	res, err := CheckNets(c, ids["d1"], ids["w"], false, 128, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhaustive {
+		t.Fatal("cutoff 0 should force the random path")
+	}
+	if res.Equivalent {
+		t.Fatal("random fallback missed an easy inequivalence")
+	}
+}
+
+// TestNetProverReuse checks the amortized path: one prover, many proofs,
+// and memoized supports.
+func TestNetProverReuse(t *testing.T) {
+	c, ids := netPairCircuit(t)
+	p, err := NewNetProver(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := p.CheckNets(ids["d1"], ids["d2"], false, 0, 10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equivalent {
+			t.Fatalf("pass %d: not equivalent", i)
+		}
+	}
+	sup := p.Support(ids["d2"])
+	if len(sup) != 2 {
+		t.Fatalf("d2 support %v, want both inputs", sup)
+	}
+	if got := p.Support(ids["a"]); len(got) != 1 {
+		t.Fatalf("PI support %v, want itself only", got)
+	}
+}

@@ -450,6 +450,7 @@ var Experiments = []struct {
 	{"activity", Activity},
 	{"timing", Timing},
 	{"deadstore", DeadStore},
+	{"resub", Resub},
 	{"chaos", Chaos},
 }
 

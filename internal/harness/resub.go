@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+
+	"udsim/internal/circuit"
+	"udsim/internal/parsim"
+	"udsim/internal/pcset"
+	"udsim/internal/resub"
+	"udsim/internal/texttable"
+	"udsim/internal/vectors"
+	"udsim/internal/verify"
+)
+
+// resubEngine is the slice of the simulator API the resubstitution
+// experiment drives: both compiled techniques satisfy it.
+type resubEngine interface {
+	CodeSize() int
+	EliminateDeadStores() (int, error)
+	ResetConsistent(inputs []bool) error
+	ApplyVector(vec []bool) error
+	Final(n circuit.NetID) bool
+}
+
+// Resub measures the resubstitution optimizer's instruction-stream
+// shrinkage and wall-clock effect per circuit and technique. Each circuit
+// is optimized once; for each technique the plain and optimized netlists
+// are compiled side by side, the optimized engine (and its composition
+// with the dead-store eliminator) reports its code size, both engines
+// replay the same vector stream for timing, and every surviving net's
+// settled value is validated bit-identical through the certificate's
+// fate map. The certificate itself is replayed first (rules V013/V014).
+func Resub(o Options) (*Result, error) {
+	o = o.withDefaults()
+	t := texttable.New("Resubstitution (proof-carrying; instruction-stream shrinkage)",
+		"Circuit", "Gates", "Merged", "Const", "Stripped",
+		"Technique", "Instrs", "Resub", "+DSE", "Reduction", "Plain(s)", "Resub(s)")
+	vcount := o.Vectors
+	if vcount > 200 {
+		vcount = 200 // the bit-identity replay is validation, not timing
+	}
+	for _, name := range o.Circuits {
+		c, vecs, err := bench(o, name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := resub.Run(c, resub.Config{Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		if rep := verify.CheckRewrite(res); !rep.Clean() {
+			return nil, fmt.Errorf("resub: %s: certificate replay failed:\n%s", name, rep)
+		}
+		for i, tech := range []string{"pcset", "parallel", "parallel+trim"} {
+			build := func(target *circuit.Circuit) (resubEngine, error) {
+				if tech == "pcset" {
+					return pcset.Compile(target, nil)
+				}
+				return parsim.Compile(target, parsim.Config{WordBits: o.WordBits, Trim: tech == "parallel+trim"})
+			}
+			plain, err := build(res.Original)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := build(res.Optimized)
+			if err != nil {
+				return nil, err
+			}
+			if err := resubEquivalent(res, plain, opt, vecs, vcount); err != nil {
+				return nil, fmt.Errorf("resub: %s/%s: %w", name, tech, err)
+			}
+			dse, err := build(res.Optimized)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := dse.EliminateDeadStores(); err != nil {
+				return nil, err
+			}
+			dPlain, err := bestOf(o.Repeats, func() error { return plain.ResetConsistent(nil) }, vecs, plain.ApplyVector)
+			if err != nil {
+				return nil, err
+			}
+			dOpt, err := bestOf(o.Repeats, func() error { return opt.ResetConsistent(nil) }, vecs, opt.ApplyVector)
+			if err != nil {
+				return nil, err
+			}
+			cname, gates, merged, cnst, strip := name,
+				fmt.Sprintf("%d->%d", res.Cert.GatesBefore, res.Cert.GatesAfter),
+				fmt.Sprint(res.MergedCount()), fmt.Sprint(res.ConstCount()), fmt.Sprint(res.StrippedCount())
+			if i > 0 {
+				cname, gates, merged, cnst, strip = "", "", "", "", ""
+			}
+			t.Add(cname, gates, merged, cnst, strip,
+				tech, plain.CodeSize(), opt.CodeSize(), dse.CodeSize(),
+				fmt.Sprintf("%.1f%%", 100*(1-float64(opt.CodeSize())/float64(plain.CodeSize()))),
+				secs(dPlain), secs(dOpt))
+		}
+	}
+	return &Result{Table: t, Notes: []string{
+		"every merge/constant proven before rewriting; certificate replayed (V013/V014);",
+		"surviving nets validated bit-identical to the plain engine over the replay;",
+		"+DSE = optimized netlist composed with the dead-store eliminator",
+	}}, nil
+}
+
+// resubEquivalent replays n vectors through the plain and optimized
+// engines and checks every surviving original net's settled value
+// through the fate map (constants and complemented merges included).
+func resubEquivalent(res *resub.Result, plain, opt resubEngine, vecs *vectors.Set, n int) error {
+	orig := res.Original
+	// Original net -> optimized net carrying its value, resolved by name.
+	optID := make([]circuit.NetID, orig.NumNets())
+	for id := range orig.Nets {
+		nid := circuit.NetID(id)
+		target, _, isConst, _, ok := res.Resolve(nid)
+		optID[id] = circuit.NoNet
+		if !ok || isConst {
+			continue
+		}
+		tid, found := res.Optimized.NetByName(orig.Net(target).Name)
+		if !found {
+			return fmt.Errorf("fate target %q missing from optimized circuit", orig.Net(target).Name)
+		}
+		optID[id] = tid
+	}
+	if err := plain.ResetConsistent(nil); err != nil {
+		return err
+	}
+	if err := opt.ResetConsistent(nil); err != nil {
+		return err
+	}
+	for i := 0; i < n && i < len(vecs.Bits); i++ {
+		if err := plain.ApplyVector(vecs.Bits[i]); err != nil {
+			return err
+		}
+		if err := opt.ApplyVector(vecs.Bits[i]); err != nil {
+			return err
+		}
+		for id := range orig.Nets {
+			nid := circuit.NetID(id)
+			_, invert, isConst, constVal, ok := res.Resolve(nid)
+			if !ok {
+				continue // stripped: unobservable
+			}
+			got := constVal
+			if !isConst {
+				got = opt.Final(optID[id]) != invert
+			}
+			if want := plain.Final(nid); got != want {
+				return fmt.Errorf("vector %d: net %s resolves to %v, plain engine settles %v",
+					i, orig.Nets[id].Name, got, want)
+			}
+		}
+	}
+	return nil
+}

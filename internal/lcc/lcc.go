@@ -140,3 +140,9 @@ func (s *Sim) Value(id circuit.NetID) bool {
 func (s *Sim) LaneValue(id circuit.NetID, lane int) bool {
 	return s.st[s.varOf[id]]>>uint(lane)&1 == 1
 }
+
+// Word returns the full 64-lane word of a net after the last Apply call:
+// bit l holds the net's settled value in lane l. Signature-based analyses
+// (resubstitution candidate detection) read whole words rather than
+// looping over LaneValue.
+func (s *Sim) Word(id circuit.NetID) uint64 { return s.st[s.varOf[id]] }

@@ -92,6 +92,9 @@ func (s *Sim) compileFlat() error {
 		if c.Nets[i].IsInput {
 			continue // primary inputs are written by the runtime
 		}
+		if drv := c.Nets[i].Drivers; len(drv) == 1 && len(c.Gate(drv[0]).Inputs) == 0 {
+			continue // constant-driven: the sim phase writes every live word outright
+		}
 		top := s.fieldWord(net, nw-1)
 		// Delay of the single driving gate: the d lowest bit positions
 		// carry previous-vector values (d = 1 in the paper's model).
@@ -143,9 +146,12 @@ func (s *Sim) compileFlat() error {
 		out := g.Output
 
 		// Phase A: fold input fields word-wise into the temporaries.
+		// Zero-input (constant) gates have nothing to fold — and under
+		// trimming no fold word is ever classified as needed for them —
+		// so their output words are written directly in phase B.
 		folded := make([]bool, nw)
 		for w := 0; w < nw; w++ {
-			if !foldNeeded(out, w) {
+			if len(g.Inputs) == 0 || !foldNeeded(out, w) {
 				continue
 			}
 			folded[w] = true
@@ -193,6 +199,12 @@ func (s *Sim) compileFlat() error {
 			case low(out, w):
 				// Entirely previous-vector value; filled in init.
 			case assigned(out, w):
+				if len(g.Inputs) == 0 {
+					// A constant net holds its value at every simulated
+					// time: write the whole word, no shift or carry.
+					simCode = program.EmitGateEval(simCode, g.Type, dst, nil)
+					continue
+				}
 				carry := program.None
 				if w > 0 {
 					if folded[w-1] {

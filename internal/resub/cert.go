@@ -1,0 +1,155 @@
+package resub
+
+import "udsim/internal/circuit"
+
+// FateKind classifies what the pass did to one original net.
+type FateKind uint8
+
+const (
+	// FateKept nets survive into the optimized circuit under their own
+	// name (a PO that absorbed its representative's driver also counts
+	// as kept).
+	FateKept FateKind = iota
+	// FateMerged nets were proven equivalent (possibly complemented) to
+	// a surviving representative; readers were re-pointed at it.
+	FateMerged
+	// FateConst nets were proven stuck at a constant; readers read the
+	// shared constant net instead.
+	FateConst
+	// FateStripped nets were neither merged nor constant but became
+	// unreachable from every primary output after the rewrite (dead
+	// fan-out cones of merged duplicates).
+	FateStripped
+)
+
+// String names the fate.
+func (k FateKind) String() string {
+	switch k {
+	case FateKept:
+		return "kept"
+	case FateMerged:
+		return "merged"
+	case FateConst:
+		return "const"
+	case FateStripped:
+		return "stripped"
+	}
+	return "fate(?)"
+}
+
+// NetFate records the destiny of one original net. Fates are indexed by
+// the original (normalized) circuit's NetID.
+type NetFate struct {
+	Kind FateKind
+	// Target is the surviving representative's original NetID for
+	// FateMerged (after takeover resolution it may name a primary
+	// output), circuit.NoNet otherwise.
+	Target circuit.NetID
+	// Invert is true for complemented merges: the net equals NOT Target.
+	Invert bool
+	// Value is the proven constant for FateConst.
+	Value bool
+}
+
+// Merge is one proof-carrying substitution in the certificate: net Dup
+// was proven equal to net Rep (complemented when Complement is set),
+// with the proof's nature preserved so a checker can replay it. Exactly
+// one of the two sound proof kinds backs every entry: Structural
+// (derived by structural hashing; replayed by rebuilding the Strash
+// table) or Exhaustive (every assignment of the candidates' union
+// primary-input support simulated; replayed vector for vector).
+type Merge struct {
+	// Dup and Rep name the duplicate and the surviving representative in
+	// the original circuit.
+	Dup string `json:"dup"`
+	Rep string `json:"rep"`
+	// Complement marks a merge of opposite phases (Dup == NOT Rep).
+	Complement bool `json:"complement,omitempty"`
+	// Structural marks a merge proven by construction via Strash;
+	// VectorsTried is zero for these.
+	Structural bool `json:"structural,omitempty"`
+	// VectorsTried and Exhaustive echo a functional proof: how many
+	// input assignments were simulated, and whether they covered the
+	// candidates' full support (always true for applied rewrites).
+	VectorsTried int  `json:"vectorsTried,omitempty"`
+	Exhaustive   bool `json:"exhaustive,omitempty"`
+}
+
+// Constant is one proven stuck-at fact.
+type Constant struct {
+	Net          string `json:"net"`
+	Value        bool   `json:"value"`
+	VectorsTried int    `json:"vectorsTried"`
+	Exhaustive   bool   `json:"exhaustive"`
+}
+
+// Certificate is the machine-checkable record of one resubstitution run:
+// everything verify rule V014 needs to replay the proofs and re-derive
+// the original-to-optimized net correspondence, without rerunning the
+// candidate search. Names, not IDs, are the stable coordinates — the
+// optimized circuit allocates fresh NetIDs.
+type Certificate struct {
+	// Circuit is the original circuit's name.
+	Circuit string `json:"circuit"`
+	// Words and Seed are the signature-sampling parameters the candidate
+	// search ran with; ProofVectors and ExhaustiveInputs bound the
+	// per-candidate proofs (V014 replays with the same budget).
+	Words            int   `json:"words"`
+	Seed             int64 `json:"seed"`
+	ProofVectors     int   `json:"proofVectors"`
+	ExhaustiveInputs int   `json:"exhaustiveInputs"`
+	// Merges and Constants list every applied rewrite with its witness
+	// statistics. Stripped lists nets removed as dead fan-out.
+	Merges    []Merge    `json:"merges"`
+	Constants []Constant `json:"constants"`
+	Stripped  []string   `json:"stripped"`
+	// NetMap sends each surviving original net name to the optimized net
+	// name carrying its value (identity for kept nets, the
+	// representative — or its inverter net — for merged nets, the shared
+	// constant net for constant nets). Stripped nets are absent.
+	NetMap map[string]string `json:"netMap"`
+	// Census: netlist sizes on both sides of the rewrite.
+	GatesBefore int `json:"gatesBefore"`
+	GatesAfter  int `json:"gatesAfter"`
+	NetsBefore  int `json:"netsBefore"`
+	NetsAfter   int `json:"netsAfter"`
+}
+
+// Result is the outcome of one Run: the normalized original, the
+// rewritten circuit, the certificate, and the per-net fates. When the
+// pass proves nothing, Optimized is the same *Circuit as Original (the
+// no-op guarantee) and every fate is FateKept.
+type Result struct {
+	Original  *circuit.Circuit
+	Optimized *circuit.Circuit
+	Cert      *Certificate
+	// Fates is indexed by Original NetID.
+	Fates []NetFate
+}
+
+// Changed reports whether the pass rewrote anything.
+func (r *Result) Changed() bool { return r.Original != r.Optimized }
+
+// MergedCount, ConstCount and StrippedCount summarize the census.
+func (r *Result) MergedCount() int   { return len(r.Cert.Merges) }
+func (r *Result) ConstCount() int    { return len(r.Cert.Constants) }
+func (r *Result) StrippedCount() int { return len(r.Cert.Stripped) }
+
+// Resolve follows an original net to its surviving value: the optimized
+// circuit's net carrying it, an inversion flag, and for constants the
+// value. ok is false for stripped nets, which have no image.
+func (r *Result) Resolve(n circuit.NetID) (target circuit.NetID, invert bool, isConst bool, constVal bool, ok bool) {
+	if int(n) >= len(r.Fates) {
+		return circuit.NoNet, false, false, false, false
+	}
+	f := r.Fates[n]
+	switch f.Kind {
+	case FateStripped:
+		return circuit.NoNet, false, false, false, false
+	case FateConst:
+		return circuit.NoNet, false, true, f.Value, true
+	case FateMerged:
+		return f.Target, f.Invert, false, false, true
+	}
+	return n, false, false, false, true
+}

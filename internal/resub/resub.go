@@ -1,0 +1,348 @@
+// Package resub implements simulation-guided Boolean resubstitution as a
+// pre-compilation netlist optimization: random bit-parallel simulation
+// computes a signature per net, nets sharing a signature (or a
+// complemented signature) become merge candidates and constant-signature
+// nets become stuck-at candidates, every candidate is *proven* before
+// any rewrite, and the applied rewrites are recorded in a
+// machine-checkable Certificate that verify rules V013 and V014 replay.
+//
+// Sampling nominates; only sound proofs rewrite. A candidate is applied
+// when structural hashing derives it by construction (Strash) or when
+// internal/equiv exhausts the candidates' primary-input support. Random
+// agreement alone — however many vectors — never licenses a rewrite: a
+// pair that differs on one assignment in a few thousand passes any
+// fixed random budget with non-trivial probability, and a pass that
+// rewrites on such evidence ships wrong netlists (observed on c2670).
+//
+// In Maurer's compile-once/simulate-many setting every gate removed
+// before compilation pays off on every vector of every run, so the pass
+// runs ahead of both compiled techniques: merged duplicates and proven
+// constants drop their driver gates, and fan-out cones feeding only
+// removed nets are stripped.
+//
+// Semantics: the optimized circuit is settled-value equivalent to the
+// original (same zero-delay function, hence identical unit-delay *final*
+// values on every vector), but the unit-delay waveform timing inside a
+// merged cone can differ — a duplicate at level 9 merged into its level-3
+// representative now transitions at the representative's times. Engines
+// built on the optimized netlist preserve final values bit-identically;
+// intermediate waveform probes of merged nets resolve to the surviving
+// representative.
+package resub
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"udsim/internal/circuit"
+	"udsim/internal/equiv"
+	"udsim/internal/lcc"
+	"udsim/internal/levelize"
+	"udsim/internal/logic"
+)
+
+// Config parameterizes one run. The zero value selects the defaults.
+type Config struct {
+	// Words is the number of 64-lane random words simulated for the
+	// signatures (default 8: 512 random vectors per net).
+	Words int
+	// Seed drives both the signature vectors and the random half of the
+	// proofs (default 1990).
+	Seed int64
+	// ProofVectors is the random-vector budget rule V014 spends on the
+	// end-to-end original-vs-optimized re-check when the circuit is too
+	// wide for exhaustion (default 8192). The pass itself never accepts
+	// a rewrite on random evidence.
+	ProofVectors int
+	// ExhaustiveInputs is the support-size cutoff below which functional
+	// proofs enumerate the candidates' full primary-input support and
+	// are exact (default 12). Candidates with wider support are applied
+	// only when structural hashing proves them.
+	ExhaustiveInputs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Words <= 0 {
+		c.Words = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1990
+	}
+	if c.ProofVectors <= 0 {
+		c.ProofVectors = 8192
+	}
+	if c.ExhaustiveInputs <= 0 {
+		c.ExhaustiveInputs = 12
+	}
+	return c
+}
+
+// member is one net in a signature bucket.
+type member struct {
+	id    circuit.NetID
+	phase bool // signature was complemented to normalize the bucket key
+	level int
+}
+
+// constCand is one constant-signature net.
+type constCand struct {
+	id    circuit.NetID
+	value bool
+}
+
+// Run analyzes and rewrites one combinational circuit. The input is
+// normalized first (original net IDs are preserved); Result.Fates is
+// indexed by the normalized original's NetIDs. When no candidate
+// survives its proof, Result.Optimized is the same *Circuit value as
+// Result.Original — the pass is a guaranteed no-op, not a rebuild.
+func Run(c *circuit.Circuit, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if !c.Combinational() {
+		return nil, fmt.Errorf("resub: circuit %s is sequential; break flip-flops first", c.Name)
+	}
+	orig := c.Normalize()
+	sim, err := lcc.Compile(orig)
+	if err != nil {
+		return nil, err
+	}
+	lv, err := levelize.Analyze(orig)
+	if err != nil {
+		return nil, err
+	}
+	sigs := signatures(sim, orig, cfg)
+	consts, buckets := bucketize(orig, lv, sigs)
+	sroot, sphase := Strash(orig, lv)
+
+	prover, err := equiv.NewNetProver(orig)
+	if err != nil {
+		return nil, err
+	}
+	fates := make([]NetFate, orig.NumNets())
+	for i := range fates {
+		fates[i] = NetFate{Kind: FateKept, Target: circuit.NoNet}
+	}
+	cert := &Certificate{
+		Circuit:          orig.Name,
+		Words:            cfg.Words,
+		Seed:             cfg.Seed,
+		ProofVectors:     cfg.ProofVectors,
+		ExhaustiveInputs: cfg.ExhaustiveInputs,
+		NetMap:           map[string]string{},
+		GatesBefore:      orig.NumGates(),
+		NetsBefore:       orig.NumNets(),
+	}
+
+	for _, cc := range consts {
+		if isCanonicalConst(orig, cc) {
+			continue // already driven by a matching Const gate: churn-free
+		}
+		if len(prover.Support(cc.id)) > cfg.ExhaustiveInputs {
+			continue // not exhaustively provable: sampling is not a proof
+		}
+		res, err := prover.CheckConst(cc.id, cc.value, cfg.ProofVectors, cfg.ExhaustiveInputs, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Equivalent || !res.Exhaustive {
+			continue
+		}
+		fates[cc.id] = NetFate{Kind: FateConst, Target: circuit.NoNet, Value: cc.value}
+		cert.Constants = append(cert.Constants, Constant{
+			Net: orig.Net(cc.id).Name, Value: cc.value,
+			VectorsTried: res.VectorsTried, Exhaustive: res.Exhaustive,
+		})
+	}
+
+	for _, ms := range buckets {
+		rep := ms[0]
+		for _, m := range ms[1:] {
+			if orig.Net(m.id).IsInput {
+				continue // a primary input cannot be replaced
+			}
+			comp := m.phase != rep.phase
+			if isCanonicalAlias(orig, m.id, rep.id, comp) {
+				continue // merging would reproduce the same structure
+			}
+			if StructurallyEquivalent(sroot, sphase, rep.id, m.id, comp) {
+				fates[m.id] = NetFate{Kind: FateMerged, Target: rep.id, Invert: comp}
+				cert.Merges = append(cert.Merges, Merge{
+					Dup: orig.Net(m.id).Name, Rep: orig.Net(rep.id).Name, Complement: comp,
+					Structural: true,
+				})
+				continue
+			}
+			if len(prover.Support(rep.id)) > cfg.ExhaustiveInputs ||
+				len(prover.Support(m.id)) > cfg.ExhaustiveInputs {
+				continue // not structural, not exhaustively provable: skip
+			}
+			res, err := prover.CheckNets(rep.id, m.id, comp, cfg.ProofVectors, cfg.ExhaustiveInputs, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if !res.Equivalent || !res.Exhaustive {
+				continue
+			}
+			fates[m.id] = NetFate{Kind: FateMerged, Target: rep.id, Invert: comp}
+			cert.Merges = append(cert.Merges, Merge{
+				Dup: orig.Net(m.id).Name, Rep: orig.Net(rep.id).Name, Complement: comp,
+				VectorsTried: res.VectorsTried, Exhaustive: res.Exhaustive,
+			})
+		}
+	}
+
+	if len(cert.Merges) == 0 && len(cert.Constants) == 0 {
+		// No proof survived: return the original object untouched so the
+		// pass is byte-identical no-op (and trivially idempotent).
+		cert.GatesAfter = orig.NumGates()
+		cert.NetsAfter = orig.NumNets()
+		for i := range orig.Nets {
+			cert.NetMap[orig.Nets[i].Name] = orig.Nets[i].Name
+		}
+		return &Result{Original: orig, Optimized: orig, Cert: cert, Fates: fates}, nil
+	}
+
+	opt, err := rewrite(orig, fates, cert)
+	if err != nil {
+		return nil, err
+	}
+	cert.GatesAfter = opt.NumGates()
+	cert.NetsAfter = opt.NumNets()
+	return &Result{Original: orig, Optimized: opt, Cert: cert, Fates: fates}, nil
+}
+
+// isCanonicalConst reports whether the net is already driven by a Const
+// gate of the candidate polarity. Rewriting it would only rename the net
+// — the pass must converge, and its own output is full of these.
+func isCanonicalConst(c *circuit.Circuit, cc constCand) bool {
+	d := c.Net(cc.id)
+	if len(d.Drivers) != 1 {
+		return false
+	}
+	switch c.Gate(d.Drivers[0]).Type {
+	case logic.Const0:
+		return !cc.value
+	case logic.Const1:
+		return cc.value
+	}
+	return false
+}
+
+// isCanonicalAlias reports whether merging dup into rep would reproduce
+// the structure dup already has, so the merge is pure churn and must be
+// skipped for the pass to be idempotent:
+//
+//   - dup is a lone NOT of rep and the merge is complemented (that NOT
+//     *is* the shared inverter the rewrite would emit);
+//   - dup is an output buffering rep non-inverted, and rep is a primary
+//     input or output, so the takeover rewrite cannot absorb it and the
+//     merge would re-emit the identical buffer.
+func isCanonicalAlias(c *circuit.Circuit, dup, rep circuit.NetID, comp bool) bool {
+	d := c.Net(dup)
+	if len(d.Drivers) != 1 {
+		return false
+	}
+	g := c.Gate(d.Drivers[0])
+	if len(g.Inputs) != 1 || g.Inputs[0] != rep {
+		return false
+	}
+	if g.Type == logic.Not && comp {
+		return true
+	}
+	if g.Type == logic.Buf && !comp && d.IsOutput {
+		r := c.Net(rep)
+		return r.IsInput || r.IsOutput
+	}
+	return false
+}
+
+// signatures simulates cfg.Words random 64-lane words and returns each
+// net's Words-word signature.
+func signatures(sim *lcc.Sim, c *circuit.Circuit, cfg Config) [][]uint64 {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	sigs := make([][]uint64, c.NumNets())
+	for i := range sigs {
+		sigs[i] = make([]uint64, cfg.Words)
+	}
+	packed := make([]uint64, len(c.Inputs))
+	for w := 0; w < cfg.Words; w++ {
+		for i := range packed {
+			packed[i] = r.Uint64()
+		}
+		// ApplyLanes only errors on input-count mismatch, which is
+		// impossible here by construction.
+		if err := sim.ApplyLanes(packed); err != nil {
+			panic(err)
+		}
+		for n := range sigs {
+			sigs[n][w] = sim.Word(circuit.NetID(n))
+		}
+	}
+	return sigs
+}
+
+// bucketize classifies the signatures: constant signatures become
+// stuck-at candidates (primary inputs excepted), the rest are grouped by
+// complement-normalized signature. Buckets with at least two members are
+// returned with members sorted by ascending level (ties by NetID), so
+// the head of each bucket — the shallowest member — is the merge
+// representative; merging deeper members into it can never create a
+// combinational cycle.
+func bucketize(c *circuit.Circuit, lv *levelize.Analysis, sigs [][]uint64) ([]constCand, [][]member) {
+	var consts []constCand
+	byKey := map[string][]member{}
+	var order []string // first-seen key order keeps the pass deterministic
+	for n := range sigs {
+		id := circuit.NetID(n)
+		sig := sigs[n]
+		allZero, allOne := true, true
+		for _, w := range sig {
+			if w != 0 {
+				allZero = false
+			}
+			if w != ^uint64(0) {
+				allOne = false
+			}
+		}
+		if allZero || allOne {
+			if !c.Net(id).IsInput {
+				consts = append(consts, constCand{id: id, value: allOne})
+			}
+			continue
+		}
+		phase := sig[0]&1 == 1
+		key := sigKey(sig, phase)
+		if _, ok := byKey[key]; !ok {
+			order = append(order, key)
+		}
+		byKey[key] = append(byKey[key], member{id: id, phase: phase, level: lv.NetLevel[n]})
+	}
+	var buckets [][]member
+	for _, k := range order {
+		ms := byKey[k]
+		if len(ms) < 2 {
+			continue
+		}
+		sort.Slice(ms, func(i, j int) bool {
+			if ms[i].level != ms[j].level {
+				return ms[i].level < ms[j].level
+			}
+			return ms[i].id < ms[j].id
+		})
+		buckets = append(buckets, ms)
+	}
+	return consts, buckets
+}
+
+// sigKey renders a (phase-normalized) signature as a map key.
+func sigKey(sig []uint64, phase bool) string {
+	buf := make([]byte, 8*len(sig))
+	for i, w := range sig {
+		if phase {
+			w = ^w
+		}
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	return string(buf)
+}

@@ -1,0 +1,411 @@
+package resub
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"udsim/internal/bench85"
+	"udsim/internal/circuit"
+	"udsim/internal/equiv"
+	"udsim/internal/logic"
+	"udsim/internal/refsim"
+)
+
+// mustEquiv asserts original and optimized compute the same PO functions.
+func mustEquiv(t *testing.T, res *Result) {
+	t.Helper()
+	r, err := equiv.Check(res.Original, res.Optimized, 256, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equivalent {
+		t.Fatalf("optimized circuit differs: %+v", r.Counterexample)
+	}
+}
+
+// dupCircuit has two structurally distinct copies of XOR(a,b): d1 feeds
+// output o1 directly, d2 (the deeper AND/OR form) feeds output o2
+// through a buffer. Resub must merge d2's cone into d1.
+func dupCircuit() *circuit.Circuit {
+	b := circuit.NewBuilder("dup")
+	a := b.Input("a")
+	x := b.Input("x")
+	d1 := b.Gate(logic.Xor, "d1", a, x)
+	na := b.Gate(logic.Not, "na", a)
+	nx := b.Gate(logic.Not, "nx", x)
+	t1 := b.Gate(logic.And, "t1", a, nx)
+	t2 := b.Gate(logic.And, "t2", na, x)
+	d2 := b.Gate(logic.Or, "d2", t1, t2)
+	o1 := b.Gate(logic.Buf, "o1", d1)
+	o2 := b.Gate(logic.Buf, "o2", d2)
+	b.Output(o1)
+	b.Output(o2)
+	return b.MustBuild()
+}
+
+func TestMergeDuplicateCone(t *testing.T) {
+	c := dupCircuit()
+	res, err := Run(c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Changed() {
+		t.Fatal("duplicate cone not detected")
+	}
+	if res.MergedCount() == 0 {
+		t.Fatalf("no merges recorded: %+v", res.Cert)
+	}
+	// The AND/OR cone (na, nx, t1, t2 + d2's driver) must be gone.
+	if res.Optimized.NumGates() >= c.NumGates() {
+		t.Fatalf("gates %d -> %d: nothing stripped", c.NumGates(), res.Optimized.NumGates())
+	}
+	if res.StrippedCount() == 0 {
+		t.Fatal("dead fan-in cone of the merged net not stripped")
+	}
+	mustEquiv(t, res)
+	// Every applied merge must carry a sound proof: structural (the Buf
+	// alias o1->d1) or exhaustive over the 2-input support (d2->d1).
+	for _, m := range res.Cert.Merges {
+		if !m.Structural && !m.Exhaustive {
+			t.Errorf("merge %s->%s carries no sound proof: %+v", m.Dup, m.Rep, m)
+		}
+	}
+}
+
+// TestStructuralMergeWideSupport: an exact duplicate of a 20-input XOR
+// tree is far beyond the exhaustive cutoff, so only the structural-hash
+// proof can license the merge — and it must.
+func TestStructuralMergeWideSupport(t *testing.T) {
+	build := func(b *circuit.Builder, name string, pis []circuit.NetID) circuit.NetID {
+		layer := append([]circuit.NetID(nil), pis...)
+		for lvl := 0; len(layer) > 1; lvl++ {
+			var next []circuit.NetID
+			for i := 0; i+1 < len(layer); i += 2 {
+				next = append(next, b.Gate(logic.Xor, fmt.Sprintf("%s_%d_%d", name, lvl, i/2), layer[i], layer[i+1]))
+			}
+			if len(layer)%2 == 1 {
+				next = append(next, layer[len(layer)-1])
+			}
+			layer = next
+		}
+		return layer[0]
+	}
+	b := circuit.NewBuilder("widedup")
+	pis := make([]circuit.NetID, 20)
+	for i := range pis {
+		pis[i] = b.Input(fmt.Sprintf("x%d", i))
+	}
+	f := build(b, "f", pis)
+	g := build(b, "g", pis) // byte-for-byte duplicate tree
+	// A chain-shaped XOR over one input fewer: functionally distinct,
+	// structurally distinct, and far too wide to exhaust — must survive.
+	h := pis[0]
+	for i := 1; i < 19; i++ {
+		h = b.Gate(logic.Xor, fmt.Sprintf("h_%d", i), h, pis[i])
+	}
+	of := b.Gate(logic.Buf, "of", f)
+	og := b.Gate(logic.Buf, "og", g)
+	oh := b.Gate(logic.Buf, "oh", h)
+	b.Output(of)
+	b.Output(og)
+	b.Output(oh)
+	c := b.MustBuild()
+
+	res, err := Run(c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MergedCount() == 0 {
+		t.Fatal("duplicate 20-input tree not merged")
+	}
+	structural := false
+	for _, m := range res.Cert.Merges {
+		if !m.Structural && !m.Exhaustive {
+			t.Fatalf("unsound merge applied: %+v", m)
+		}
+		if m.Structural {
+			structural = true
+		}
+	}
+	if !structural {
+		t.Fatalf("no structural proof in certificate: %+v", res.Cert.Merges)
+	}
+	mustEquiv(t, res)
+	// The chain net h is functionally different from f; with 19 support
+	// inputs no sound proof exists for any f/h pairing, so h must be kept.
+	hid, _ := res.Original.NetByName("oh")
+	if f := res.Fates[hid]; f.Kind != FateKept {
+		t.Fatalf("oh (distinct function, wide support) not kept: %+v", f)
+	}
+}
+
+func TestComplementMerge(t *testing.T) {
+	// nd computes XNOR(a,x) = NOT XOR(a,x); its reader must be re-pointed
+	// at a shared inverter of the XOR representative (or vice versa).
+	b := circuit.NewBuilder("comp")
+	a := b.Input("a")
+	x := b.Input("x")
+	d := b.Gate(logic.Xor, "d", a, x)
+	nd := b.Gate(logic.Xnor, "nd", a, x)
+	o1 := b.Gate(logic.Buf, "o1", d)
+	o2 := b.Gate(logic.And, "o2", nd, a)
+	b.Output(o1)
+	b.Output(o2)
+	c := b.MustBuild()
+
+	res, err := Run(c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Changed() {
+		t.Fatal("complement pair not detected")
+	}
+	found := false
+	for _, m := range res.Cert.Merges {
+		if m.Complement {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no complemented merge in certificate: %+v", res.Cert.Merges)
+	}
+	mustEquiv(t, res)
+}
+
+func TestConstantPropagation(t *testing.T) {
+	// k = AND(a, NOT a) is stuck at 0; its reader o = OR(k, x) must read
+	// the shared constant and the PO ko must become a constant driver.
+	b := circuit.NewBuilder("const")
+	a := b.Input("a")
+	x := b.Input("x")
+	na := b.Gate(logic.Not, "na", a)
+	k := b.Gate(logic.And, "k", a, na)
+	o := b.Gate(logic.Or, "o", k, x)
+	ko := b.Gate(logic.Or, "ko", k, k)
+	b.Output(o)
+	b.Output(ko)
+	c := b.MustBuild()
+
+	res, err := Run(c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConstCount() == 0 {
+		t.Fatalf("stuck-at-0 net not found: %+v", res.Cert)
+	}
+	mustEquiv(t, res)
+	// ko must now be directly constant-driven.
+	id, ok := res.Optimized.NetByName("ko")
+	if !ok {
+		t.Fatal("PO ko missing from optimized circuit")
+	}
+	g := res.Optimized.Gate(res.Optimized.Net(id).Drivers[0])
+	if g.Type != logic.Const0 {
+		t.Errorf("ko driven by %v, want Const0", g.Type)
+	}
+}
+
+func TestOutputTakeover(t *testing.T) {
+	// Output p duplicates internal net r = AND(a,x), which also feeds
+	// deeper logic. The takeover rewrite should re-point r's driver at p
+	// and drop one gate (p's duplicate AND).
+	b := circuit.NewBuilder("takeover")
+	a := b.Input("a")
+	x := b.Input("x")
+	r := b.Gate(logic.And, "r", a, x)
+	o := b.Gate(logic.Or, "o", r, a)
+	p := b.Gate(logic.And, "p", a, x)
+	b.Output(o)
+	b.Output(p)
+	c := b.MustBuild()
+
+	res, err := Run(c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Changed() || res.Optimized.NumGates() >= c.NumGates() {
+		t.Fatalf("takeover saved nothing: %d -> %d gates", c.NumGates(), res.Optimized.NumGates())
+	}
+	mustEquiv(t, res)
+	// r's value now lives under the output's name.
+	if got := res.Cert.NetMap["r"]; got != "p" {
+		t.Errorf("NetMap[r] = %q, want p", got)
+	}
+	if _, ok := res.Optimized.NetByName("r"); ok {
+		t.Error("absorbed representative r still present")
+	}
+	// The fate map must resolve r to p.
+	rid, _ := res.Original.NetByName("r")
+	pid, _ := res.Original.NetByName("p")
+	if f := res.Fates[rid]; f.Kind != FateMerged || f.Target != pid {
+		t.Errorf("fate of r = %+v, want merged into p", f)
+	}
+}
+
+func TestMergeIntoPrimaryInput(t *testing.T) {
+	// d = AND(a,a) == a: readers must be re-pointed at the input itself.
+	b := circuit.NewBuilder("pimerge")
+	a := b.Input("a")
+	x := b.Input("x")
+	d := b.Gate(logic.And, "d", a, a)
+	o := b.Gate(logic.Or, "o", d, x)
+	b.Output(o)
+	c := b.MustBuild()
+
+	res, err := Run(c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Changed() {
+		t.Fatal("AND(a,a) not merged into a")
+	}
+	if got := res.Cert.NetMap["d"]; got != "a" {
+		t.Errorf("NetMap[d] = %q, want a", got)
+	}
+	mustEquiv(t, res)
+}
+
+// nearMissCircuit builds two functions that agree on all but one of 2^9
+// support assignments: f = XOR(x0, AND(x1..x9)) versus
+// g = XOR(x0, AND(x1..x8)). With a one-word signature they almost
+// certainly collide into one bucket, but the exhaustive proof over the
+// 10-input support refutes the merge.
+func nearMissCircuit() *circuit.Circuit {
+	b := circuit.NewBuilder("nearmiss")
+	pis := make([]circuit.NetID, 10)
+	for i := range pis {
+		pis[i] = b.Input(fmt.Sprintf("x%d", i))
+	}
+	andAll := b.Gate(logic.And, "andAll", pis[1:]...)
+	andMost := b.Gate(logic.And, "andMost", pis[1:9]...)
+	f := b.Gate(logic.Xor, "f", pis[0], andAll)
+	g := b.Gate(logic.Xor, "g", pis[0], andMost)
+	b.Output(f)
+	b.Output(g)
+	return b.MustBuild()
+}
+
+// TestNoOpOnRefutedBucket checks the no-op guarantee: when every
+// candidate's proof is refuted, Run hands back the original *Circuit
+// value itself, so the netlist is trivially byte-identical.
+func TestNoOpOnRefutedBucket(t *testing.T) {
+	c := nearMissCircuit()
+	res, err := Run(c, Config{Words: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MergedCount() != 0 || res.ConstCount() != 0 {
+		t.Fatalf("near-miss pair wrongly proven: %+v", res.Cert)
+	}
+	if res.Changed() {
+		t.Fatal("no proofs applied but circuit rebuilt")
+	}
+	if res.Optimized != c.Normalize() && res.Optimized != c {
+		t.Fatal("no-op did not return the original circuit object")
+	}
+	var w1, w2 bytes.Buffer
+	if err := bench85.Write(&w1, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench85.Write(&w2, res.Optimized); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Fatal("no-op output not byte-identical")
+	}
+	for i, f := range res.Fates {
+		if f.Kind != FateKept {
+			t.Fatalf("net %d fate %v after a no-op run", i, f.Kind)
+		}
+	}
+}
+
+// TestIdempotence runs the pass twice: the second run over the optimized
+// circuit must leave it structurally byte-identical.
+func TestIdempotence(t *testing.T) {
+	for _, build := range []func() *circuit.Circuit{dupCircuit, nearMissCircuit} {
+		c := build()
+		r1, err := Run(c, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(r1.Optimized, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w1, w2 bytes.Buffer
+		if err := bench85.Write(&w1, r1.Optimized); err != nil {
+			t.Fatal(err)
+		}
+		if err := bench85.Write(&w2, r2.Optimized); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Fatalf("%s: second pass changed the netlist:\n-- first --\n%s\n-- second --\n%s",
+				c.Name, w1.String(), w2.String())
+		}
+	}
+}
+
+// TestResolveAgainstReference replays random vectors on the reference
+// simulator and checks every surviving original net's resolved value in
+// the optimized circuit, constants and complements included.
+func TestResolveAgainstReference(t *testing.T) {
+	for _, build := range []func() *circuit.Circuit{dupCircuit, nearMissCircuit} {
+		c := build()
+		res, err := Run(c, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec := make([]bool, len(res.Original.Inputs))
+		for trial := 0; trial < 32; trial++ {
+			for i := range vec {
+				vec[i] = (trial>>uint(i%5))&1 == 1 || (trial+i)%3 == 0
+			}
+			sOrig, err := refsim.Evaluate(res.Original, vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sOpt, err := refsim.Evaluate(res.Optimized, vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := range res.Original.Nets {
+				n := circuit.NetID(id)
+				target, invert, isConst, constVal, ok := res.Resolve(n)
+				if !ok {
+					continue // stripped: unobservable
+				}
+				want := sOrig[n]
+				var got bool
+				switch {
+				case isConst:
+					got = constVal
+				default:
+					tid, tok := res.Optimized.NetByName(res.Original.Net(target).Name)
+					if !tok {
+						t.Fatalf("resolved target %q missing", res.Original.Net(target).Name)
+					}
+					got = sOpt[tid] != invert
+				}
+				if got != want {
+					t.Fatalf("%s: net %s resolves wrong on trial %d: got %v want %v",
+						c.Name, res.Original.Net(n).Name, trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSequentialRejected(t *testing.T) {
+	b := circuit.NewBuilder("seq")
+	d := b.Input("d")
+	q := b.FlipFlop("q", d)
+	o := b.Gate(logic.Buf, "o", q)
+	b.Output(o)
+	c := b.MustBuild()
+	if _, err := Run(c, Config{}); err == nil {
+		t.Fatal("sequential circuit accepted")
+	}
+}

@@ -1,0 +1,288 @@
+package resub
+
+import (
+	"fmt"
+	"sort"
+
+	"udsim/internal/circuit"
+	"udsim/internal/logic"
+)
+
+// rewrite applies the proven fates to the original circuit and finalizes
+// the certificate and fates:
+//
+//   - readers of a merged net are re-pointed at its representative (via a
+//     shared inverter net for complemented merges);
+//   - readers of a constant net read a shared constant-driven net;
+//   - a primary output proven equal to a shallower internal net absorbs
+//     that net: the representative's driver gate drives the output net
+//     directly ("takeover"), deleting the output's old buffer/cone;
+//   - gates whose outputs can no longer reach any primary output are
+//     stripped.
+//
+// Primary inputs and outputs keep their names and declaration order, so
+// the optimized circuit is a drop-in replacement for vector application.
+func rewrite(orig *circuit.Circuit, fates []NetFate, cert *Certificate) (*circuit.Circuit, error) {
+	name := func(id circuit.NetID) string { return orig.Net(id).Name }
+
+	// A primary output proven non-inverted-equal to an internal,
+	// non-PI/PO representative absorbs it: first such output per
+	// representative wins (further outputs buffer off the first).
+	takeover := map[circuit.NetID]circuit.NetID{} // rep → absorbing PO
+	for _, p := range orig.Outputs {
+		f := fates[p]
+		if f.Kind != FateMerged || f.Invert {
+			continue
+		}
+		r := f.Target
+		if orig.Net(r).IsInput || orig.Net(r).IsOutput {
+			continue
+		}
+		if _, taken := takeover[r]; taken {
+			continue
+		}
+		takeover[r] = p
+	}
+
+	// survName resolves a *kept* net to the optimized name carrying its
+	// value (the absorbing PO's name for taken-over representatives).
+	survName := func(id circuit.NetID) string {
+		if po, ok := takeover[id]; ok {
+			return name(po)
+		}
+		return name(id)
+	}
+	driverGate := func(id circuit.NetID) *circuit.Gate {
+		return orig.Gate(orig.Net(id).Drivers[0])
+	}
+
+	// Liveness over surviving nets: walk backward from the primary
+	// outputs through the substituted read edges, recording which kept
+	// nets must be materialized, which representatives need a shared
+	// inverter, and whether the shared constant nets are needed.
+	live := make(map[circuit.NetID]bool)
+	needInv := make(map[circuit.NetID]bool) // surviving net → inverter needed
+	var needConst0, needConst1 bool
+	var visit func(circuit.NetID)
+	read := func(x circuit.NetID) {
+		f := fates[x]
+		switch f.Kind {
+		case FateConst:
+			if orig.Net(x).IsOutput {
+				visit(x) // constant POs exist by name; read them directly
+			} else if f.Value {
+				needConst1 = true
+			} else {
+				needConst0 = true
+			}
+		case FateMerged:
+			t := f.Target
+			s := t
+			if po, ok := takeover[t]; ok {
+				s = po
+			}
+			if f.Invert {
+				needInv[s] = true
+			}
+			visit(s)
+		default:
+			s := x
+			if po, ok := takeover[x]; ok {
+				s = po
+			}
+			visit(s)
+		}
+	}
+	visit = func(s circuit.NetID) {
+		if live[s] {
+			return
+		}
+		live[s] = true
+		n := orig.Net(s)
+		if n.IsInput {
+			return
+		}
+		if n.IsOutput {
+			switch f := fates[s]; f.Kind {
+			case FateConst:
+				return
+			case FateMerged:
+				if takeover[f.Target] == s {
+					for _, in := range driverGate(f.Target).Inputs {
+						read(in)
+					}
+				} else {
+					read(f.Target)
+				}
+				return
+			}
+		}
+		for _, in := range driverGate(s).Inputs {
+			read(in)
+		}
+	}
+	for _, p := range orig.Outputs {
+		visit(p)
+	}
+
+	// Aux-net names must not collide with original names.
+	fresh := func(base string) string {
+		for {
+			if _, ok := orig.NetByName(base); !ok {
+				return base
+			}
+			base += "$"
+		}
+	}
+	const0Name := fresh("$const0")
+	const1Name := fresh("$const1")
+	invName := map[circuit.NetID]string{}
+	var invOrder []circuit.NetID
+	for s := range needInv {
+		invOrder = append(invOrder, s)
+	}
+	sort.Slice(invOrder, func(i, j int) bool { return invOrder[i] < invOrder[j] })
+	for _, s := range invOrder {
+		invName[s] = fresh(survName(s) + "$inv")
+	}
+
+	// readName resolves one gate-input reference to its optimized net.
+	readName := func(x circuit.NetID) string {
+		f := fates[x]
+		switch f.Kind {
+		case FateConst:
+			if orig.Net(x).IsOutput {
+				return name(x)
+			}
+			if f.Value {
+				return const1Name
+			}
+			return const0Name
+		case FateMerged:
+			s := f.Target
+			if po, ok := takeover[f.Target]; ok {
+				s = po
+			}
+			if f.Invert {
+				return invName[s]
+			}
+			return survName(f.Target)
+		default:
+			return survName(x)
+		}
+	}
+
+	b := circuit.NewBuilder(orig.Name)
+	for _, p := range orig.Inputs {
+		b.Input(name(p))
+	}
+	// Original gates, in original order: emit a gate when its output net
+	// survives (directly, or renamed onto the PO that absorbed it).
+	for gi := range orig.Gates {
+		g := &orig.Gates[gi]
+		o := g.Output
+		out := ""
+		if po, ok := takeover[o]; ok && live[po] && fates[o].Kind == FateKept {
+			out = name(po)
+		} else if live[o] && fates[o].Kind == FateKept {
+			out = name(o)
+		} else {
+			continue
+		}
+		ins := make([]circuit.NetID, len(g.Inputs))
+		for i, x := range g.Inputs {
+			ins[i] = b.Net(readName(x))
+		}
+		b.GateInto(g.Type, b.Net(out), ins...)
+	}
+	// Shared constant and inverter nets.
+	if needConst0 {
+		b.GateInto(logic.Const0, b.Net(const0Name))
+	}
+	if needConst1 {
+		b.GateInto(logic.Const1, b.Net(const1Name))
+	}
+	for _, s := range invOrder {
+		b.GateInto(logic.Not, b.Net(invName[s]), b.Net(survName(s)))
+	}
+	// Primary outputs, in original order. Kept and takeover outputs were
+	// driven above; merged outputs buffer (or invert) off their
+	// representative; constant outputs get their own constant driver.
+	for _, p := range orig.Outputs {
+		pn := b.Net(name(p))
+		switch f := fates[p]; f.Kind {
+		case FateConst:
+			if f.Value {
+				b.GateInto(logic.Const1, pn)
+			} else {
+				b.GateInto(logic.Const0, pn)
+			}
+		case FateMerged:
+			if takeover[f.Target] != p {
+				op := logic.Buf
+				if f.Invert {
+					op = logic.Not
+				}
+				b.GateInto(op, pn, b.Net(survName(f.Target)))
+			}
+		}
+		b.Output(pn)
+	}
+	opt, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("resub: rewrite of %s produced an invalid circuit: %w", orig.Name, err)
+	}
+
+	// Finalize fates against the optimized circuit and fill the
+	// certificate's net map and strip list. Primary outputs always
+	// survive by name, so their working Merged fate collapses back to
+	// Kept; taken-over representatives become merges onto their PO.
+	for i := range orig.Nets {
+		id := circuit.NetID(i)
+		n := &orig.Nets[i]
+		if po, ok := takeover[id]; ok {
+			fates[id] = NetFate{Kind: FateMerged, Target: po}
+		}
+		f := &fates[id]
+		switch f.Kind {
+		case FateConst:
+			if n.IsOutput {
+				cert.NetMap[n.Name] = n.Name
+			} else if f.Value {
+				cert.NetMap[n.Name] = "=1"
+			} else {
+				cert.NetMap[n.Name] = "=0"
+			}
+		case FateMerged:
+			if n.IsOutput {
+				*f = NetFate{Kind: FateKept, Target: circuit.NoNet}
+				cert.NetMap[n.Name] = n.Name
+				continue
+			}
+			s := f.Target
+			if po, ok := takeover[f.Target]; ok {
+				s = po
+			}
+			if !live[s] {
+				*f = NetFate{Kind: FateStripped, Target: circuit.NoNet}
+				cert.Stripped = append(cert.Stripped, n.Name)
+				continue
+			}
+			f.Target = s // resolve through takeover: s exists by name in opt
+			if f.Invert {
+				cert.NetMap[n.Name] = "~" + name(s)
+			} else {
+				cert.NetMap[n.Name] = name(s)
+			}
+		default: // FateKept
+			if n.IsInput || n.IsOutput || live[id] {
+				cert.NetMap[n.Name] = n.Name
+				continue
+			}
+			*f = NetFate{Kind: FateStripped, Target: circuit.NoNet}
+			cert.Stripped = append(cert.Stripped, n.Name)
+		}
+	}
+	sort.Strings(cert.Stripped)
+	return opt, nil
+}

@@ -1,0 +1,120 @@
+package resub
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"udsim/internal/circuit"
+	"udsim/internal/levelize"
+	"udsim/internal/logic"
+)
+
+// lit is a phase-annotated reference to a class representative: the
+// value of the literal is the representative's value, complemented when
+// phase is set.
+type lit struct {
+	root  circuit.NetID
+	phase bool
+}
+
+// Strash computes a sound structural-equivalence table for a normalized
+// combinational circuit by iterated structural hashing in levelized
+// order:
+//
+//   - buffers and inverters propagate their input's literal (inverters
+//     flip its phase), so alias chains collapse;
+//   - inverted gate types normalize to their base (NAND = ~AND,
+//     NOR = ~OR, XNOR = ~XOR) with the inversion folded into the output
+//     phase, and XOR additionally folds input phases into the output
+//     phase (XOR(a, ~b) = ~XOR(a, b));
+//   - the remaining gates are keyed by base type plus the sorted literal
+//     list of their (already-resolved) inputs; gates with equal keys
+//     compute the same function, so their outputs join one class.
+//
+// root[n] names n's class representative and phase[n] is true when n
+// computes the representative's complement. Two nets with the same root
+// are equivalent (phases equal) or complementary (phases differ) by
+// construction — no simulation, no sampling. The converse does not
+// hold: functionally equal nets with different structure stay in
+// different classes; those need a functional proof.
+func Strash(c *circuit.Circuit, lv *levelize.Analysis) (root []circuit.NetID, phase []bool) {
+	n := c.NumNets()
+	root = make([]circuit.NetID, n)
+	phase = make([]bool, n)
+	for i := range root {
+		root[i] = circuit.NetID(i)
+	}
+	classes := map[string]lit{}
+	var lits []lit
+	for _, gid := range lv.LevelOrder {
+		g := c.Gate(gid)
+		out := g.Output
+		if len(c.Net(out).Drivers) != 1 {
+			continue // wired net: keep its own class
+		}
+		base, inv := g.Type, false
+		switch g.Type {
+		case logic.Nand:
+			base, inv = logic.And, true
+		case logic.Nor:
+			base, inv = logic.Or, true
+		case logic.Xnor:
+			base, inv = logic.Xor, true
+		}
+		if base == logic.Buf || base == logic.Not {
+			in := g.Inputs[0]
+			root[out], phase[out] = root[in], phase[in] != (base == logic.Not)
+			continue
+		}
+		lits = lits[:0]
+		for _, in := range g.Inputs {
+			lits = append(lits, lit{root[in], phase[in]})
+		}
+		if base == logic.Xor {
+			for i := range lits {
+				if lits[i].phase {
+					inv, lits[i].phase = !inv, false
+				}
+			}
+		}
+		if len(lits) == 1 {
+			// Degenerate one-input AND/OR/XOR: the identity function.
+			root[out], phase[out] = lits[0].root, lits[0].phase != inv
+			continue
+		}
+		sort.Slice(lits, func(i, j int) bool {
+			if lits[i].root != lits[j].root {
+				return lits[i].root < lits[j].root
+			}
+			return !lits[i].phase && lits[j].phase
+		})
+		key := strashKey(base, lits)
+		if cl, ok := classes[key]; ok {
+			root[out], phase[out] = cl.root, cl.phase != inv
+			continue
+		}
+		// First definition of this function: out is the representative,
+		// and the class literal is out corrected for the inversion.
+		classes[key] = lit{out, inv}
+	}
+	return root, phase
+}
+
+// strashKey serializes a base gate type and its sorted literal list.
+func strashKey(base logic.GateType, lits []lit) string {
+	buf := make([]byte, 1+9*len(lits))
+	buf[0] = byte(base)
+	for i, l := range lits {
+		binary.LittleEndian.PutUint64(buf[1+9*i:], uint64(l.root))
+		if l.phase {
+			buf[1+9*i+8] = 1
+		}
+	}
+	return string(buf)
+}
+
+// StructurallyEquivalent answers whether the table proves a and b equal
+// (complemented when complement is set).
+func StructurallyEquivalent(root []circuit.NetID, phase []bool, a, b circuit.NetID, complement bool) bool {
+	return root[a] == root[b] && (phase[a] != phase[b]) == complement
+}

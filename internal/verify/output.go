@@ -27,6 +27,8 @@ var RuleDocs = []RuleDoc{
 	{RuleConst, "constant propagation: provably-constant results and no-op accumulations"},
 	{RuleInterval, "bit-interval containment: accumulated bits disjoint from bits already held"},
 	{RuleRace, "happens-before races: all conflicting shard accesses are ordered"},
+	{RuleRewrite, "resubstitution rewrite: optimized netlist structurally valid, boundary preserved, net map consistent"},
+	{RuleCert, "resubstitution certificate: merge and constant proofs replay, original and optimized circuits equivalent"},
 }
 
 // jsonFinding mirrors Finding with stable lowercase field names; the

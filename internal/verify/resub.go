@@ -1,0 +1,258 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"udsim/internal/equiv"
+	"udsim/internal/levelize"
+	"udsim/internal/resub"
+)
+
+// Rules V013 and V014 audit the resubstitution optimizer's output. They
+// are netlist-level rules, not instruction-stream rules: findings carry
+// Prog "netlist" (V013, structural invariants of the rewritten circuit)
+// or "cert" (V014, certificate replay), with no instruction coordinates.
+const (
+	RuleRewrite = "V013"
+	RuleCert    = "V014"
+)
+
+// CheckRewrite audits one resubstitution result end to end:
+//
+//   - V013 re-validates the optimized netlist's structural invariants —
+//     builder-level validity (no dangling drivers, acyclic), primary
+//     inputs and outputs preserved by name and order, the certificate's
+//     net map consistent with both circuits, and the census counts true;
+//   - V014 replays the certificate — structural merge proofs are
+//     re-derived from a freshly built structural-hash table, functional
+//     proofs are re-run exhaustively through internal/equiv (an entry
+//     recording sampling-only evidence is itself an error: random
+//     agreement never licenses a rewrite), and the original and
+//     optimized circuits are re-checked for primary-output equivalence
+//     end to end.
+//
+// The returned report is deterministic and renders through the same
+// JSON/SARIF drivers as the instruction-stream rules.
+func CheckRewrite(res *resub.Result) *Report {
+	r := &Report{Name: "resub"}
+	checkRewriteStructure(r, res)
+	checkRewriteCert(r, res)
+	r.sortFindings()
+	return r
+}
+
+// CheckRewriteStructure runs only the structural rule V013 — the cheap
+// netlist invariants — without replaying the certificate proofs. The
+// facade gates every WithResubstitution engine on it; the full V014
+// replay is CheckRewrite's job (udlint and the test suite).
+func CheckRewriteStructure(res *resub.Result) *Report {
+	r := &Report{Name: "resub"}
+	checkRewriteStructure(r, res)
+	r.sortFindings()
+	return r
+}
+
+// netlistFinding / certFinding add a V013 / V014 error.
+func netlistFinding(r *Report, format string, args ...any) {
+	r.add(Finding{Rule: RuleRewrite, Severity: SevError, Prog: "netlist", Instr: -1, Slot: -1,
+		Msg: fmt.Sprintf(format, args...)})
+}
+
+func certFinding(r *Report, sev Severity, format string, args ...any) {
+	r.add(Finding{Rule: RuleCert, Severity: sev, Prog: "cert", Instr: -1, Slot: -1,
+		Msg: fmt.Sprintf(format, args...)})
+}
+
+// checkRewriteStructure is rule V013.
+func checkRewriteStructure(r *Report, res *resub.Result) {
+	orig, opt, cert := res.Original, res.Optimized, res.Cert
+
+	if err := opt.Validate(); err != nil {
+		netlistFinding(r, "optimized circuit invalid: %v", err)
+	}
+
+	// Primary inputs and outputs: same names in the same order.
+	if len(opt.Inputs) != len(orig.Inputs) {
+		netlistFinding(r, "input count changed: %d -> %d", len(orig.Inputs), len(opt.Inputs))
+	} else {
+		for i, id := range orig.Inputs {
+			if got := opt.Net(opt.Inputs[i]).Name; got != orig.Net(id).Name {
+				netlistFinding(r, "input %d renamed: %q -> %q", i, orig.Net(id).Name, got)
+			}
+		}
+	}
+	if len(opt.Outputs) != len(orig.Outputs) {
+		netlistFinding(r, "output count changed: %d -> %d", len(orig.Outputs), len(opt.Outputs))
+	} else {
+		for i, id := range orig.Outputs {
+			if got := opt.Net(opt.Outputs[i]).Name; got != orig.Net(id).Name {
+				netlistFinding(r, "output %d renamed: %q -> %q", i, orig.Net(id).Name, got)
+			}
+		}
+	}
+
+	// Net map: together with the strip list it must cover every original
+	// net exactly once, identity-map the boundary nets, and point at
+	// nets that actually exist in the optimized circuit.
+	stripped := make(map[string]bool, len(cert.Stripped))
+	for _, n := range cert.Stripped {
+		stripped[n] = true
+	}
+	for i := range orig.Nets {
+		name := orig.Nets[i].Name
+		target, mapped := cert.NetMap[name]
+		switch {
+		case mapped && stripped[name]:
+			netlistFinding(r, "net %q both mapped and stripped", name)
+		case !mapped && !stripped[name]:
+			netlistFinding(r, "net %q neither mapped nor stripped", name)
+		case mapped:
+			if target == "=0" || target == "=1" {
+				continue
+			}
+			ref := strings.TrimPrefix(target, "~")
+			if _, ok := opt.NetByName(ref); !ok {
+				netlistFinding(r, "net %q maps to %q, which is absent from the optimized circuit", name, target)
+			}
+			n := &orig.Nets[i]
+			if (n.IsInput || n.IsOutput) && target != name {
+				netlistFinding(r, "boundary net %q not identity-mapped (maps to %q)", name, target)
+			}
+		default: // stripped
+			if n := &orig.Nets[i]; n.IsInput || n.IsOutput {
+				netlistFinding(r, "boundary net %q stripped", name)
+			}
+			if _, ok := opt.NetByName(name); ok {
+				netlistFinding(r, "net %q stripped but still present", name)
+			}
+		}
+	}
+	// Every optimized net that reuses an original name must be that
+	// net's surviving image; fresh names are the pass's aux nets.
+	for i := range opt.Nets {
+		name := opt.Nets[i].Name
+		if _, wasOrig := orig.NetByName(name); !wasOrig {
+			continue
+		}
+		if cert.NetMap[name] != name {
+			netlistFinding(r, "optimized net %q shadows original net without identity mapping", name)
+		}
+	}
+
+	// Census integrity.
+	if cert.GatesBefore != orig.NumGates() || cert.NetsBefore != orig.NumNets() {
+		netlistFinding(r, "certificate before-census (%d gates, %d nets) disagrees with original (%d, %d)",
+			cert.GatesBefore, cert.NetsBefore, orig.NumGates(), orig.NumNets())
+	}
+	if cert.GatesAfter != opt.NumGates() || cert.NetsAfter != opt.NumNets() {
+		netlistFinding(r, "certificate after-census (%d gates, %d nets) disagrees with optimized (%d, %d)",
+			cert.GatesAfter, cert.NetsAfter, opt.NumGates(), opt.NumNets())
+	}
+}
+
+// checkRewriteCert is rule V014.
+func checkRewriteCert(r *Report, res *resub.Result) {
+	orig, cert := res.Original, res.Cert
+
+	prover, err := equiv.NewNetProver(orig)
+	if err != nil {
+		certFinding(r, SevError, "cannot compile original for replay: %v", err)
+		return
+	}
+	// The structural-hash table is rebuilt from the original netlist, so
+	// a certificate that mislabels a sampling-only merge as structural
+	// cannot pass.
+	lv, err := levelize.Analyze(prover.Circuit())
+	if err != nil {
+		certFinding(r, SevError, "cannot levelize original for replay: %v", err)
+		return
+	}
+	sroot, sphase := resub.Strash(prover.Circuit(), lv)
+	for _, m := range cert.Merges {
+		dup, okD := orig.NetByName(m.Dup)
+		rep, okR := orig.NetByName(m.Rep)
+		if !okD || !okR {
+			certFinding(r, SevError, "merge %q->%q names a net missing from the original", m.Dup, m.Rep)
+			continue
+		}
+		if m.Structural {
+			if !resub.StructurallyEquivalent(sroot, sphase, rep, dup, m.Complement) {
+				certFinding(r, SevError, "merge %q->%q claims a structural proof the rebuilt hash table does not derive",
+					m.Dup, m.Rep)
+			}
+			continue
+		}
+		if !m.Exhaustive {
+			certFinding(r, SevError,
+				"merge %q->%q records a sampling-only proof (%d vectors); only structural or exhaustive proofs may rewrite",
+				m.Dup, m.Rep, m.VectorsTried)
+			continue
+		}
+		pr, err := prover.CheckNets(rep, dup, m.Complement, cert.ProofVectors, cert.ExhaustiveInputs, cert.Seed)
+		if err != nil {
+			certFinding(r, SevError, "merge %q->%q replay failed: %v", m.Dup, m.Rep, err)
+			continue
+		}
+		if !pr.Equivalent {
+			certFinding(r, SevError, "merge %q->%q refuted on replay: differs on %v",
+				m.Dup, m.Rep, pr.Counterexample.Inputs)
+			continue
+		}
+		if !pr.Exhaustive {
+			certFinding(r, SevError, "merge %q->%q claims an exhaustive proof but the replay could not exhaust the support",
+				m.Dup, m.Rep)
+			continue
+		}
+		if pr.VectorsTried != m.VectorsTried {
+			certFinding(r, SevWarning,
+				"merge %q->%q witness stats drifted: recorded %d vectors, replayed %d",
+				m.Dup, m.Rep, m.VectorsTried, pr.VectorsTried)
+		}
+	}
+	for _, cst := range cert.Constants {
+		id, ok := orig.NetByName(cst.Net)
+		if !ok {
+			certFinding(r, SevError, "constant %q names a net missing from the original", cst.Net)
+			continue
+		}
+		if !cst.Exhaustive {
+			certFinding(r, SevError,
+				"constant %q records a sampling-only proof (%d vectors); only exhaustive proofs may rewrite",
+				cst.Net, cst.VectorsTried)
+			continue
+		}
+		pr, err := prover.CheckConst(id, cst.Value, cert.ProofVectors, cert.ExhaustiveInputs, cert.Seed)
+		if err != nil {
+			certFinding(r, SevError, "constant %q replay failed: %v", cst.Net, err)
+			continue
+		}
+		if !pr.Equivalent {
+			certFinding(r, SevError, "constant %q=%v refuted on replay: differs on %v",
+				cst.Net, cst.Value, pr.Counterexample.Inputs)
+			continue
+		}
+		if !pr.Exhaustive {
+			certFinding(r, SevError, "constant %q claims an exhaustive proof but the replay could not exhaust the support", cst.Net)
+			continue
+		}
+		if pr.VectorsTried != cst.VectorsTried {
+			certFinding(r, SevWarning,
+				"constant %q witness stats drifted: recorded %d vectors, replayed %d",
+				cst.Net, cst.VectorsTried, pr.VectorsTried)
+		}
+	}
+
+	// End-to-end: the optimized circuit must compute the original's
+	// primary-output functions (a no-op result compares the original
+	// against itself, which is trivially clean).
+	eq, err := equiv.Check(orig, res.Optimized, cert.ProofVectors, cert.ExhaustiveInputs, cert.Seed)
+	if err != nil {
+		certFinding(r, SevError, "original-vs-optimized check failed: %v", err)
+		return
+	}
+	if !eq.Equivalent {
+		certFinding(r, SevError, "original and optimized differ on output %q under inputs %v",
+			eq.Counterexample.Output, eq.Counterexample.Inputs)
+	}
+}

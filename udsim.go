@@ -303,6 +303,7 @@ type options struct {
 	shiftEl     ShiftElimination
 	verify      bool
 	deadStore   bool
+	resub       bool
 	exec        ExecStrategy
 	execWorkers int
 	execSet     bool
@@ -329,6 +330,8 @@ func (o *options) compiledOnly() string {
 		return "WithVerify"
 	case o.deadStore:
 		return "WithDeadStoreElimination"
+	case o.resub:
+		return "WithResubstitution"
 	case o.execSet:
 		return "WithExec"
 	case o.observer != nil:
@@ -464,6 +467,17 @@ func Open(c *Circuit, technique Technique, opts ...Option) (Engine, error) {
 // openParallel builds the parallel-technique engine from resolved
 // options (shared by Open and the deprecated NewParallel).
 func openParallel(c *Circuit, o options) (*ParallelSim, error) {
+	var rs *resubState
+	if o.resub {
+		st, err := buildResub(c)
+		if err != nil {
+			return nil, err
+		}
+		// Compile on the rewritten netlist; the engine keeps translating
+		// the caller's original net IDs through rs. Resubstitution implies
+		// WithVerify: V001-V012 re-run on the optimized compile.
+		rs, c, o.verify = st, st.res.Optimized, true
+	}
 	cfg := parsim.Config{WordBits: o.wordBits, Trim: o.trim, Verify: o.verify}
 	target := c
 	if o.shiftEl != NoShiftElimination {
@@ -500,12 +514,38 @@ func openParallel(c *Circuit, o options) (*ParallelSim, error) {
 	if o.observer != nil {
 		s.SetObserver(o.observer)
 	}
-	return &ParallelSim{s: s, opts: o}, nil
+	p := &ParallelSim{s: s, opts: o, rs: rs}
+	if rs != nil {
+		err := resubCrossCheck(p, rs, func() (Engine, error) {
+			return openParallel(rs.res.Original,
+				options{wordBits: o.wordBits, trim: o.trim, shiftEl: o.shiftEl})
+		})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return p, nil
 }
 
 // openPCSet builds the PC-set engine from resolved options (shared by
 // Open and the deprecated NewPCSet).
 func openPCSet(c *Circuit, o options) (*PCSetSim, error) {
+	var rs *resubState
+	if o.resub {
+		st, err := buildResub(c)
+		if err != nil {
+			return nil, err
+		}
+		rs, c, o.verify = st, st.res.Optimized, true
+		if len(o.monitor) > 0 {
+			tr, err := st.translateMonitor(o.monitor)
+			if err != nil {
+				return nil, err
+			}
+			o.monitor = tr
+		}
+	}
 	var (
 		s   *pcset.Sim
 		err error
@@ -531,7 +571,17 @@ func openPCSet(c *Circuit, o options) (*PCSetSim, error) {
 	if o.observer != nil {
 		s.SetObserver(o.observer)
 	}
-	return &PCSetSim{s: s}, nil
+	p := &PCSetSim{s: s, rs: rs}
+	if rs != nil {
+		err := resubCrossCheck(p, rs, func() (Engine, error) {
+			return openPCSet(rs.res.Original, options{})
+		})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return p, nil
 }
 
 // NewParallel compiles a circuit with the parallel technique (§3),
@@ -559,6 +609,7 @@ func NewParallel(c *Circuit, opts ...Option) (*ParallelSim, error) {
 type ParallelSim struct {
 	s    *parsim.Sim
 	opts options
+	rs   *resubState // non-nil iff built with WithResubstitution
 }
 
 // EngineName identifies the configuration.
@@ -573,11 +624,29 @@ func (p *ParallelSim) EngineName() string {
 	case CycleBreaking:
 		n += "+cycle-breaking"
 	}
+	if p.rs != nil {
+		n += "+resub"
+	}
 	return n
 }
 
-// Circuit returns the (normalized) circuit.
-func (p *ParallelSim) Circuit() *Circuit { return p.s.Circuit() }
+// Circuit returns the (normalized) circuit — under WithResubstitution
+// the original one, whose IDs every accessor speaks.
+func (p *ParallelSim) Circuit() *Circuit {
+	if p.rs != nil {
+		return p.rs.res.Original
+	}
+	return p.s.Circuit()
+}
+
+// Resub returns the resubstitution result the engine was built on, nil
+// without WithResubstitution.
+func (p *ParallelSim) Resub() *ResubResult {
+	if p.rs == nil {
+		return nil
+	}
+	return p.rs.res
+}
 
 // Depth returns the circuit depth in gate delays.
 func (p *ParallelSim) Depth() int { return p.s.Depth() }
@@ -601,19 +670,38 @@ func (p *ParallelSim) ExecStrategy() ExecStrategy { return p.s.ExecStrategy() }
 
 // BlockFinal returns the final value of a net in vector-batch block k
 // (block 0 is the stream the simulator itself carries).
-func (p *ParallelSim) BlockFinal(k int, n NetID) bool { return p.s.BlockFinal(k, n) }
+func (p *ParallelSim) BlockFinal(k int, n NetID) bool {
+	if p.rs != nil {
+		return p.rs.final(func(x NetID) bool { return p.s.BlockFinal(k, x) }, n)
+	}
+	return p.s.BlockFinal(k, n)
+}
 
 // Close releases any multicore execution workers; the simulator remains
 // usable sequentially. A no-op for sequential engines.
 func (p *ParallelSim) Close() { p.s.Close() }
 
-// Final returns the settled value of a net.
-func (p *ParallelSim) Final(n NetID) bool { return p.s.Final(n) }
+// Final returns the settled value of a net. Under WithResubstitution a
+// merged net reads its surviving representative, a constant net its
+// proven value, and a stripped net false.
+func (p *ParallelSim) Final(n NetID) bool {
+	if p.rs != nil {
+		return p.rs.final(p.s.Final, n)
+	}
+	return p.s.Final(n)
+}
 
 // ValueAt returns the value of net n at time t (ok=false for negative
 // times, which belong to the previous vector; all in-range times are
-// observable — the parallel technique retains every waveform).
-func (p *ParallelSim) ValueAt(n NetID, t int) (bool, bool) { return p.s.Trace(n, t) }
+// observable — the parallel technique retains every waveform). Under
+// WithResubstitution merged nets resolve to the surviving
+// representative's waveform and stripped nets are unobservable.
+func (p *ParallelSim) ValueAt(n NetID, t int) (bool, bool) {
+	if p.rs != nil {
+		return p.rs.valueAt(p.s.Trace, p.s.Depth(), n, t)
+	}
+	return p.s.Trace(n, t)
+}
 
 // Observe attaches a runtime observer (nil detaches); see NewObserver.
 func (p *ParallelSim) Observe(o *Observer) { p.s.SetObserver(o) }
@@ -621,8 +709,35 @@ func (p *ParallelSim) Observe(o *Observer) { p.s.SetObserver(o) }
 // Snapshot returns the attached observer's counters, nil without one.
 func (p *ParallelSim) Snapshot() *Snapshot { return p.s.Snapshot() }
 
-// History returns net n's full waveform for the last vector.
-func (p *ParallelSim) History(n NetID) []bool { return p.s.History(n) }
+// History returns net n's full waveform for the last vector. Under
+// WithResubstitution a merged net returns the representative's waveform
+// (inverted back for complemented merges), a constant net a flat
+// waveform, and a stripped net nil.
+func (p *ParallelSim) History(n NetID) []bool {
+	if p.rs == nil {
+		return p.s.History(n)
+	}
+	st := p.rs
+	if int(n) >= len(st.ok) || !st.ok[n] {
+		return nil
+	}
+	if st.isC[n] {
+		h := make([]bool, p.s.Depth()+1)
+		for i := range h {
+			h[i] = st.cval[n]
+		}
+		return h
+	}
+	h := p.s.History(st.opt[n])
+	if !st.inv[n] {
+		return h
+	}
+	out := make([]bool, len(h))
+	for i, v := range h {
+		out[i] = !v
+	}
+	return out
+}
 
 // CodeSize returns the number of compiled straight-line instructions.
 func (p *ParallelSim) CodeSize() int { return p.s.CodeSize() }
@@ -666,13 +781,36 @@ func NewPCSet(c *Circuit, monitor []NetID, opts ...Option) (*PCSetSim, error) {
 }
 
 // PCSetSim is a compiled PC-set method simulator.
-type PCSetSim struct{ s *pcset.Sim }
+type PCSetSim struct {
+	s  *pcset.Sim
+	rs *resubState // non-nil iff built with WithResubstitution
+}
 
 // EngineName identifies the technique.
-func (p *PCSetSim) EngineName() string { return "pcset" }
+func (p *PCSetSim) EngineName() string {
+	if p.rs != nil {
+		return "pcset+resub"
+	}
+	return "pcset"
+}
 
-// Circuit returns the (normalized) circuit.
-func (p *PCSetSim) Circuit() *Circuit { return p.s.Circuit() }
+// Circuit returns the (normalized) circuit — under WithResubstitution
+// the original one, whose IDs every accessor speaks.
+func (p *PCSetSim) Circuit() *Circuit {
+	if p.rs != nil {
+		return p.rs.res.Original
+	}
+	return p.s.Circuit()
+}
+
+// Resub returns the resubstitution result the engine was built on, nil
+// without WithResubstitution.
+func (p *PCSetSim) Resub() *ResubResult {
+	if p.rs == nil {
+		return nil
+	}
+	return p.rs.res
+}
 
 // Depth returns the circuit depth in gate delays.
 func (p *PCSetSim) Depth() int { return p.s.Depth() }
@@ -693,19 +831,37 @@ func (p *PCSetSim) ExecStrategy() ExecStrategy { return p.s.ExecStrategy() }
 
 // BlockFinal returns the final value of a net in vector-batch block k
 // (block 0 is the stream the simulator itself carries).
-func (p *PCSetSim) BlockFinal(k int, n NetID) bool { return p.s.BlockFinal(k, n) }
+func (p *PCSetSim) BlockFinal(k int, n NetID) bool {
+	if p.rs != nil {
+		return p.rs.final(func(x NetID) bool { return p.s.BlockFinal(k, x) }, n)
+	}
+	return p.s.BlockFinal(k, n)
+}
 
 // Close releases any multicore execution workers; the simulator remains
 // usable sequentially. A no-op for sequential engines.
 func (p *PCSetSim) Close() { p.s.Close() }
 
-// Final returns the settled value of a net.
-func (p *PCSetSim) Final(n NetID) bool { return p.s.Final(n) }
+// Final returns the settled value of a net. Under WithResubstitution a
+// merged net reads its surviving representative, a constant net its
+// proven value, and a stripped net false.
+func (p *PCSetSim) Final(n NetID) bool {
+	if p.rs != nil {
+		return p.rs.final(p.s.Final, n)
+	}
+	return p.s.Final(n)
+}
 
 // ValueAt returns net n's value at time t, with ok=false for negative
 // times and when the time precedes the net's first potential change and
-// the net is unmonitored.
-func (p *PCSetSim) ValueAt(n NetID, t int) (bool, bool) { return p.s.Trace(n, t) }
+// the net is unmonitored. Under WithResubstitution merged nets resolve
+// to the surviving representative and stripped nets are unobservable.
+func (p *PCSetSim) ValueAt(n NetID, t int) (bool, bool) {
+	if p.rs != nil {
+		return p.rs.valueAt(p.s.Trace, p.s.Depth(), n, t)
+	}
+	return p.s.Trace(n, t)
+}
 
 // Observe attaches a runtime observer (nil detaches); see NewObserver.
 func (p *PCSetSim) Observe(o *Observer) { p.s.SetObserver(o) }
@@ -719,6 +875,11 @@ func (p *PCSetSim) ApplyLanes(packed []uint64) error { return p.s.ApplyLanes(pac
 
 // LaneValueAt is ValueAt for one of the 64 data-parallel lanes.
 func (p *PCSetSim) LaneValueAt(n NetID, t, lane int) (bool, bool) {
+	if p.rs != nil {
+		return p.rs.valueAt(func(x NetID, tt int) (bool, bool) {
+			return p.s.LaneValueAt(x, tt, lane)
+		}, p.s.Depth(), n, t)
+	}
 	return p.s.LaneValueAt(n, t, lane)
 }
 
