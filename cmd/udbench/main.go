@@ -27,13 +27,13 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments (fig19..fig24, zerodelay, parallel, codesize, dataparallel, faultcov, activity, timing, deadstore, resub, chaos) or all")
+		exps     = flag.String("exp", "all", "comma-separated experiments (fig19..fig24, zerodelay, parallel, codesize, dataparallel, faultcov, activity, timing, deadstore, resub, chaos, gating) or all")
 		circuits = flag.String("circuits", "", "comma-separated circuit subset (default all ten)")
 		nvec     = flag.Int("vectors", 5000, "vectors per circuit (the paper used 5000)")
 		seed     = flag.Int64("seed", 1990, "vector seed")
 		wordBits = flag.Int("wordbits", 32, "parallel-technique word width (8,16,32,64)")
 		repeats  = flag.Int("repeats", 3, "timing repetitions; fastest run reported")
-		jsonOut  = flag.String("json", "", "write the circuit x technique x strategy x workers bench matrix to FILE as JSON (skips -exp)")
+		jsonOut  = flag.String("json", "", "write the circuit x technique x strategy x workers bench matrix to FILE as JSON; combine with -exp gating for the toggle-rate gating matrix")
 		rev      = flag.String("rev", "dev", "revision label recorded in the -json bench file")
 		workers  = flag.String("workers", "", "comma-separated worker counts for the -json matrix / first value for -profile (default GOMAXPROCS)")
 		profile  = flag.Bool("profile", false, "print each circuit's per-level heat and worker-utilization profile from an observed sharded run (skips -exp)")
@@ -84,7 +84,17 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		file, err := harness.BenchMatrix(opt, *rev, workersList)
+		// -json emits the plain bench matrix; `-json FILE -exp gating`
+		// emits the toggle-rate gating matrix in the same schema.
+		var (
+			file *harness.BenchFile
+			err  error
+		)
+		if *exps == "gating" {
+			file, err = harness.GatingMatrix(opt, *rev, workersList)
+		} else {
+			file, err = harness.BenchMatrix(opt, *rev, workersList)
+		}
 		if err != nil {
 			fail(err)
 		}

@@ -11,6 +11,7 @@
 //	udlint -bench mycircuit.bench -wordbits 8 -dead
 //	udlint -gen c6288 -technique parallel-pt-trim
 //	udlint -gen c880 -workers 4        # verify the shard plan (rules V008, V012)
+//	udlint -gen c880 -workers 4 -fuse  # level-fused plan: replicated cones too (V015)
 //	udlint -gen c499 -resub            # optimize first: V013/V014 certificate replay
 //	udlint -gen c432 -format=json      # stable machine-readable report
 //	udlint -gen c432 -format=sarif     # SARIF 2.1.0 for CI annotators
@@ -41,7 +42,8 @@ func main() {
 		technique = flag.String("technique", "", "comma-separated technique subset (default: all verifiable)")
 		dead      = flag.Bool("dead", false, "also report dead instructions as info findings")
 		constProp = flag.Bool("const", false, "also report constant-propagation results (rule V010) as info findings")
-		workers   = flag.Int("workers", 0, "build a sharded execution plan for this many workers and verify it (rules V008, V012); 0 lints sequential programs only")
+		workers   = flag.Int("workers", 0, "build a sharded execution plan for this many workers and verify it (rules V008, V012; with -fuse also V015); 0 lints sequential programs only")
+		fuse      = flag.Bool("fuse", false, "build the plan with the barrier-deleting level-fusion pass so rule V015 checks the replicated cones (parallel techniques; requires -workers)")
 		resub     = flag.Bool("resub", false, "run the simulation-guided resubstitution pass first: replay its certificate (rules V013, V014) and lint the optimized netlist")
 		format    = flag.String("format", "text", "output format: text, json or sarif")
 	)
@@ -92,8 +94,11 @@ func main() {
 		reports = append(reports, rep)
 		c = res.Optimized
 	}
+	if *fuse && *workers <= 0 {
+		fail(fmt.Errorf("-fuse requires -workers"))
+	}
 	for _, tech := range techs {
-		rep, err := lintOne(c, tech, *wordBits, *workers, opts)
+		rep, err := lintOne(c, tech, *wordBits, *workers, *fuse, opts)
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", tech, err))
 		}
@@ -162,13 +167,17 @@ type taggedFinding struct {
 
 // lintOne compiles the circuit with one technique at the requested word
 // width and runs the analyzer. With workers > 0 the engine is built with
-// a sharded execution plan so the analyzer also checks rule V008.
-func lintOne(c *udsim.Circuit, tech string, wordBits, workers int, opts udsim.VerifyOptions) (*udsim.VerifyReport, error) {
+// a sharded execution plan so the analyzer also checks rule V008; with
+// fuse additionally set, parallel techniques build the level-fused plan
+// so the replicated cones are checked too (rule V015).
+func lintOne(c *udsim.Circuit, tech string, wordBits, workers int, fuse bool, opts udsim.VerifyOptions) (*udsim.VerifyReport, error) {
 	var (
 		e   udsim.Engine
 		err error
 	)
 	if tech == "pcset" {
+		// Level fusion is a parallel-technique option; the PC-set plan is
+		// linted unfused even under -fuse.
 		var po []udsim.PCSetOption
 		if workers > 0 {
 			po = append(po, udsim.WithPCSetParallelExec(udsim.ExecSharded, workers))
@@ -178,6 +187,9 @@ func lintOne(c *udsim.Circuit, tech string, wordBits, workers int, opts udsim.Ve
 		po := []udsim.ParallelOption{udsim.WithWordBits(wordBits)}
 		if workers > 0 {
 			po = append(po, udsim.WithParallelExec(udsim.ExecSharded, workers))
+			if fuse {
+				po = append(po, udsim.WithLevelFusion())
+			}
 		}
 		switch tech {
 		case "parallel":

@@ -34,6 +34,16 @@ type BenchRecord struct {
 	ObsWordsPerVector         float64 `json:"obs_words_per_vector,omitempty"`
 	ObsUtilization            float64 `json:"obs_utilization,omitempty"`
 	ObsBarrierWaitNsPerVector float64 `json:"obs_barrier_wait_ns_per_vector,omitempty"`
+
+	// Activity-gating columns (the `-exp gating` matrix): the toggle
+	// rate of the driving stream, whether the shard plan was built with
+	// level fusion, barrier crossings per vector (static levels for the
+	// plain sharded strategy, executed levels plus the closing crossing
+	// for the gated one), and shard slices skipped per vector.
+	ToggleRate                float64 `json:"toggle_rate,omitempty"`
+	Fused                     bool    `json:"fused,omitempty"`
+	ObsBarriersPerVector      float64 `json:"obs_barriers_per_vector,omitempty"`
+	ObsShardsSkippedPerVector float64 `json:"obs_shards_skipped_per_vector,omitempty"`
 }
 
 // BenchFile is the machine-readable benchmark emitted by `udbench -json`,

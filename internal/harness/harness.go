@@ -452,6 +452,7 @@ var Experiments = []struct {
 	{"deadstore", DeadStore},
 	{"resub", Resub},
 	{"chaos", Chaos},
+	{"gating", Gating},
 }
 
 // Run executes one experiment by name.

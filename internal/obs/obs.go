@@ -74,6 +74,11 @@ type Shape struct {
 	// accumulated by adding these constants — no per-instruction
 	// metering in the hot loop.
 	SimWords, InitWords, SimScratch int64
+	// FusedLevels is the number of merged levels that absorbed at least
+	// one neighbor during level fusion, and BarriersDeleted how many
+	// barrier crossings per run the fusion removed. Static plan
+	// properties (zero without level fusion).
+	FusedLevels, BarriersDeleted int
 }
 
 // cell accumulates one (level, worker) pair's execution time and
@@ -111,6 +116,12 @@ type Observer struct {
 
 	cells   []cell      // worker-major: cells[w*shape.Levels + l]
 	workers []workerCtr
+
+	// Activity gating (the ActivityGated strategy): shard slices skipped
+	// because their input cone was untouched, and the bookkeeping time
+	// the gating decision itself cost.
+	shardsSkipped atomic.Int64
+	gatingNanos   atomic.Int64
 
 	// Activity (nil unless Config.Activity): transitions per time step,
 	// and per-net toggle/glitch totals across observed vectors.
@@ -172,6 +183,8 @@ func (o *Observer) Attach(s Shape) {
 	o.initRuns.Store(0)
 	o.initNanos.Store(0)
 	o.actVectors.Store(0)
+	o.shardsSkipped.Store(0)
+	o.gatingNanos.Store(0)
 	o.start = time.Now()
 }
 
@@ -204,6 +217,14 @@ func (o *Observer) AddLevel(level, worker int, d time.Duration, instrs int) {
 func (o *Observer) AddWait(worker int, d time.Duration) {
 	o.workers[worker].wait.Add(int64(d))
 }
+
+// AddShardsSkipped counts n shard level-slices skipped by activity
+// gating in one run.
+func (o *Observer) AddShardsSkipped(n int64) { o.shardsSkipped.Add(n) }
+
+// AddGatingNanos records the bookkeeping cost of one gating decision:
+// diffing the primary inputs and deriving the skip sets.
+func (o *Observer) AddGatingNanos(d time.Duration) { o.gatingNanos.Add(int64(d)) }
 
 // AddTransition counts one net changing value at time step t.
 func (o *Observer) AddTransition(t int) { o.steps[t].Add(1) }

@@ -91,6 +91,16 @@ type Snapshot struct {
 	Words   int64 `json:"words"`
 	Scratch int64 `json:"scratch"`
 
+	// Level fusion and activity gating: FusedLevels and BarriersDeleted
+	// are static plan properties copied from the shape; ShardsSkipped
+	// counts shard level-slices elided because their input cone was
+	// untouched, and GatingNanos the bookkeeping time the gating
+	// decisions cost.
+	FusedLevels     int   `json:"fused_levels"`
+	BarriersDeleted int   `json:"barriers_deleted"`
+	ShardsSkipped   int64 `json:"shards_skipped"`
+	GatingNanos     int64 `json:"gating_overhead_ns"`
+
 	Level  []LevelStat  `json:"level"`
 	Worker []WorkerStat `json:"worker"`
 
@@ -125,6 +135,11 @@ func (o *Observer) Snapshot() *Snapshot {
 		InitRuns:  o.initRuns.Load(),
 		InitNanos: o.initNanos.Load(),
 		Guard:     o.guardStats(),
+
+		FusedLevels:     o.shape.FusedLevels,
+		BarriersDeleted: o.shape.BarriersDeleted,
+		ShardsSkipped:   o.shardsSkipped.Load(),
+		GatingNanos:     o.gatingNanos.Load(),
 	}
 	if !o.start.IsZero() {
 		s.WallNanos = int64(time.Since(o.start))
@@ -242,6 +257,8 @@ func (s *Snapshot) Merge(t *Snapshot) error {
 		s.WallNanos = t.WallNanos
 	}
 	s.Vectors += t.Vectors
+	s.ShardsSkipped += t.ShardsSkipped
+	s.GatingNanos += t.GatingNanos
 	s.Runs += t.Runs
 	s.RunNanos += t.RunNanos
 	s.InitRuns += t.InitRuns

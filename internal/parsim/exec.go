@@ -20,12 +20,21 @@ func (s *Sim) ConfigureExec(strategy shard.Strategy, workers int) (shard.Strateg
 		workers = runtime.GOMAXPROCS(0)
 	}
 	var plan *shard.Plan
-	if strategy == shard.Auto || strategy == shard.Sharded {
+	if strategy == shard.Auto || strategy == shard.Sharded || strategy == shard.ActivityGated {
 		var err error
-		plan, err = shard.Partition(s.simProg, s.scratchStart, workers)
+		if s.fuseLevels {
+			plan, err = shard.PartitionFused(s.simProg, s.scratchStart, workers,
+				shard.FuseOptions{BarrierOps: shard.CalibrateBarrier(workers)})
+		} else {
+			plan, err = shard.Partition(s.simProg, s.scratchStart, workers)
+		}
 		if err != nil {
 			return 0, fmt.Errorf("parsim: %w", err)
 		}
+		// The measured barrier cost feeds both the fusion budget above and
+		// the plan's speedup model, so Auto's recommendation reflects this
+		// machine rather than the static default.
+		plan.SetBarrierCost(shard.CalibrateBarrier(workers))
 	}
 	if strategy == shard.Auto {
 		strategy = plan.Recommend()
@@ -33,7 +42,15 @@ func (s *Sim) ConfigureExec(strategy shard.Strategy, workers int) (shard.Strateg
 	s.Close()
 	switch strategy {
 	case shard.Sequential:
-	case shard.Sharded:
+	case shard.Sharded, shard.ActivityGated:
+		if strategy == shard.ActivityGated {
+			if s.cfg.Align != nil {
+				return 0, fmt.Errorf("parsim: activity gating requires the flat or trimmed layout (shift elimination packs previous-vector bits that break the settled-field skip rule)")
+			}
+			if s.cfg.Delays != nil {
+				return 0, fmt.Errorf("parsim: activity gating does not support nominal gate delays")
+			}
+		}
 		if need := plan.StateSize(); need > len(s.st) {
 			st := make([]uint64, need)
 			copy(st, s.st)
@@ -42,6 +59,13 @@ func (s *Sim) ConfigureExec(strategy shard.Strategy, workers int) (shard.Strateg
 		s.exec = shard.NewEngine(plan)
 		s.exec.SetGuard(s.levelBudget, s.guardGrace)
 		s.exec.SetInjector(s.inj)
+		if strategy == shard.ActivityGated {
+			s.gate = s.buildGater(plan)
+			s.exec.SetGate(s.gate.runCell, s.gate.runLevel)
+			if s.gate.fine {
+				s.exec.SetGateRuns(s.gate.runs, s.gate.runOff)
+			}
+		}
 	case shard.VectorBatch:
 		s.pool = shard.NewPool(workers)
 	default:
@@ -60,6 +84,17 @@ func (s *Sim) ConfigureExec(strategy shard.Strategy, workers int) (shard.Strateg
 // ExecStrategy returns the configured execution strategy (Sequential
 // until ConfigureExec succeeds).
 func (s *Sim) ExecStrategy() shard.Strategy { return s.execStrategy }
+
+// SetLevelFusion makes subsequent ConfigureExec calls build plans with
+// the barrier-deleting level-fusion pass (shard.PartitionFused): sparse
+// adjacent levels merge and cheap producer cones are replicated across
+// shards so the merged levels need no barrier between them. Fused plans
+// remain bit-identical to sequential execution (rules V008/V012/V015
+// check the augmented stream). Takes effect at the next ConfigureExec.
+func (s *Sim) SetLevelFusion(on bool) { s.fuseLevels = on }
+
+// LevelFusion reports whether level fusion is enabled for plan building.
+func (s *Sim) LevelFusion() bool { return s.fuseLevels }
 
 // ExecPlan returns the sharded engine's plan, or nil when not sharded.
 func (s *Sim) ExecPlan() *shard.Plan {
@@ -109,6 +144,7 @@ func (s *Sim) Clone() *Sim {
 	cl.exec = nil
 	cl.pool = nil
 	cl.clones = nil
+	cl.gate = nil
 	cl.execStrategy = shard.Sequential
 	cl.ref = nil // the evaluator is single-threaded state; rebuild on demand
 	return &cl
@@ -183,5 +219,6 @@ func (s *Sim) Close() {
 		s.pool.Close()
 		s.pool = nil
 	}
+	s.gate = nil
 	s.execStrategy = shard.Sequential
 }

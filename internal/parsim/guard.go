@@ -162,6 +162,10 @@ func (s *Sim) Restore(ck *Checkpoint) error {
 	s.st = append(s.st[:0], ck.st...)
 	copy(s.prevFinal, ck.prevFinal)
 	copy(s.prevPI, ck.prevPI)
+	// The restored fields' relation to the gating bookkeeping is unknown
+	// (the rolled-back vectors may have flattened or dirtied them), so
+	// the next gated vector must run everything.
+	s.gate.invalidate()
 	return nil
 }
 
@@ -172,6 +176,7 @@ func (s *Sim) Restore(ck *Checkpoint) error {
 // a checkpoint (or ResetConsistent) rather than copying it over.
 func (s *Sim) DetachState() {
 	s.st = make([]uint64, len(s.st))
+	s.gate.invalidate()
 }
 
 // Quarantine releases the configured execution strategy after a fault

@@ -34,6 +34,9 @@ func (s *Sim) SetObserver(o *obs.Observer) {
 	if s.exec != nil {
 		shape.Levels = s.exec.Levels()
 		shape.Workers = s.exec.Plan().Workers()
+		st := s.exec.Plan().Stats()
+		shape.FusedLevels = st.FusedLevels
+		shape.BarriersDeleted = st.BarriersDeleted
 	}
 	o.Attach(shape)
 }

@@ -5,7 +5,6 @@ import (
 
 	"udsim/internal/dataflow"
 	"udsim/internal/program"
-	"udsim/internal/shard"
 	"udsim/internal/verify"
 )
 
@@ -47,9 +46,13 @@ func (s *Sim) EliminateDeadStores() (int, error) {
 	s.clones = nil
 	switch {
 	case s.exec != nil:
-		if _, err := s.ConfigureExec(shard.Sharded, s.exec.Plan().Workers()); err != nil {
+		// Re-partition for the stripped program under the strategy that is
+		// actually configured (sharded or activity-gated), keeping the
+		// worker count and the fusion setting.
+		strat, workers := s.execStrategy, s.exec.Plan().Workers()
+		if _, err := s.ConfigureExec(strat, workers); err != nil {
 			restore()
-			if _, rerr := s.ConfigureExec(shard.Sharded, s.exec.Plan().Workers()); rerr != nil {
+			if _, rerr := s.ConfigureExec(strat, workers); rerr != nil {
 				return 0, fmt.Errorf("parsim: dead-store elimination: %w (and restoring the shard plan failed: %v)", err, rerr)
 			}
 			return 0, fmt.Errorf("parsim: dead-store elimination: %w", err)

@@ -83,6 +83,12 @@ type Sim struct {
 	clones       []*Sim
 	execStrategy shard.Strategy
 
+	// Activity gating (gate.go): non-nil exactly when execStrategy is
+	// shard.ActivityGated. fuseLevels makes ConfigureExec build plans
+	// with the barrier-deleting level-fusion pass (SetLevelFusion).
+	gate       *gater
+	fuseLevels bool
+
 	// Runtime observability (SetObserver); nil = disabled, and every
 	// hot-path hook is behind a nil check. Clones share the pointer, so
 	// vector-batch blocks feed one set of counters.
@@ -257,6 +263,7 @@ func (s *Sim) ResetConsistent(inputs []bool) error {
 	for i, id := range s.c.Inputs {
 		s.prevPI[i] = settled[id]
 	}
+	s.gate.invalidate()
 	return nil
 }
 
@@ -275,6 +282,9 @@ func (s *Sim) apply(ctx context.Context, inputs []bool) error {
 	for i := range s.c.Nets {
 		s.prevFinal[i] = s.finalBit(circuit.NetID(i))
 	}
+	if s.gate != nil {
+		return s.applyGated(ctx, inputs)
+	}
 	if o := s.obs; o != nil {
 		o.AddVectors(1)
 		t0 := time.Now()
@@ -283,6 +293,55 @@ func (s *Sim) apply(ctx context.Context, inputs []bool) error {
 	} else {
 		s.initProg.Run(s.st)
 	}
+	s.writeInputs(inputs)
+	if ctx == nil {
+		s.runSim()
+	} else if err := s.runSimCtx(ctx); err != nil {
+		return err
+	}
+	if s.obs.ActivityEnabled() {
+		s.observeActivity()
+	}
+	return nil
+}
+
+// applyGated is the activity-gated apply tail: decide which gate groups
+// this vector can touch (reading prevPI before writeInputs overwrites
+// it), run the init program minus the skipped nets, flatten the skipped
+// fields to their settled broadcasts and hand the engine its gates.
+func (s *Sim) applyGated(ctx context.Context, inputs []bool) error {
+	g := s.gate
+	o := s.obs
+	if o != nil {
+		o.AddVectors(1)
+		t0 := time.Now()
+		skipped := g.decide(inputs, s.prevPI)
+		o.AddGatingNanos(time.Since(t0))
+		o.AddShardsSkipped(skipped)
+		t1 := time.Now()
+		s.runGatedInit()
+		o.AddInit(time.Since(t1))
+	} else {
+		g.decide(inputs, s.prevPI)
+		s.runGatedInit()
+	}
+	s.writeInputs(inputs)
+	s.flattenInactive()
+	if ctx == nil {
+		s.runSim()
+	} else if err := s.runSimCtx(ctx); err != nil {
+		return err
+	}
+	if s.obs.ActivityEnabled() {
+		s.observeActivity()
+	}
+	return nil
+}
+
+// writeInputs broadcasts the vector into the primary-input fields. With
+// shift elimination a field's bits below -align belong to simulated
+// times before 0 and carry the previous vector's value.
+func (s *Sim) writeInputs(inputs []bool) {
 	mask := s.simProg.Mask()
 	W := s.cfg.WordBits
 	for i, id := range s.c.Inputs {
@@ -315,15 +374,6 @@ func (s *Sim) apply(ctx context.Context, inputs []bool) error {
 		}
 		s.prevPI[i] = inputs[i]
 	}
-	if ctx == nil {
-		s.runSim()
-	} else if err := s.runSimCtx(ctx); err != nil {
-		return err
-	}
-	if s.obs.ActivityEnabled() {
-		s.observeActivity()
-	}
-	return nil
 }
 
 // observeActivity scans every net's waveform of the last vector into

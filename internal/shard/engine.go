@@ -108,6 +108,19 @@ type Engine struct {
 	st    []uint64
 	obs   *obs.Observer // nil = observability disabled
 
+	// Activity gates (see SetGate): nil means run everything. Published
+	// to the helper workers by the same start-channel sends that publish
+	// the state array.
+	gateLevel []bool // per level: false = skip the whole level, barrier included
+	gateCell  []bool // per level*workers+shard: false = skip the slice, keep the barrier
+
+	// Sub-cell gates (see SetGateRuns): when gateRuns is non-nil an
+	// active cell c executes only the instruction ranges
+	// code[gateRuns[2i]:gateRuns[2i+1]] for i in
+	// [gateRunOff[c], gateRunOff[c+1]), instead of its whole slice.
+	gateRuns   []int32
+	gateRunOff []int32
+
 	// Guarded-run state (see guard.go). guarded is written by RunCtx
 	// before the start-channel sends that publish it to the helpers.
 	guarded     bool
@@ -174,6 +187,54 @@ func (e *Engine) Plan() *Plan { return e.plan }
 // that publish the state array.
 func (e *Engine) SetObserver(o *obs.Observer) { e.obs = o }
 
+// SetGate installs activity gates for subsequent runs: level[l] == false
+// skips level l outright on every worker — its barrier included, which
+// is safe because all parties read the same slice and elide the same
+// crossings — and cell[l*Workers()+w] == false makes worker w skip its
+// slice of level l while still crossing the barrier. Either slice may be
+// nil to disable that axis; SetGate(nil, nil) restores ungated
+// execution. The slices are published to the helper workers by the same
+// channel sends that publish the state array, so SetGate must not be
+// called concurrently with Run or RunCtx, and the caller may reuse (and
+// rewrite) the same backing arrays between runs without allocating.
+//
+// Correctness is the caller's contract: a skipped slice's outputs must
+// be provably unchanged from the previous run (see the activity-gated
+// strategy in internal/parsim, which derives the gates from primary-
+// input cones and proves the skip sound). With gates installed the
+// watchdog's stall-level attribution becomes approximate — skipped
+// levels advance no generation — which affects fault metadata only.
+func (e *Engine) SetGate(cell, level []bool) {
+	e.gateCell = cell
+	e.gateLevel = level
+}
+
+// SetGateRuns refines the cell gates to instruction ranges: an active
+// cell c executes only the half-open ranges
+// code[runs[2i]:runs[2i+1]], i in [off[c], off[c+1]), of its level
+// slice — the activity-gated strategy uses this to skip individual
+// untouched fan-in cones inside a level that must otherwise run. off
+// must have Levels()*Workers()+1 entries; nil restores whole-slice
+// execution. The same publication and reuse rules as SetGate apply,
+// and the same caller's contract: every instruction outside the ranges
+// must provably leave its outputs unchanged from the previous run.
+func (e *Engine) SetGateRuns(runs, off []int32) {
+	e.gateRuns = runs
+	e.gateRunOff = off
+}
+
+// execRuns executes cell c's active instruction ranges of code and
+// returns the number of instructions executed.
+func (e *Engine) execRuns(c int, code []program.Instr, st []uint64, wb int) int {
+	n := 0
+	for i := e.gateRunOff[c]; i < e.gateRunOff[c+1]; i++ {
+		a, b := e.gateRuns[2*i], e.gateRuns[2*i+1]
+		program.Exec(code[a:b], st, wb)
+		n += int(b - a)
+	}
+	return n
+}
+
 // Levels returns the number of bulk-synchronous levels in the plan —
 // the first dimension of the observer's cell grid.
 func (e *Engine) Levels() int { return len(e.plan.levels) }
@@ -188,17 +249,7 @@ func (e *Engine) StateSize() int { return e.plan.StateSize() }
 // final barrier crossing orders every helper's writes before Run returns.
 func (e *Engine) Run(st []uint64) {
 	if e.plan.workers == 1 {
-		if o := e.obs; o != nil {
-			for l, level := range e.plan.levels {
-				t0 := time.Now()
-				program.Exec(level[0], st, e.plan.wordBits)
-				o.AddLevel(l, 0, time.Since(t0), len(level[0]))
-			}
-			return
-		}
-		for _, level := range e.plan.levels {
-			program.Exec(level[0], st, e.plan.wordBits)
-		}
+		e.runSolo(st)
 		return
 	}
 	e.st = st
@@ -206,6 +257,34 @@ func (e *Engine) Run(st []uint64) {
 		ch <- struct{}{}
 	}
 	e.runShard(0)
+}
+
+// runSolo is the workers==1 path: no barrier, just the levels in order,
+// honoring the activity gates (cell index l*1+0 == l).
+func (e *Engine) runSolo(st []uint64) {
+	gl, gc := e.gateLevel, e.gateCell
+	o := e.obs
+	for l, level := range e.plan.levels {
+		if gl != nil && !gl[l] || gc != nil && !gc[l] {
+			continue
+		}
+		if o == nil {
+			if e.gateRuns != nil {
+				e.execRuns(l, level[0], st, e.plan.wordBits)
+			} else {
+				program.Exec(level[0], st, e.plan.wordBits)
+			}
+			continue
+		}
+		t0 := time.Now()
+		n := len(level[0])
+		if e.gateRuns != nil {
+			n = e.execRuns(l, level[0], st, e.plan.wordBits)
+		} else {
+			program.Exec(level[0], st, e.plan.wordBits)
+		}
+		o.AddLevel(l, 0, time.Since(t0), n)
+	}
 }
 
 // runShard executes one shard's slice of every level, crossing the
@@ -216,20 +295,60 @@ func (e *Engine) runShard(w int) {
 	st := e.st
 	wb := e.plan.wordBits
 	o := e.obs
-	if o == nil {
+	gl, gc := e.gateLevel, e.gateCell
+	if o == nil && gl == nil && gc == nil {
+		// Ungated fast path: no per-level branches.
 		for _, level := range e.plan.levels {
 			program.Exec(level[w], st, wb)
 			e.bar.await()
 		}
 		return
 	}
+	nw := e.plan.workers
 	for l, level := range e.plan.levels {
+		if gl != nil && !gl[l] {
+			// Every worker reads the same slice, so all parties elide
+			// this level's barrier together and stay matched.
+			continue
+		}
+		run := gc == nil || gc[l*nw+w]
+		if o == nil {
+			if run {
+				if e.gateRuns != nil {
+					e.execRuns(l*nw+w, level[w], st, wb)
+				} else {
+					program.Exec(level[w], st, wb)
+				}
+			}
+			e.bar.await()
+			continue
+		}
 		t0 := time.Now()
-		program.Exec(level[w], st, wb)
+		n := 0
+		if run {
+			n = len(level[w])
+			if e.gateRuns != nil {
+				n = e.execRuns(l*nw+w, level[w], st, wb)
+			} else {
+				program.Exec(level[w], st, wb)
+			}
+		}
 		t1 := time.Now()
-		o.AddLevel(l, w, t1.Sub(t0), len(level[w]))
+		if run {
+			o.AddLevel(l, w, t1.Sub(t0), n)
+		}
 		e.bar.await()
 		o.AddWait(w, time.Since(t1))
+	}
+	if gl != nil {
+		// Level gating elides barriers, including — when the trailing
+		// levels are skipped — the crossing that makes Run's return the
+		// helpers' quiescence point. Without it a helper could still be
+		// reading the gate arrays while the caller rewrites them for the
+		// next vector. One unconditional closing barrier (all workers
+		// read the same gl, so all parties reach it) restores the
+		// ordering; the interior eliding is where the savings are.
+		e.bar.await()
 	}
 }
 

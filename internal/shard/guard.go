@@ -206,26 +206,59 @@ func (e *Engine) runShardGuarded(w int) (clean bool) {
 	wb := e.plan.wordBits
 	o := e.obs
 	inj := e.inj
+	gl, gc := e.gateLevel, e.gateCell
+	nw := e.plan.workers
 	for l, level := range e.plan.levels {
 		lvl = l
+		// The injector fires before the gate check on purpose: chaos
+		// tests must be able to panic inside the bookkeeping of a level
+		// the gates are about to skip.
 		if inj != nil {
 			inj.AtLevel(l, w, st)
 		}
+		if gl != nil && !gl[l] {
+			continue
+		}
+		run := gc == nil || gc[l*nw+w]
 		if o == nil {
-			program.Exec(level[w], st, wb)
+			if run {
+				if e.gateRuns != nil {
+					e.execRuns(l*nw+w, level[w], st, wb)
+				} else {
+					program.Exec(level[w], st, wb)
+				}
+			}
 			if !e.bar.await() {
 				return false
 			}
 			continue
 		}
 		t0 := time.Now()
-		program.Exec(level[w], st, wb)
+		n := 0
+		if run {
+			n = len(level[w])
+			if e.gateRuns != nil {
+				n = e.execRuns(l*nw+w, level[w], st, wb)
+			} else {
+				program.Exec(level[w], st, wb)
+			}
+		}
 		t1 := time.Now()
-		o.AddLevel(l, w, t1.Sub(t0), len(level[w]))
+		if run {
+			o.AddLevel(l, w, t1.Sub(t0), n)
+		}
 		if !e.bar.await() {
 			return false
 		}
 		o.AddWait(w, time.Since(t1))
+	}
+	if gl != nil {
+		// Closing barrier, mirroring runShard: with trailing levels
+		// gate-skipped the run needs one final crossing so the caller's
+		// return is still the helpers' quiescence point.
+		if !e.bar.await() {
+			return false
+		}
 	}
 	return true
 }
@@ -245,6 +278,7 @@ func (e *Engine) runSoloGuarded(ctx context.Context, st []uint64) (err error) {
 	wb := e.plan.wordBits
 	o := e.obs
 	inj := e.inj
+	gl, gc := e.gateLevel, e.gateCell
 	for l, level := range e.plan.levels {
 		lvl = l
 		if cerr := ctx.Err(); cerr != nil {
@@ -252,16 +286,29 @@ func (e *Engine) runSoloGuarded(ctx context.Context, st []uint64) (err error) {
 			f.Level, f.Shard = l, 0
 			return f
 		}
+		// Injector before gate check, as in runShardGuarded.
 		if inj != nil {
 			inj.AtLevel(l, 0, st)
 		}
+		if gl != nil && !gl[l] || gc != nil && !gc[l] {
+			continue
+		}
 		if o == nil {
-			program.Exec(level[0], st, wb)
+			if e.gateRuns != nil {
+				e.execRuns(l, level[0], st, wb)
+			} else {
+				program.Exec(level[0], st, wb)
+			}
 			continue
 		}
 		t0 := time.Now()
-		program.Exec(level[0], st, wb)
-		o.AddLevel(l, 0, time.Since(t0), len(level[0]))
+		n := len(level[0])
+		if e.gateRuns != nil {
+			n = e.execRuns(l, level[0], st, wb)
+		} else {
+			program.Exec(level[0], st, wb)
+		}
+		o.AddLevel(l, 0, time.Since(t0), n)
 	}
 	return nil
 }

@@ -46,6 +46,13 @@ const (
 	// Auto picks Sharded or VectorBatch from the shard plan's
 	// critical-path/width ratio (see Plan.Recommend).
 	Auto
+	// ActivityGated is the Sharded engine plus per-vector activity
+	// gating: the caller diffs each vector's primary inputs against the
+	// previous vector and skips every shard cell — and every whole
+	// level — whose static input cone is untouched (Maurer's Table 3:
+	// most gates are idle on most vectors). Bit-identical to Sequential;
+	// the first vector after a reset conservatively runs everything.
+	ActivityGated
 )
 
 // String names the strategy.
@@ -59,6 +66,8 @@ func (s Strategy) String() string {
 		return "vector-batch"
 	case Auto:
 		return "auto"
+	case ActivityGated:
+		return "activity-gated"
 	}
 	return fmt.Sprintf("strategy(%d)", int(s))
 }
@@ -74,6 +83,8 @@ func ParseStrategy(s string) (Strategy, error) {
 		return VectorBatch, nil
 	case "auto":
 		return Auto, nil
+	case "activity-gated", "gated":
+		return ActivityGated, nil
 	}
 	return 0, fmt.Errorf("shard: unknown strategy %q", s)
 }
@@ -103,6 +114,18 @@ type Stats struct {
 	// BulkCost is the bulk-synchronous critical path: the sum over levels
 	// of the most expensive shard in that level.
 	BulkCost int64
+	// FusedLevels is the number of merged levels that absorbed at least
+	// one neighbor during level fusion (0 for unfused plans).
+	FusedLevels int
+	// BarriersDeleted is how many barriers level fusion removed: the
+	// original level count minus Levels.
+	BarriersDeleted int
+	// Replicas is the number of cluster copies fusion placed in consumer
+	// shards to cut cross-shard dependencies.
+	Replicas int
+	// ReplicaCost is the total op-unit cost of those copies — redundant
+	// work traded for deleted barriers.
+	ReplicaCost int64
 }
 
 // Width returns the average parallel width in op units per level — the
@@ -114,9 +137,12 @@ func (s Stats) Width() float64 {
 	return float64(s.TotalCost) / float64(s.Levels)
 }
 
-// barrierCostOps approximates one barrier crossing in op units. It feeds
-// the strategy recommendation only; the engine's actual barrier is an
-// atomic countdown with a spin-then-wait fallback.
+// barrierCostOps approximates one barrier crossing in op units — the
+// default used when no measured cost has been installed with
+// Plan.SetBarrierCost. It deliberately errs low so that plans built
+// directly in tests stay deterministic; BENCH_r2/r3 show a real crossing
+// on a loaded or single-core machine costs far more (see
+// CalibrateBarrier).
 const barrierCostOps = 150
 
 // minShardedSpeedup is the estimated speedup below which level-sharding
@@ -135,6 +161,13 @@ type Plan struct {
 	levels       [][][]program.Instr
 	assign       *verify.ShardAssignment
 	stats        Stats
+	// barrierOps, when > 0, is a measured per-crossing barrier cost in op
+	// units that replaces the barrierCostOps constant in the cost model
+	// and the fusion profitability rule.
+	barrierOps int64
+	// extraSlots is state beyond the scratch arenas: replica slots
+	// allocated by level fusion.
+	extraSlots int
 }
 
 // Partition builds a load-balanced shard plan for p across the given
@@ -145,6 +178,32 @@ type Plan struct {
 // state — Engine.Run on such an array is bit-identical to p.Run on its
 // prefix.
 func Partition(p *program.Program, scratchStart int32, workers int) (*Plan, error) {
+	bs, err := analyze(p, scratchStart, workers)
+	if err != nil {
+		return nil, err
+	}
+	return bs.build(), nil
+}
+
+// buildState is the partitioner's intermediate result — clusters,
+// levels, per-level shard assignment — shared by the plain executable
+// build and the level-fusion pass.
+type buildState struct {
+	p            *program.Program
+	scratchStart int32
+	workers      int
+	clusterOf    []int32 // per instruction
+	level        []int32 // per cluster
+	shardOf      []int32 // per cluster
+	cost         []int64 // per cluster
+	nClusters    int32
+	numLevels    int32
+	bulkCost     int64
+}
+
+// analyze runs cluster formation, leveling and per-level LPT shard
+// assignment without building the executable.
+func analyze(p *program.Program, scratchStart int32, workers int) (*buildState, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("shard: %w", err)
 	}
@@ -317,17 +376,41 @@ func Partition(p *program.Program, scratchStart int32, workers int) (*Plan, erro
 		}
 		bulkCost += max
 	}
+	return &buildState{
+		p:            p,
+		scratchStart: scratchStart,
+		workers:      workers,
+		clusterOf:    clusterOf,
+		level:        level,
+		shardOf:      shardOf,
+		cost:         cost,
+		nClusters:    nClusters,
+		numLevels:    numLevels,
+		bulkCost:     bulkCost,
+	}, nil
+}
 
-	// ---- Build the executable: per level, per shard, a contiguous copy
-	// of the member clusters' instructions in original order, with
-	// scratch operands remapped into the shard's private arena.
+// arena returns the per-shard scratch stride (0 for a single worker)
+// and the remap base function.
+func (bs *buildState) arena() (int32, func(w int32) int32) {
 	stride := int32(0)
-	if workers > 1 {
-		stride = (int32(p.NumVars) - scratchStart + 7) &^ 7 // cache-line padding
+	if bs.workers > 1 {
+		stride = (int32(bs.p.NumVars) - bs.scratchStart + 7) &^ 7 // cache-line padding
 	}
-	scratchBase := func(w int32) int32 {
-		return int32(p.NumVars) + w*stride - scratchStart
+	return stride, func(w int32) int32 {
+		return int32(bs.p.NumVars) + w*stride - bs.scratchStart
 	}
+}
+
+// build assembles the executable plan: per level, per shard, a
+// contiguous copy of the member clusters' instructions in original
+// order, with scratch operands remapped into the shard's private arena.
+func (bs *buildState) build() *Plan {
+	p, scratchStart, workers := bs.p, bs.scratchStart, bs.workers
+	n := len(p.Code)
+	clusterOf, level, shardOf := bs.clusterOf, bs.level, bs.shardOf
+	numLevels := bs.numLevels
+	stride, scratchBase := bs.arena()
 	pl := &Plan{
 		wordBits:     p.WordBits,
 		numVars:      p.NumVars,
@@ -369,20 +452,47 @@ func Partition(p *program.Program, scratchStart int32, workers int) (*Plan, erro
 	pl.assign = assign
 	pl.stats = Stats{
 		Instrs:    n,
-		Clusters:  int(nClusters),
+		Clusters:  int(bs.nClusters),
 		Levels:    int(numLevels),
 		TotalCost: totalCost,
-		BulkCost:  bulkCost,
+		BulkCost:  bs.bulkCost,
 	}
-	return pl, nil
+	return pl
 }
 
 // StateSize returns the state-array length Engine.Run requires: the
-// program's NumVars plus one private scratch arena per shard.
-func (p *Plan) StateSize() int { return p.numVars + p.workers*int(p.stride) }
+// program's NumVars plus one private scratch arena per shard, plus any
+// replica slots allocated by level fusion.
+func (p *Plan) StateSize() int { return p.numVars + p.workers*int(p.stride) + p.extraSlots }
+
+// SetBarrierCost installs a measured per-crossing barrier cost in op
+// units (see CalibrateBarrier); <= 0 restores the static default. It
+// feeds EstimatedSpeedup, Recommend, and the fusion profitability rule.
+func (p *Plan) SetBarrierCost(ops int64) {
+	if ops < 0 {
+		ops = 0
+	}
+	p.barrierOps = ops
+}
+
+// BarrierCost returns the per-crossing barrier cost the plan's cost
+// model uses: the measured value when one was installed, otherwise the
+// static default.
+func (p *Plan) BarrierCost() int64 {
+	if p.barrierOps > 0 {
+		return p.barrierOps
+	}
+	return barrierCostOps
+}
 
 // Workers returns the number of shards per level.
 func (p *Plan) Workers() int { return p.workers }
+
+// CellCode returns the instruction slice worker w executes at level l —
+// the exact stream (and order) the engine runs, which the activity-gated
+// strategy segments into per-cone instruction ranges (Engine.SetGateRuns).
+// The returned slice is the plan's own storage; callers must not mutate it.
+func (p *Plan) CellCode(l, w int) []program.Instr { return p.levels[l][w] }
 
 // Stats returns the plan's partition statistics.
 func (p *Plan) Stats() Stats { return p.stats }
@@ -398,6 +508,14 @@ func (p *Plan) Assignment() *verify.ShardAssignment { return p.assign }
 // be the one the plan was partitioned from.
 func (p *Plan) Races(prog *program.Program) ([]dataflow.Race, error) {
 	a := p.assign
+	if a.Aug != nil {
+		// Fused plans are proved over the execution-ordered augmented
+		// stream, which includes the replicas and seed moves the
+		// original code does not contain.
+		return dataflow.CheckSchedule(a.Aug.Code, p.scratchStart, &dataflow.Schedule{
+			Workers: a.Workers, Levels: a.Aug.Levels, Level: a.Aug.Level, Shard: a.Aug.Shard,
+		})
+	}
 	return dataflow.CheckSchedule(prog.Code, p.scratchStart, &dataflow.Schedule{
 		Workers: a.Workers, Levels: a.Levels, Level: a.Level, Shard: a.Shard,
 	})
@@ -405,14 +523,15 @@ func (p *Plan) Races(prog *program.Program) ([]dataflow.Race, error) {
 
 // EstimatedSpeedup predicts the sharded engine's speedup over sequential
 // execution from the cost model: the sequential cost divided by the
-// bulk-synchronous critical path plus one barrier per level.
+// bulk-synchronous critical path plus one barrier per level, using the
+// measured barrier cost when one was installed (SetBarrierCost).
 func (p *Plan) EstimatedSpeedup() float64 {
 	if p.stats.TotalCost == 0 {
 		return 1
 	}
 	par := float64(p.stats.BulkCost)
 	if p.workers > 1 {
-		par += float64(p.stats.Levels) * barrierCostOps
+		par += float64(p.stats.Levels) * float64(p.BarrierCost())
 	}
 	return float64(p.stats.TotalCost) / par
 }

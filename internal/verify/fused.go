@@ -1,0 +1,211 @@
+package verify
+
+import (
+	"fmt"
+
+	"udsim/internal/program"
+)
+
+// Rule V015: replicated cones. Level fusion (internal/shard) deletes a
+// barrier by copying a producer cluster into each consumer's shard; the
+// copies are only sound when three facts hold, and this rule re-derives
+// all three from the exported FusedSchedule instead of trusting the
+// fuser:
+//
+//  1. Private writes — a copy writes nothing but its declared replica
+//     slots (fresh slots at or beyond the original program's NumVars),
+//     each owned by exactly one copy, so replication is invisible to the
+//     original state.
+//  2. Instruction identity — the copy is the original's instruction
+//     range verbatim, modulo the declared Orig→Repl slot remap.
+//  3. Settled inputs — every persistent slot the original reads (outside
+//     its own writes) is written by no instruction in the fused level,
+//     so original and every copy read identical inputs; slots the
+//     cluster reads before writing (accumulations) are seeded with a
+//     move from the original slot one level earlier, and nothing else
+//     writes the seeded slot in the fused level.
+//
+// Together these prove all copies bit-identical to the original — the
+// consumers that were remapped onto replica slots read exactly the
+// values they read in the unfused plan.
+
+// checkReplicas is rule V015; it runs only for fused plans (Shards.Aug
+// non-nil). Malformed schedules are left to rule V008's validation.
+func checkReplicas(spec *Spec, r *Report) {
+	aug := spec.Shards.Aug
+	code := aug.Code
+	n := len(code)
+	if len(aug.Level) != n || len(aug.Shard) != n {
+		return // malformed stream; V008 reports it
+	}
+	count := 0
+	emit := func(instr int, s int32, msg string) {
+		if count < maxShardFindings {
+			r.add(Finding{Rule: RuleReplica, Severity: SevError, Prog: "spec", Instr: instr, Slot: s, Msg: msg})
+		}
+		count++
+	}
+
+	// Index persistent writes by (slot, fused level) once for the
+	// settled-inputs checks.
+	type slotLevel struct {
+		s, l int32
+	}
+	writesAt := make(map[slotLevel][]int)
+	for j := 0; j < n; j++ {
+		in := &code[j]
+		if in.Writes() && spec.persistent(in.Dst) {
+			k := slotLevel{in.Dst, aug.Level[j]}
+			writesAt[k] = append(writesAt[k], j)
+		}
+	}
+
+	nv := int32(spec.numVars())
+	owner := make(map[int32]int) // replica slot -> owning replica
+	var rbuf []int32
+	for ri := range aug.Replicas {
+		rep := &aug.Replicas[ri]
+		span := rep.SrcHi - rep.SrcLo
+		if rep.SrcLo < 0 || rep.SrcHi > n || rep.DstLo < 0 || rep.DstHi > n ||
+			span <= 0 || rep.DstHi-rep.DstLo != span || len(rep.Orig) != len(rep.Repl) {
+			emit(-1, -1, fmt.Sprintf("replica %d has malformed ranges src[%d:%d] dst[%d:%d] remap %d/%d slots",
+				ri, rep.SrcLo, rep.SrcHi, rep.DstLo, rep.DstHi, len(rep.Orig), len(rep.Repl)))
+			continue
+		}
+
+		// 1a. The remap names persistent originals and private, uniquely
+		// owned replica slots.
+		remap := make(map[int32]int32, len(rep.Orig))
+		origSet := make(map[int32]bool, len(rep.Orig))
+		for i, o := range rep.Orig {
+			pr := rep.Repl[i]
+			if !spec.persistent(o) {
+				emit(-1, o, fmt.Sprintf("replica %d remaps non-persistent slot %s", ri, slotName(spec, o)))
+			}
+			if pr < nv {
+				emit(-1, pr, fmt.Sprintf("replica %d maps %s to slot %d inside the original state, not a private replica slot",
+					ri, slotName(spec, o), pr))
+			}
+			if prev, taken := owner[pr]; taken {
+				emit(-1, pr, fmt.Sprintf("replica slot %d owned by both replica %d and replica %d", pr, prev, ri))
+			}
+			owner[pr] = ri
+			remap[o] = pr
+			origSet[o] = true
+		}
+
+		// 2. Instruction identity modulo the remap, and 1b. private
+		// writes, with every copy instruction placed in the copy's cell.
+		for k := 0; k < span; k++ {
+			si, di := rep.SrcLo+k, rep.DstLo+k
+			want := code[si]
+			if want.Writes() {
+				if m, ok := remap[want.Dst]; ok {
+					want.Dst = m
+				}
+			}
+			if want.UsesA() {
+				if m, ok := remap[want.A]; ok {
+					want.A = m
+				}
+			}
+			if want.UsesBSlot() {
+				if m, ok := remap[want.B]; ok {
+					want.B = m
+				}
+			}
+			got := code[di]
+			if got != want {
+				emit(di, -1, fmt.Sprintf("replica %d diverges from its original at sim[%d]: got %+v want %+v",
+					ri, si, got, want))
+			}
+			if got.Writes() && spec.persistent(got.Dst) {
+				emit(di, got.Dst, fmt.Sprintf("replica %d writes original state %s", ri, slotName(spec, got.Dst)))
+			}
+			if aug.Level[di] != rep.Level || aug.Shard[di] != rep.Shard {
+				emit(di, -1, fmt.Sprintf("replica %d instruction placed at level %d shard %d, declared level %d shard %d",
+					ri, aug.Level[di], aug.Shard[di], rep.Level, rep.Shard))
+			}
+		}
+
+		// Classify the original's persistent reads: outside its own
+		// writes they must be settled; inside, a read before the first
+		// write (an accumulation) needs a seed. Writes outside the
+		// declared remap would make the copy overwrite shared state.
+		readOnly := make(map[int32]bool)
+		seeded := make(map[int32]bool)
+		writtenYet := make(map[int32]bool)
+		for j := rep.SrcLo; j < rep.SrcHi; j++ {
+			in := &code[j]
+			rbuf = in.ReadSlots(rbuf[:0])
+			for _, s := range rbuf {
+				if !spec.persistent(s) {
+					continue
+				}
+				if origSet[s] {
+					if !writtenYet[s] {
+						seeded[s] = true
+					}
+				} else {
+					readOnly[s] = true
+				}
+			}
+			if in.Writes() && spec.persistent(in.Dst) {
+				if !origSet[in.Dst] {
+					emit(j, in.Dst, fmt.Sprintf("replica %d's original writes %s outside the declared remap",
+						ri, slotName(spec, in.Dst)))
+				}
+				writtenYet[in.Dst] = true
+			}
+		}
+
+		// 3a. Read-only inputs untouched anywhere in the fused level.
+		for s := range readOnly {
+			for _, j := range writesAt[slotLevel{s, rep.Level}] {
+				emit(j, s, fmt.Sprintf("replica %d reads %s, but sim[%d] writes it within the fused level",
+					ri, slotName(spec, s), j))
+			}
+		}
+		// 3b. Seeded slots written only by the original in the fused level.
+		for s := range seeded {
+			for _, j := range writesAt[slotLevel{s, rep.Level}] {
+				if j < rep.SrcLo || j >= rep.SrcHi {
+					emit(j, s, fmt.Sprintf("replica %d seeds %s, but sim[%d] also writes it within the fused level",
+						ri, slotName(spec, s), j))
+				}
+			}
+		}
+		// 3c. Every seeded slot has a well-formed seed move one level
+		// earlier in the copy's shard.
+		seedFor := make(map[int32]bool, len(rep.Seeds))
+		for _, j := range rep.Seeds {
+			if j < 0 || j >= n {
+				emit(-1, -1, fmt.Sprintf("replica %d seed index %d out of range", ri, j))
+				continue
+			}
+			in := code[j]
+			if in.Op != program.OpMove {
+				emit(j, -1, fmt.Sprintf("replica %d seed sim[%d] is %v, not a move", ri, j, in.Op))
+				continue
+			}
+			if m, ok := remap[in.A]; !ok || m != in.Dst {
+				emit(j, in.A, fmt.Sprintf("replica %d seed sim[%d] does not pair an original slot with its replica slot", ri, j))
+				continue
+			}
+			if aug.Level[j] != rep.Level-1 || aug.Shard[j] != rep.Shard {
+				emit(j, in.A, fmt.Sprintf("replica %d seed placed at level %d shard %d, want level %d shard %d",
+					ri, aug.Level[j], aug.Shard[j], rep.Level-1, rep.Shard))
+			}
+			seedFor[in.A] = true
+		}
+		for s := range seeded {
+			if !seedFor[s] {
+				emit(rep.DstLo, s, fmt.Sprintf("replica %d accumulates into %s with no seed move", ri, slotName(spec, s)))
+			}
+		}
+	}
+	if count > maxShardFindings {
+		r.add(Finding{Rule: RuleReplica, Severity: SevError, Prog: "spec", Instr: -1, Slot: -1,
+			Msg: fmt.Sprintf("%d further replica violations suppressed", count-maxShardFindings)})
+	}
+}

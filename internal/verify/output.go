@@ -29,6 +29,7 @@ var RuleDocs = []RuleDoc{
 	{RuleRace, "happens-before races: all conflicting shard accesses are ordered"},
 	{RuleRewrite, "resubstitution rewrite: optimized netlist structurally valid, boundary preserved, net map consistent"},
 	{RuleCert, "resubstitution certificate: merge and constant proofs replay, original and optimized circuits equivalent"},
+	{RuleReplica, "replicated cones: every fused-plan copy is read-only, privately written, and bit-identical to its original"},
 }
 
 // jsonFinding mirrors Finding with stable lowercase field names; the

@@ -46,6 +46,7 @@ const (
 	RuleConst     = "V010"
 	RuleInterval  = "V011"
 	RuleRace      = "V012"
+	RuleReplica   = "V015"
 )
 
 // Finding is one structured diagnostic.

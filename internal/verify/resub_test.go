@@ -142,10 +142,10 @@ func TestRuleDocsCoverResubRules(t *testing.T) {
 	for _, d := range RuleDocs {
 		ids = append(ids, d.ID)
 	}
-	if ids[len(ids)-2] != RuleRewrite || ids[len(ids)-1] != RuleCert {
-		t.Fatalf("RuleDocs tail %v, want [... %s %s]", ids, RuleRewrite, RuleCert)
+	if ids[len(ids)-3] != RuleRewrite || ids[len(ids)-2] != RuleCert || ids[len(ids)-1] != RuleReplica {
+		t.Fatalf("RuleDocs tail %v, want [... %s %s %s]", ids, RuleRewrite, RuleCert, RuleReplica)
 	}
-	if len(ids) != 14 {
-		t.Fatalf("expected 14 documented rules, got %d", len(ids))
+	if len(ids) != 15 {
+		t.Fatalf("expected 15 documented rules, got %d", len(ids))
 	}
 }

@@ -62,6 +62,9 @@ func Check(spec *Spec, opts Options) *Report {
 	if spec.Shards != nil && !opts.disabled(RuleRace) {
 		checkRaces(spec, r)
 	}
+	if spec.Shards != nil && spec.Shards.Aug != nil && !opts.disabled(RuleReplica) {
+		checkReplicas(spec, r)
+	}
 	if !opts.disabled(RuleDead) {
 		checkLiveness(spec, r, opts)
 	}
@@ -588,15 +591,40 @@ func checkShards(spec *Spec, r *Report) {
 		bad(fmt.Sprintf("shard plan has %d workers, %d levels", sh.Workers, sh.Levels))
 		return
 	}
+	// A fused plan's engine executes the augmented stream (replicas and
+	// seed moves included), so the dataflow walk must cover that stream,
+	// not the original sim code — checking the original against the
+	// merged level assignment would flag exactly the cross-shard reads
+	// the replicas repair.
+	code, level, shard, levels := spec.Sim.Code, sh.Level, sh.Shard, sh.Levels
+	if aug := sh.Aug; aug != nil {
+		if len(aug.Level) != len(aug.Code) || len(aug.Shard) != len(aug.Code) {
+			bad(fmt.Sprintf("fused schedule covers %d/%d placements for %d instructions",
+				len(aug.Level), len(aug.Shard), len(aug.Code)))
+			return
+		}
+		code, level, shard, levels = aug.Code, aug.Level, aug.Shard, aug.Levels
+	}
+	n = len(code)
 	for i := 0; i < n; i++ {
-		if sh.Level[i] < 0 || int(sh.Level[i]) >= sh.Levels || sh.Shard[i] < 0 || int(sh.Shard[i]) >= sh.Workers {
+		if level[i] < 0 || int(level[i]) >= levels || shard[i] < 0 || int(shard[i]) >= sh.Workers {
 			bad(fmt.Sprintf("sim[%d] assigned to level %d shard %d, outside %d levels x %d workers",
-				i, sh.Level[i], sh.Shard[i], sh.Levels, sh.Workers))
+				i, level[i], shard[i], levels, sh.Workers))
 			return
 		}
 	}
 
+	// Replica slots live beyond the original program's NumVars, so the
+	// per-slot arrays must span the augmented stream's highest operand.
 	nv := spec.numVars()
+	for i := range code {
+		in := &code[i]
+		for _, s := range []int32{in.Dst, in.A, in.B} {
+			if int(s) >= nv {
+				nv = int(s) + 1
+			}
+		}
+	}
 	lastWriter := make([]int32, nv) // 1 + last sim write index, 0 = none
 	// Per-slot concurrent-reader summary for the write-after-read check:
 	// the latest level any instruction read the slot in, and the single
@@ -618,8 +646,8 @@ func checkShards(spec *Spec, r *Report) {
 	}
 	var rbuf []int32
 	for i := 0; i < n; i++ {
-		in := &spec.Sim.Code[i]
-		l, w := sh.Level[i], sh.Shard[i]
+		in := &code[i]
+		l, w := level[i], shard[i]
 		rbuf = in.ReadSlots(rbuf[:0])
 		for _, s := range rbuf {
 			lw := lastWriter[s]
@@ -627,7 +655,7 @@ func checkShards(spec *Spec, r *Report) {
 				continue // pre-sim state: visible to every shard after Run starts
 			}
 			j := lw - 1
-			jl, jw := sh.Level[j], sh.Shard[j]
+			jl, jw := level[j], shard[j]
 			scratch := !spec.persistent(s)
 			switch {
 			case jl > l:
@@ -646,7 +674,7 @@ func checkShards(spec *Spec, r *Report) {
 			if spec.persistent(s) {
 				if lw := lastWriter[s]; lw != 0 {
 					j := lw - 1
-					if jl, jw := sh.Level[j], sh.Shard[j]; jl > l || jl == l && jw != w {
+					if jl, jw := level[j], shard[j]; jl > l || jl == l && jw != w {
 						emit(i, s, fmt.Sprintf("level %d shard %d and level %d shard %d both write %s",
 							l, w, jl, jw, slotName(spec, s)))
 					}

@@ -233,12 +233,23 @@ const (
 	// stream concurrently as independent substreams on cloned state.
 	ExecVectorBatch = shard.VectorBatch
 	// ExecAuto picks ExecSharded or ExecVectorBatch from the shard plan's
-	// critical-path/width ratio.
+	// critical-path/width ratio, using this machine's measured barrier
+	// cost.
 	ExecAuto = shard.Auto
+	// ExecActivityGated runs the level-sharded plan with per-vector
+	// activity gating (parallel technique, flat/trimmed layouts only):
+	// each vector's primary inputs are diffed against the previous
+	// vector's, and shard slices — whole levels, barriers included —
+	// whose input cones are untouched are skipped, their fields flattened
+	// to the settled values sequential execution would produce. Bit-
+	// identical to ExecSequential; the first vector after a reset or
+	// restore runs everything. Combine with WithLevelFusion to delete
+	// barriers between merged levels as well.
+	ExecActivityGated = shard.ActivityGated
 )
 
-// ParseExecStrategy parses "sequential", "sharded", "vector-batch" or
-// "auto" (CLI spellings).
+// ParseExecStrategy parses "sequential", "sharded", "activity-gated"
+// (alias "gated"), "vector-batch" or "auto" (CLI spellings).
 func ParseExecStrategy(s string) (ExecStrategy, error) { return shard.ParseStrategy(s) }
 
 // Technique selects a simulation technique for Open.
@@ -307,6 +318,7 @@ type options struct {
 	exec        ExecStrategy
 	execWorkers int
 	execSet     bool
+	fuseLevels  bool
 	observer    *Observer
 	monitor     []NetID
 	monitorSet  bool
@@ -390,6 +402,33 @@ func WithDeadStoreElimination() Option { return func(o *options) { o.deadStore =
 // release the workers.
 func WithExec(strategy ExecStrategy, workers int) Option {
 	return func(o *options) { o.exec, o.execWorkers, o.execSet = strategy, workers, true }
+}
+
+// WithLevelFusion makes the shard planner merge adjacent sparse levels,
+// replicating cheap producer cones across shards so the merged levels
+// need no cross-shard barrier (parallel technique only; effective with
+// the sharded, activity-gated and auto strategies of WithExec). Fused
+// plans are re-checked by the dataflow rules V008/V012 and the replica
+// rule V015 and remain bit-identical to sequential execution; the win is
+// fewer barrier crossings per vector on deep, narrow circuits.
+func WithLevelFusion() Option {
+	return func(o *options) {
+		o.fuseLevels = true
+		o.parallelOnly = append(o.parallelOnly, "WithLevelFusion")
+	}
+}
+
+// WithActivityGating selects the activity-gated execution strategy
+// (ExecActivityGated; parallel technique, flat/trimmed layouts only):
+// shards whose input cones are untouched by the vector-to-vector input
+// diff are skipped. Equivalent to WithExec(ExecActivityGated, workers)
+// while keeping a worker count set by an earlier WithExec (default
+// GOMAXPROCS).
+func WithActivityGating() Option {
+	return func(o *options) {
+		o.exec, o.execSet = ExecActivityGated, true
+		o.parallelOnly = append(o.parallelOnly, "WithActivityGating")
+	}
 }
 
 // WithObserver attaches a runtime observer (see NewObserver) during
@@ -505,6 +544,9 @@ func openParallel(c *Circuit, o options) (*ParallelSim, error) {
 		if _, err := s.EliminateDeadStores(); err != nil {
 			return nil, err
 		}
+	}
+	if o.fuseLevels {
+		s.SetLevelFusion(true)
 	}
 	if o.execSet {
 		if _, err := s.ConfigureExec(o.exec, o.execWorkers); err != nil {
