@@ -23,7 +23,7 @@ func BenchmarkAblationWordWidth(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			e, err := NewParallel(c, WithWordBits(w))
+			e, err := openParallelSim(c, WithWordBits(w))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -61,7 +61,7 @@ func BenchmarkAblationMonitorSet(b *testing.B) {
 	}
 	for _, tc := range cases {
 		b.Run("c1908/"+tc.name, func(b *testing.B) {
-			e, err := NewPCSet(c, tc.monitor(c.Normalize()))
+			e, err := openPCSetSim(c, tc.monitor(c.Normalize()))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -106,7 +106,7 @@ func BenchmarkActivityOverhead(b *testing.B) {
 	}
 	vecs := vectors.Random(64, 60, 1990).Bits
 	b.Run("sim-only", func(b *testing.B) {
-		e, err := NewParallel(c)
+		e, err := openParallelSim(c)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -144,7 +144,7 @@ func BenchmarkDataParallel(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			e, err := NewPCSet(c, nil)
+			e, err := openPCSetSim(c, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -244,7 +244,7 @@ func BenchmarkParallelExec(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				e, err := NewParallel(c, WithParallelExec(cfg.strategy, 0))
+				e, err := openParallelSim(c, WithExec(cfg.strategy, 0))
 				if err != nil {
 					b.Fatal(err)
 				}

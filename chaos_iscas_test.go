@@ -377,12 +377,6 @@ func TestGuardOptionValidation(t *testing.T) {
 	if _, err := Open(c, TechParallel, WithFaultInjection(chaos.PanicAt(1, 0, 0))); err == nil {
 		t.Error("WithFaultInjection accepted without WithGuard")
 	}
-	if _, err := NewParallel(c, WithGuard(DefaultGuardPolicy())); err == nil {
-		t.Error("NewParallel accepted WithGuard")
-	}
-	if _, err := NewPCSet(c, nil, WithGuard(DefaultGuardPolicy())); err == nil {
-		t.Error("NewPCSet accepted WithGuard")
-	}
 	eng, err := Open(c, TechParallel, WithGuard(DefaultGuardPolicy()))
 	if err != nil {
 		t.Fatal(err)

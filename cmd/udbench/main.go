@@ -17,17 +17,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"udsim"
+	"udsim/internal/cliflags"
 	"udsim/internal/harness"
 	"udsim/internal/obs"
 )
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments (fig19..fig24, zerodelay, parallel, codesize, dataparallel, faultcov, activity, timing, deadstore, resub, chaos, gating) or all")
+		exps     = flag.String("exp", "all", "comma-separated experiments (fig19..fig24, zerodelay, parallel, codesize, dataparallel, faultcov, activity, timing, deadstore, resub, chaos, gating, serve) or all")
 		circuits = flag.String("circuits", "", "comma-separated circuit subset (default all ten)")
 		nvec     = flag.Int("vectors", 5000, "vectors per circuit (the paper used 5000)")
 		seed     = flag.Int64("seed", 1990, "vector seed")
@@ -35,7 +35,7 @@ func main() {
 		repeats  = flag.Int("repeats", 3, "timing repetitions; fastest run reported")
 		jsonOut  = flag.String("json", "", "write the circuit x technique x strategy x workers bench matrix to FILE as JSON; combine with -exp gating for the toggle-rate gating matrix")
 		rev      = flag.String("rev", "dev", "revision label recorded in the -json bench file")
-		workers  = flag.String("workers", "", "comma-separated worker counts for the -json matrix / first value for -profile (default GOMAXPROCS)")
+		workers  = cliflags.WorkersList(flag.CommandLine, "the -json matrix sweeps all values; -profile uses the first")
 		profile  = flag.Bool("profile", false, "print each circuit's per-level heat and worker-utilization profile from an observed sharded run (skips -exp)")
 	)
 	flag.Parse()
@@ -44,15 +44,9 @@ func main() {
 	if *circuits != "" {
 		opt.Circuits = strings.Split(*circuits, ",")
 	}
-	var workersList []int
-	if *workers != "" {
-		for _, s := range strings.Split(*workers, ",") {
-			w, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || w < 1 {
-				fail(fmt.Errorf("bad -workers value %q", s))
-			}
-			workersList = append(workersList, w)
-		}
+	workersList, err := cliflags.ParseWorkersList(*workers)
+	if err != nil {
+		fail(err)
 	}
 
 	if *profile {
@@ -92,6 +86,8 @@ func main() {
 		)
 		if *exps == "gating" {
 			file, err = harness.GatingMatrix(opt, *rev, workersList)
+		} else if *exps == "serve" {
+			file, err = harness.ServeMatrix(opt, *rev, workersList)
 		} else {
 			file, err = harness.BenchMatrix(opt, *rev, workersList)
 		}

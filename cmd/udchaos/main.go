@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"udsim"
+	"udsim/internal/cliflags"
 	"udsim/internal/resilience/chaos"
 	"udsim/internal/vectors"
 )
@@ -38,7 +39,7 @@ func main() {
 		engine    = flag.String("engine", "parallel", "compiled engine under drill: parallel or pcset")
 		nvec      = flag.Int("vectors", 64, "vectors in the drilled stream")
 		seed      = flag.Int64("seed", 1990, "random vector seed")
-		workers   = flag.Int("workers", 4, "shard worker count")
+		workers   = cliflags.Workers(flag.CommandLine, 4, "the drill shards across this many workers")
 		fault     = flag.String("fault", "panic", "injection: panic, corrupt, delay, cancel")
 		run       = flag.Int("run", 3, "1-based vector run the injection arms on")
 		shard     = flag.Int("shard", 0, "shard coordinate the injection fires at")

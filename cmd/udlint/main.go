@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"udsim"
+	"udsim/internal/cliflags"
 	"udsim/internal/texttable"
 	"udsim/internal/verify"
 )
@@ -42,8 +43,8 @@ func main() {
 		technique = flag.String("technique", "", "comma-separated technique subset (default: all verifiable)")
 		dead      = flag.Bool("dead", false, "also report dead instructions as info findings")
 		constProp = flag.Bool("const", false, "also report constant-propagation results (rule V010) as info findings")
-		workers   = flag.Int("workers", 0, "build a sharded execution plan for this many workers and verify it (rules V008, V012; with -fuse also V015); 0 lints sequential programs only")
-		fuse      = flag.Bool("fuse", false, "build the plan with the barrier-deleting level-fusion pass so rule V015 checks the replicated cones (parallel techniques; requires -workers)")
+		workers   = cliflags.Workers(flag.CommandLine, 0, "builds a sharded plan to verify via rules V008, V012 and, with -fuse, V015; 0 lints sequential programs only")
+		fuse      = cliflags.Fuse(flag.CommandLine, "rule V015 then checks the replicated cones; requires -workers")
 		resub     = flag.Bool("resub", false, "run the simulation-guided resubstitution pass first: replay its certificate (rules V013, V014) and lint the optimized netlist")
 		format    = flag.String("format", "text", "output format: text, json or sarif")
 	)
@@ -178,15 +179,15 @@ func lintOne(c *udsim.Circuit, tech string, wordBits, workers int, fuse bool, op
 	if tech == "pcset" {
 		// Level fusion is a parallel-technique option; the PC-set plan is
 		// linted unfused even under -fuse.
-		var po []udsim.PCSetOption
+		var po []udsim.Option
 		if workers > 0 {
-			po = append(po, udsim.WithPCSetParallelExec(udsim.ExecSharded, workers))
+			po = append(po, udsim.WithExec(udsim.ExecSharded, workers))
 		}
-		e, err = udsim.NewPCSet(c, nil, po...)
+		e, err = udsim.Open(c, udsim.TechPCSet, po...)
 	} else {
-		po := []udsim.ParallelOption{udsim.WithWordBits(wordBits)}
+		po := []udsim.Option{udsim.WithWordBits(wordBits)}
 		if workers > 0 {
-			po = append(po, udsim.WithParallelExec(udsim.ExecSharded, workers))
+			po = append(po, udsim.WithExec(udsim.ExecSharded, workers))
 			if fuse {
 				po = append(po, udsim.WithLevelFusion())
 			}
@@ -206,7 +207,7 @@ func lintOne(c *udsim.Circuit, tech string, wordBits, workers int, fuse bool, op
 		default:
 			return nil, fmt.Errorf("unknown technique (want one of %s)", strings.Join(lintTechniques, ", "))
 		}
-		e, err = udsim.NewParallel(c, po...)
+		e, err = udsim.Open(c, udsim.TechParallel, po...)
 	}
 	if err != nil {
 		return nil, err

@@ -1,0 +1,111 @@
+// Command udserve is the multi-tenant simulation service: a long-running
+// HTTP server over the compiled unit-delay engines. Tenants POST .bench
+// netlists (or name a synthesized benchmark profile) and stream vector
+// batches; the service compiles each (circuit, technique, options)
+// configuration once into a cached program, serves batches from a
+// bounded pool of cloned engines, meters tenants with token-bucket
+// quotas, sheds load with 429 + Retry-After, and drains gracefully on
+// SIGTERM/SIGINT — accepted batches always finish.
+//
+// Usage:
+//
+//	udserve -addr :8080
+//	udserve -addr :8080 -guard -deadline 2s -rate 10000 -pool 8
+//
+// Endpoints:
+//
+//	POST /v1/circuits            register a .bench body; returns the content hash
+//	POST /v1/circuits?gen=c432   synthesize + register a benchmark profile
+//	POST /v1/batches             run a vector batch (JSON; see internal/serve)
+//	GET  /metrics                Prometheus text: udsim_serve_* + per-program udsim_* counters
+//	GET  /healthz                {"status":"ok"} or {"status":"draining"}
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"udsim"
+	"udsim/internal/cliflags"
+	"udsim/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		cacheMB    = flag.Int64("cache-mb", 256, "compiled-program cache budget in MiB")
+		pool       = flag.Int("pool", 4, "pooled engines per cached program")
+		queue      = flag.Int("queue", 64, "bounded batch queue depth (backpressure beyond it)")
+		rate       = flag.Float64("rate", 0, "per-tenant quota in vectors/second (0 = unlimited)")
+		burst      = flag.Float64("burst", 0, "per-tenant burst in vectors (default: one second of -rate)")
+		guard      = cliflags.Guard(flag.CommandLine, "build pooled engines under the guarded supervisor")
+		deadline   = cliflags.Deadline(flag.CommandLine, 0, "per-batch execution deadline (0 = none)")
+		maxVectors = flag.Int("max-vectors", 65536, "largest accepted batch")
+		drainWait  = flag.Duration("drain-wait", 30*time.Second, "how long to wait for in-flight batches on shutdown")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "udserve: unexpected arguments %q\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Config{
+		CacheBytes:  *cacheMB << 20,
+		PoolBound:   *pool,
+		QueueDepth:  *queue,
+		TenantRate:  *rate,
+		TenantBurst: *burst,
+		Deadline:    *deadline,
+		Guard:       *guard,
+		GuardPolicy: udsim.DefaultGuardPolicy(),
+		MaxVectors:  *maxVectors,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "udserve: listening on %s\n", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "udserve: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "udserve: %v: draining (up to %s)\n", sig, *drainWait)
+	}
+
+	// Graceful drain: stop admitting batches first so in-flight work is
+	// a shrinking set, then shut the listener down, then wait for every
+	// accepted batch and release the engine pools.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	drainErr := srv.Drain(ctx)
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "udserve: shutdown: %v\n", err)
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "udserve: %v\n", drainErr)
+		os.Exit(1)
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "udserve: drained clean: %d batches completed (%d during drain), %d vectors, %d compiles, %d cache hits\n",
+		st.Completed, st.DrainCompleted, st.Vectors, st.Compiles, st.CacheHits)
+}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"udsim"
+	"udsim/internal/cliflags"
 	"udsim/internal/vectors"
 	"udsim/internal/wave"
 )
@@ -33,12 +34,12 @@ func main() {
 		trace     = flag.String("trace", "", "comma-separated nets whose full waveforms to print")
 		vcdFile   = flag.String("vcd", "", "write waveforms of the primary I/O to a VCD file")
 		quiet     = flag.Bool("quiet", false, "suppress per-vector output (timing runs)")
-		execFlag  = flag.String("exec", "", "multicore execution strategy for compiled engines: sequential, sharded, activity-gated, vector-batch, auto")
-		workers   = flag.Int("workers", 0, "worker count for -exec (0 = GOMAXPROCS)")
-		fuse      = flag.Bool("fuse", false, "merge sparse shard-plan levels and delete their barriers (parallel engine; sharded/activity-gated/auto -exec)")
+		execFlag  = cliflags.Exec(flag.CommandLine)
+		workers   = cliflags.Workers(flag.CommandLine, 0)
+		fuse      = cliflags.Fuse(flag.CommandLine)
 		obsFlag   = flag.Bool("obs", false, "attach a runtime observer and print its text export after the run (compiled engines)")
-		guard     = flag.Bool("guard", false, "run under the guarded supervisor: panics/stalls degrade to sequential replay instead of crashing (compiled engines)")
-		deadline  = flag.Duration("deadline", 0, "overall stream deadline for -guard (0 = none)")
+		guard     = cliflags.Guard(flag.CommandLine)
+		deadline  = cliflags.Deadline(flag.CommandLine, 0, "requires -guard")
 	)
 	flag.Parse()
 

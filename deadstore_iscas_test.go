@@ -13,11 +13,11 @@ import (
 // its widened bit-fields are where most provably-dead stores come from.
 var deadStoreVariants = []struct {
 	name string
-	opts []ParallelOption
+	opts []Option
 }{
 	{"parallel", nil},
-	{"parallel-trim", []ParallelOption{WithTrimming()}},
-	{"parallel-cb-trim", []ParallelOption{WithShiftElimination(CycleBreaking), WithTrimming()}},
+	{"parallel-trim", []Option{WithTrimming()}},
+	{"parallel-cb-trim", []Option{WithShiftElimination(CycleBreaking), WithTrimming()}},
 }
 
 // TestDeadStoreEliminationISCAS85 builds each profile circuit twice —
@@ -38,11 +38,11 @@ func TestDeadStoreEliminationISCAS85(t *testing.T) {
 		vecs := vectors.Random(12, len(c.Inputs), 1990)
 		for _, v := range deadStoreVariants {
 			t.Run(name+"/"+v.name, func(t *testing.T) {
-				plain, err := NewParallel(c, v.opts...)
+				plain, err := openParallelSim(c, v.opts...)
 				if err != nil {
 					t.Fatal(err)
 				}
-				opt, err := NewParallel(c, append(v.opts[:len(v.opts):len(v.opts)],
+				opt, err := openParallelSim(c, append(v.opts[:len(v.opts):len(v.opts)],
 					WithDeadStoreElimination())...)
 				if err != nil {
 					t.Fatal(err)
@@ -63,11 +63,11 @@ func TestDeadStoreEliminationISCAS85(t *testing.T) {
 			})
 		}
 		t.Run(name+"/pcset", func(t *testing.T) {
-			plain, err := NewPCSet(c, nil)
+			plain, err := openPCSetSim(c, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
-			opt, err := NewPCSet(c, nil, WithDeadStoreElimination())
+			opt, err := openPCSetSim(c, nil, WithDeadStoreElimination())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -100,14 +100,14 @@ func TestDeadStoreEliminationSharded(t *testing.T) {
 		vecs := vectors.Random(8, len(c.Inputs), 7)
 		for _, workers := range []int{2, 4} {
 			t.Run(fmt.Sprintf("%s/w%d", name, workers), func(t *testing.T) {
-				plain, err := NewParallel(c, WithShiftElimination(CycleBreaking), WithTrimming())
+				plain, err := openParallelSim(c, WithShiftElimination(CycleBreaking), WithTrimming())
 				if err != nil {
 					t.Fatal(err)
 				}
-				opt, err := NewParallel(c,
+				opt, err := openParallelSim(c,
 					WithShiftElimination(CycleBreaking), WithTrimming(),
 					WithDeadStoreElimination(),
-					WithParallelExec(ExecSharded, workers))
+					WithExec(ExecSharded, workers))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -133,7 +133,7 @@ func TestDeadStoreEliminationExplicit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewParallel(c, WithShiftElimination(CycleBreaking), WithTrimming())
+	s, err := openParallelSim(c, WithShiftElimination(CycleBreaking), WithTrimming())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,7 +9,7 @@ import (
 
 // The canonical hazard: C = AND(A, NOT A) pulses for one gate delay when
 // A rises — visible under the unit-delay model, invisible at zero delay.
-func ExampleNewParallel() {
+func ExampleOpen() {
 	b := udsim.NewBuilder("demo")
 	a := b.Input("A")
 	n := b.Gate(udsim.Not, "N", a)
@@ -17,14 +17,15 @@ func ExampleNewParallel() {
 	b.Output(c)
 	ckt := b.MustBuild()
 
-	sim, err := udsim.NewParallel(ckt)
+	sim, err := udsim.Open(ckt, udsim.TechParallel)
 	if err != nil {
 		log.Fatal(err)
 	}
 	sim.ResetConsistent([]bool{false}) // settle with A = 0
 	sim.Apply([]bool{true})            // raise A
+	tr := sim.(udsim.Tracer)           // compiled engines expose full waveforms
 	for t := 0; t <= sim.Depth(); t++ {
-		v, _ := sim.ValueAt(c, t)
+		v, _ := tr.ValueAt(c, t)
 		fmt.Printf("t=%d C=%v\n", t, v)
 	}
 	// Output:
@@ -35,7 +36,7 @@ func ExampleNewParallel() {
 
 // The PC-set method exposes the same waveform through per-potential-change
 // variables; monitored nets are observable at every time step.
-func ExampleNewPCSet() {
+func ExampleOpen_pcset() {
 	b := udsim.NewBuilder("fig4")
 	a := b.Input("A")
 	bb := b.Input("B")
@@ -45,7 +46,7 @@ func ExampleNewPCSet() {
 	b.Output(e)
 	ckt := b.MustBuild()
 
-	sim, err := udsim.NewPCSet(ckt, nil)
+	sim, err := udsim.Open(ckt, udsim.TechPCSet)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func ExampleNewPCSet() {
 // the paper) and stepped cycle by cycle over any combinational engine.
 func ExampleNewSequential() {
 	seq, err := udsim.NewSequential(udsim.Counter(4), func(c *udsim.Circuit) (udsim.Engine, error) {
-		return udsim.NewParallel(c)
+		return udsim.Open(c, udsim.TechParallel)
 	})
 	if err != nil {
 		log.Fatal(err)

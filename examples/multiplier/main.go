@@ -19,13 +19,14 @@ func main() {
 	ckt := udsim.Multiplier(width, true) // authentic 9-NOR adder cells
 	fmt.Printf("circuit: %s\n", ckt)
 
-	sim, err := udsim.NewParallel(ckt,
+	eng, err := udsim.Open(ckt, udsim.TechParallel,
 		udsim.WithShiftElimination(udsim.PathTracing),
 		udsim.WithTrimming(),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	sim := eng.(*udsim.ParallelSim) // ShiftCount sits below the Introspector surface
 	fmt.Printf("engine: %s, depth %d gate delays, %d compiled instructions, %d retained shifts\n",
 		sim.EngineName(), sim.Depth(), sim.CodeSize(), sim.ShiftCount())
 

@@ -22,10 +22,14 @@ func main() {
 	b.Output(c)
 	ckt := b.MustBuild()
 
-	sim, err := udsim.NewParallel(ckt)
+	eng, err := udsim.Open(ckt, udsim.TechParallel)
 	if err != nil {
 		log.Fatal(err)
 	}
+	sim := eng.(interface {
+		udsim.Engine
+		udsim.Tracer
+	})
 	// Start from the settled state for A=0, then raise A.
 	if err := sim.ResetConsistent([]bool{false}); err != nil {
 		log.Fatal(err)

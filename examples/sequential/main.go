@@ -21,7 +21,7 @@ func main() {
 
 func counterDemo() {
 	seq, err := udsim.NewSequential(udsim.Counter(8), func(c *udsim.Circuit) (udsim.Engine, error) {
-		return udsim.NewParallel(c, udsim.WithShiftElimination(udsim.PathTracing))
+		return udsim.Open(c, udsim.TechParallel, udsim.WithShiftElimination(udsim.PathTracing))
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -68,7 +68,7 @@ func lfsrDemo() {
 	ckt := b.MustBuild()
 
 	seq, err := udsim.NewSequential(ckt, func(c *udsim.Circuit) (udsim.Engine, error) {
-		return udsim.NewPCSet(c, nil)
+		return udsim.Open(c, udsim.TechPCSet)
 	})
 	if err != nil {
 		log.Fatal(err)

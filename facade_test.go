@@ -12,7 +12,7 @@ import (
 func TestFacadeAccessors(t *testing.T) {
 	c := glitchCircuit()
 
-	par, err := NewParallel(c, WithTrimming(), WithWordBits(16))
+	par, err := openParallelSim(c, WithTrimming(), WithWordBits(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,14 +29,14 @@ func TestFacadeAccessors(t *testing.T) {
 		t.Errorf("history length %d", len(h))
 	}
 
-	pt, err := NewParallel(c, WithShiftElimination(PathTracing))
+	pt, err := openParallelSim(c, WithShiftElimination(PathTracing))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(pt.EngineName(), "path-tracing") {
 		t.Errorf("name %q", pt.EngineName())
 	}
-	cb, err := NewParallel(c, WithShiftElimination(CycleBreaking))
+	cb, err := openParallelSim(c, WithShiftElimination(CycleBreaking))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestFacadeAccessors(t *testing.T) {
 		t.Errorf("name %q", cb.EngineName())
 	}
 
-	ps, err := NewPCSet(c, nil)
+	ps, err := openPCSetSim(c, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,8 +12,8 @@ import (
 	"testing"
 
 	"udsim/internal/resilience/chaos"
-	"udsim/internal/verify"
 	"udsim/internal/vectors"
+	"udsim/internal/verify"
 )
 
 // gatingStream builds the stream the gated engine must survive: a random
@@ -58,7 +58,7 @@ func TestGatedDeterminismISCAS(t *testing.T) {
 				t.Fatal(err)
 			}
 			vecs := gatingStream(c, 1990)
-			ref, err := NewParallel(c)
+			ref, err := openParallelSim(c)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -70,7 +70,7 @@ func TestGatedDeterminismISCAS(t *testing.T) {
 						opts = append(opts, WithLevelFusion())
 						label = "fused"
 					}
-					gt, err := NewParallel(c, opts...)
+					gt, err := openParallelSim(c, opts...)
 					if err != nil {
 						t.Fatalf("%s workers=%d: %v", label, w, err)
 					}
@@ -95,7 +95,7 @@ func TestGatedSkipsAreObservable(t *testing.T) {
 		t.Fatal(err)
 	}
 	ob := NewObserver(ObserverConfig{})
-	gt, err := NewParallel(c, WithExec(ExecActivityGated, 2), WithObserver(ob))
+	gt, err := openParallelSim(c, WithExec(ExecActivityGated, 2), WithObserver(ob))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,12 +145,12 @@ func TestLevelFusionDeletesBarriers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			plain, err := NewParallel(c, WithExec(ExecSharded, 2))
+			plain, err := openParallelSim(c, WithExec(ExecSharded, 2))
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer plain.Close()
-			fused, err := NewParallel(c, WithExec(ExecSharded, 2), WithLevelFusion())
+			fused, err := openParallelSim(c, WithExec(ExecSharded, 2), WithLevelFusion())
 			if err != nil {
 				t.Fatal(err)
 			}

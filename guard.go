@@ -178,6 +178,7 @@ func wrapGuard(base guardBase, core guardCore, o options) (Engine, error) {
 		core: core,
 		pol:  o.guard,
 		obs:  o.observer,
+		inj:  o.inject,
 		one:  make([][]bool, 1),
 	}, nil
 }
@@ -195,9 +196,10 @@ type GuardedSim struct {
 	core guardCore
 	pol  GuardPolicy
 	obs  *Observer
+	inj  FaultInjector
 
-	ref  *refsim.Evaluator // lazily built oracle for cross-checks
-	one  [][]bool          // reusable single-vector batch
+	ref *refsim.Evaluator // lazily built oracle for cross-checks
+	one [][]bool          // reusable single-vector batch
 
 	applied   int64 // successfully applied vectors (cross-check phase)
 	degraded  bool
@@ -245,6 +247,30 @@ func (g *GuardedSim) Snapshot() *Snapshot { return g.base.Snapshot() }
 
 // Close releases the wrapped engine's workers.
 func (g *GuardedSim) Close() { g.base.Close() }
+
+// Clone returns an independent guarded engine supervising a clone of
+// the wrapped simulator under the same policy and injector: the clone
+// shares the compiled programs (no recompilation) and the attached
+// Observer, and owns its own checkpoint, degradation state and fault
+// record. See (*ParallelSim).Clone for observer-sharing semantics.
+func (g *GuardedSim) Clone() (Engine, error) {
+	cb, ok := g.base.(Cloner)
+	if !ok {
+		return nil, fmt.Errorf("udsim: %s does not support cloning", g.base.EngineName())
+	}
+	e, err := cb.Clone()
+	if err != nil {
+		return nil, err
+	}
+	o := options{guard: g.pol, guardSet: true, inject: g.inj, observer: g.obs}
+	switch s := e.(type) {
+	case *ParallelSim:
+		return wrapGuard(s, &parallelCore{s: s.s}, o)
+	case *PCSetSim:
+		return wrapGuard(s, &pcsetCore{s: s.s}, o)
+	}
+	return nil, fmt.Errorf("udsim: cannot re-guard cloned engine %s", e.EngineName())
+}
 
 // Degraded reports whether a fault has quarantined the execution
 // strategy (the engine now runs sequentially).
@@ -410,6 +436,7 @@ func (g *GuardedSim) crossCheck(vec []bool) error {
 var (
 	_ Engine       = (*GuardedSim)(nil)
 	_ Tracer       = (*GuardedSim)(nil)
+	_ Cloner       = (*GuardedSim)(nil)
 	_ Closer       = (*GuardedSim)(nil)
 	_ Streamer     = (*GuardedSim)(nil)
 	_ Introspector = (*GuardedSim)(nil)

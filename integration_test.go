@@ -102,11 +102,11 @@ func TestIntegrationBenchFilesSimulateIdentically(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e1, err := NewParallel(orig)
+	e1, err := openParallelSim(orig)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e2, err := NewParallel(back)
+	e2, err := openParallelSim(back)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestIntegrationActivityGlitchShare(t *testing.T) {
 // VCD dump contains the pulse.
 func TestIntegrationVCDFromFacade(t *testing.T) {
 	c := glitchCircuit()
-	e, err := NewParallel(c)
+	e, err := openParallelSim(c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,10 +247,10 @@ func TestIntegrationAsyncFacade(t *testing.T) {
 		t.Fatalf("set failed: %v Q=%v", out, s.Value(qID))
 	}
 	// Compiled engines must reject the cyclic circuit.
-	if _, err := NewParallel(c); err == nil {
+	if _, err := openParallelSim(c); err == nil {
 		t.Error("parallel engine accepted a cyclic circuit")
 	}
-	if _, err := NewPCSet(c, nil); err == nil {
+	if _, err := openPCSetSim(c, nil); err == nil {
 		t.Error("pcset engine accepted a cyclic circuit")
 	}
 }

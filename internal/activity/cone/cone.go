@@ -23,8 +23,8 @@ import (
 // position of the input in Circuit.Inputs (bit i = Inputs[i]).
 type Set struct {
 	numPI int
-	words int        // bitset words per net
-	bits  []uint64   // net-major: bits[n*words : (n+1)*words]
+	words int      // bitset words per net
+	bits  []uint64 // net-major: bits[n*words : (n+1)*words]
 }
 
 // Compute levelizes the circuit and returns its input cones.

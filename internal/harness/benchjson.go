@@ -44,6 +44,18 @@ type BenchRecord struct {
 	Fused                     bool    `json:"fused,omitempty"`
 	ObsBarriersPerVector      float64 `json:"obs_barriers_per_vector,omitempty"`
 	ObsShardsSkippedPerVector float64 `json:"obs_shards_skipped_per_vector,omitempty"`
+
+	// Multi-tenant service columns (the `-exp serve` matrix): Workers is
+	// the concurrent client count, throughput is end-to-end over HTTP,
+	// and the cache counters are the compile-once evidence — compiles
+	// stays at one per circuit while hits absorb the rest of the load.
+	ServeBatches          int64   `json:"serve_batches,omitempty"`
+	ServeVectorsPerSecond float64 `json:"serve_vectors_per_second,omitempty"`
+	ServeCacheHits        int64   `json:"serve_cache_hits,omitempty"`
+	ServeCompiles         int64   `json:"serve_compiles,omitempty"`
+	ServePoolPeak         int64   `json:"serve_pool_peak,omitempty"`
+	ServeRejected         int64   `json:"serve_rejected,omitempty"`
+	ServeIdenticalOutputs bool    `json:"serve_identical_outputs,omitempty"`
 }
 
 // BenchFile is the machine-readable benchmark emitted by `udbench -json`,

@@ -47,8 +47,8 @@ func TestBenchMatrixRoundTrip(t *testing.T) {
 // TestParseBenchFileRejectsGarbage pins the validation surface.
 func TestParseBenchFileRejectsGarbage(t *testing.T) {
 	cases := map[string]string{
-		"wrong schema": `{"schema":"udbench/v0","revision":"x","gomaxprocs":1,"word_bits":32,"vectors":1,"records":[{"circuit":"c432","technique":"parallel","strategy":"sequential","workers":1,"ns_per_vector":1,"allocs_per_vector":0,"bytes_per_vector":0}]}`,
-		"no records":   `{"schema":"udbench/v1","revision":"x","gomaxprocs":1,"word_bits":32,"vectors":1,"records":[]}`,
+		"wrong schema":  `{"schema":"udbench/v0","revision":"x","gomaxprocs":1,"word_bits":32,"vectors":1,"records":[{"circuit":"c432","technique":"parallel","strategy":"sequential","workers":1,"ns_per_vector":1,"allocs_per_vector":0,"bytes_per_vector":0}]}`,
+		"no records":    `{"schema":"udbench/v1","revision":"x","gomaxprocs":1,"word_bits":32,"vectors":1,"records":[]}`,
 		"unknown field": `{"schema":"udbench/v1","bogus":true,"records":[]}`,
 		"not json":      `ns/op 123`,
 	}

@@ -453,6 +453,7 @@ var Experiments = []struct {
 	{"resub", Resub},
 	{"chaos", Chaos},
 	{"gating", Gating},
+	{"serve", Serve},
 }
 
 // Run executes one experiment by name.

@@ -1,0 +1,312 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"udsim"
+	"udsim/internal/serve"
+	"udsim/internal/texttable"
+	"udsim/internal/vectors"
+)
+
+// Serve load-tests the multi-tenant simulation service: one udserve
+// instance, N concurrent clients per circuit all streaming vector
+// batches over real HTTP. The experiment checks the service's two core
+// claims — compile-once (the compiles counter equals the number of
+// distinct configurations no matter how many clients race on them) and
+// bit-identity (every batch's output digest matches a direct in-process
+// engine run) — and reports the multi-tenant throughput.
+func Serve(o Options) (*Result, error) {
+	o = o.withDefaults()
+	clients := serveClients()
+	res, err := runServeLoad(o, clients)
+	if err != nil {
+		return nil, err
+	}
+	t := texttable.New(
+		fmt.Sprintf("Multi-tenant service — %d clients/circuit, %d vectors each over HTTP", clients, o.Vectors),
+		"Circuit", "Batches", "Vectors", "Identical", "Vec/s")
+	for _, r := range res.Rows {
+		ident := "yes"
+		if !r.Identical {
+			ident = "NO"
+		}
+		t.Add(r.Circuit, fmt.Sprint(r.Batches), fmt.Sprint(r.Vectors), ident,
+			fmt.Sprintf("%.0f", r.VectorsPerSecond))
+	}
+	st := res.Stats
+	notes := []string{
+		fmt.Sprintf("compiles=%d (one per circuit: singleflight held under %d racing clients), cache hits=%d misses=%d",
+			st.Compiles, clients, st.CacheHits, st.CacheMisses),
+		fmt.Sprintf("pool peak=%d (bound %d), pool waits=%d, rejected=%d",
+			st.PoolPeak, res.PoolBound, st.PoolWaits, st.Rejected()),
+	}
+	if st.Compiles != int64(len(res.Rows)) {
+		return nil, fmt.Errorf("harness: serve compiled %d programs for %d circuits — the cache failed its compile-once contract",
+			st.Compiles, len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if !r.Identical {
+			return nil, fmt.Errorf("harness: serve outputs for %s diverged from the direct engine run", r.Circuit)
+		}
+	}
+	return &Result{Table: t, Notes: notes}, nil
+}
+
+// serveClients picks the client fan-out: enough to race the
+// singleflight and oversubscribe the engine pool.
+func serveClients() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// serveRow is one circuit's client-side outcome.
+type serveRow struct {
+	Circuit          string
+	Batches          int64
+	Vectors          int64
+	Identical        bool
+	VectorsPerSecond float64
+}
+
+// serveLoadResult is the full load-test outcome.
+type serveLoadResult struct {
+	Rows      []serveRow
+	Stats     serve.Stats
+	PoolBound int
+}
+
+// runServeLoad starts the service over HTTP and drives the client fleet.
+func runServeLoad(o Options, clients int) (*serveLoadResult, error) {
+	const poolBound = 4
+	srv := serve.New(serve.Config{
+		PoolBound:  poolBound,
+		QueueDepth: clients * len(o.Circuits) * 2, // admission is not under test here
+	})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+
+	res := &serveLoadResult{PoolBound: poolBound}
+	for _, name := range o.Circuits {
+		row, err := serveOneCircuit(o, hs.Client(), hs.URL, name, clients)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	res.Stats = srv.Stats()
+	return res, nil
+}
+
+// serveOneCircuit fans clients out on one circuit and checks digests.
+func serveOneCircuit(o Options, hc *http.Client, base, name string, clients int) (*serveRow, error) {
+	c, vecs, err := bench(o, name)
+	if err != nil {
+		return nil, err
+	}
+	want, err := referenceDigest(c, vecs)
+	if err != nil {
+		return nil, err
+	}
+	body := vecs.Bits
+	lines := make([]string, len(body))
+	for i, v := range body {
+		b := make([]byte, len(v))
+		for j, bit := range v {
+			if bit {
+				b[j] = '1'
+			} else {
+				b[j] = '0'
+			}
+		}
+		lines[i] = string(b)
+	}
+	// Each client splits the stream into batches so pool checkout and
+	// release churn under contention.
+	batch := len(lines) / 8
+	if batch < 1 {
+		batch = 1
+	}
+	var (
+		wg        sync.WaitGroup
+		batches   atomic.Int64
+		nvec      atomic.Int64
+		identical atomic.Bool
+		firstErr  atomic.Value
+	)
+	identical.Store(true)
+	start := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			for lo := 0; lo < len(lines); lo += batch {
+				hi := lo + batch
+				if hi > len(lines) {
+					hi = len(lines)
+				}
+				chunk := lines[lo:hi]
+				digest, err := postBatch(hc, base, tenant, name, chunk)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				// Verify against the reference digest of the same chunk.
+				if digest != want[lo/batch] {
+					identical.Store(false)
+				}
+				batches.Add(1)
+				nvec.Add(int64(len(chunk)))
+			}
+		}(fmt.Sprintf("client-%d", cl))
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, err
+	}
+	el := time.Since(start).Seconds()
+	return &serveRow{
+		Circuit:          name,
+		Batches:          batches.Load(),
+		Vectors:          nvec.Load(),
+		Identical:        identical.Load(),
+		VectorsPerSecond: float64(nvec.Load()) / el,
+	}, nil
+}
+
+// postBatch runs one digest-only batch over HTTP and returns the digest.
+func postBatch(hc *http.Client, base, tenant, gen string, vecs []string) (string, error) {
+	req := map[string]any{"gen": gen, "vectors": vecs, "digest_only": true}
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	hr, err := http.NewRequest(http.MethodPost, base+"/v1/batches", bytes.NewReader(buf))
+	if err != nil {
+		return "", err
+	}
+	hr.Header.Set("X-Tenant-ID", tenant)
+	resp, err := hc.Do(hr)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("harness: serve: %s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	var br struct {
+		Digest string `json:"digest"`
+	}
+	if err := json.Unmarshal(raw, &br); err != nil {
+		return "", err
+	}
+	return br.Digest, nil
+}
+
+// referenceDigest computes the expected FNV-1a digest of every 1/8th
+// chunk of the stream with a direct in-process engine — the oracle the
+// HTTP responses must match bit for bit.
+func referenceDigest(c *udsim.Circuit, vecs *vectors.Set) ([]string, error) {
+	e, err := udsim.Open(c, udsim.TechParallel)
+	if err != nil {
+		return nil, err
+	}
+	if cl, ok := e.(udsim.Closer); ok {
+		defer cl.Close()
+	}
+	batch := len(vecs.Bits) / 8
+	if batch < 1 {
+		batch = 1
+	}
+	var out []string
+	buf := make([]byte, len(c.Outputs))
+	for lo := 0; lo < len(vecs.Bits); lo += batch {
+		hi := lo + batch
+		if hi > len(vecs.Bits) {
+			hi = len(vecs.Bits)
+		}
+		// Batches are independent: the service resets to the all-zeros
+		// consistent state at every batch boundary, so the oracle must too.
+		if err := e.ResetConsistent(nil); err != nil {
+			return nil, err
+		}
+		d := fnv.New64a()
+		for _, v := range vecs.Bits[lo:hi] {
+			if err := e.Apply(v); err != nil {
+				return nil, err
+			}
+			for i, o := range c.Outputs {
+				if e.Final(o) {
+					buf[i] = '1'
+				} else {
+					buf[i] = '0'
+				}
+			}
+			d.Write(buf)
+		}
+		out = append(out, fmt.Sprintf("%016x", d.Sum64()))
+	}
+	return out, nil
+}
+
+// ServeMatrix runs the service load test and renders it in the bench
+// file schema — the `udbench -json FILE -exp serve` baseline.
+func ServeMatrix(o Options, rev string, workersList []int) (*BenchFile, error) {
+	o = o.withDefaults()
+	clients := serveClients()
+	if len(workersList) > 0 {
+		clients = workersList[0]
+	}
+	res, err := runServeLoad(o, clients)
+	if err != nil {
+		return nil, err
+	}
+	st := res.Stats
+	file := &BenchFile{
+		Schema:     BenchSchema,
+		Revision:   rev,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		WordBits:   o.WordBits,
+		Vectors:    o.Vectors,
+	}
+	for _, r := range res.Rows {
+		file.Records = append(file.Records, BenchRecord{
+			Circuit:               r.Circuit,
+			Technique:             "parallel",
+			Strategy:              "serve",
+			Workers:               clients,
+			NsPerVector:           1e9 / r.VectorsPerSecond,
+			ServeBatches:          r.Batches,
+			ServeVectorsPerSecond: r.VectorsPerSecond,
+			ServeCacheHits:        st.CacheHits,
+			ServeCompiles:         st.Compiles,
+			ServePoolPeak:         st.PoolPeak,
+			ServeRejected:         st.Rejected(),
+			ServeIdenticalOutputs: r.Identical,
+		})
+	}
+	return file, nil
+}

@@ -114,7 +114,7 @@ type Observer struct {
 	initRuns  atomic.Int64 // initialization-program executions
 	initNanos atomic.Int64
 
-	cells   []cell      // worker-major: cells[w*shape.Levels + l]
+	cells   []cell // worker-major: cells[w*shape.Levels + l]
 	workers []workerCtr
 
 	// Activity gating (the ActivityGated strategy): shard slices skipped

@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"udsim"
+	"udsim/internal/obs"
+)
+
+// The compiled-program cache is where the service earns its keep:
+// Maurer's techniques pay one expensive compile to get a branch-free
+// instruction stream, so the service compiles a (circuit, technique,
+// options) configuration once and amortizes it across every tenant's
+// vector streams. A program entry owns the compiled template engine,
+// a bounded pool of Clone()d engines that serve batches, and a shared
+// Observer aggregating runtime counters across the clone family.
+//
+// Keying: the circuit content hash (sha256 of the canonical .bench
+// rendering, so formatting differences collapse), the technique name,
+// and the canonical option string. Guard policy and deadlines are
+// server-wide and deliberately not part of the key.
+//
+// Concurrency: lookups and LRU maintenance hold the cache mutex;
+// compilation does not (a singleflight slot makes concurrent first
+// requests share one compile). Engine checkout is lock-free on the
+// pool channel. Entries are refcounted — one reference for cache
+// residency plus one per outstanding checkout — so an eviction never
+// closes engines a request is still using.
+
+// program is one cached compiled configuration.
+type program struct {
+	key    string
+	bytes  int64 // byte-budget estimate, fixed at build time
+	engine string
+	circ   *udsim.Circuit
+	tmpl   udsim.Engine // compile template; never serves batches
+	ob     *obs.Observer
+	pool   chan udsim.Engine
+	bound  int
+
+	inUse   atomic.Int64
+	peak    atomic.Int64
+	refs    atomic.Int64
+	batches atomic.Int64
+	vectors atomic.Int64
+
+	elem *list.Element
+}
+
+// acquire checks an engine out of the pool, waiting until one is free
+// or ctx ends. The caller must hold a program reference.
+func (p *program) acquire(ctx context.Context, m *Metrics) (udsim.Engine, error) {
+	var e udsim.Engine
+	select {
+	case e = <-p.pool:
+	default:
+		m.poolWaits.Add(1)
+		select {
+		case e = <-p.pool:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	m.poolInUse.Add(1)
+	n := p.inUse.Add(1)
+	for {
+		old := p.peak.Load()
+		if n <= old || p.peak.CompareAndSwap(old, n) {
+			break
+		}
+	}
+	return e, nil
+}
+
+// releaseEngine returns a checked-out engine. The pool channel has
+// capacity bound, so the send never blocks.
+func (p *program) releaseEngine(e udsim.Engine, m *Metrics) {
+	p.inUse.Add(-1)
+	m.poolInUse.Add(-1)
+	p.pool <- e
+}
+
+// destroy closes every pool member and the template. Called when the
+// last reference drops; by then all bound members are back in the
+// channel.
+func (p *program) destroy() {
+	for {
+		select {
+		case e := <-p.pool:
+			if c, ok := e.(udsim.Closer); ok {
+				c.Close()
+			}
+		default:
+			if c, ok := p.tmpl.(udsim.Closer); ok {
+				c.Close()
+			}
+			return
+		}
+	}
+}
+
+// slot is the singleflight cell: concurrent first requests for one key
+// share the compile of whoever got there first.
+type slot struct {
+	ready chan struct{} // closed when the flight lands
+	prog  *program      // set before ready closes on success
+	err   error         // set before ready closes on failure
+}
+
+// cache is the LRU compiled-program cache with a byte budget.
+type cache struct {
+	m      *Metrics
+	budget int64
+
+	mu     sync.Mutex
+	bytes  int64
+	slots  map[string]*slot
+	lru    *list.List // of *program, front = most recent
+	closed bool
+}
+
+func newCache(budget int64, m *Metrics) *cache {
+	return &cache{m: m, budget: budget, slots: make(map[string]*slot), lru: list.New()}
+}
+
+// get returns the program for key, compiling it via build on a miss.
+// hit reports whether the program was already resident and ready when
+// the request arrived (joining a compile in flight is a miss). The
+// returned program carries a reference; callers must release it.
+func (c *cache) get(ctx context.Context, key string, build func() (*program, error)) (prog *program, hit bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("serve: cache closed")
+	}
+	if s, ok := c.slots[key]; ok {
+		select {
+		case <-s.ready:
+			if s.err != nil {
+				// A failed flight is removed by its owner; this stale
+				// read just reports the failure.
+				c.mu.Unlock()
+				return nil, false, s.err
+			}
+			c.m.cacheHits.Add(1)
+			s.prog.refs.Add(1)
+			c.lru.MoveToFront(s.prog.elem)
+			c.mu.Unlock()
+			return s.prog, true, nil
+		default:
+			// Compile in flight: join it. Counted as a miss — the
+			// program was not ready — but never as a second compile.
+			c.m.cacheMisses.Add(1)
+			c.mu.Unlock()
+			select {
+			case <-s.ready:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if s.err != nil {
+				return nil, false, s.err
+			}
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if c.closed || c.slots[key] != s {
+				return nil, false, fmt.Errorf("serve: program evicted while compiling")
+			}
+			s.prog.refs.Add(1)
+			c.lru.MoveToFront(s.prog.elem)
+			return s.prog, false, nil
+		}
+	}
+	// Miss: this request owns the flight.
+	s := &slot{ready: make(chan struct{})}
+	c.slots[key] = s
+	c.m.cacheMisses.Add(1)
+	c.mu.Unlock()
+
+	t0 := time.Now()
+	prog, err = build()
+	c.mu.Lock()
+	if err != nil {
+		delete(c.slots, key)
+		s.err = err
+		close(s.ready)
+		c.mu.Unlock()
+		return nil, false, err
+	}
+	c.m.compiles.Add(1)
+	c.m.compileNanos.Add(int64(time.Since(t0)))
+	if c.closed {
+		s.err = fmt.Errorf("serve: cache closed")
+		close(s.ready)
+		c.mu.Unlock()
+		prog.destroy()
+		return nil, false, s.err
+	}
+	s.prog = prog
+	prog.refs.Store(2) // cache residency + this caller
+	prog.elem = c.lru.PushFront(prog)
+	c.bytes += prog.bytes
+	c.evictOverBudget(prog)
+	close(s.ready)
+	c.mu.Unlock()
+	return prog, false, nil
+}
+
+// evictOverBudget drops least-recently-used programs until the byte
+// estimate fits the budget. keep is never evicted, even when it alone
+// exceeds the budget — the budget bounds the cache, not one program.
+// Callers hold c.mu.
+func (c *cache) evictOverBudget(keep *program) {
+	for c.bytes > c.budget {
+		e := c.lru.Back()
+		if e == nil {
+			return
+		}
+		p := e.Value.(*program)
+		if p == keep {
+			// keep is by construction at the front unless it is alone.
+			return
+		}
+		c.removeLocked(p)
+		c.m.cacheEvictions.Add(1)
+	}
+}
+
+// removeLocked unlinks a program from the cache and drops the
+// residency reference. Callers hold c.mu.
+func (c *cache) removeLocked(p *program) {
+	delete(c.slots, p.key)
+	c.lru.Remove(p.elem)
+	c.bytes -= p.bytes
+	c.release(p)
+}
+
+// release drops one program reference, destroying the entry when the
+// last one goes.
+func (c *cache) release(p *program) {
+	if p.refs.Add(-1) == 0 {
+		p.destroy()
+	}
+}
+
+// stats reports the cache shape and the per-program breakdown.
+func (c *cache) stats() (programs int, bytes int64, progs []programStat, peak int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		p := e.Value.(*program)
+		pp := p.peak.Load()
+		progs = append(progs, programStat{
+			Key:      p.key,
+			Batches:  p.batches.Load(),
+			Vectors:  p.vectors.Load(),
+			PoolPeak: pp,
+		})
+		if pp > peak {
+			peak = pp
+		}
+	}
+	return len(progs), c.bytes, progs, peak
+}
+
+// snapshots returns the obs snapshot of every cached program (scrape
+// path). Observers are attached once at build time, so snapshotting
+// while batches run reads only atomic counters.
+func (c *cache) snapshots() []*obs.Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*obs.Snapshot
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		p := e.Value.(*program)
+		if s := p.ob.Snapshot(); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// close evicts everything and refuses further gets. In-flight checkouts
+// finish normally; their release drops the last references.
+func (c *cache) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for e := c.lru.Front(); e != nil; {
+		next := e.Next()
+		c.removeLocked(e.Value.(*program))
+		e = next
+	}
+}

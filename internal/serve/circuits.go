@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+
+	"udsim"
+)
+
+// registry stores uploaded circuits by content hash. The ID of a
+// circuit is the sha256 of its canonical .bench rendering, so two
+// tenants posting the same netlist with different whitespace, comment
+// or gate ordering land on the same ID — and therefore the same cached
+// compiled programs.
+type registry struct {
+	mu   sync.Mutex
+	byID map[string]*regCircuit
+	lru  *list.List // of *regCircuit
+	max  int
+}
+
+type regCircuit struct {
+	id    string
+	bench string // canonical rendering
+	circ  *udsim.Circuit
+	elem  *list.Element
+}
+
+func newRegistry(max int) *registry {
+	return &registry{byID: make(map[string]*regCircuit), lru: list.New(), max: max}
+}
+
+// canonicalize parses bench text and re-renders it canonically,
+// returning the circuit, the canonical text and the content ID.
+// Sequential circuits are normalized the way the CLIs do: flip-flops
+// broken into primary I/O, one combinational frame per vector.
+func canonicalize(bench, name string) (*udsim.Circuit, string, string, error) {
+	c, err := udsim.ParseBench(strings.NewReader(bench), name)
+	if err != nil {
+		return nil, "", "", err
+	}
+	if !c.Combinational() {
+		comb, _ := c.BreakFlipFlops()
+		c = comb
+	}
+	if c.HasWiredNets() {
+		c = c.Normalize()
+	}
+	var buf bytes.Buffer
+	if err := udsim.WriteBench(&buf, c); err != nil {
+		return nil, "", "", err
+	}
+	// Hash only the netlist body: the writer's leading # comments carry
+	// the display name, which must not split the cache by upload name.
+	h := sha256.New()
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		h.Write([]byte(line))
+		h.Write([]byte{'\n'})
+	}
+	return c, buf.String(), hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// add registers a circuit (idempotent: re-posting moves it to the LRU
+// front) and returns its record.
+func (r *registry) add(c *udsim.Circuit, bench, id string) *regCircuit {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rc, ok := r.byID[id]; ok {
+		r.lru.MoveToFront(rc.elem)
+		return rc
+	}
+	rc := &regCircuit{id: id, bench: bench, circ: c}
+	rc.elem = r.lru.PushFront(rc)
+	r.byID[id] = rc
+	for r.lru.Len() > r.max {
+		back := r.lru.Back()
+		old := back.Value.(*regCircuit)
+		r.lru.Remove(back)
+		delete(r.byID, old.id)
+	}
+	return rc
+}
+
+// lookup finds a registered circuit by ID.
+func (r *registry) lookup(id string) (*regCircuit, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rc, ok := r.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown circuit %q (POST it to /v1/circuits first)", id)
+	}
+	r.lru.MoveToFront(rc.elem)
+	return rc, nil
+}

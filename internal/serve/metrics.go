@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics is the service-level counter set — the udsim_serve_* families
+// of the /metrics endpoint, sitting next to the per-program udsim_*
+// engine counters collected by internal/obs. Everything is an atomic so
+// the hot handler path never takes a lock to count.
+type Metrics struct {
+	// Compiled-program cache.
+	cacheHits      atomic.Int64 // request found a ready compiled program
+	cacheMisses    atomic.Int64 // request had to compile or join a compile in flight
+	cacheEvictions atomic.Int64 // programs evicted by the LRU byte budget
+	compiles       atomic.Int64 // actual compiles (singleflight: concurrent first requests share one)
+	compileNanos   atomic.Int64 // wall time inside those compiles
+
+	// Engine pools.
+	poolWaits atomic.Int64 // acquisitions that had to wait for an engine
+	poolInUse atomic.Int64 // engines checked out right now (gauge)
+
+	// Batch queue and admission.
+	queueDepth       atomic.Int64 // batches admitted and not yet finished (gauge)
+	accepted         atomic.Int64 // batches admitted past quota + queue
+	completed        atomic.Int64 // batches that finished successfully
+	rejectedQuota    atomic.Int64 // 429: tenant token bucket empty
+	rejectedQueue    atomic.Int64 // 429: batch queue full
+	rejectedDraining atomic.Int64 // 503: server draining
+	deadlineFailures atomic.Int64 // 504: batch hit the request deadline
+	drainCompleted   atomic.Int64 // accepted batches that finished during drain
+	vectors          atomic.Int64 // vectors simulated across all batches
+	batchNanos       atomic.Int64 // wall time inside batch execution
+}
+
+// Stats is a consistent-enough copy of Metrics for tests and the load
+// harness (each field is read atomically; the set is not a snapshot).
+type Stats struct {
+	CacheHits, CacheMisses, CacheEvictions, Compiles int64
+	CompileNanos                                     int64
+	PoolWaits, PoolInUse                             int64
+	QueueDepth, Accepted, Completed                  int64
+	RejectedQuota, RejectedQueue, RejectedDraining   int64
+	DeadlineFailures, DrainCompleted                 int64
+	Vectors, BatchNanos                              int64
+	CachedPrograms                                   int
+	CacheBytes                                       int64
+	PoolPeak                                         int64 // max engines checked out of any one pool
+}
+
+// Rejected is the total across rejection reasons.
+func (s Stats) Rejected() int64 {
+	return s.RejectedQuota + s.RejectedQueue + s.RejectedDraining
+}
+
+func (m *Metrics) stats() Stats {
+	return Stats{
+		CacheHits:        m.cacheHits.Load(),
+		CacheMisses:      m.cacheMisses.Load(),
+		CacheEvictions:   m.cacheEvictions.Load(),
+		Compiles:         m.compiles.Load(),
+		CompileNanos:     m.compileNanos.Load(),
+		PoolWaits:        m.poolWaits.Load(),
+		PoolInUse:        m.poolInUse.Load(),
+		QueueDepth:       m.queueDepth.Load(),
+		Accepted:         m.accepted.Load(),
+		Completed:        m.completed.Load(),
+		RejectedQuota:    m.rejectedQuota.Load(),
+		RejectedQueue:    m.rejectedQueue.Load(),
+		RejectedDraining: m.rejectedDraining.Load(),
+		DeadlineFailures: m.deadlineFailures.Load(),
+		DrainCompleted:   m.drainCompleted.Load(),
+		Vectors:          m.vectors.Load(),
+		BatchNanos:       m.batchNanos.Load(),
+	}
+}
+
+// writeText renders the udsim_serve_* families in the same Prometheus
+// text exposition subset obs.WriteText emits (every sample labeled, so
+// obs.ValidateText accepts the combined /metrics payload). progs is the
+// per-program breakdown the cache contributes.
+func (m *Metrics) writeText(w io.Writer, cachedPrograms int, cacheBytes int64, progs []programStat) error {
+	bw := bufio.NewWriter(w)
+	sample := func(name, labels string, v float64) {
+		if labels == "" {
+			labels = `server="udserve"`
+		}
+		fmt.Fprintf(bw, "%s{%s} %s\n", name, labels, formatValue(v))
+	}
+	family := func(name, typ string) { fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ) }
+	secs := func(ns int64) float64 { return float64(ns) / 1e9 }
+
+	family("udsim_serve_cache_hits_total", "counter")
+	sample("udsim_serve_cache_hits_total", "", float64(m.cacheHits.Load()))
+	family("udsim_serve_cache_misses_total", "counter")
+	sample("udsim_serve_cache_misses_total", "", float64(m.cacheMisses.Load()))
+	family("udsim_serve_cache_evictions_total", "counter")
+	sample("udsim_serve_cache_evictions_total", "", float64(m.cacheEvictions.Load()))
+	family("udsim_serve_compiles_total", "counter")
+	sample("udsim_serve_compiles_total", "", float64(m.compiles.Load()))
+	family("udsim_serve_compile_seconds_total", "counter")
+	sample("udsim_serve_compile_seconds_total", "", secs(m.compileNanos.Load()))
+	family("udsim_serve_cached_programs", "gauge")
+	sample("udsim_serve_cached_programs", "", float64(cachedPrograms))
+	family("udsim_serve_cache_bytes", "gauge")
+	sample("udsim_serve_cache_bytes", "", float64(cacheBytes))
+
+	family("udsim_serve_pool_waits_total", "counter")
+	sample("udsim_serve_pool_waits_total", "", float64(m.poolWaits.Load()))
+	family("udsim_serve_pool_in_use", "gauge")
+	sample("udsim_serve_pool_in_use", "", float64(m.poolInUse.Load()))
+
+	family("udsim_serve_queue_depth", "gauge")
+	sample("udsim_serve_queue_depth", "", float64(m.queueDepth.Load()))
+	family("udsim_serve_batches_accepted_total", "counter")
+	sample("udsim_serve_batches_accepted_total", "", float64(m.accepted.Load()))
+	family("udsim_serve_batches_completed_total", "counter")
+	sample("udsim_serve_batches_completed_total", "", float64(m.completed.Load()))
+	family("udsim_serve_rejected_total", "counter")
+	sample("udsim_serve_rejected_total", `server="udserve",reason="quota"`, float64(m.rejectedQuota.Load()))
+	sample("udsim_serve_rejected_total", `server="udserve",reason="queue"`, float64(m.rejectedQueue.Load()))
+	sample("udsim_serve_rejected_total", `server="udserve",reason="draining"`, float64(m.rejectedDraining.Load()))
+	family("udsim_serve_deadline_failures_total", "counter")
+	sample("udsim_serve_deadline_failures_total", "", float64(m.deadlineFailures.Load()))
+	family("udsim_serve_drain_completed_total", "counter")
+	sample("udsim_serve_drain_completed_total", "", float64(m.drainCompleted.Load()))
+	family("udsim_serve_vectors_total", "counter")
+	sample("udsim_serve_vectors_total", "", float64(m.vectors.Load()))
+	family("udsim_serve_batch_seconds_total", "counter")
+	sample("udsim_serve_batch_seconds_total", "", secs(m.batchNanos.Load()))
+
+	if len(progs) > 0 {
+		family("udsim_serve_program_batches_total", "counter")
+		family("udsim_serve_program_vectors_total", "counter")
+		family("udsim_serve_program_pool_peak", "gauge")
+		for _, p := range progs {
+			l := fmt.Sprintf("server=%q,program=%q", "udserve", p.Key)
+			sample("udsim_serve_program_batches_total", l, float64(p.Batches))
+			sample("udsim_serve_program_vectors_total", l, float64(p.Vectors))
+			sample("udsim_serve_program_pool_peak", l, float64(p.PoolPeak))
+		}
+	}
+	return bw.Flush()
+}
+
+// formatValue matches obs.formatValue: the shortest float rendering.
+func formatValue(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+// programStat is one cached program's contribution to /metrics.
+type programStat struct {
+	Key      string
+	Batches  int64
+	Vectors  int64
+	PoolPeak int64
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"udsim"
+	"udsim/internal/obs"
+)
+
+// scrape fetches /metrics and validates the text exposition.
+func scrape(t *testing.T, hs *httptest.Server) string {
+	t.Helper()
+	resp, err := hs.Client().Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %s", resp.Status)
+	}
+	if err := obs.ValidateText(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("/metrics failed ValidateText: %v\npayload:\n%s", err, raw)
+	}
+	return string(raw)
+}
+
+// TestMetricsRoundTrip asserts the full /metrics payload — the
+// udsim_serve_* families plus every cached program's engine counters,
+// including the udsim_guard_* family from guarded pools — passes
+// obs.ValidateText and carries the expected series.
+func TestMetricsRoundTrip(t *testing.T) {
+	srv, hs := newTestServer(t, Config{Guard: true, PoolBound: 2})
+	c, err := udsim.ISCAS85("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := randVectors(t, c, 16, 41)
+	for i := 0; i < 3; i++ {
+		post(t, hs, "/v1/batches", "", BatchRequest{Gen: "c432", Vectors: vecs, DigestOnly: true}, nil)
+	}
+	body := scrape(t, hs)
+	for _, want := range []string{
+		"udsim_serve_cache_hits_total{server=\"udserve\"}",
+		"udsim_serve_compiles_total{server=\"udserve\"} 1",
+		"udsim_serve_batches_completed_total{server=\"udserve\"} 3",
+		"udsim_serve_rejected_total{server=\"udserve\",reason=\"quota\"}",
+		"udsim_serve_program_batches_total",
+		"udsim_guard_faults_total", // the guarded pool's obs export rides along
+		"udsim_serve_vectors_total{server=\"udserve\"} 48",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if st := srv.Stats(); st.Vectors != 48 {
+		t.Errorf("stats vectors = %d, want 48", st.Vectors)
+	}
+}
+
+// TestMetricsConcurrentScrapes hammers /metrics while batches stream —
+// the scrape path must stay valid and race-free under load (run with
+// -race).
+func TestMetricsConcurrentScrapes(t *testing.T) {
+	_, hs := newTestServer(t, Config{PoolBound: 2, QueueDepth: 128})
+	c, err := udsim.ISCAS85("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := randVectors(t, c, 32, 43)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(tech string) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				post(t, hs, "/v1/batches", "", BatchRequest{Gen: "c880", Technique: tech, Vectors: vecs, DigestOnly: true}, nil)
+			}
+		}([]string{"parallel", "pcset"}[i%2])
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				scrape(t, hs)
+			}
+		}()
+	}
+	wg.Wait()
+	scrape(t, hs) // one final validated read after the dust settles
+}

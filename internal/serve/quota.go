@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// quotas is the per-tenant admission control: a token bucket per tenant
+// where one token is one vector — the unit of simulation work — refilled
+// at rate tokens/sec up to burst. A batch of n vectors needs n tokens up
+// front; an underfunded tenant gets a 429 with a Retry-After computed
+// from the deficit, which is the backpressure contract clients pace on.
+type quotas struct {
+	rate  float64 // vectors per second per tenant; <= 0 disables quotas
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(rate, burst float64) *quotas {
+	if burst <= 0 {
+		burst = rate // default: one second of burst
+	}
+	return &quotas{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// take tries to spend n tokens for tenant. On refusal it returns the
+// wait after which the bucket would hold n tokens (0 when the batch can
+// never fit the burst — the client must shrink it, not retry).
+func (q *quotas) take(tenant string, n int) (ok bool, retryAfter time.Duration) {
+	if q.rate <= 0 {
+		return true, 0
+	}
+	need := float64(n)
+	now := time.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		if len(q.buckets) >= maxTenantBuckets {
+			q.pruneLocked(now)
+		}
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	} else {
+		b.tokens += q.rate * now.Sub(b.last).Seconds()
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if need > q.burst {
+		return false, 0
+	}
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	wait := time.Duration((need - b.tokens) / q.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second // Retry-After is whole seconds; round up
+	}
+	return false, wait
+}
+
+// maxTenantBuckets bounds the bucket map; beyond it, full buckets (idle
+// long enough to have refilled completely) are pruned.
+const maxTenantBuckets = 65536
+
+func (q *quotas) pruneLocked(now time.Time) {
+	for t, b := range q.buckets {
+		idle := now.Sub(b.last).Seconds()
+		if b.tokens+q.rate*idle >= q.burst {
+			delete(q.buckets, t)
+		}
+	}
+}

@@ -126,7 +126,7 @@ type Engine struct {
 	guarded     bool
 	poisoned    bool
 	leaked      bool
-	streamArmed bool // watchdog armed once for a whole stream (ArmStream)
+	streamArmed bool          // watchdog armed once for a whole stream (ArmStream)
 	budget      time.Duration // per-level watchdog stall budget (0 = off)
 	grace       time.Duration // faulted-run drain bound (0 = 1s)
 	inj         resilience.Injector

@@ -153,6 +153,13 @@ func TestOpenRejectsInapplicableOptions(t *testing.T) {
 	if _, err := NewPCSet(c, nil, WithTrimming()); err == nil {
 		t.Error("NewPCSet accepted WithTrimming")
 	}
+	// ... including refusing guard options, which need Open's wrapping.
+	if _, err := NewParallel(c, WithGuard(DefaultGuardPolicy())); err == nil {
+		t.Error("NewParallel accepted WithGuard")
+	}
+	if _, err := NewPCSet(c, nil, WithGuard(DefaultGuardPolicy())); err == nil {
+		t.Error("NewPCSet accepted WithGuard")
+	}
 	// WithMonitor through Open replaces NewPCSet's monitor argument.
 	mon, err := Open(c, TechPCSet, WithMonitor(c.Outputs...))
 	if err != nil {

@@ -38,12 +38,12 @@ func TestShardedDeterminismSweep(t *testing.T) {
 			}
 			vecs := vectors.Random(nvec, len(c.Inputs), 1990)
 			t.Run("parallel", func(t *testing.T) {
-				ref, err := NewParallel(c)
+				ref, err := openParallelSim(c)
 				if err != nil {
 					t.Fatal(err)
 				}
 				for _, w := range sweepWorkers {
-					sh, err := NewParallel(c, WithParallelExec(ExecSharded, w))
+					sh, err := openParallelSim(c, WithExec(ExecSharded, w))
 					if err != nil {
 						t.Fatalf("workers=%d: %v", w, err)
 					}
@@ -55,12 +55,12 @@ func TestShardedDeterminismSweep(t *testing.T) {
 				}
 			})
 			t.Run("pcset", func(t *testing.T) {
-				ref, err := NewPCSet(c, nil)
+				ref, err := openPCSetSim(c, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
 				for _, w := range sweepWorkers {
-					sh, err := NewPCSet(c, nil, WithPCSetParallelExec(ExecSharded, w))
+					sh, err := openPCSetSim(c, nil, WithExec(ExecSharded, w))
 					if err != nil {
 						t.Fatalf("workers=%d: %v", w, err)
 					}
@@ -160,7 +160,7 @@ func TestShardedStreamIsCoherent(t *testing.T) {
 		t.Fatal(err)
 	}
 	vecs := vectors.Random(32, len(c.Inputs), 7)
-	ref, err := NewParallel(c)
+	ref, err := openParallelSim(c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestShardedStreamIsCoherent(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	sh, err := NewParallel(c, WithParallelExec(ExecSharded, 4))
+	sh, err := openParallelSim(c, WithExec(ExecSharded, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestVectorBatchBlocksMatchSequential(t *testing.T) {
 	}
 	const workers = 4
 	vecs := vectors.Random(4*workers+3, len(c.Inputs), 11) // uneven last block
-	ba, err := NewParallel(c, WithParallelExec(ExecVectorBatch, workers))
+	ba, err := openParallelSim(c, WithExec(ExecVectorBatch, workers))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestVectorBatchBlocksMatchSequential(t *testing.T) {
 		if hi > len(vecs.Bits) {
 			hi = len(vecs.Bits)
 		}
-		ref, err := NewParallel(c)
+		ref, err := openParallelSim(c)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -249,7 +249,7 @@ func TestAutoStrategyResolves(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		e, err := NewParallel(c, WithParallelExec(ExecAuto, 4))
+		e, err := openParallelSim(c, WithExec(ExecAuto, 4))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -257,7 +257,7 @@ func TestAutoStrategyResolves(t *testing.T) {
 		if got != ExecSharded && got != ExecVectorBatch {
 			t.Fatalf("%s: auto resolved to %v, want a concrete parallel strategy", name, got)
 		}
-		ref, err := NewParallel(c)
+		ref, err := openParallelSim(c)
 		if err != nil {
 			t.Fatal(err)
 		}

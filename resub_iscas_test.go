@@ -105,7 +105,7 @@ func TestResubOpenFacade(t *testing.T) {
 // stripped nets return nil.
 func TestResubFacadeHistory(t *testing.T) {
 	c := resubFacadeCircuit()
-	p, err := NewParallel(c, WithResubstitution())
+	p, err := openParallelSim(c, WithResubstitution())
 	if err != nil {
 		t.Fatal(err)
 	}

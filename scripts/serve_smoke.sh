@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the multi-tenant simulation service:
+# start udserve, stream a 256-vector batch for c432 over HTTP, assert
+# the outputs are bit-identical to the udsim CLI on the same seeded
+# stream, check the /metrics families, then SIGTERM and assert a clean
+# zero-loss drain. Pure POSIX tools — no jq, no python.
+set -euo pipefail
+
+ADDR="${UDSERVE_ADDR:-127.0.0.1:18473}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"; [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true' EXIT
+
+echo "== build"
+go build -o "$WORK/udserve" ./cmd/udserve
+go build -o "$WORK/udsim" ./cmd/udsim
+
+echo "== reference run (udsim CLI, c432, 256 vectors, seed 1990)"
+"$WORK/udsim" -gen c432 -vectors 256 -seed 1990 > "$WORK/ref.txt"
+# Lines look like: vector    0: in=0101... out=10...
+awk '{for(i=1;i<=NF;i++){if($i~/^in=/)print substr($i,4)}}'  "$WORK/ref.txt" > "$WORK/ins.txt"
+awk '{for(i=1;i<=NF;i++){if($i~/^out=/)print substr($i,5)}}' "$WORK/ref.txt" > "$WORK/want.txt"
+[ "$(wc -l < "$WORK/ins.txt")" -eq 256 ] || { echo "FAIL: expected 256 reference vectors"; exit 1; }
+
+echo "== start udserve on $ADDR"
+"$WORK/udserve" -addr "$ADDR" 2> "$WORK/serve.log" &
+SRV_PID=$!
+for i in $(seq 1 50); do
+  if curl -sf "http://$ADDR/healthz" > /dev/null 2>&1; then break; fi
+  [ "$i" -eq 50 ] && { echo "FAIL: udserve never became healthy"; cat "$WORK/serve.log"; exit 1; }
+  sleep 0.1
+done
+
+echo "== POST /v1/batches (256 vectors)"
+{
+  printf '{"gen":"c432","vectors":['
+  awk 'NR>1{printf ","} {printf "\"%s\"", $0}' "$WORK/ins.txt"
+  printf ']}'
+} > "$WORK/req.json"
+curl -sf -X POST -H 'X-Tenant-ID: smoke' --data-binary @"$WORK/req.json" \
+  "http://$ADDR/v1/batches" > "$WORK/resp.json"
+
+# Outputs are plain 0/1 strings, so shell-grade JSON slicing is safe.
+sed -n 's/.*"outputs":\[\([^]]*\)\].*/\1/p' "$WORK/resp.json" | tr ',' '\n' | tr -d '"' > "$WORK/got.txt"
+if ! cmp -s "$WORK/want.txt" "$WORK/got.txt"; then
+  echo "FAIL: served outputs differ from the udsim CLI"
+  diff "$WORK/want.txt" "$WORK/got.txt" | head
+  exit 1
+fi
+echo "   256 vectors bit-identical to the CLI"
+grep -q '"cache":"miss"' "$WORK/resp.json" || { echo "FAIL: first batch should be a cache miss"; exit 1; }
+
+echo "== warm request is a cache hit"
+curl -sf -X POST --data-binary @"$WORK/req.json" "http://$ADDR/v1/batches" > "$WORK/resp2.json"
+grep -q '"cache":"hit"' "$WORK/resp2.json" || { echo "FAIL: second batch should be a cache hit"; exit 1; }
+
+echo "== /metrics"
+curl -sf "http://$ADDR/metrics" > "$WORK/metrics.txt"
+for fam in \
+  'udsim_serve_compiles_total{server="udserve"} 1' \
+  'udsim_serve_cache_hits_total{server="udserve"} 1' \
+  'udsim_serve_batches_completed_total{server="udserve"} 2' \
+  'udsim_serve_vectors_total{server="udserve"} 512' \
+  'udsim_serve_program_batches_total'; do
+  grep -qF "$fam" "$WORK/metrics.txt" || { echo "FAIL: /metrics missing: $fam"; cat "$WORK/metrics.txt"; exit 1; }
+done
+echo "   compile-once and counter families verified"
+
+echo "== SIGTERM drain"
+kill -TERM "$SRV_PID"
+if ! wait "$SRV_PID"; then
+  echo "FAIL: udserve exited non-zero on drain"; cat "$WORK/serve.log"; exit 1
+fi
+SRV_PID=""
+grep -q 'drained clean' "$WORK/serve.log" || { echo "FAIL: no clean-drain report"; cat "$WORK/serve.log"; exit 1; }
+grep -q '2 batches completed' "$WORK/serve.log" || { echo "FAIL: drain lost batches"; cat "$WORK/serve.log"; exit 1; }
+echo "PASS: serve smoke"

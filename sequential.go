@@ -21,7 +21,7 @@ type Sequential struct {
 
 // NewSequential breaks the circuit at its flip-flops and compiles the
 // combinational core with mk (for example
-// func(c *udsim.Circuit) (udsim.Engine, error) { return udsim.NewParallel(c) }).
+// func(c *udsim.Circuit) (udsim.Engine, error) { return udsim.Open(c, udsim.TechParallel) }).
 // All flip-flops start at zero; use SetState to load a different state.
 func NewSequential(c *Circuit, mk func(*Circuit) (Engine, error)) (*Sequential, error) {
 	if c.Combinational() {

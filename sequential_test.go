@@ -13,7 +13,7 @@ import (
 func TestLFSRMaximalLength(t *testing.T) {
 	c := gen.LFSR(10, []int{9, 6})
 	seq, err := NewSequential(c, func(cc *Circuit) (Engine, error) {
-		return NewParallel(cc, WithShiftElimination(PathTracing))
+		return openParallelSim(cc, WithShiftElimination(PathTracing))
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +84,7 @@ func TestRandomSequentialCrossEngine(t *testing.T) {
 func TestSequentialThroughBenchRoundTrip(t *testing.T) {
 	c := gen.RandomSequential(77, 30, 3, 4)
 	var err error
-	seq1, err := NewSequential(c, func(cc *Circuit) (Engine, error) { return NewParallel(cc) })
+	seq1, err := NewSequential(c, func(cc *Circuit) (Engine, error) { return openParallelSim(cc) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestSequentialThroughBenchRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq2, err := NewSequential(back, func(cc *Circuit) (Engine, error) { return NewParallel(cc) })
+	seq2, err := NewSequential(back, func(cc *Circuit) (Engine, error) { return openParallelSim(cc) })
 	if err != nil {
 		t.Fatal(err)
 	}

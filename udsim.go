@@ -129,6 +129,34 @@ type Engine interface {
 	Final(n NetID) bool
 }
 
+// Optional capability ladder
+//
+// Engine is deliberately minimal; everything else an engine can do is an
+// optional interface discovered with a type assertion. This is the full
+// ladder, in the order consumers usually probe it:
+//
+//	Tracer       — full unit-delay waveform of the last vector (ValueAt).
+//	Closer       — owns releasable resources (worker goroutines); Close
+//	               reverts to sequential execution, never invalidates.
+//	Streamer     — whole-stream execution under a configured strategy
+//	               (ApplyStream / ExecStrategy / BlockFinal).
+//	Cloner       — compile-once/simulate-many: Clone returns an
+//	               independent engine sharing the compiled programs but
+//	               owning private mutable state. The basis of the serve
+//	               layer's engine pools.
+//	Introspector — compiled-code size (CodeSize).
+//	Observable   — runtime counters: attach an Observer, and the
+//	               Snapshotter half reads them back.
+//	Snapshotter  — read-only counter snapshots (the scrape surface;
+//	               every Observable is also a Snapshotter).
+//
+// Both compiled engines (*ParallelSim, *PCSetSim) implement the whole
+// ladder, and *GuardedSim re-exposes every rung of the engine it wraps.
+// The interpreted baselines implement only what they can honor (EventSim
+// is a Tracer; the zero-delay engines are Engine only). Consumers — the
+// CLIs, the harness, internal/serve — must drive engines through these
+// interfaces rather than concrete types.
+
 // Tracer is implemented by engines that retain the complete unit-delay
 // waveform of the last vector.
 type Tracer interface {
@@ -167,6 +195,32 @@ type Streamer interface {
 	BlockFinal(k int, n NetID) bool
 }
 
+// Cloner is implemented by engines that can duplicate themselves
+// without recompiling: the clone shares the immutable compiled programs
+// and layout tables with its parent but owns a private copy of all
+// mutable simulation state, so parent and clone may simulate
+// concurrently (each one still single-threaded, like every engine).
+// This is Maurer's compile-once/simulate-many economics as an API: one
+// expensive compile amortized across many independent vector streams —
+// internal/serve builds its per-program engine pools on it.
+type Cloner interface {
+	// Clone returns an independent engine of the same configuration.
+	// The clone keeps the parent's execution strategy (re-deriving its
+	// worker pool; Close it when done) and shares the parent's attached
+	// Observer, so counters aggregate across the clone family.
+	Clone() (Engine, error)
+}
+
+// Snapshotter is the read-only half of Observable: engines whose
+// runtime counters can be read back as a consistent Snapshot. Scrape
+// surfaces (the /metrics endpoint of cmd/udserve) need only this rung —
+// attaching observers stays the owner's business.
+type Snapshotter interface {
+	// Snapshot returns a consistent copy of the attached observer's
+	// counters, or nil when no observer is attached.
+	Snapshot() *Snapshot
+}
+
 // Introspector is implemented by compiled engines that can report the
 // size of their generated straight-line code.
 type Introspector interface {
@@ -181,9 +235,8 @@ type Observable interface {
 	// observer's counters and sizes its per-level/per-shard grid for
 	// the engine's current execution configuration.
 	Observe(o *Observer)
-	// Snapshot returns a consistent copy of the attached observer's
-	// counters, or nil when no observer is attached.
-	Snapshot() *Snapshot
+	// Snapshotter reads the attached observer's counters back.
+	Snapshotter
 }
 
 // Runtime observability types, re-exported from the internal collector.
@@ -300,11 +353,15 @@ type Option func(*options)
 type (
 	// ParallelOption is Option.
 	//
-	// Deprecated: use Option.
+	// Deprecated: use Option. Every in-repo caller has been migrated;
+	// this alias is kept for one deprecation cycle and will be removed
+	// in the release after the serve layer (PR 9 or later).
 	ParallelOption = Option
 	// PCSetOption is Option.
 	//
-	// Deprecated: use Option.
+	// Deprecated: use Option. Every in-repo caller has been migrated;
+	// this alias is kept for one deprecation cycle and will be removed
+	// in the release after the serve layer (PR 9 or later).
 	PCSetOption = Option
 )
 
@@ -446,14 +503,20 @@ func WithMonitor(nets ...NetID) Option {
 
 // WithParallelExec is WithExec.
 //
-// Deprecated: use WithExec.
+// Deprecated: use WithExec. Every in-repo caller has been migrated (the
+// Open-equivalence test keeps exercising the alias until it goes); the
+// wrapper will be removed in the release after the serve layer (PR 9 or
+// later).
 func WithParallelExec(strategy ExecStrategy, workers int) Option {
 	return WithExec(strategy, workers)
 }
 
 // WithPCSetParallelExec is WithExec.
 //
-// Deprecated: use WithExec.
+// Deprecated: use WithExec. Every in-repo caller has been migrated (the
+// Open-equivalence test keeps exercising the alias until it goes); the
+// wrapper will be removed in the release after the serve layer (PR 9 or
+// later).
 func WithPCSetParallelExec(strategy ExecStrategy, workers int) Option {
 	return WithExec(strategy, workers)
 }
@@ -613,7 +676,7 @@ func openPCSet(c *Circuit, o options) (*PCSetSim, error) {
 	if o.observer != nil {
 		s.SetObserver(o.observer)
 	}
-	p := &PCSetSim{s: s, rs: rs}
+	p := &PCSetSim{s: s, opts: o, rs: rs}
 	if rs != nil {
 		err := resubCrossCheck(p, rs, func() (Engine, error) {
 			return openPCSet(rs.res.Original, options{})
@@ -630,7 +693,10 @@ func openPCSet(c *Circuit, o options) (*PCSetSim, error) {
 // optionally optimized.
 //
 // Deprecated: use Open(c, TechParallel, opts...); NewParallel remains
-// as a thin wrapper with a concrete return type.
+// as a thin wrapper with a concrete return type. Every in-repo caller
+// has been migrated (only the Open-equivalence test still exercises the
+// wrapper); it will be removed in the release after the serve layer
+// (PR 9 or later).
 func NewParallel(c *Circuit, opts ...Option) (*ParallelSim, error) {
 	var o options
 	for _, f := range opts {
@@ -723,6 +789,24 @@ func (p *ParallelSim) BlockFinal(k int, n NetID) bool {
 // usable sequentially. A no-op for sequential engines.
 func (p *ParallelSim) Close() { p.s.Close() }
 
+// Clone returns an independent engine sharing the compiled programs and
+// layout (no recompilation) but owning a private copy of all mutable
+// state, configured for the parent's execution strategy. The clone
+// shares the parent's attached Observer — counters aggregate across the
+// clone family, and cloning an engine whose strategy owns workers
+// re-attaches that observer, starting a new observation window — so
+// build the whole family (an engine pool) before accumulating counters.
+// Close the clone when done to release its workers.
+func (p *ParallelSim) Clone() (Engine, error) {
+	cl := p.s.Clone()
+	if p.opts.execSet {
+		if _, err := cl.ConfigureExec(p.opts.exec, p.opts.execWorkers); err != nil {
+			return nil, err
+		}
+	}
+	return &ParallelSim{s: cl, opts: p.opts, rs: p.rs}, nil
+}
+
 // Final returns the settled value of a net. Under WithResubstitution a
 // merged net reads its surviving representative, a constant net its
 // proven value, and a stripped net false.
@@ -802,7 +886,10 @@ func (p *ParallelSim) ShiftCount() int { return p.s.ShiftCount() }
 //
 // Deprecated: use Open(c, TechPCSet, WithMonitor(nets...), opts...);
 // NewPCSet remains as a thin wrapper with a concrete return type. A
-// WithMonitor option takes precedence over the monitor argument.
+// WithMonitor option takes precedence over the monitor argument. Every
+// in-repo caller has been migrated (only the Open-equivalence test
+// still exercises the wrapper); it will be removed in the release after
+// the serve layer (PR 9 or later).
 func NewPCSet(c *Circuit, monitor []NetID, opts ...Option) (*PCSetSim, error) {
 	var o options
 	for _, f := range opts {
@@ -824,8 +911,9 @@ func NewPCSet(c *Circuit, monitor []NetID, opts ...Option) (*PCSetSim, error) {
 
 // PCSetSim is a compiled PC-set method simulator.
 type PCSetSim struct {
-	s  *pcset.Sim
-	rs *resubState // non-nil iff built with WithResubstitution
+	s    *pcset.Sim
+	opts options
+	rs   *resubState // non-nil iff built with WithResubstitution
 }
 
 // EngineName identifies the technique.
@@ -883,6 +971,20 @@ func (p *PCSetSim) BlockFinal(k int, n NetID) bool {
 // Close releases any multicore execution workers; the simulator remains
 // usable sequentially. A no-op for sequential engines.
 func (p *PCSetSim) Close() { p.s.Close() }
+
+// Clone returns an independent engine sharing the compiled programs and
+// layout (no recompilation) but owning a private copy of all mutable
+// state, configured for the parent's execution strategy; see
+// (*ParallelSim).Clone for observer-sharing semantics.
+func (p *PCSetSim) Clone() (Engine, error) {
+	cl := p.s.Clone()
+	if p.opts.execSet {
+		if _, err := cl.ConfigureExec(p.opts.exec, p.opts.execWorkers); err != nil {
+			return nil, err
+		}
+	}
+	return &PCSetSim{s: cl, opts: p.opts, rs: p.rs}, nil
+}
 
 // Final returns the settled value of a net. Under WithResubstitution a
 // merged net reads its surviving representative, a constant net its
@@ -1080,10 +1182,14 @@ var (
 	_ Closer       = (*PCSetSim)(nil)
 	_ Streamer     = (*ParallelSim)(nil)
 	_ Streamer     = (*PCSetSim)(nil)
+	_ Cloner       = (*ParallelSim)(nil)
+	_ Cloner       = (*PCSetSim)(nil)
 	_ Introspector = (*ParallelSim)(nil)
 	_ Introspector = (*PCSetSim)(nil)
 	_ Observable   = (*ParallelSim)(nil)
 	_ Observable   = (*PCSetSim)(nil)
+	_ Snapshotter  = (*ParallelSim)(nil)
+	_ Snapshotter  = (*PCSetSim)(nil)
 )
 
 // Levelize exposes the level / minlevel / PC-set analysis of §§1–2 for a

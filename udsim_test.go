@@ -66,7 +66,7 @@ func TestAllEnginesAgreeOnFinals(t *testing.T) {
 
 func TestTracersAgreeOnWaveforms(t *testing.T) {
 	c := glitchCircuit()
-	par, err := NewParallel(c, WithWordBits(8))
+	par, err := openParallelSim(c, WithWordBits(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestSequentialCounterAcrossEngines(t *testing.T) {
 
 func TestSequentialSetState(t *testing.T) {
 	seq, err := NewSequential(Counter(4), func(c *Circuit) (Engine, error) {
-		return NewParallel(c)
+		return openParallelSim(c)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -187,7 +187,7 @@ func TestSequentialSetState(t *testing.T) {
 
 func TestSequentialRejectsCombinational(t *testing.T) {
 	if _, err := NewSequential(glitchCircuit(), func(c *Circuit) (Engine, error) {
-		return NewParallel(c)
+		return openParallelSim(c)
 	}); err == nil {
 		t.Error("expected no-flip-flops error")
 	}
@@ -215,7 +215,7 @@ func TestProgramsAccessor(t *testing.T) {
 // products on the 8x8 multiplier.
 func TestMultiplierPropertyAllEngines(t *testing.T) {
 	c := Multiplier(8, false)
-	par, err := NewParallel(c, WithShiftElimination(PathTracing), WithTrimming())
+	par, err := openParallelSim(c, WithShiftElimination(PathTracing), WithTrimming())
 	if err != nil {
 		t.Fatal(err)
 	}

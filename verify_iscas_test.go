@@ -55,7 +55,7 @@ func TestVerifyNarrowWords(t *testing.T) {
 	}
 	for _, trim := range []bool{false, true} {
 		for _, se := range []ShiftElimination{NoShiftElimination, PathTracing, CycleBreaking} {
-			opts := []ParallelOption{WithWordBits(8), WithVerify()}
+			opts := []Option{WithWordBits(8), WithVerify()}
 			if trim {
 				opts = append(opts, WithTrimming())
 			}
@@ -65,7 +65,7 @@ func TestVerifyNarrowWords(t *testing.T) {
 			name := fmt.Sprintf("trim=%v/se=%d", trim, se)
 			t.Run(name, func(t *testing.T) {
 				// WithVerify makes the compile itself fail on findings.
-				if _, err := NewParallel(c, opts...); err != nil {
+				if _, err := openParallelSim(c, opts...); err != nil {
 					t.Fatal(err)
 				}
 			})
@@ -80,7 +80,7 @@ func TestVerifyCompileOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewParallel(c, WithVerify(), WithTrimming()); err != nil {
+	if _, err := openParallelSim(c, WithVerify(), WithTrimming()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -139,9 +139,9 @@ func TestVerifyISCAS85Sharded(t *testing.T) {
 		}
 		for _, workers := range []int{2, 4} {
 			t.Run(fmt.Sprintf("%s/parallel/w%d", name, workers), func(t *testing.T) {
-				e, err := NewParallel(c, WithParallelExec(ExecSharded, workers))
+				e, err := openParallelSim(c, WithExec(ExecSharded, workers))
 				if err != nil {
-					t.Fatalf("NewParallel: %v", err)
+					t.Fatalf("Open parallel: %v", err)
 				}
 				defer e.Close()
 				rep, err := Verify(e, VerifyOptions{})
@@ -153,9 +153,9 @@ func TestVerifyISCAS85Sharded(t *testing.T) {
 				}
 			})
 			t.Run(fmt.Sprintf("%s/pcset/w%d", name, workers), func(t *testing.T) {
-				e, err := NewPCSet(c, nil, WithPCSetParallelExec(ExecSharded, workers))
+				e, err := openPCSetSim(c, nil, WithExec(ExecSharded, workers))
 				if err != nil {
-					t.Fatalf("NewPCSet: %v", err)
+					t.Fatalf("Open pcset: %v", err)
 				}
 				defer e.Close()
 				rep, err := Verify(e, VerifyOptions{})
