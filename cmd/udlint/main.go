@@ -13,6 +13,7 @@
 //	udlint -gen c880 -workers 4        # verify the shard plan (rules V008, V012)
 //	udlint -gen c880 -workers 4 -fuse  # level-fused plan: replicated cones too (V015)
 //	udlint -gen c499 -resub            # optimize first: V013/V014 certificate replay
+//	udlint -gen c432 -codegen          # translation-validate the emitted source (V016–V018)
 //	udlint -gen c432 -format=json      # stable machine-readable report
 //	udlint -gen c432 -format=sarif     # SARIF 2.1.0 for CI annotators
 package main
@@ -46,6 +47,7 @@ func main() {
 		workers   = cliflags.Workers(flag.CommandLine, 0, "builds a sharded plan to verify via rules V008, V012 and, with -fuse, V015; 0 lints sequential programs only")
 		fuse      = cliflags.Fuse(flag.CommandLine, "rule V015 then checks the replicated cones; requires -workers")
 		resub     = flag.Bool("resub", false, "run the simulation-guided resubstitution pass first: replay its certificate (rules V013, V014) and lint the optimized netlist")
+		codegen   = flag.Bool("codegen", false, "translation-validate each technique's generated source: lift the Go emission back to an instruction stream, prove it equivalent, replay the emission certificate and re-check AST hygiene (rules V016-V018)")
 		format    = flag.String("format", "text", "output format: text, json or sarif")
 	)
 	flag.Parse()
@@ -99,7 +101,7 @@ func main() {
 		fail(fmt.Errorf("-fuse requires -workers"))
 	}
 	for _, tech := range techs {
-		rep, err := lintOne(c, tech, *wordBits, *workers, *fuse, opts)
+		rep, err := lintOne(c, tech, *wordBits, *workers, *fuse, *codegen, opts)
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", tech, err))
 		}
@@ -170,8 +172,10 @@ type taggedFinding struct {
 // width and runs the analyzer. With workers > 0 the engine is built with
 // a sharded execution plan so the analyzer also checks rule V008; with
 // fuse additionally set, parallel techniques build the level-fused plan
-// so the replicated cones are checked too (rule V015).
-func lintOne(c *udsim.Circuit, tech string, wordBits, workers int, fuse bool, opts udsim.VerifyOptions) (*udsim.VerifyReport, error) {
+// so the replicated cones are checked too (rule V015). With codegen set,
+// the technique's generated source is translation-validated and any
+// V016-V018 finding is merged into the report.
+func lintOne(c *udsim.Circuit, tech string, wordBits, workers int, fuse, codegen bool, opts udsim.VerifyOptions) (*udsim.VerifyReport, error) {
 	var (
 		e   udsim.Engine
 		err error
@@ -215,7 +219,19 @@ func lintOne(c *udsim.Circuit, tech string, wordBits, workers int, fuse bool, op
 	if closer, ok := e.(interface{ Close() }); ok {
 		defer closer.Close()
 	}
-	return udsim.Verify(e, opts)
+	rep, err := udsim.Verify(e, opts)
+	if err != nil || !codegen {
+		return rep, err
+	}
+	crep, err := udsim.ValidateCodegen(e)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range crep.Findings {
+		rep.Add(f)
+	}
+	rep.Sort()
+	return rep, nil
 }
 
 func fail(err error) {

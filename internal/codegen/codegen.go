@@ -5,6 +5,12 @@
 // engines execute the same instruction streams through the program
 // package's dispatch loop.
 //
+// Both language backends render from the language-neutral statement IR
+// in codegen/ir; the translation validator in codegen/validate lifts the
+// Go rendering back to an instruction stream and proves it equivalent to
+// the compiled program, which certifies the C rendering transitively
+// (same IR, per-statement re-render comparison).
+//
 // Generated-code volume is itself one of the paper's observations (the
 // PC-set method emitted over 100 000 lines for c6288, §3), so LineCount
 // reports the statement count of an emission.
@@ -15,44 +21,31 @@ import (
 	"go/parser"
 	"go/token"
 	"io"
-	"strings"
 
-	"udsim/internal/program"
+	"udsim/internal/codegen/ir"
+	"udsim/internal/codegen/validate"
 	"udsim/internal/verify"
 )
 
 // Language selects the output language.
-type Language int
+type Language = ir.Language
 
 const (
 	// C emits C99 using exact-width unsigned types.
-	C Language = iota
+	C = ir.C
 	// Go emits a Go source file.
-	Go
+	Go = ir.Go
 )
-
-// String names the language.
-func (l Language) String() string {
-	if l == C {
-		return "C"
-	}
-	return "Go"
-}
 
 // Unit is a named program to emit as one function. Every simulator
 // exposes an init program (run once per input vector) and a sim program.
-type Unit struct {
-	Name string
-	Prog *program.Program
-}
+type Unit = ir.Source
 
-// wordType returns the exact-width unsigned type for W bits, which makes
-// masking unnecessary: overflow truncates to exactly the logical word.
-func wordType(lang Language, wordBits int) string {
-	if lang == C {
-		return fmt.Sprintf("uint%d_t", wordBits)
-	}
-	return fmt.Sprintf("uint%d", wordBits)
+// Build constructs the language-neutral statement IR for the units
+// without rendering it — the validator's entry point for comparing both
+// language backends against one validated stream.
+func Build(units []Unit) (*ir.IR, error) {
+	return ir.Build(units)
 }
 
 // Emit writes a self-contained source file containing one function per
@@ -60,188 +53,40 @@ func wordType(lang Language, wordBits int) string {
 // package name. It returns the number of generated statements (the
 // paper's lines-of-code metric, excluding boilerplate).
 func Emit(w io.Writer, lang Language, name string, units []Unit) (int, error) {
-	if len(units) == 0 {
-		return 0, fmt.Errorf("codegen: no units")
+	rep, err := ir.Build(units)
+	if err != nil {
+		return 0, err
 	}
-	wb := units[0].Prog.WordBits
-	for _, u := range units {
-		if u.Prog.WordBits != wb {
-			return 0, fmt.Errorf("codegen: mixed word widths %d and %d", wb, u.Prog.WordBits)
-		}
+	src, stmts, err := ir.Render(lang, name, rep)
+	if err != nil {
+		return 0, err
 	}
-	ty := wordType(lang, wb)
-	var b strings.Builder
-	stmts := 0
-	switch lang {
-	case C:
-		fmt.Fprintf(&b, "/* %s: generated unit-delay compiled simulation code. */\n", name)
-		fmt.Fprintf(&b, "#include <stdint.h>\n\n")
-		for _, u := range units {
-			fmt.Fprintf(&b, "void %s(%s *st) {\n", u.Name, ty)
-			for i := range u.Prog.Code {
-				stmt, err := cStmt(u.Prog, &u.Prog.Code[i], wb)
-				if err != nil {
-					return 0, err
-				}
-				if stmt == "" {
-					continue
-				}
-				fmt.Fprintf(&b, "\t%s\n", stmt)
-				stmts++
-			}
-			fmt.Fprintf(&b, "}\n\n")
-		}
-	case Go:
-		fmt.Fprintf(&b, "// Package %s holds generated unit-delay compiled simulation code.\n", name)
-		fmt.Fprintf(&b, "package %s\n\n", name)
-		for _, u := range units {
-			fmt.Fprintf(&b, "func %s(st []%s) {\n", u.Name, ty)
-			if len(u.Prog.Code) == 0 {
-				fmt.Fprintf(&b, "\t_ = st\n")
-			}
-			for i := range u.Prog.Code {
-				stmt, err := goStmt(u.Prog, &u.Prog.Code[i], wb)
-				if err != nil {
-					return 0, err
-				}
-				if stmt == "" {
-					continue
-				}
-				fmt.Fprintf(&b, "\t%s\n", stmt)
-				stmts++
-			}
-			fmt.Fprintf(&b, "}\n\n")
-		}
-	default:
-		return 0, fmt.Errorf("codegen: unknown language %d", lang)
-	}
-	_, err := io.WriteString(w, b.String())
+	_, err = io.WriteString(w, src)
 	return stmts, err
 }
 
 // EmitChecked runs the static analyzer over the simulator's spec before
 // emitting, refusing to generate source from programs with any warning or
 // error finding — broken generated code is far harder to debug than a
-// structured diagnostic. A nil spec skips the analysis.
+// structured diagnostic. It then translation-validates the emission: the
+// Go rendering is lifted back to an instruction stream and proven
+// equivalent to the compiled programs, and the C rendering is checked
+// against the same validated IR (rules V016/V018). A nil spec skips both
+// analyses.
 func EmitChecked(w io.Writer, lang Language, name string, units []Unit, spec *verify.Spec, opts verify.Options) (int, error) {
 	if spec != nil {
 		if err := verify.Check(spec, opts).Err(); err != nil {
 			return 0, fmt.Errorf("codegen: %w", err)
 		}
+		res, err := validate.CheckUnits(name, units, spec)
+		if err != nil {
+			return 0, fmt.Errorf("codegen: %w", err)
+		}
+		if err := res.Report.Err(); err != nil {
+			return 0, fmt.Errorf("codegen: translation validation: %w", err)
+		}
 	}
 	return Emit(w, lang, name, units)
-}
-
-func v(i int32) string { return fmt.Sprintf("st[%d]", i) }
-
-// cStmt renders one instruction as a C statement.
-func cStmt(p *program.Program, in *program.Instr, wb int) (string, error) {
-	switch in.Op {
-	case program.OpNop:
-		return "", nil
-	case program.OpAnd:
-		return fmt.Sprintf("%s = %s & %s; /* %s */", v(in.Dst), v(in.A), v(in.B), p.VarName(in.Dst)), nil
-	case program.OpOr:
-		return fmt.Sprintf("%s = %s | %s;", v(in.Dst), v(in.A), v(in.B)), nil
-	case program.OpXor:
-		return fmt.Sprintf("%s = %s ^ %s;", v(in.Dst), v(in.A), v(in.B)), nil
-	case program.OpNand:
-		return fmt.Sprintf("%s = (%s)~(%s & %s);", v(in.Dst), wordType(C, wb), v(in.A), v(in.B)), nil
-	case program.OpNor:
-		return fmt.Sprintf("%s = (%s)~(%s | %s);", v(in.Dst), wordType(C, wb), v(in.A), v(in.B)), nil
-	case program.OpXnor:
-		return fmt.Sprintf("%s = (%s)~(%s ^ %s);", v(in.Dst), wordType(C, wb), v(in.A), v(in.B)), nil
-	case program.OpNot:
-		return fmt.Sprintf("%s = (%s)~%s;", v(in.Dst), wordType(C, wb), v(in.A)), nil
-	case program.OpMove:
-		return fmt.Sprintf("%s = %s;", v(in.Dst), v(in.A)), nil
-	case program.OpOrMove:
-		return fmt.Sprintf("%s |= %s;", v(in.Dst), v(in.A)), nil
-	case program.OpConst0:
-		return fmt.Sprintf("%s = 0;", v(in.Dst)), nil
-	case program.OpConst1:
-		return fmt.Sprintf("%s = (%s)~0;", v(in.Dst), wordType(C, wb)), nil
-	case program.OpShlOr:
-		if in.B == program.None {
-			return fmt.Sprintf("%s |= (%s)(%s << %d);", v(in.Dst), wordType(C, wb), v(in.A), in.Sh), nil
-		}
-		return fmt.Sprintf("%s |= (%s)((%s << %d) | (%s >> %d));",
-			v(in.Dst), wordType(C, wb), v(in.A), in.Sh, v(in.B), wb-int(in.Sh)), nil
-	case program.OpShlMove:
-		if in.B == program.None {
-			return fmt.Sprintf("%s = (%s)(%s << %d);", v(in.Dst), wordType(C, wb), v(in.A), in.Sh), nil
-		}
-		return fmt.Sprintf("%s = (%s)((%s << %d) | (%s >> %d));",
-			v(in.Dst), wordType(C, wb), v(in.A), in.Sh, v(in.B), wb-int(in.Sh)), nil
-	case program.OpShrMove:
-		if in.B == program.None {
-			return fmt.Sprintf("%s = %s >> %d;", v(in.Dst), v(in.A), in.Sh), nil
-		}
-		return fmt.Sprintf("%s = (%s)((%s >> %d) | (%s << %d));",
-			v(in.Dst), wordType(C, wb), v(in.A), in.Sh, v(in.B), wb-int(in.Sh)), nil
-	case program.OpFill:
-		return fmt.Sprintf("%s = (%s)(0 - ((%s >> %d) & 1));",
-			v(in.Dst), wordType(C, wb), v(in.A), in.Sh), nil
-	case program.OpBit:
-		return fmt.Sprintf("%s = (%s >> %d) & 1;", v(in.Dst), v(in.A), in.Sh), nil
-	case program.OpFillLowN:
-		return fmt.Sprintf("%s = (%s)((0 - ((%s >> %d) & 1)) & ((%s)~0 >> %d));",
-			v(in.Dst), wordType(C, wb), v(in.A), in.Sh, wordType(C, wb), wb-int(in.B)), nil
-	}
-	return "", fmt.Errorf("codegen: unknown opcode %v", in.Op)
-}
-
-// goStmt renders one instruction as a Go statement.
-func goStmt(p *program.Program, in *program.Instr, wb int) (string, error) {
-	switch in.Op {
-	case program.OpNop:
-		return "", nil
-	case program.OpAnd:
-		return fmt.Sprintf("%s = %s & %s // %s", v(in.Dst), v(in.A), v(in.B), p.VarName(in.Dst)), nil
-	case program.OpOr:
-		return fmt.Sprintf("%s = %s | %s", v(in.Dst), v(in.A), v(in.B)), nil
-	case program.OpXor:
-		return fmt.Sprintf("%s = %s ^ %s", v(in.Dst), v(in.A), v(in.B)), nil
-	case program.OpNand:
-		return fmt.Sprintf("%s = ^(%s & %s)", v(in.Dst), v(in.A), v(in.B)), nil
-	case program.OpNor:
-		return fmt.Sprintf("%s = ^(%s | %s)", v(in.Dst), v(in.A), v(in.B)), nil
-	case program.OpXnor:
-		return fmt.Sprintf("%s = ^(%s ^ %s)", v(in.Dst), v(in.A), v(in.B)), nil
-	case program.OpNot:
-		return fmt.Sprintf("%s = ^%s", v(in.Dst), v(in.A)), nil
-	case program.OpMove:
-		return fmt.Sprintf("%s = %s", v(in.Dst), v(in.A)), nil
-	case program.OpOrMove:
-		return fmt.Sprintf("%s |= %s", v(in.Dst), v(in.A)), nil
-	case program.OpConst0:
-		return fmt.Sprintf("%s = 0", v(in.Dst)), nil
-	case program.OpConst1:
-		return fmt.Sprintf("%s = ^%s(0)", v(in.Dst), wordType(Go, wb)), nil
-	case program.OpShlOr:
-		if in.B == program.None {
-			return fmt.Sprintf("%s |= %s << %d", v(in.Dst), v(in.A), in.Sh), nil
-		}
-		return fmt.Sprintf("%s |= %s<<%d | %s>>%d", v(in.Dst), v(in.A), in.Sh, v(in.B), wb-int(in.Sh)), nil
-	case program.OpShlMove:
-		if in.B == program.None {
-			return fmt.Sprintf("%s = %s << %d", v(in.Dst), v(in.A), in.Sh), nil
-		}
-		return fmt.Sprintf("%s = %s<<%d | %s>>%d", v(in.Dst), v(in.A), in.Sh, v(in.B), wb-int(in.Sh)), nil
-	case program.OpShrMove:
-		if in.B == program.None {
-			return fmt.Sprintf("%s = %s >> %d", v(in.Dst), v(in.A), in.Sh), nil
-		}
-		return fmt.Sprintf("%s = %s>>%d | %s<<%d", v(in.Dst), v(in.A), in.Sh, v(in.B), wb-int(in.Sh)), nil
-	case program.OpFill:
-		return fmt.Sprintf("%s = -(%s >> %d & 1)", v(in.Dst), v(in.A), in.Sh), nil
-	case program.OpBit:
-		return fmt.Sprintf("%s = %s >> %d & 1", v(in.Dst), v(in.A), in.Sh), nil
-	case program.OpFillLowN:
-		return fmt.Sprintf("%s = -(%s >> %d & 1) & (^%s(0) >> %d)",
-			v(in.Dst), v(in.A), in.Sh, wordType(Go, wb), wb-int(in.B)), nil
-	}
-	return "", fmt.Errorf("codegen: unknown opcode %v", in.Op)
 }
 
 // CheckGo parses Go source text, returning any syntax error — the tests

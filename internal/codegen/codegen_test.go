@@ -2,11 +2,15 @@ package codegen
 
 import (
 	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"udsim/internal/align"
 	"udsim/internal/ckttest"
+	"udsim/internal/gen"
 	"udsim/internal/lcc"
 	"udsim/internal/parsim"
 	"udsim/internal/pcset"
@@ -171,6 +175,89 @@ func TestPCSetCodeMatchesPaperFig4(t *testing.T) {
 	}
 }
 
+// compileProofBudget caps the per-emission statement count the
+// compile-proof test hands to the external toolchain by default. The
+// compiler's cost on one straight-line function grows superlinearly
+// (~11s at 10k statements even with -N -l; the 73k-statement c6288
+// PC-set emission takes tens of minutes), so the giant tail would blow
+// the package's test budget. 16000 covers both techniques on eight
+// circuits and the parallel technique on all ten; over-budget emissions
+// are skipped loudly, never silently, and UDSIM_COMPILE_PROOF=full
+// lifts the cap for an exhaustive (slow) sweep.
+const compileProofBudget = 16000
+
+// TestEmittedGoCompiles is the compile-proof upgrade of the parse check:
+// on every profile circuit, both compiled techniques' Go emissions must
+// build with the real toolchain, not merely parse. Each emission becomes
+// a module of its own in a temp dir; optimization is turned off
+// (-gcflags -N -l) because the interesting property is acceptance, not
+// code quality.
+func TestEmittedGoCompiles(t *testing.T) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	if testing.Short() {
+		t.Skip("builds twenty emissions with the external toolchain")
+	}
+	full := os.Getenv("UDSIM_COMPILE_PROOF") == "full"
+	for _, name := range gen.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			c, err := gen.ISCAS85(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := parsim.Compile(c, parsim.Config{WordBits: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pi, ps := par.Programs()
+			pc, err := pcset.Compile(c, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qi, qs := pc.Programs()
+			for _, tc := range []struct {
+				tech  string
+				units []Unit
+			}{
+				{"parallel", []Unit{{Name: "initvec", Prog: pi}, {Name: "simvec", Prog: ps}}},
+				{"pcset", []Unit{{Name: "initvec", Prog: qi}, {Name: "simvec", Prog: qs}}},
+			} {
+				tc := tc
+				t.Run(tc.tech, func(t *testing.T) {
+					t.Parallel()
+					var b strings.Builder
+					n, err := Emit(&b, Go, "gensim", tc.units)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if n > compileProofBudget && !full {
+						t.Skipf("%d statements exceeds the %d-statement compile budget (set UDSIM_COMPILE_PROOF=full to build it)",
+							n, compileProofBudget)
+					}
+					dir := t.TempDir()
+					if err := os.WriteFile(filepath.Join(dir, "go.mod"),
+						[]byte("module gensim\n\ngo 1.21\n"), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(filepath.Join(dir, "gensim.go"),
+						[]byte(b.String()), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					cmd := exec.Command(goTool, "build", "-gcflags=-N -l", "./...")
+					cmd.Dir = dir
+					if out, err := cmd.CombinedOutput(); err != nil {
+						t.Fatalf("emitted Go does not compile: %v\n%s", err, out)
+					}
+				})
+			}
+		})
+	}
+}
+
 func TestEmitErrors(t *testing.T) {
 	var b strings.Builder
 	if _, err := Emit(&b, Go, "g", nil); err == nil {
@@ -178,10 +265,10 @@ func TestEmitErrors(t *testing.T) {
 	}
 	p8 := &program.Program{WordBits: 8, NumVars: 1}
 	p16 := &program.Program{WordBits: 16, NumVars: 1}
-	if _, err := Emit(&b, Go, "g", []Unit{{"a", p8}, {"b", p16}}); err == nil {
+	if _, err := Emit(&b, Go, "g", []Unit{{Name: "a", Prog: p8}, {Name: "b", Prog: p16}}); err == nil {
 		t.Error("expected mixed-width error")
 	}
-	if _, err := Emit(&b, Language(99), "g", []Unit{{"a", p8}}); err == nil {
+	if _, err := Emit(&b, Language(99), "g", []Unit{{Name: "a", Prog: p8}}); err == nil {
 		t.Error("expected unknown-language error")
 	}
 }

@@ -1,0 +1,134 @@
+package validate
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"udsim/internal/codegen/ir"
+	"udsim/internal/verify"
+)
+
+// Decision records how one emitted statement was proven faithful:
+// "exact" when the lifted instruction matched the compiled one
+// field-for-field, "semantic" when the word-level symbolic evaluator
+// proved the values equal. No other method exists — a certificate
+// claiming one is rejected on replay, the same way the resubstitution
+// rules reject sampling-only proofs.
+type Decision struct {
+	// Stmt is the statement's position in the emitted function.
+	Stmt int `json:"stmt"`
+	// Instr is the instruction coordinate in the source program.
+	Instr int `json:"instr"`
+	// Op is the compiled opcode mnemonic.
+	Op string `json:"op"`
+	// Dst is the destination slot.
+	Dst int32 `json:"dst"`
+	// Method is "exact" or "semantic".
+	Method string `json:"method"`
+}
+
+// UnitCert is one function's lift decisions.
+type UnitCert struct {
+	Name      string     `json:"name"`
+	Stmts     int        `json:"stmts"`
+	Decisions []Decision `json:"decisions"`
+}
+
+// Certificate is the machine-checkable record of a validation run: the
+// hashes pin the exact sources the decisions describe, and Replay
+// re-derives every decision from scratch and cross-checks the record.
+type Certificate struct {
+	WordBits int        `json:"wordBits"`
+	GoSHA256 string     `json:"goSha256"`
+	CSHA256  string     `json:"cSha256,omitempty"`
+	Units    []UnitCert `json:"units"`
+}
+
+func hashSrc(src string) string {
+	if src == "" {
+		return ""
+	}
+	h := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(h[:])
+}
+
+func newCertificate(goSrc, cSrc string) *Certificate {
+	return &Certificate{GoSHA256: hashSrc(goSrc), CSHA256: hashSrc(cSrc)}
+}
+
+// Decisions returns the total decision count across units.
+func (c *Certificate) Decisions() int {
+	n := 0
+	for i := range c.Units {
+		n += len(c.Units[i].Decisions)
+	}
+	return n
+}
+
+// Replay is rule V017: re-validate the emission from scratch and check
+// the recorded certificate against the fresh evidence. Nothing in the
+// certificate is trusted — hashes, unit structure, decision coordinates
+// and methods are all re-derived, so a tampered or stale certificate
+// (claiming "exact" where only the symbolic proof holds, describing a
+// different source, or covering statements the replay rejects) fails.
+// The returned report also carries the fresh V016/V018 findings.
+func Replay(cert *Certificate, name, goSrc, cSrc string, units []ir.Source, spec *verify.Spec) *verify.Report {
+	fresh := Check(name, goSrc, cSrc, units, spec)
+	r := fresh.Report
+	freshErrs := r.Count(verify.SevError)
+	defer r.Sort()
+	certErr := func(instr int, slot int32, format string, args ...any) {
+		r.Add(verify.Finding{Rule: verify.RuleLiftCert, Severity: verify.SevError,
+			Prog: "cert", Instr: instr, Slot: slot, Msg: fmt.Sprintf(format, args...)})
+	}
+	if cert == nil {
+		certErr(-1, -1, "no certificate to replay")
+		return r
+	}
+	if cert.GoSHA256 != fresh.Cert.GoSHA256 {
+		certErr(-1, -1, "go source hash %.12s does not match emission %.12s: certificate describes a different source",
+			cert.GoSHA256, fresh.Cert.GoSHA256)
+	}
+	if cert.CSHA256 != fresh.Cert.CSHA256 {
+		certErr(-1, -1, "c source hash %.12s does not match emission %.12s: certificate describes a different source",
+			cert.CSHA256, fresh.Cert.CSHA256)
+	}
+	if cert.WordBits != fresh.Cert.WordBits {
+		certErr(-1, -1, "certificate word width %d, emission %d", cert.WordBits, fresh.Cert.WordBits)
+	}
+	if len(cert.Units) != len(fresh.Cert.Units) {
+		certErr(-1, -1, "certificate covers %d units, emission has %d", len(cert.Units), len(fresh.Cert.Units))
+		return r
+	}
+	for i := range cert.Units {
+		cu, fu := &cert.Units[i], &fresh.Cert.Units[i]
+		if cu.Name != fu.Name || cu.Stmts != fu.Stmts {
+			certErr(-1, -1, "certificate unit %d is %s/%d statements, emission is %s/%d",
+				i, cu.Name, cu.Stmts, fu.Name, fu.Stmts)
+			continue
+		}
+		if len(cu.Decisions) != len(fu.Decisions) {
+			certErr(-1, -1, "certificate records %d decisions for %s, replay derives %d",
+				len(cu.Decisions), cu.Name, len(fu.Decisions))
+			continue
+		}
+		for k := range cu.Decisions {
+			cd, fd := &cu.Decisions[k], &fu.Decisions[k]
+			if cd.Method != "exact" && cd.Method != "semantic" {
+				certErr(cd.Instr, cd.Dst, "%s: decision %d claims unproven method %q", cu.Name, k, cd.Method)
+				continue
+			}
+			if *cd != *fd {
+				certErr(fd.Instr, fd.Dst,
+					"%s: decision %d (stmt %d, instr %d, %s dst=%d, %s) does not replay (derived stmt %d, instr %d, %s dst=%d, %s)",
+					cu.Name, k, cd.Stmt, cd.Instr, cd.Op, cd.Dst, cd.Method,
+					fd.Stmt, fd.Instr, fd.Op, fd.Dst, fd.Method)
+			}
+		}
+	}
+	if freshErrs > 0 && cert.Decisions() == fresh.Cert.Decisions() {
+		certErr(-1, -1, "certificate claims a validated emission but replay finds %d divergence(s)", freshErrs)
+	}
+	return r
+}

@@ -1,0 +1,147 @@
+package validate
+
+import (
+	"fmt"
+
+	"udsim/internal/codegen/ir"
+	"udsim/internal/program"
+	"udsim/internal/verify"
+)
+
+// checkHygiene is rule V018: the def-use invariants the verifier proves
+// on the Spec (V001 def-before-use, V002 single assignment) re-proven on
+// the lifted AST itself. The evidence here is what the emitted source
+// actually says — read and write sets extracted from the parsed
+// statements — so a rendering bug that scrambles slots is caught even if
+// the Spec was clean. Roles come from program identity: the unit whose
+// program is spec.Init gets init semantics (reads persistent state
+// only), the one matching spec.Sim gets levelized sim semantics.
+func checkHygiene(units []ir.Source, funcs []LiftedFunc, rep *ir.IR, spec *verify.Spec, r *verify.Report) {
+	var initIdx, simIdx = -1, -1
+	for i := range units {
+		if spec.Init != nil && units[i].Prog == spec.Init {
+			initIdx = i
+		}
+		if units[i].Prog == spec.Sim {
+			simIdx = i
+		}
+	}
+	persistent := func(s int32) bool { return s < spec.ScratchStart }
+	slotName := func(p *program.Program, s int32) string {
+		return fmt.Sprintf("%s(%d)", p.VarName(s), s)
+	}
+	coord := func(u *ir.Unit, k int) int {
+		if k < len(u.Stmts) {
+			return u.Stmts[k].Index
+		}
+		return -1
+	}
+	// fresh mirrors verify's definition: a statement that fully
+	// overwrites its destination without reading it.
+	fresh := func(ls *LiftedStmt, reads []int32) bool {
+		if ls.OrAssign {
+			return false
+		}
+		for _, s := range reads {
+			if s == ls.Dst {
+				return false
+			}
+		}
+		return true
+	}
+
+	writtenThisVector := map[int32]bool{}
+	var rbuf []int32
+
+	if initIdx >= 0 {
+		u, lf, p := &rep.Units[initIdx], &funcs[initIdx], units[initIdx].Prog
+		freshBy := map[int32]int{}
+		for k := range lf.Stmts {
+			ls := &lf.Stmts[k]
+			rbuf = readSlots(ls, rbuf)
+			for _, s := range rbuf {
+				if !persistent(s) && !writtenThisVector[s] {
+					r.Add(verify.Finding{Rule: verify.RuleEmitHygiene, Severity: verify.SevError,
+						Prog: u.Name, Instr: coord(u, k), Slot: s,
+						Msg: fmt.Sprintf("emitted init reads scratch slot %s before writing it (line %d)", slotName(p, s), ls.Line)})
+				}
+			}
+			if fresh(ls, rbuf) && persistent(ls.Dst) {
+				if prev, dup := freshBy[ls.Dst]; dup {
+					r.Add(verify.Finding{Rule: verify.RuleEmitHygiene, Severity: verify.SevError,
+						Prog: u.Name, Instr: coord(u, k), Slot: ls.Dst,
+						Msg: fmt.Sprintf("emitted init assigns %s twice (first at line %d, again at line %d)",
+							slotName(p, ls.Dst), prev, ls.Line)})
+				} else {
+					freshBy[ls.Dst] = ls.Line
+				}
+			}
+			writtenThisVector[ls.Dst] = true
+		}
+	}
+	for _, s := range spec.RuntimeWritten {
+		writtenThisVector[s] = true
+	}
+
+	if simIdx < 0 {
+		return
+	}
+	u, lf, p := &rep.Units[simIdx], &funcs[simIdx], units[simIdx].Prog
+	firstWrite := map[int32]int{} // statement index of the first write, per slot
+	for k := range lf.Stmts {
+		if _, ok := firstWrite[lf.Stmts[k].Dst]; !ok {
+			firstWrite[lf.Stmts[k].Dst] = k
+		}
+	}
+	freshBy := map[int32]int{}
+	written := map[int32]bool{}
+	for k := range lf.Stmts {
+		ls := &lf.Stmts[k]
+		rbuf = readSlots(ls, rbuf)
+		for _, s := range rbuf {
+			if written[s] {
+				continue
+			}
+			if !persistent(s) {
+				r.Add(verify.Finding{Rule: verify.RuleEmitHygiene, Severity: verify.SevError,
+					Prog: u.Name, Instr: coord(u, k), Slot: s,
+					Msg: fmt.Sprintf("emitted sim reads scratch slot %s before writing it (line %d)", slotName(p, s), ls.Line)})
+				continue
+			}
+			fw, hasW := firstWrite[s]
+			switch {
+			case !hasW:
+				// Never updated by the emitted sim: previous-vector or
+				// runtime state, fine.
+			case fw > k:
+				r.Add(verify.Finding{Rule: verify.RuleEmitHygiene, Severity: verify.SevError,
+					Prog: u.Name, Instr: coord(u, k), Slot: s,
+					Msg: fmt.Sprintf("emitted sim reads %s before its update at line %d (line %d)",
+						slotName(p, s), lf.Stmts[fw].Line, ls.Line)})
+			case fw == k && ls.OrAssign && s == ls.Dst:
+				if !writtenThisVector[s] {
+					r.Add(verify.Finding{Rule: verify.RuleEmitHygiene, Severity: verify.SevError,
+						Prog: u.Name, Instr: coord(u, k), Slot: s,
+						Msg: fmt.Sprintf("emitted sim accumulates into %s, which holds stale previous-vector bits (line %d)",
+							slotName(p, s), ls.Line)})
+				}
+			case fw == k:
+				r.Add(verify.Finding{Rule: verify.RuleEmitHygiene, Severity: verify.SevError,
+					Prog: u.Name, Instr: coord(u, k), Slot: s,
+					Msg: fmt.Sprintf("emitted sim reads %s with no prior definition this vector (line %d)",
+						slotName(p, s), ls.Line)})
+			}
+		}
+		if fresh(ls, rbuf) && persistent(ls.Dst) {
+			if prev, dup := freshBy[ls.Dst]; dup {
+				r.Add(verify.Finding{Rule: verify.RuleEmitHygiene, Severity: verify.SevError,
+					Prog: u.Name, Instr: coord(u, k), Slot: ls.Dst,
+					Msg: fmt.Sprintf("emitted sim assigns %s twice (first at line %d, again at line %d)",
+						slotName(p, ls.Dst), prev, ls.Line)})
+			} else {
+				freshBy[ls.Dst] = ls.Line
+			}
+		}
+		written[ls.Dst] = true
+	}
+}

@@ -1,0 +1,360 @@
+package validate
+
+import (
+	"udsim/internal/program"
+)
+
+// The word-level symbolic evaluator proves two statements compute the
+// same W-bit value. Each output bit is a canonical boolean function — a
+// truth table over a sorted support of state bits — so comparison is
+// exact: two bits are equivalent iff their minimized supports and tables
+// are identical. The support of any bit an emitted statement computes is
+// tiny (at most the destination bit plus one bit from each operand), so
+// the maxVars cap never binds on real emissions; when a mutated or
+// hand-edited source pushes a bit's support past the cap the evaluator
+// reports "inconclusive", which the validator treats as a divergence —
+// never as acceptance.
+
+// maxVars bounds a bit function's support. Real emissions need at most
+// 3 (destination bit, A bit, B bit); the slack absorbs fuzzed inputs.
+const maxVars = 6
+
+// bitVar identifies one bit of one state slot: slot*64 + bitIndex.
+type bitVar int64
+
+func mkVar(slot int32, bit int) bitVar { return bitVar(int64(slot)*64 + int64(bit)) }
+
+// Slot recovers the state slot the variable belongs to.
+func (v bitVar) Slot() int32 { return int32(v / 64) }
+
+// bitfn is one bit as a canonical boolean function: a truth table over a
+// sorted variable support. Row r of the table assigns vars[i] the i-th
+// bit of r. Canonical form (sorted, minimized support) makes equality a
+// struct comparison.
+type bitfn struct {
+	vars []bitVar
+	tt   uint64
+}
+
+func bitConst(b bool) bitfn {
+	if b {
+		return bitfn{tt: 1}
+	}
+	return bitfn{}
+}
+
+func bitOf(slot int32, bit int) bitfn {
+	return bitfn{vars: []bitVar{mkVar(slot, bit)}, tt: 0b10}
+}
+
+func rowMask(n int) uint64 {
+	if n >= 6 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (1 << uint(n))) - 1
+}
+
+// expand re-expresses f's truth table over the superset support vars.
+func expand(f bitfn, vars []bitVar) uint64 {
+	// pos[i] = index in vars of f.vars[i].
+	pos := make([]int, len(f.vars))
+	for i, v := range f.vars {
+		for j, w := range vars {
+			if w == v {
+				pos[i] = j
+				break
+			}
+		}
+	}
+	var out uint64
+	rows := 1 << uint(len(vars))
+	for r := 0; r < rows; r++ {
+		old := 0
+		for i := range f.vars {
+			if r>>uint(pos[i])&1 == 1 {
+				old |= 1 << uint(i)
+			}
+		}
+		out |= (f.tt >> uint(old) & 1) << uint(r)
+	}
+	return out
+}
+
+// minimize drops support variables the table does not depend on,
+// producing the canonical form.
+func minimize(f bitfn) bitfn {
+	for i := 0; i < len(f.vars); {
+		n := len(f.vars)
+		rows := 1 << uint(n)
+		dep := false
+		for r := 0; r < rows; r++ {
+			if r>>uint(i)&1 == 1 {
+				continue
+			}
+			if f.tt>>uint(r)&1 != f.tt>>uint(r|1<<uint(i))&1 {
+				dep = true
+				break
+			}
+		}
+		if dep {
+			i++
+			continue
+		}
+		// Drop variable i: keep the rows where it is 0, compacting.
+		var tt uint64
+		k := 0
+		for r := 0; r < rows; r++ {
+			if r>>uint(i)&1 == 1 {
+				continue
+			}
+			tt |= (f.tt >> uint(r) & 1) << uint(k)
+			k++
+		}
+		vars := append(append([]bitVar(nil), f.vars[:i]...), f.vars[i+1:]...)
+		f = bitfn{vars: vars, tt: tt}
+	}
+	return f
+}
+
+// mergeVars unions two sorted supports.
+func mergeVars(a, b []bitVar) []bitVar {
+	out := make([]bitVar, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// combine applies a bitwise boolean operator to two bit functions over
+// their merged support. ok is false when the support exceeds maxVars.
+func combine(a, b bitfn, f func(x, y uint64) uint64) (bitfn, bool) {
+	vars := mergeVars(a.vars, b.vars)
+	if len(vars) > maxVars {
+		return bitfn{}, false
+	}
+	tt := f(expand(a, vars), expand(b, vars)) & rowMask(len(vars))
+	return minimize(bitfn{vars: vars, tt: tt}), true
+}
+
+func bitNot(a bitfn) bitfn {
+	a.tt = ^a.tt & rowMask(len(a.vars))
+	return a
+}
+
+func bitEq(a, b bitfn) bool {
+	if a.tt != b.tt || len(a.vars) != len(b.vars) {
+		return false
+	}
+	for i := range a.vars {
+		if a.vars[i] != b.vars[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// word is a W-bit symbolic value, one canonical bit function per bit.
+type word struct {
+	bits []bitfn
+}
+
+func constWord(v uint64, wb int) word {
+	w := word{bits: make([]bitfn, wb)}
+	for j := 0; j < wb; j++ {
+		w.bits[j] = bitConst(v>>uint(j)&1 == 1)
+	}
+	return w
+}
+
+func slotWord(slot int32, wb int) word {
+	w := word{bits: make([]bitfn, wb)}
+	for j := 0; j < wb; j++ {
+		w.bits[j] = bitOf(slot, j)
+	}
+	return w
+}
+
+func wordOp2(a, b word, f func(x, y uint64) uint64) (word, bool) {
+	out := word{bits: make([]bitfn, len(a.bits))}
+	for j := range a.bits {
+		c, ok := combine(a.bits[j], b.bits[j], f)
+		if !ok {
+			return word{}, false
+		}
+		out.bits[j] = c
+	}
+	return out, true
+}
+
+func wordAnd(a, b word) (word, bool) { return wordOp2(a, b, func(x, y uint64) uint64 { return x & y }) }
+func wordOr(a, b word) (word, bool)  { return wordOp2(a, b, func(x, y uint64) uint64 { return x | y }) }
+func wordXor(a, b word) (word, bool) { return wordOp2(a, b, func(x, y uint64) uint64 { return x ^ y }) }
+
+func wordNot(a word) word {
+	out := word{bits: make([]bitfn, len(a.bits))}
+	for j := range a.bits {
+		out.bits[j] = bitNot(a.bits[j])
+	}
+	return out
+}
+
+// wordShl shifts left by k bit positions, dropping high bits (the
+// word-width truncation the exact-width types give the emitted code).
+func wordShl(a word, k int) word {
+	wb := len(a.bits)
+	out := word{bits: make([]bitfn, wb)}
+	for j := 0; j < wb; j++ {
+		if j >= k {
+			out.bits[j] = a.bits[j-k]
+		} else {
+			out.bits[j] = bitConst(false)
+		}
+	}
+	return out
+}
+
+// wordShr is a logical right shift by k.
+func wordShr(a word, k int) word {
+	wb := len(a.bits)
+	out := word{bits: make([]bitfn, wb)}
+	for j := 0; j < wb; j++ {
+		if j+k < wb {
+			out.bits[j] = a.bits[j+k]
+		} else {
+			out.bits[j] = bitConst(false)
+		}
+	}
+	return out
+}
+
+// wordAdd is a ripple-carry adder with an initial carry-in — enough to
+// express two's-complement negation (-x == ^x + 1) symbolically.
+func wordAdd(a, b word, carry bool) (word, bool) {
+	out := word{bits: make([]bitfn, len(a.bits))}
+	c := bitConst(carry)
+	for j := range a.bits {
+		axb, ok := combine(a.bits[j], b.bits[j], func(x, y uint64) uint64 { return x ^ y })
+		if !ok {
+			return word{}, false
+		}
+		s, ok := combine(axb, c, func(x, y uint64) uint64 { return x ^ y })
+		if !ok {
+			return word{}, false
+		}
+		ab, ok := combine(a.bits[j], b.bits[j], func(x, y uint64) uint64 { return x & y })
+		if !ok {
+			return word{}, false
+		}
+		ca, ok := combine(c, axb, func(x, y uint64) uint64 { return x & y })
+		if !ok {
+			return word{}, false
+		}
+		c, ok = combine(ab, ca, func(x, y uint64) uint64 { return x | y })
+		if !ok {
+			return word{}, false
+		}
+		out.bits[j] = s
+	}
+	return out, true
+}
+
+// wordNeg is two's-complement negation.
+func wordNeg(a word) (word, bool) {
+	return wordAdd(wordNot(a), constWord(0, len(a.bits)), true)
+}
+
+func wordEq(a, b word) bool {
+	if len(a.bits) != len(b.bits) {
+		return false
+	}
+	for j := range a.bits {
+		if !bitEq(a.bits[j], b.bits[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// instrWord builds the symbolic post-value of in's destination slot from
+// the pre-state — the specification each lifted statement is compared
+// against. ok is false only for opcodes with no value semantics (nop).
+func instrWord(in *program.Instr, wb int) (word, bool) {
+	va := func() word { return slotWord(in.A, wb) }
+	switch in.Op {
+	case program.OpAnd:
+		return must2(wordAnd(va(), slotWord(in.B, wb)))
+	case program.OpOr:
+		return must2(wordOr(va(), slotWord(in.B, wb)))
+	case program.OpXor:
+		return must2(wordXor(va(), slotWord(in.B, wb)))
+	case program.OpNand:
+		w, ok := wordAnd(va(), slotWord(in.B, wb))
+		return wordNot(w), ok
+	case program.OpNor:
+		w, ok := wordOr(va(), slotWord(in.B, wb))
+		return wordNot(w), ok
+	case program.OpXnor:
+		w, ok := wordXor(va(), slotWord(in.B, wb))
+		return wordNot(w), ok
+	case program.OpNot:
+		return wordNot(va()), true
+	case program.OpMove:
+		return va(), true
+	case program.OpOrMove:
+		return must2(wordOr(slotWord(in.Dst, wb), va()))
+	case program.OpConst0:
+		return constWord(0, wb), true
+	case program.OpConst1:
+		return wordNot(constWord(0, wb)), true
+	case program.OpShlOr, program.OpShlMove:
+		t := wordShl(va(), int(in.Sh))
+		ok := true
+		if in.B != program.None {
+			t, ok = wordOr(t, wordShr(slotWord(in.B, wb), wb-int(in.Sh)))
+		}
+		if ok && in.Op == program.OpShlOr {
+			t, ok = wordOr(slotWord(in.Dst, wb), t)
+		}
+		return t, ok
+	case program.OpShrMove:
+		t := wordShr(va(), int(in.Sh))
+		ok := true
+		if in.B != program.None {
+			t, ok = wordOr(t, wordShl(slotWord(in.B, wb), wb-int(in.Sh)))
+		}
+		return t, ok
+	case program.OpFill:
+		bit := bitOf(in.A, int(in.Sh))
+		w := word{bits: make([]bitfn, wb)}
+		for j := 0; j < wb; j++ {
+			w.bits[j] = bit
+		}
+		return w, true
+	case program.OpBit:
+		w := constWord(0, wb)
+		w.bits[0] = bitOf(in.A, int(in.Sh))
+		return w, true
+	case program.OpFillLowN:
+		bit := bitOf(in.A, int(in.Sh))
+		w := constWord(0, wb)
+		for j := 0; j < int(in.B) && j < wb; j++ {
+			w.bits[j] = bit
+		}
+		return w, true
+	}
+	return word{}, false
+}
+
+func must2(w word, ok bool) (word, bool) { return w, ok }

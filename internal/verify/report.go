@@ -47,6 +47,14 @@ const (
 	RuleInterval  = "V011"
 	RuleRace      = "V012"
 	RuleReplica   = "V015"
+	// RuleLift through RuleEmitHygiene are the translation-validation
+	// rules over emitted source (package codegen/validate): V016 proves
+	// the lifted instruction stream equivalent to the compiled one, V017
+	// replays the emission certificate from scratch, and V018 re-proves
+	// the V001/V002 def-use invariants on the lifted AST itself.
+	RuleLift        = "V016"
+	RuleLiftCert    = "V017"
+	RuleEmitHygiene = "V018"
 )
 
 // Finding is one structured diagnostic.
@@ -188,6 +196,14 @@ func (r *Report) String() string {
 
 // add records a finding.
 func (r *Report) add(f Finding) { r.Findings = append(r.Findings, f) }
+
+// Add records a finding. External rule packages (the translation
+// validator in codegen/validate) build their reports through it.
+func (r *Report) Add(f Finding) { r.add(f) }
+
+// Sort orders the findings under the stable-sort contract; callers that
+// assemble reports through Add must call it before rendering.
+func (r *Report) Sort() { r.sortFindings() }
 
 // sortFindings orders findings deterministically: most severe first,
 // then by (rule, program, instruction address, slot, message). The full

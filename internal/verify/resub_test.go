@@ -135,17 +135,24 @@ func TestCheckRewriteMissingNet(t *testing.T) {
 	}
 }
 
-// TestRuleDocsCoverResubRules pins V013/V014 into the output drivers'
-// rule table in identifier order.
+// TestRuleDocsCoverResubRules pins the rules above V012 — the
+// resubstitution pair, the replica rule and the translation-validation
+// triple — into the output drivers' rule table in identifier order.
 func TestRuleDocsCoverResubRules(t *testing.T) {
 	var ids []string
 	for _, d := range RuleDocs {
 		ids = append(ids, d.ID)
 	}
-	if ids[len(ids)-3] != RuleRewrite || ids[len(ids)-2] != RuleCert || ids[len(ids)-1] != RuleReplica {
-		t.Fatalf("RuleDocs tail %v, want [... %s %s %s]", ids, RuleRewrite, RuleCert, RuleReplica)
+	want := []string{RuleRewrite, RuleCert, RuleReplica, RuleLift, RuleLiftCert, RuleEmitHygiene}
+	if len(ids) < len(want) {
+		t.Fatalf("RuleDocs too short: %v", ids)
 	}
-	if len(ids) != 15 {
-		t.Fatalf("expected 15 documented rules, got %d", len(ids))
+	for i, w := range want {
+		if got := ids[len(ids)-len(want)+i]; got != w {
+			t.Fatalf("RuleDocs tail %v, want suffix %v", ids, want)
+		}
+	}
+	if len(ids) != 18 {
+		t.Fatalf("expected 18 documented rules, got %d", len(ids))
 	}
 }

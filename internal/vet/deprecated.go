@@ -1,0 +1,61 @@
+package vet
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// deprecatedCtors names the per-technique constructors that Open
+// replaced. They survive one deprecation cycle for API stability; new
+// call sites would extend that cycle indefinitely.
+var deprecatedCtors = map[string]string{
+	"NewParallel": "Open(c, TechParallel, ...)",
+	"NewPCSet":    "Open(c, TechPCSet, WithMonitor(...), ...)",
+}
+
+// deprecatedAllowedFiles are the only files permitted to call the
+// deprecated constructors: the Open-equivalence test exercises the
+// wrappers until their removal.
+var deprecatedAllowedFiles = map[string]bool{
+	"open_test.go": true,
+}
+
+// DeprecatedAPI returns the analyzer that forbids calls to the
+// deprecated NewParallel/NewPCSet constructors outside open_test.go.
+// Both plain calls (NewParallel(...) inside package udsim) and
+// qualified calls (udsim.NewParallel(...) from the command packages)
+// are flagged.
+func DeprecatedAPI() *Analyzer {
+	return &Analyzer{
+		Name: "deprecatedapi",
+		Doc:  "forbid deprecated NewParallel/NewPCSet constructors outside open_test.go (use Open)",
+		Run:  runDeprecated,
+	}
+}
+
+func runDeprecated(p *Pass) {
+	for _, f := range p.Files {
+		if deprecatedAllowedFiles[filepath.Base(f.Path)] {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var name string
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			default:
+				return true
+			}
+			if repl, dep := deprecatedCtors[name]; dep {
+				p.Report(call, "call to deprecated %s; use %s", name, repl)
+			}
+			return true
+		})
+	}
+}

@@ -33,6 +33,8 @@ import (
 	"udsim/internal/align"
 	"udsim/internal/bench85"
 	"udsim/internal/circuit"
+	"udsim/internal/codegen/ir"
+	"udsim/internal/codegen/validate"
 	"udsim/internal/eventsim"
 	"udsim/internal/gen"
 	"udsim/internal/lcc"
@@ -370,6 +372,7 @@ type options struct {
 	trim        bool
 	shiftEl     ShiftElimination
 	verify      bool
+	cgValidate  bool
 	deadStore   bool
 	resub       bool
 	exec        ExecStrategy
@@ -397,6 +400,8 @@ func (o *options) compiledOnly() string {
 		return "WithMonitor"
 	case o.verify:
 		return "WithVerify"
+	case o.cgValidate:
+		return "WithCodegenValidation"
 	case o.deadStore:
 		return "WithDeadStoreElimination"
 	case o.resub:
@@ -442,6 +447,16 @@ func WithShiftElimination(m ShiftElimination) Option {
 // WithVerify runs the static analyzer over the compiled programs and
 // fails the compile on any warning or error finding (see Verify).
 func WithVerify() Option { return func(o *options) { o.verify = true } }
+
+// WithCodegenValidation translation-validates the engine's code
+// generation at build time: the Go source both codegen backends would
+// emit for the compiled programs is lifted back to an instruction
+// stream, proven equivalent to the programs (rule V016), checked for
+// AST-level def-use hygiene (V018), and the resulting emission
+// certificate is replayed from scratch (V017). Open fails on any
+// finding. Compiled techniques only — the interpreted baselines and the
+// zero-delay LCC engine have no generated source to validate.
+func WithCodegenValidation() Option { return func(o *options) { o.cgValidate = true } }
 
 // WithDeadStoreElimination strips the instructions the vector-loop
 // liveness fixpoint (verify rule V009's analysis) proves dead after
@@ -608,6 +623,12 @@ func openParallel(c *Circuit, o options) (*ParallelSim, error) {
 			return nil, err
 		}
 	}
+	if o.cgValidate {
+		pi, ps := s.Programs()
+		if err := validateEmission(s.Spec(), pi, ps); err != nil {
+			return nil, err
+		}
+	}
 	if o.fuseLevels {
 		s.SetLevelFusion(true)
 	}
@@ -665,6 +686,12 @@ func openPCSet(c *Circuit, o options) (*PCSetSim, error) {
 	}
 	if o.deadStore {
 		if _, err := s.EliminateDeadStores(); err != nil {
+			return nil, err
+		}
+	}
+	if o.cgValidate {
+		pi, ps := s.Programs()
+		if err := validateEmission(s.Spec(), pi, ps); err != nil {
 			return nil, err
 		}
 	}
@@ -1240,6 +1267,61 @@ func Verify(e Engine, opts VerifyOptions) (*VerifyReport, error) {
 		return verify.Check(s.s.Spec(), opts), nil
 	}
 	return nil, fmt.Errorf("udsim: engine %s has no statically verifiable programs", e.EngineName())
+}
+
+// validateEmission runs the translation validator over an engine's
+// final compiled programs (after any dead-store elimination), failing
+// the build on any V016–V018 finding.
+func validateEmission(spec *verify.Spec, init, sim *program.Program) error {
+	res, err := validate.CheckUnits("gensim",
+		[]ir.Source{{Name: "initvec", Prog: init}, {Name: "simvec", Prog: sim}}, spec)
+	if err != nil {
+		return fmt.Errorf("udsim: codegen validation: %w", err)
+	}
+	if err := res.Report.Err(); err != nil {
+		return fmt.Errorf("udsim: codegen validation: %w", err)
+	}
+	return nil
+}
+
+// ValidateCodegen runs the translation validator on demand over an
+// engine's compiled programs: the Go source the codegen backends would
+// emit is lifted back to an instruction stream and proven equivalent
+// (V016), the C rendering is checked against the same validated IR, the
+// lifted AST is re-proven single-assignment/def-before-use (V018), and
+// the emission certificate is replayed from scratch (V017). The report
+// is clean exactly when EmitChecked would succeed. Engines without
+// compiled instruction streams return an error.
+func ValidateCodegen(e Engine) (*VerifyReport, error) {
+	var (
+		spec     *verify.Spec
+		init, si *program.Program
+	)
+	switch s := e.(type) {
+	case *ParallelSim:
+		spec = s.s.Spec()
+		init, si = s.s.Programs()
+	case *PCSetSim:
+		spec = s.s.Spec()
+		init, si = s.s.Programs()
+	default:
+		return nil, fmt.Errorf("udsim: engine %s has no generated source to validate", e.EngineName())
+	}
+	units := []ir.Source{{Name: "initvec", Prog: init}, {Name: "simvec", Prog: si}}
+	goSrc, cSrc, err := validate.Sources("gensim", units)
+	if err != nil {
+		return nil, fmt.Errorf("udsim: codegen validation: %w", err)
+	}
+	res := validate.Check("gensim", goSrc, cSrc, units, spec)
+	if rep := validate.Replay(res.Cert, "gensim", goSrc, cSrc, units, spec); rep.Err() != nil {
+		for _, f := range rep.Findings {
+			if f.Rule == verify.RuleLiftCert {
+				res.Report.Add(f)
+			}
+		}
+		res.Report.Sort()
+	}
+	return res.Report, nil
 }
 
 // ParseTechnique maps a CLI technique name — "event3", "event2",
