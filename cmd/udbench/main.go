@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments (fig19..fig24, zerodelay, parallel, codesize, dataparallel, faultcov, activity, timing, deadstore, resub, chaos, gating, serve) or all")
+		exps     = flag.String("exp", "all", "comma-separated experiments (fig19..fig24, zerodelay, parallel, codesize, dataparallel, faultcov, activity, timing, deadstore, resub, chaos, gating, native, serve) or all")
 		circuits = flag.String("circuits", "", "comma-separated circuit subset (default all ten)")
 		nvec     = flag.Int("vectors", 5000, "vectors per circuit (the paper used 5000)")
 		seed     = flag.Int64("seed", 1990, "vector seed")

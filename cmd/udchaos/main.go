@@ -14,6 +14,18 @@
 //	udchaos -gen c1908 -fault corrupt
 //	udchaos -bench alu.bench -engine pcset -fault cancel -run 5
 //
+// With -native the drill targets the supervised native-code backend
+// instead: the injected failure hits the codegen subprocess (or its
+// protocol stream) and the drill verifies the supervisor's respawn or
+// quarantine-and-fallback contract plus bit-identical outputs.
+//
+//	udchaos -gen c432 -native -fault kill      # SIGKILL mid-batch → respawn
+//	udchaos -gen c432 -native -fault crash     # child exits per batch → quarantine
+//	udchaos -gen c432 -native -fault wedge     # child stalls → deadline → quarantine
+//	udchaos -gen c432 -native -fault truncate  # mid-frame EOF → protocol fault
+//	udchaos -gen c432 -native -fault corrupt   # CRC-corrupted batch → quarantine
+//	udchaos -gen c432 -native -fault flood     # stderr flood + exit → quarantine
+//
 // Exit status 0 means every guarantee held; 1 means a guarantee was
 // violated (and the drill says which); 2 is a usage or setup error.
 package main
@@ -28,6 +40,7 @@ import (
 
 	"udsim"
 	"udsim/internal/cliflags"
+	"udsim/internal/native"
 	"udsim/internal/resilience/chaos"
 	"udsim/internal/vectors"
 )
@@ -48,6 +61,7 @@ func main() {
 		sleep     = flag.Duration("sleep", 150*time.Millisecond, "stall duration for -fault delay")
 		budget    = flag.Duration("budget", 25*time.Millisecond, "watchdog per-level stall budget")
 		retries   = flag.Int("retries", 2, "sequential-replay retries for transient faults")
+		nativeDr  = flag.Bool("native", false, "drill the supervised native-code backend instead (faults: kill, crash, wedge, truncate, corrupt, flood)")
 	)
 	flag.Parse()
 
@@ -70,6 +84,11 @@ func main() {
 	}
 	if *run < 1 || *run > *nvec {
 		usageFail(fmt.Errorf("-run %d outside the %d-vector stream", *run, *nvec))
+	}
+
+	if *nativeDr {
+		nativeDrill(c, tech, *fault, *nvec, *seed, *budget, *retries)
+		return
 	}
 
 	pol := udsim.DefaultGuardPolicy()
@@ -195,9 +214,116 @@ func main() {
 	fmt.Println("drill passed: every guarantee held")
 }
 
+// nativeDrill injects one deterministic failure into the supervised
+// native-code backend and verifies the contract: the failure is
+// recorded as a typed EngineFault of the right kind, the supervisor
+// either respawns (kill) or quarantines and falls back in process
+// (everything else), the stream never hangs or errors, and the settled
+// outputs stay bit-identical to the in-process reference.
+func nativeDrill(c *udsim.Circuit, tech udsim.Technique, fault string, nvec int, seed int64, budget time.Duration, retries int) {
+	pol := udsim.DefaultGuardPolicy()
+	pol.LevelBudget = budget
+	pol.MaxRetries = retries
+
+	var (
+		opts     []udsim.Option
+		wantKind udsim.FaultKind
+		respawns bool // the drill expects recovery by respawn, not quarantine
+		kill     *native.KillAtBatch
+	)
+	switch strings.ToLower(fault) {
+	case "kill":
+		kill = &native.KillAtBatch{Batch: 2}
+		opts = append(opts, udsim.WithNativeDisruptor(kill))
+		wantKind, respawns = udsim.FaultSubprocess, true
+	case "crash":
+		opts = append(opts, udsim.WithNativeChaos(udsim.NativeChildChaos{CrashAtBatch: 1}))
+		wantKind = udsim.FaultSubprocess
+	case "wedge":
+		opts = append(opts, udsim.WithNativeChaos(udsim.NativeChildChaos{WedgeAtBatch: 1}))
+		wantKind = udsim.FaultDeadline
+	case "truncate":
+		opts = append(opts, udsim.WithNativeChaos(udsim.NativeChildChaos{TruncateAtBatch: 1}))
+		wantKind = udsim.FaultProtocol
+	case "corrupt":
+		opts = append(opts, udsim.WithNativeDisruptor(&native.CorruptBatch{Batch: 1}))
+		wantKind = udsim.FaultSubprocess // the child rejects the CRC and exits
+	case "flood":
+		opts = append(opts, udsim.WithNativeChaos(udsim.NativeChildChaos{FloodStderrAtBatch: 1}))
+		wantKind = udsim.FaultSubprocess
+	default:
+		usageFail(fmt.Errorf("unknown -native -fault %q (kill, crash, wedge, truncate, corrupt, flood)", fault))
+	}
+	opts = append(opts, udsim.WithNativePolicy(pol))
+	ob := udsim.NewObserver(udsim.ObserverConfig{})
+	opts = append(opts, udsim.WithObserver(ob))
+
+	e, err := udsim.Open(c, tech, opts...)
+	if err != nil {
+		usageFail(err)
+	}
+	g := e.(*udsim.NativeSim)
+	defer g.Close()
+	if err := g.ResetConsistent(nil); err != nil {
+		usageFail(err)
+	}
+
+	fmt.Printf("# native drill: %s on %s/%s, %d vectors, batch budget %v, %d respawns\n",
+		fault, c.Name, g.EngineName(), nvec, budget, retries)
+
+	// Drive the stream in four batches so a mid-stream failure leaves
+	// batches on both sides of it.
+	vecs := vectors.Random(nvec, len(c.Inputs), seed).Bits
+	var streamErr error
+	per := (len(vecs) + 3) / 4
+	for i := 0; i < len(vecs) && streamErr == nil; i += per {
+		end := i + per
+		if end > len(vecs) {
+			end = len(vecs)
+		}
+		streamErr = g.ApplyStream(vecs[i:end])
+	}
+
+	ok := true
+	check := func(cond bool, what string) {
+		verdict := "ok"
+		if !cond {
+			verdict, ok = "VIOLATED", false
+		}
+		fmt.Printf("  %-52s %s\n", what, verdict)
+	}
+
+	check(streamErr == nil, "stream completed without surfacing the fault")
+	f := g.LastFault()
+	check(f != nil, "supervisor recorded a typed EngineFault")
+	if f != nil {
+		fmt.Printf("  fault: %v\n", f)
+		check(f.Kind == wantKind, fmt.Sprintf("fault kind is %v", wantKind))
+	}
+	if respawns {
+		check(!g.Degraded(), "child respawned; native path still serving")
+		check(kill.Kills == 1, "disruptor delivered exactly one SIGKILL")
+		check(g.SupervisorState() == "serving", "supervisor back in the serving state")
+	} else {
+		check(g.Degraded(), "respawn budget exhausted; quarantined to in-process fallback")
+		check(g.SupervisorState() == "quarantined", "supervisor parked in the quarantined state")
+	}
+	check(finalsMatch(g, c, tech, vecs), "settled outputs bit-identical to in-process reference")
+
+	fmt.Println()
+	if err := ob.Snapshot().WriteText(os.Stdout); err != nil {
+		usageFail(err)
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "udchaos: resilience guarantee VIOLATED")
+		os.Exit(1)
+	}
+	fmt.Println("drill passed: every guarantee held")
+}
+
 // finalsMatch replays vecs on an unguarded sequential engine of the same
 // technique and compares every net's settled value.
-func finalsMatch(g *udsim.GuardedSim, c *udsim.Circuit, tech udsim.Technique, vecs [][]bool) bool {
+func finalsMatch(g udsim.Engine, c *udsim.Circuit, tech udsim.Technique, vecs [][]bool) bool {
 	ref, err := udsim.Open(c, tech)
 	if err != nil {
 		usageFail(err)

@@ -216,14 +216,20 @@ func main() {
 	dumpObs(ob)
 }
 
-// reportGuard notes on stderr when the supervisor degraded the run —
-// the simulation completed, but on the sequential fallback path.
+// reportGuard notes on stderr when a supervisor degraded the run — the
+// simulation completed, but on a fallback path: sequential replay for
+// the guarded engine, the in-process engine for the native backend.
 func reportGuard(e udsim.Engine) {
-	g, ok := e.(*udsim.GuardedSim)
-	if !ok || !g.Degraded() {
-		return
+	switch g := e.(type) {
+	case *udsim.GuardedSim:
+		if g.Degraded() {
+			fmt.Fprintf(os.Stderr, "note: guarded engine degraded to sequential execution after: %v\n", g.LastFault())
+		}
+	case *udsim.NativeSim:
+		if g.Degraded() {
+			fmt.Fprintf(os.Stderr, "note: native child quarantined, fell back to in-process execution after: %v\n", g.LastFault())
+		}
 	}
-	fmt.Fprintf(os.Stderr, "note: guarded engine degraded to sequential execution after: %v\n", g.LastFault())
 }
 
 // failGuarded renders a typed engine fault with its witness coordinates

@@ -126,6 +126,17 @@ func main() {
 	}
 	fmt.Println(tp)
 
+	// Execution-backend census: every way a compiled program can be
+	// driven, from the in-process dispatch loop to the supervised native
+	// child. Static properties only — throughput is udbench's business.
+	tb := texttable.New("execution backends", "backend", "-exec", "dispatch", "isolation", "fallback")
+	tb.Add("threaded", "sequential", "in-process dispatch loop", "same address space", "-")
+	tb.Add("sharded", "sharded", "level-barriered worker shards", "same address space", "guard: sequential replay")
+	tb.Add("activity-gated", "activity-gated", "sharded + idle-level skip", "same address space", "guard: sequential replay")
+	tb.Add("vector-batch", "vector-batch", "whole-vector worker batches", "same address space", "guard: sequential replay")
+	tb.Add("native", "native", "compiled child over pipe protocol", "subprocess sandbox", "in-process engine (quarantine)")
+	fmt.Println(tb)
+
 	// SCOAP testability overview.
 	sc, err := scoap.Analyze(norm)
 	if err != nil {

@@ -58,6 +58,12 @@ const (
 	// FaultCorruption is a cross-check mismatch against the zero-delay
 	// oracle.
 	FaultCorruption = resilience.FaultCorruption
+	// FaultSubprocess is a native-backend child failure: crash, kill,
+	// failed build or unexpected EOF (see WithNativeBackend).
+	FaultSubprocess = resilience.FaultSubprocess
+	// FaultProtocol is a native-backend wire-protocol violation:
+	// CRC mismatch, truncated or desynced frame, bad handshake.
+	FaultProtocol = resilience.FaultProtocol
 )
 
 // AsEngineFault extracts an *EngineFault from an error chain.

@@ -26,7 +26,7 @@ func usage(canonical string, note []string) string {
 // engines.
 func Exec(fs *flag.FlagSet, note ...string) *string {
 	return fs.String("exec", "", usage(
-		"multicore execution strategy for compiled engines: sequential, sharded, activity-gated, vector-batch, auto", note))
+		"multicore execution strategy for compiled engines: sequential, sharded, activity-gated, vector-batch, auto, native", note))
 }
 
 // Workers registers -workers: the worker count for the execution

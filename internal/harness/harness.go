@@ -453,6 +453,7 @@ var Experiments = []struct {
 	{"resub", Resub},
 	{"chaos", Chaos},
 	{"gating", Gating},
+	{"native", Native},
 	{"serve", Serve},
 }
 

@@ -1,0 +1,73 @@
+package native
+
+// The parent-side chaos seam: where ChildChaos bakes misbehavior into
+// the generated child, a Disruptor lets a drill attack a *well-behaved*
+// child from outside — kill it mid-batch, corrupt the batch frame on
+// the way out — so the supervisor's recovery is exercised against
+// failures the child itself never volunteers. Production runs leave
+// Config.Disrupt nil; the seam is consulted only on the batch path and
+// costs one nil check.
+
+// ChildHandle is the supervisor's live child as a Disruptor sees it.
+type ChildHandle interface {
+	// Pid returns the child's process id.
+	Pid() int
+	// Kill delivers SIGKILL to the child.
+	Kill() error
+}
+
+// Disruptor is the parent-side chaos injector consulted once per batch.
+type Disruptor interface {
+	// MangleBatch may rewrite the encoded batch frame before it is
+	// written to the child (the slice is the disruptor's to mutate);
+	// returning it unchanged injects nothing.
+	MangleBatch(seq uint32, frame []byte) []byte
+	// BatchSent runs after the batch frame for seq has been written and
+	// before results are read — Kill()ing the handle here is a SIGKILL
+	// mid-batch.
+	BatchSent(seq uint32, child ChildHandle)
+}
+
+// KillAtBatch is a Disruptor that SIGKILLs the child mid-batch the
+// first time seq reaches Batch, then stays quiet — the respawned child
+// must complete the replayed batch.
+type KillAtBatch struct {
+	Batch uint32
+	fired bool
+	// Kills counts delivered signals (test introspection).
+	Kills int
+}
+
+// MangleBatch implements Disruptor (no frame corruption).
+func (k *KillAtBatch) MangleBatch(seq uint32, frame []byte) []byte { return frame }
+
+// BatchSent implements Disruptor.
+func (k *KillAtBatch) BatchSent(seq uint32, child ChildHandle) {
+	if !k.fired && seq >= k.Batch {
+		k.fired = true
+		k.Kills++
+		child.Kill()
+	}
+}
+
+// CorruptBatch is a Disruptor that flips a bit in the batch frame for
+// sequence Batch every time it passes — the child rejects the CRC and
+// exits, and because the corruption repeats on replay the supervisor is
+// driven to quarantine.
+type CorruptBatch struct {
+	Batch uint32
+	// Mangled counts corrupted frames (test introspection).
+	Mangled int
+}
+
+// MangleBatch implements Disruptor.
+func (c *CorruptBatch) MangleBatch(seq uint32, frame []byte) []byte {
+	if seq == c.Batch && len(frame) > 9 {
+		c.Mangled++
+		frame[9] ^= 0x80
+	}
+	return frame
+}
+
+// BatchSent implements Disruptor.
+func (c *CorruptBatch) BatchSent(seq uint32, child ChildHandle) {}

@@ -94,6 +94,8 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 	sample("udsim_guard_faults_total", `kind="deadline"`, float64(s.Guard.Deadlines))
 	sample("udsim_guard_faults_total", `kind="canceled"`, float64(s.Guard.Cancels))
 	sample("udsim_guard_faults_total", `kind="corruption"`, float64(s.Guard.Corruptions))
+	sample("udsim_guard_faults_total", `kind="subprocess"`, float64(s.Guard.Subprocesses))
+	sample("udsim_guard_faults_total", `kind="protocol"`, float64(s.Guard.Protocols))
 	family("udsim_guard_retries_total", "counter")
 	sample("udsim_guard_retries_total", "", float64(s.Guard.Retries))
 	family("udsim_guard_quarantines_total", "counter")
@@ -104,6 +106,21 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 	sample("udsim_guard_crosschecks_total", "", float64(s.Guard.CrossChecks))
 	family("udsim_guard_crosscheck_mismatches_total", "counter")
 	sample("udsim_guard_crosscheck_mismatches_total", "", float64(s.Guard.Mismatches))
+
+	// Native-backend supervisor counters.
+	family("udsim_native_builds_total", "counter")
+	sample("udsim_native_builds_total", "", float64(s.Native.Builds))
+	family("udsim_native_build_seconds_total", "counter")
+	sample("udsim_native_build_seconds_total", "", float64(s.Native.BuildNanos)/1e9)
+	family("udsim_native_respawns_total", "counter")
+	sample("udsim_native_respawns_total", "", float64(s.Native.Respawns))
+	family("udsim_native_protocol_errors_total", "counter")
+	sample("udsim_native_protocol_errors_total", "", float64(s.Native.ProtocolErrors))
+	family("udsim_native_fallbacks_total", "counter")
+	sample("udsim_native_fallbacks_total", "", float64(s.Native.Fallbacks))
+	family("udsim_native_frames_total", "counter")
+	sample("udsim_native_frames_total", `dir="sent"`, float64(s.Native.FramesSent))
+	sample("udsim_native_frames_total", `dir="received"`, float64(s.Native.FramesReceived))
 
 	if s.Steps != nil {
 		family("udsim_activity_vectors_total", "counter")

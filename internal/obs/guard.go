@@ -42,11 +42,14 @@ func (o *Observer) AddGuardMismatch() { o.guardMismatches.Add(1) }
 
 // GuardStats is the guard-counter section of a Snapshot.
 type GuardStats struct {
-	// Panics, Deadlines, Cancels and Corruptions count faults by kind.
-	Panics      int64 `json:"panics"`
-	Deadlines   int64 `json:"deadlines"`
-	Cancels     int64 `json:"cancels"`
-	Corruptions int64 `json:"corruptions"`
+	// Panics, Deadlines, Cancels, Corruptions, Subprocesses and
+	// Protocols count faults by kind.
+	Panics       int64 `json:"panics"`
+	Deadlines    int64 `json:"deadlines"`
+	Cancels      int64 `json:"cancels"`
+	Corruptions  int64 `json:"corruptions"`
+	Subprocesses int64 `json:"subprocesses"`
+	Protocols    int64 `json:"protocols"`
 	// Retries counts transient-fault replay retries, Quarantines the
 	// strategy fallbacks, ReplayedVectors the vectors re-run sequentially.
 	Retries         int64 `json:"retries"`
@@ -59,7 +62,7 @@ type GuardStats struct {
 
 // Faults sums the per-kind fault counts.
 func (g *GuardStats) Faults() int64 {
-	return g.Panics + g.Deadlines + g.Cancels + g.Corruptions
+	return g.Panics + g.Deadlines + g.Cancels + g.Corruptions + g.Subprocesses + g.Protocols
 }
 
 // guardStats reads the guard counters into a coherent GuardStats.
@@ -69,6 +72,8 @@ func (o *Observer) guardStats() GuardStats {
 		Deadlines:       o.guardFaults[resilience.FaultDeadline].Load(),
 		Cancels:         o.guardFaults[resilience.FaultCanceled].Load(),
 		Corruptions:     o.guardFaults[resilience.FaultCorruption].Load(),
+		Subprocesses:    o.guardFaults[resilience.FaultSubprocess].Load(),
+		Protocols:       o.guardFaults[resilience.FaultProtocol].Load(),
 		Retries:         o.guardRetries.Load(),
 		Quarantines:     o.guardQuarantines.Load(),
 		ReplayedVectors: o.guardReplays.Load(),
@@ -83,6 +88,8 @@ func (g *GuardStats) merge(t *GuardStats) {
 	g.Deadlines += t.Deadlines
 	g.Cancels += t.Cancels
 	g.Corruptions += t.Corruptions
+	g.Subprocesses += t.Subprocesses
+	g.Protocols += t.Protocols
 	g.Retries += t.Retries
 	g.Quarantines += t.Quarantines
 	g.ReplayedVectors += t.ReplayedVectors

@@ -1,0 +1,80 @@
+package obs
+
+import "time"
+
+// Native-backend counters: the observability face of the subprocess
+// supervisor (internal/native). The supervisor records child builds,
+// respawns, protocol violations, in-process fallbacks and frame traffic
+// here, and WriteText exports them as udsim_native_* families next to
+// the udsim_guard_* degradation counters.
+//
+// All Add* methods follow the package contract: atomic,
+// allocation-free, safe for concurrent use, and a nil *Observer check
+// at the caller is the entire disabled cost. Like the guard counters
+// they survive Attach (see the field comment in obs.go).
+
+// AddNativeBuild counts one out-of-process `go build` of a child, with
+// its wall time.
+func (o *Observer) AddNativeBuild(d time.Duration) {
+	o.nativeBuilds.Add(1)
+	o.nativeBuildNanos.Add(int64(d))
+}
+
+// AddNativeRespawn counts one supervisor respawn of a crashed, wedged
+// or protocol-violating child.
+func (o *Observer) AddNativeRespawn() { o.nativeRespawns.Add(1) }
+
+// AddNativeProtocolError counts one framing violation (CRC mismatch,
+// truncated frame, sequence desync, oversized payload, bad handshake).
+func (o *Observer) AddNativeProtocolError() { o.nativeProtoErrs.Add(1) }
+
+// AddNativeFallback counts one batch completed by the in-process engine
+// after the native child was quarantined or faulted mid-stream.
+func (o *Observer) AddNativeFallback() { o.nativeFallbacks.Add(1) }
+
+// AddNativeFramesSent counts n protocol frames written to the child.
+func (o *Observer) AddNativeFramesSent(n int64) { o.nativeFramesOut.Add(n) }
+
+// AddNativeFramesReceived counts n protocol frames read from the child.
+func (o *Observer) AddNativeFramesReceived(n int64) { o.nativeFramesIn.Add(n) }
+
+// NativeStats is the native-backend section of a Snapshot.
+type NativeStats struct {
+	// Builds counts out-of-process child builds; BuildNanos their total
+	// wall time.
+	Builds     int64 `json:"builds"`
+	BuildNanos int64 `json:"build_ns"`
+	// Respawns counts supervisor respawns, ProtocolErrors the framing
+	// violations, Fallbacks the batches completed in-process after a
+	// fault or quarantine.
+	Respawns       int64 `json:"respawns"`
+	ProtocolErrors int64 `json:"protocol_errors"`
+	Fallbacks      int64 `json:"fallbacks"`
+	// FramesSent/FramesReceived count protocol frames by direction.
+	FramesSent     int64 `json:"frames_sent"`
+	FramesReceived int64 `json:"frames_received"`
+}
+
+// nativeStats reads the native counters into a coherent NativeStats.
+func (o *Observer) nativeStats() NativeStats {
+	return NativeStats{
+		Builds:         o.nativeBuilds.Load(),
+		BuildNanos:     o.nativeBuildNanos.Load(),
+		Respawns:       o.nativeRespawns.Load(),
+		ProtocolErrors: o.nativeProtoErrs.Load(),
+		Fallbacks:      o.nativeFallbacks.Load(),
+		FramesSent:     o.nativeFramesOut.Load(),
+		FramesReceived: o.nativeFramesIn.Load(),
+	}
+}
+
+// merge folds t into n.
+func (n *NativeStats) merge(t *NativeStats) {
+	n.Builds += t.Builds
+	n.BuildNanos += t.BuildNanos
+	n.Respawns += t.Respawns
+	n.ProtocolErrors += t.ProtocolErrors
+	n.Fallbacks += t.Fallbacks
+	n.FramesSent += t.FramesSent
+	n.FramesReceived += t.FramesReceived
+}

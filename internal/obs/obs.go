@@ -140,6 +140,19 @@ type Observer struct {
 	guardReplays     atomic.Int64
 	guardChecks      atomic.Int64
 	guardMismatches  atomic.Int64
+
+	// Native-backend counters (see native.go): child builds, respawns,
+	// protocol errors, in-process fallbacks and frame traffic recorded by
+	// the subprocess supervisor. Like the guard counters they survive
+	// Attach — a respawn or quarantine reconfigures the engine, and the
+	// record must outlive the reconfiguration it caused.
+	nativeBuilds     atomic.Int64
+	nativeBuildNanos atomic.Int64
+	nativeRespawns   atomic.Int64
+	nativeProtoErrs  atomic.Int64
+	nativeFallbacks  atomic.Int64
+	nativeFramesOut  atomic.Int64
+	nativeFramesIn   atomic.Int64
 }
 
 // New creates a detached Observer. It collects nothing until an engine

@@ -117,6 +117,10 @@ type Snapshot struct {
 	// Guard is the resilience-event section (see guard.go); all zeros
 	// unless the engine runs guarded.
 	Guard GuardStats `json:"guard"`
+
+	// Native is the subprocess-supervisor section (see native.go); all
+	// zeros unless the engine runs the native backend.
+	Native NativeStats `json:"native"`
 }
 
 // Snapshot copies the counters into a coherent read-only view. It
@@ -135,6 +139,7 @@ func (o *Observer) Snapshot() *Snapshot {
 		InitRuns:  o.initRuns.Load(),
 		InitNanos: o.initNanos.Load(),
 		Guard:     o.guardStats(),
+		Native:    o.nativeStats(),
 
 		FusedLevels:     o.shape.FusedLevels,
 		BarriersDeleted: o.shape.BarriersDeleted,
@@ -287,5 +292,6 @@ func (s *Snapshot) Merge(t *Snapshot) error {
 	}
 	s.ActivityVectors += t.ActivityVectors
 	s.Guard.merge(&t.Guard)
+	s.Native.merge(&t.Native)
 	return nil
 }

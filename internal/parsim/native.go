@@ -1,0 +1,17 @@
+package parsim
+
+// Native-backend layout accessors: the subprocess supervisor
+// (internal/native) bakes the engine's state layout into the generated
+// child driver, so the child can expand packed primary-input bits into
+// broadcast words and pluck primary-output bits out of the state arena
+// exactly the way the in-process dispatch loop does.
+
+// InputField describes how primary input i lands in the state arena:
+// base is the first state-word index of the input's bit-field, words
+// its word count, and split the bit offset below which the field holds
+// the *previous* vector's value (the delayed alignment of writeInputs;
+// 0 or negative means the whole field takes the new value).
+func (s *Sim) InputField(i int) (base, words int32, split int) {
+	id := s.c.Inputs[i]
+	return s.base[id], s.words[id], -s.alignOf[id]
+}

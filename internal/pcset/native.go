@@ -1,0 +1,9 @@
+package pcset
+
+// InputVar returns the state-word index primary input i is broadcast
+// into (the variable of its single PC element). The native-backend
+// child driver bakes this layout so it can write ^uint64(0)/0 exactly
+// where the in-process apply loop does.
+func (s *Sim) InputVar(i int) int32 {
+	return s.vars[s.c.Inputs[i]][0]
+}

@@ -53,6 +53,14 @@ const (
 	// FaultCorruption is silent state corruption caught by the guarded
 	// engine's output cross-check against the zero-delay oracle.
 	FaultCorruption
+	// FaultSubprocess is a native-backend child failure: the supervised
+	// subprocess crashed, exited, failed to build, or could not be
+	// spawned. ExitStatus and Stderr carry the witness.
+	FaultSubprocess
+	// FaultProtocol is a native-backend framing violation: CRC mismatch,
+	// truncated frame, sequence desync, oversized payload, or a handshake
+	// that does not match the compiled circuit. Frame carries the witness.
+	FaultProtocol
 
 	// NumFaultKinds sizes per-kind counter arrays.
 	NumFaultKinds int = iota
@@ -69,6 +77,10 @@ func (k FaultKind) String() string {
 		return "canceled"
 	case FaultCorruption:
 		return "corruption"
+	case FaultSubprocess:
+		return "subprocess"
+	case FaultProtocol:
+		return "protocol"
 	}
 	return fmt.Sprintf("fault(%d)", int(k))
 }
@@ -84,6 +96,14 @@ var (
 	// ErrCrossCheck marks a guarded-engine output mismatch against the
 	// zero-delay reference oracle.
 	ErrCrossCheck = errors.New("resilience: output cross-check mismatch")
+	// ErrChildBuild marks a native-backend child that failed to compile
+	// or link; the fault is permanent (re-running go build on identical
+	// sources cannot succeed), so it is never retried.
+	ErrChildBuild = errors.New("resilience: native child failed to build")
+	// ErrChildStall marks a native-backend child that accepted the
+	// handshake (or a batch) and then failed to answer within the
+	// per-batch deadline.
+	ErrChildStall = errors.New("resilience: native child stalled past batch deadline")
 )
 
 // EngineFault is a typed, located engine failure. It carries the same
@@ -103,6 +123,15 @@ type EngineFault struct {
 	Value any
 	// Stack is the panicking goroutine's stack for FaultPanic.
 	Stack []byte
+	// ExitStatus is the child's exit code for FaultSubprocess (-1 when
+	// the child was signaled or never started; 0 when not applicable).
+	ExitStatus int
+	// Stderr is the tail of the child's stderr stream for
+	// FaultSubprocess/FaultProtocol (capped by the supervisor).
+	Stderr string
+	// Frame is the protocol frame coordinate (batch sequence number) for
+	// FaultSubprocess/FaultProtocol; -1 when unknown.
+	Frame int64
 	// Err is the wrapped cause (context errors, sentinel causes).
 	Err error
 }
@@ -112,7 +141,16 @@ type EngineFault struct {
 //	resilience: panic in parallel (level 3 shard 1): runtime error: ...
 func (f *EngineFault) Error() string {
 	loc := ""
-	if f.Level >= 0 {
+	switch {
+	case f.Kind == FaultSubprocess || f.Kind == FaultProtocol:
+		if f.Frame >= 0 {
+			loc = fmt.Sprintf(" (frame %d", f.Frame)
+			if f.Kind == FaultSubprocess {
+				loc += fmt.Sprintf(" exit %d", f.ExitStatus)
+			}
+			loc += ")"
+		}
+	case f.Level >= 0:
 		loc = fmt.Sprintf(" (level %d shard %d", f.Level, f.Shard)
 		if f.Instr >= 0 {
 			loc += fmt.Sprintf(" instr %d", f.Instr)
@@ -136,11 +174,19 @@ func (f *EngineFault) Unwrap() error { return f.Err }
 // succeed: panics and stalls may be environmental; corruption needs a
 // different execution path, cancellation must be honored, and a
 // quarantined engine stays quarantined — none of those are retried.
+// Native-backend child crashes, wedges and framing violations are
+// transient (a respawned child gets a fresh address space), but a build
+// failure is not — identical sources cannot compile differently.
 func (f *EngineFault) Transient() bool {
-	if errors.Is(f.Err, ErrQuarantined) {
+	if errors.Is(f.Err, ErrQuarantined) || errors.Is(f.Err, ErrChildBuild) {
 		return false
 	}
-	return f.Kind == FaultPanic || (f.Kind == FaultDeadline && errors.Is(f.Err, ErrBarrierStall))
+	switch f.Kind {
+	case FaultSubprocess, FaultProtocol:
+		return true
+	}
+	return f.Kind == FaultPanic ||
+		(f.Kind == FaultDeadline && (errors.Is(f.Err, ErrBarrierStall) || errors.Is(f.Err, ErrChildStall)))
 }
 
 // AsFault extracts an *EngineFault from an error chain.
@@ -197,6 +243,30 @@ func Corruption(engine string, slot int) *EngineFault {
 	}
 }
 
+// Subprocess builds the native-backend child-death fault: the child
+// crashed, exited or could not be spawned while frame (the batch
+// sequence number, -1 when outside a batch) was in flight. exit is the
+// child's exit status (-1 when signaled or never started) and stderr is
+// the supervisor's capped tail of the child's stderr stream.
+func Subprocess(engine string, frame int64, exit int, stderr string, err error) *EngineFault {
+	return &EngineFault{
+		Kind: FaultSubprocess, Engine: engine,
+		Level: -1, Shard: -1, Instr: -1,
+		Frame: frame, ExitStatus: exit, Stderr: stderr, Err: err,
+	}
+}
+
+// Protocol builds the native-backend framing-violation fault at the
+// given frame coordinate (batch sequence number, -1 when the violation
+// is in the handshake).
+func Protocol(engine string, frame int64, stderr string, err error) *EngineFault {
+	return &EngineFault{
+		Kind: FaultProtocol, Engine: engine,
+		Level: -1, Shard: -1, Instr: -1,
+		Frame: frame, Stderr: stderr, Err: err,
+	}
+}
+
 // Policy is the guard configuration of the facade's Guarded engine and
 // the shard engine's guarded run path. The zero value guards panics and
 // cancellation but runs no watchdog, no retries and no cross-checks;
@@ -208,8 +278,9 @@ type Policy struct {
 	LevelBudget time.Duration
 	// MaxRetries bounds sequential-replay retries of a transient fault.
 	MaxRetries int
-	// RetryBackoff is the initial pause before a retry; it doubles per
-	// attempt and is capped at 16×.
+	// RetryBackoff is the pause before retry attempt 0; attempt n waits
+	// RetryBackoff×2ⁿ, capped at 16×RetryBackoff, so the schedule is
+	// b, 2b, 4b, 8b, 16b, 16b, ... (see Policy.Backoff).
 	RetryBackoff time.Duration
 	// CrossCheckEvery samples every Nth vector's primary outputs against
 	// the zero-delay reference oracle, converting silent corruption into
@@ -241,8 +312,10 @@ func (p Policy) Grace() time.Duration {
 	return p.QuarantineGrace
 }
 
-// Backoff returns the pause before retry attempt (0-based), doubling
-// from RetryBackoff and capped at 16×.
+// Backoff returns the pause before retry attempt (0-based): attempt n
+// waits RetryBackoff×2ⁿ, capped at 16×RetryBackoff — the schedule is
+// b, 2b, 4b, 8b, 16b and 16b forever after. A non-positive RetryBackoff
+// disables the pause entirely.
 func (p Policy) Backoff(attempt int) time.Duration {
 	if p.RetryBackoff <= 0 {
 		return 0

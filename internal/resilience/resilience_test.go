@@ -31,6 +31,18 @@ func TestFaultError(t *testing.T) {
 			FromContext("pcset", context.Canceled),
 			"resilience: canceled in pcset: context canceled",
 		},
+		{
+			Subprocess("native", 12, 7, "boom\n", errors.New("child exited")),
+			"resilience: subprocess in native (frame 12 exit 7): child exited",
+		},
+		{
+			Protocol("native", 3, "", errors.New("crc mismatch")),
+			"resilience: protocol in native (frame 3): crc mismatch",
+		},
+		{
+			Protocol("native", -1, "", errors.New("handshake: wrong circuit hash")),
+			"resilience: protocol in native: handshake: wrong circuit hash",
+		},
 	}
 	for _, tc := range cases {
 		if got := tc.f.Error(); got != tc.want {
@@ -45,6 +57,8 @@ func TestFaultKindString(t *testing.T) {
 		FaultDeadline:   "deadline",
 		FaultCanceled:   "canceled",
 		FaultCorruption: "corruption",
+		FaultSubprocess: "subprocess",
+		FaultProtocol:   "protocol",
 	}
 	if len(want) != NumFaultKinds {
 		t.Fatalf("test covers %d kinds, NumFaultKinds = %d", len(want), NumFaultKinds)
@@ -67,6 +81,10 @@ func TestTransient(t *testing.T) {
 		{FromContext("shard", context.DeadlineExceeded), false}, // caller deadline, not a stall
 		{Corruption("parallel", 9), false},
 		{Quarantined("shard"), false}, // wraps ErrQuarantined, not retryable
+		{Subprocess("native", 3, -1, "", errors.New("signal: killed")), true},
+		{Subprocess("native", -1, 1, "go build: ...", ErrChildBuild), false}, // rebuild cannot succeed
+		{Protocol("native", 7, "", errors.New("crc mismatch")), true},
+		{&EngineFault{Kind: FaultDeadline, Engine: "native", Level: -1, Shard: -1, Instr: -1, Frame: 2, Err: ErrChildStall}, true},
 	}
 	for i, tc := range cases {
 		if got := tc.f.Transient(); got != tc.want {
@@ -105,20 +123,31 @@ func TestAsFault(t *testing.T) {
 	}
 }
 
+// TestPolicyBackoff pins the documented schedule — attempt n waits
+// RetryBackoff×2ⁿ capped at 16×RetryBackoff, i.e. b, 2b, 4b, 8b, 16b,
+// 16b, ... — for several bases, including far-out attempts where the cap
+// must hold without overflow.
 func TestPolicyBackoff(t *testing.T) {
-	p := Policy{RetryBackoff: time.Millisecond}
-	want := []time.Duration{
-		1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
-		8 * time.Millisecond, 16 * time.Millisecond, 16 * time.Millisecond,
-		16 * time.Millisecond,
-	}
-	for i, w := range want {
-		if got := p.Backoff(i); got != w {
-			t.Errorf("Backoff(%d) = %v, want %v", i, got, w)
+	for _, base := range []time.Duration{
+		time.Millisecond, 250 * time.Microsecond, 3 * time.Second,
+	} {
+		p := Policy{RetryBackoff: base}
+		want := []time.Duration{base, 2 * base, 4 * base, 8 * base, 16 * base, 16 * base, 16 * base}
+		for i, w := range want {
+			if got := p.Backoff(i); got != w {
+				t.Errorf("base %v: Backoff(%d) = %v, want %v", base, i, got, w)
+			}
+		}
+		for _, far := range []int{10, 63, 1000} {
+			if got := p.Backoff(far); got != 16*base {
+				t.Errorf("base %v: Backoff(%d) = %v, want cap %v", base, far, got, 16*base)
+			}
 		}
 	}
-	if (Policy{}).Backoff(3) != 0 {
-		t.Error("zero policy should not back off")
+	for _, p := range []Policy{{}, {RetryBackoff: -time.Second}} {
+		if p.Backoff(3) != 0 {
+			t.Errorf("RetryBackoff=%v should not back off", p.RetryBackoff)
+		}
 	}
 }
 

@@ -53,6 +53,13 @@ const (
 	// most gates are idle on most vectors). Bit-identical to Sequential;
 	// the first vector after a reset conservatively runs everything.
 	ActivityGated
+	// Native runs the circuit's validated codegen output as a supervised
+	// out-of-process subprocess (internal/native): the generated Go is
+	// `go build`-ed in a temp dir and spoken to over a length-prefixed,
+	// CRC-checked vector protocol, with respawn/quarantine fallback to
+	// the in-process engine. The compiled engines themselves reject this
+	// strategy — the facade intercepts it and wraps the supervisor.
+	Native
 )
 
 // String names the strategy.
@@ -68,6 +75,8 @@ func (s Strategy) String() string {
 		return "auto"
 	case ActivityGated:
 		return "activity-gated"
+	case Native:
+		return "native"
 	}
 	return fmt.Sprintf("strategy(%d)", int(s))
 }
@@ -85,6 +94,8 @@ func ParseStrategy(s string) (Strategy, error) {
 		return Auto, nil
 	case "activity-gated", "gated":
 		return ActivityGated, nil
+	case "native":
+		return Native, nil
 	}
 	return 0, fmt.Errorf("shard: unknown strategy %q", s)
 }

@@ -301,6 +301,12 @@ const (
 	// restore runs everything. Combine with WithLevelFusion to delete
 	// barriers between merged levels as well.
 	ExecActivityGated = shard.ActivityGated
+	// ExecNative runs the compiled programs as genuinely straight-line
+	// native code: the validated codegen output is `go build`-ed out of
+	// process and driven as a supervised subprocess, with the in-process
+	// engine kept as a guarded fallback (see WithNativeBackend). Open
+	// intercepts this strategy and returns a *NativeSim.
+	ExecNative = shard.Native
 )
 
 // ParseExecStrategy parses "sequential", "sharded", "activity-gated"
@@ -385,6 +391,7 @@ type options struct {
 	guard       GuardPolicy
 	guardSet    bool
 	inject      FaultInjector
+	nat         nativeOpts
 	// parallelOnly names the parallel-technique-specific options that
 	// were applied, so Open can reject them for other techniques.
 	parallelOnly []string
@@ -548,6 +555,11 @@ func Open(c *Circuit, technique Technique, opts ...Option) (Engine, error) {
 			f(&o)
 		}
 	}
+	if o.nativeMode() {
+		if err := o.checkNative(technique); err != nil {
+			return nil, err
+		}
+	}
 	switch technique {
 	case TechParallel:
 		if o.monitorSet {
@@ -557,6 +569,9 @@ func Open(c *Circuit, technique Technique, opts ...Option) (Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		if o.nativeMode() {
+			return wrapNativeParallel(p, o)
+		}
 		return wrapGuard(p, &parallelCore{s: p.s}, o)
 	case TechPCSet:
 		if len(o.parallelOnly) > 0 {
@@ -565,6 +580,9 @@ func Open(c *Circuit, technique Technique, opts ...Option) (Engine, error) {
 		p, err := openPCSet(c, o)
 		if err != nil {
 			return nil, err
+		}
+		if o.nativeMode() {
+			return wrapNativePCSet(p, o)
 		}
 		return wrapGuard(p, &pcsetCore{s: p.s}, o)
 	case TechEvent3, TechEvent2:
